@@ -1,0 +1,329 @@
+// Package tara_bench holds the testing.B benchmarks that regenerate the
+// paper's evaluation, one benchmark (family) per table and figure. The
+// benches reuse the experiment harness builders at a reduced scale so the
+// whole suite finishes in minutes; cmd/tarabench runs the full sweeps and
+// prints the paper-style rows.
+package tara_bench
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tara/internal/gen"
+	"tara/internal/harness"
+	"tara/internal/maras"
+)
+
+// benchScale keeps benchmark datasets modest; tarabench uses scale 1.
+const benchScale = 0.5
+
+// benchDatasets are the two contrasting workloads used by the benches:
+// sparse-short retail and dense Quest transactions.
+var benchDatasetNames = []string{"retail", "t5k"}
+
+var (
+	sysCache   = map[string]*harness.Systems{}
+	sysCacheMu sync.Mutex
+)
+
+func systemsFor(b *testing.B, name string) *harness.Systems {
+	b.Helper()
+	sysCacheMu.Lock()
+	defer sysCacheMu.Unlock()
+	if s, ok := sysCache[name]; ok {
+		return s
+	}
+	spec, err := harness.DatasetByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := harness.BuildSystems(spec, benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sysCache[name] = s
+	return s
+}
+
+// BenchmarkFig6MARASPrecision measures the MARAS pipeline on one synthetic
+// FAERS quarter and reports precision@10 against the planted interactions.
+func BenchmarkFig6MARASPrecision(b *testing.B) {
+	ds, truth, err := gen.FAERS(gen.FAERSParams{
+		Reports: 3000, NumDrugs: 80, NumADRs: 60, NumDDIs: 15, Seed: 20141,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	truthKeys := map[string]bool{}
+	for _, d := range truth {
+		truthKeys[d.Key()] = true
+	}
+	var precision float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		signals, err := maras.Mine(ds, maras.Params{MinSupportCount: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits := 0
+		for _, s := range maras.TopK(signals, 10) {
+			for _, k := range gen.SignalKeys(ds, s) {
+				if truthKeys[k] {
+					hits++
+					break
+				}
+			}
+		}
+		precision = float64(hits) / 10
+	}
+	b.ReportMetric(precision, "precision@10")
+}
+
+// BenchmarkTab2Rankings measures the three Table 2 ranking methods on one
+// quarter.
+func BenchmarkTab2Rankings(b *testing.B) {
+	ds, _, err := gen.FAERS(gen.FAERSParams{
+		Reports: 3000, NumDrugs: 80, NumADRs: 60, NumDDIs: 15, Seed: 20153,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("maras", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := maras.Mine(ds, maras.Params{MinSupportCount: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("confidence", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := maras.RankBaseline(ds, maras.ByConfidence, 8, 5, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reporting-ratio", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := maras.RankBaseline(ds, maras.ByReportingRatio, 8, 5, 5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTab3DatasetGeneration measures the dataset generators.
+func BenchmarkTab3DatasetGeneration(b *testing.B) {
+	for _, name := range []string{"retail", "t5k", "t2k", "webdocs"} {
+		spec, err := harness.DatasetByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := spec.Build(benchScale); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// q1Bench runs the Figure 7/8 per-system sub-benchmarks at one parameter
+// point.
+func q1Bench(b *testing.B, sys *harness.Systems, label string, minSupp, minConf float64) {
+	base, others := sys.BaseWindow()
+	b.Run(label+"/tara", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.TARA.RuleTrajectories(base, minSupp, minConf, others); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/tara-s", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.TARASTrajectories(base, minSupp, minConf, others); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/tara-r", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.TARA.Recommend(base, minSupp, minConf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/hmine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.HMine.Trajectories(base, minSupp, minConf, others); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/paras", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.PARAS.Trajectories(base, minSupp, minConf, others); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/dctar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.DCTAR.Trajectories(base, minSupp, minConf, others); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig7VaryingSupport regenerates Figure 7's series: Q1/Q3 time at
+// three support levels per dataset, for all six systems.
+func BenchmarkFig7VaryingSupport(b *testing.B) {
+	for _, name := range benchDatasetNames {
+		sys := systemsFor(b, name)
+		spec := sys.Spec
+		for _, supp := range []float64{spec.SuppSweep[0], spec.SuppSweep[2], spec.SuppSweep[4]} {
+			q1Bench(b, sys, fmt.Sprintf("%s/supp=%g", name, supp), supp, spec.FixedConf)
+		}
+	}
+}
+
+// BenchmarkFig8VaryingConfidence regenerates Figure 8's series.
+func BenchmarkFig8VaryingConfidence(b *testing.B) {
+	for _, name := range benchDatasetNames {
+		sys := systemsFor(b, name)
+		spec := sys.Spec
+		for _, conf := range []float64{spec.ConfSweep[0], spec.ConfSweep[2], spec.ConfSweep[4]} {
+			q1Bench(b, sys, fmt.Sprintf("%s/conf=%g", name, conf), spec.FixedSupp, conf)
+		}
+	}
+}
+
+// BenchmarkFig9Preprocessing regenerates Figure 9: offline preprocessing of
+// the whole evolving dataset, TARA vs the H-Mine itemset pregeneration.
+func BenchmarkFig9Preprocessing(b *testing.B) {
+	for _, name := range benchDatasetNames {
+		spec, err := harness.DatasetByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		db, err := spec.Build(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		windows, err := db.PartitionByCount(spec.Batches)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/tara", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.BuildTARAOnly(db, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/hmine", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.BuildHMineOnly(windows, spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// q2Bench runs the Figure 10/11 per-system sub-benchmarks.
+func q2Bench(b *testing.B, sys *harness.Systems, label string, suppA, confA, suppB, confB float64) {
+	wins := sys.CompareWindows()
+	b.Run(label+"/tara", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.TARA.Compare(wins, suppA, confA, suppB, confB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/hmine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.HMine.Compare(wins, suppA, confA, suppB, confB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/paras", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.PARAS.Compare(wins, suppA, confA, suppB, confB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(label+"/dctar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.DCTAR.Compare(wins, suppA, confA, suppB, confB); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig10ComparisonSupport regenerates Figure 10's series.
+func BenchmarkFig10ComparisonSupport(b *testing.B) {
+	for _, name := range benchDatasetNames {
+		sys := systemsFor(b, name)
+		spec := sys.Spec
+		for _, supp2 := range []float64{spec.SuppSweep[0], spec.SuppSweep[2], spec.SuppSweep[4]} {
+			q2Bench(b, sys, fmt.Sprintf("%s/supp2=%g", name, supp2),
+				spec.FixedSupp, spec.FixedConf, supp2, spec.FixedConf)
+		}
+	}
+}
+
+// BenchmarkFig11ComparisonConfidence regenerates Figure 11's series.
+func BenchmarkFig11ComparisonConfidence(b *testing.B) {
+	for _, name := range benchDatasetNames {
+		sys := systemsFor(b, name)
+		spec := sys.Spec
+		for _, conf2 := range []float64{spec.ConfSweep[0], spec.ConfSweep[2], spec.ConfSweep[4]} {
+			q2Bench(b, sys, fmt.Sprintf("%s/conf2=%g", name, conf2),
+				spec.FixedSupp, spec.FixedConf, spec.FixedSupp, conf2)
+		}
+	}
+}
+
+// BenchmarkFig12ArchiveSize regenerates Figure 12: it reports the sizes of
+// the pregenerated structures as metrics while timing archive decoding
+// (the access path whose speed justifies the compact encoding).
+func BenchmarkFig12ArchiveSize(b *testing.B) {
+	for _, name := range benchDatasetNames {
+		sys := systemsFor(b, name)
+		arch := sys.TARA.Archive()
+		ids := arch.Rules()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				id := ids[i%len(ids)]
+				if got := arch.Series(id); len(got) == 0 {
+					b.Fatal("empty series")
+				}
+			}
+			b.ReportMetric(float64(arch.SizeBytes()), "archive-bytes")
+			b.ReportMetric(float64(arch.UncompressedBytes()), "uncompressed-bytes")
+			b.ReportMetric(float64(sys.HMine.IndexBytes()), "hmine-bytes")
+		})
+	}
+}
+
+// BenchmarkTab4RollUp measures the Q4 coarse-granularity mining request,
+// whose error bound the rollup experiment validates.
+func BenchmarkTab4RollUp(b *testing.B) {
+	for _, name := range benchDatasetNames {
+		sys := systemsFor(b, name)
+		spec := sys.Spec
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.TARA.MineRollUp(0, len(sys.Windows)-1, 2*spec.GenSupp, spec.GenConf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package tara_bench
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Integration tests that build and exercise the three executables end to
+// end. They invoke the Go toolchain, so they are skipped in -short mode.
+
+func buildTool(t *testing.T, pkg string) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("binary integration test skipped in -short mode")
+	}
+	bin := filepath.Join(t.TempDir(), filepath.Base(pkg))
+	cmd := exec.Command("go", "build", "-o", bin, pkg)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", pkg, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", bin, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLITaraOneShot(t *testing.T) {
+	bin := buildTool(t, "./cmd/tara")
+	out := run(t, bin, "-tx", "2000", "-batches", "4", "-q", "mine w=0 supp=0.02 conf=0.4")
+	if !strings.Contains(out, "rules in window 0") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestCLITaraSaveLoad(t *testing.T) {
+	bin := buildTool(t, "./cmd/tara")
+	kb := filepath.Join(t.TempDir(), "kb.tara")
+	first := run(t, bin, "-tx", "2000", "-batches", "4",
+		"-save", kb, "-q", "recommend w=1 supp=0.02 conf=0.4")
+	if _, err := os.Stat(kb); err != nil {
+		t.Fatalf("knowledge base not written: %v", err)
+	}
+	second := run(t, bin, "-kb", kb, "-q", "recommend w=1 supp=0.02 conf=0.4")
+	// Both runs must report the same stable region (the line starting with
+	// "window 1:").
+	extract := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "window 1:") {
+				return line
+			}
+		}
+		return ""
+	}
+	a, b := extract(first), extract(second)
+	if a == "" || a != b {
+		t.Errorf("regions differ after reload:\n%q\nvs\n%q", a, b)
+	}
+}
+
+func TestCLITaraREPL(t *testing.T) {
+	bin := buildTool(t, "./cmd/tara")
+	cmd := exec.Command(bin, "-tx", "1500", "-batches", "3")
+	cmd.Stdin = strings.NewReader("stats\nmine w=0 supp=0.02 conf=0.4\nbogus query\nquit\n")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("REPL run: %v\n%s", err, out)
+	}
+	text := string(out)
+	if !strings.Contains(text, "knowledge base:") {
+		t.Errorf("stats output missing:\n%s", text)
+	}
+	if !strings.Contains(text, "rules in window 0") {
+		t.Errorf("mine output missing:\n%s", text)
+	}
+	if !strings.Contains(text, "error:") {
+		t.Errorf("bad query not reported:\n%s", text)
+	}
+}
+
+func TestCLIMaras(t *testing.T) {
+	bin := buildTool(t, "./cmd/maras")
+	out := run(t, bin, "-reports", "2500", "-topk", "10")
+	if !strings.Contains(out, "precision@10") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	if !strings.Contains(out, "TRUE DDI") {
+		t.Errorf("no planted interaction surfaced:\n%s", out)
+	}
+}
+
+func TestCLITarabench(t *testing.T) {
+	bin := buildTool(t, "./cmd/tarabench")
+	out := run(t, bin, "-exp", "tab4")
+	if !strings.Contains(out, "Table 4") || !strings.Contains(out, "0.0002") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+	// Unknown experiment must fail with a clear message.
+	cmd := exec.Command(bin, "-exp", "fig99")
+	combined, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("unknown experiment accepted:\n%s", combined)
+	}
+}

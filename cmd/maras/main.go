@@ -1,0 +1,175 @@
+// Command maras runs the MARAS multi-drug adverse reaction signaling
+// pipeline on a synthetic FAERS quarter: it generates reports with planted
+// drug-drug interactions, mines and ranks MDAR signals by contrast, and
+// reports precision against the planted ground truth alongside the
+// confidence and reporting-ratio baselines.
+//
+// Usage:
+//
+//	maras -reports 6000 -drugs 80 -adrs 60 -ddis 15 -topk 20
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tara/internal/gen"
+	"tara/internal/maras"
+)
+
+func main() {
+	var (
+		reports  = flag.Int("reports", 6000, "ADR reports to generate")
+		drugs    = flag.Int("drugs", 80, "number of distinct drugs")
+		adrs     = flag.Int("adrs", 60, "number of distinct ADRs")
+		ddis     = flag.Int("ddis", 15, "planted drug-drug interactions")
+		seed     = flag.Int64("seed", 20153, "generator seed")
+		topK     = flag.Int("topk", 20, "signals to print")
+		minSupp  = flag.Uint("minsupport", 8, "minimum joint report count for a signal")
+		theta    = flag.Float64("theta", 0.75, "contrast CV-penalty weight θ")
+		baseline = flag.Bool("baselines", true, "also print confidence/RR baseline rankings")
+		jsonOut  = flag.String("json", "", "also write the ranked signals as JSON to this file")
+	)
+	flag.Parse()
+
+	ds, truth, err := gen.FAERS(gen.FAERSParams{
+		Reports:  *reports,
+		NumDrugs: *drugs,
+		NumADRs:  *adrs,
+		NumDDIs:  *ddis,
+		Seed:     *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generated %d reports, %d drugs, %d ADRs, %d planted DDIs\n",
+		ds.Len(), ds.Drugs.Len(), ds.ADRs.Len(), len(truth))
+
+	start := time.Now()
+	signals, err := maras.Mine(ds, maras.Params{
+		MinSupportCount: uint32(*minSupp),
+		Theta:           *theta,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("mined %d non-spurious multi-drug signals in %v\n\n", len(signals), time.Since(start).Round(time.Millisecond))
+
+	truthKeys := map[string]bool{}
+	for _, d := range truth {
+		truthKeys[d.Key()] = true
+	}
+	isHit := func(s maras.Signal) bool {
+		for _, k := range gen.SignalKeys(ds, s) {
+			if truthKeys[k] {
+				return true
+			}
+		}
+		return false
+	}
+
+	fmt.Printf("top %d MDAR signals by contrast:\n", *topK)
+	hits := 0
+	for i, s := range maras.TopK(signals, *topK) {
+		mark := ""
+		if isHit(s) {
+			mark = " [TRUE DDI]"
+			hits++
+		}
+		fmt.Printf("%3d. %-55s contrast=%.3f conf=%.2f n=%d %s%s\n",
+			i+1, s.Assoc.Format(ds), s.Contrast, s.Confidence, s.CountXY, s.Kind, mark)
+	}
+	fmt.Printf("\nprecision@%d = %.3f (%d/%d hits)\n", *topK, float64(hits)/float64(*topK), hits, *topK)
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, ds, maras.TopK(signals, *topK)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	if *baseline {
+		for _, b := range []struct {
+			name string
+			m    maras.BaselineMeasure
+		}{{"confidence", maras.ByConfidence}, {"reporting ratio", maras.ByReportingRatio}} {
+			ranked, err := maras.RankBaseline(ds, b.m, uint32(*minSupp), 5, *topK)
+			if err != nil {
+				fatal(err)
+			}
+			bHits := 0
+			for _, s := range ranked {
+				if len(s.Assoc.Drugs) == 2 {
+					a := ds.Drugs.Name(s.Assoc.Drugs[0])
+					bn := ds.Drugs.Name(s.Assoc.Drugs[1])
+					if bn < a {
+						a, bn = bn, a
+					}
+					for _, adr := range s.Assoc.ADRs {
+						if truthKeys[a+"+"+bn+"=>"+ds.ADRs.Name(adr)] {
+							bHits++
+							break
+						}
+					}
+				}
+			}
+			fmt.Printf("baseline %-16s precision@%d = %.3f\n", b.name+":", *topK, float64(bHits)/float64(*topK))
+		}
+	}
+}
+
+// jsonSignal is the exported JSON shape of one signal.
+type jsonSignal struct {
+	Drugs       []string  `json:"drugs"`
+	ADRs        []string  `json:"adrs"`
+	Kind        string    `json:"kind"`
+	Reports     uint32    `json:"reports"`
+	Confidence  float64   `json:"confidence"`
+	Lift        float64   `json:"lift"`
+	Contrast    float64   `json:"contrast"`
+	ContrastMax float64   `json:"contrastMax"`
+	Context     []float64 `json:"contextConfidences"`
+}
+
+func writeJSON(path string, ds *maras.Dataset, signals []maras.Signal) error {
+	out := make([]jsonSignal, len(signals))
+	for i, s := range signals {
+		js := jsonSignal{
+			Kind:        s.Kind.String(),
+			Reports:     s.CountXY,
+			Confidence:  s.Confidence,
+			Lift:        s.Lift,
+			Contrast:    s.Contrast,
+			ContrastMax: s.ContrastMax,
+		}
+		for _, d := range s.Assoc.Drugs {
+			js.Drugs = append(js.Drugs, ds.Drugs.Name(d))
+		}
+		for _, a := range s.Assoc.ADRs {
+			js.ADRs = append(js.ADRs, ds.ADRs.Name(a))
+		}
+		for _, c := range s.CAC {
+			js.Context = append(js.Context, c.Confidence)
+		}
+		out[i] = js
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "maras:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,211 @@
+// Command tara is the interactive temporal association explorer: it loads or
+// generates an evolving transaction database, builds the TARA knowledge base
+// (TAR Archive + EPS index), and answers exploration queries — interactively
+// from stdin, or one-shot via -q.
+//
+// Usage:
+//
+//	tara -gen retail -tx 20000 -batches 10 -supp 0.005 -conf 0.1
+//	tara -load transactions.tsv -batches 5 -q "mine w=0 supp=0.01 conf=0.2"
+//
+// Query syntax (see package tara/internal/query):
+//
+//	mine      w=0 supp=0.01 conf=0.2
+//	traj      w=3 supp=0.01 conf=0.2 in=0,1,2
+//	compare   w=0,1,2,3 a=0.01,0.2 b=0.05,0.3
+//	recommend w=0 supp=0.01 conf=0.2
+//	rollup    from=0 to=3 supp=0.01 conf=0.2
+//	drill     rule=12 from=0 to=3
+//	about     w=0 supp=0.01 conf=0.2 items=milk,bread
+//	rank      from=0 to=3 supp=0.01 conf=0.2 by=stability k=10
+//	periodic  from=0 to=8 supp=0.01 conf=0.2 period=7 k=10
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"tara/internal/gen"
+	"tara/internal/mining"
+	"tara/internal/query"
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+func main() {
+	var (
+		load     = flag.String("load", "", "load transactions from a TSV file (timestamp<TAB>item item ...)")
+		fimi     = flag.String("fimi", "", "load transactions from a FIMI-format file (e.g. the real retail.dat)")
+		maxTx    = flag.Int("maxtx", 0, "cap transactions read from -fimi (0 = all)")
+		generate = flag.String("gen", "retail", "generate a dataset: retail, quest or webdocs (ignored with -load)")
+		tx       = flag.Int("tx", 20000, "transactions to generate")
+		items    = flag.Int("items", 2000, "item vocabulary size for generation")
+		avgLen   = flag.Int("avglen", 10, "average transaction length for generation")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		batches  = flag.Int("batches", 10, "number of equal-sized windows")
+		winSize  = flag.Int64("window", 0, "time-based window size (overrides -batches when > 0)")
+		genSupp  = flag.Float64("supp", 0.005, "generation minimum support (Table 4)")
+		genConf  = flag.Float64("conf", 0.1, "generation minimum confidence (Table 4)")
+		maxLen   = flag.Int("maxlen", 4, "maximum itemset length")
+		miner    = flag.String("miner", "eclat", "mining algorithm: apriori, eclat, fpgrowth, hmine")
+		oneshot  = flag.String("q", "", "run a single query and exit")
+		kbFile   = flag.String("kb", "", "load a previously saved knowledge base instead of building")
+		saveFile = flag.String("save", "", "save the knowledge base to this file after building")
+	)
+	flag.Parse()
+
+	var fw *tara.Framework
+	start := time.Now()
+	if *kbFile != "" {
+		f, err := os.Open(*kbFile)
+		if err != nil {
+			fatal(err)
+		}
+		fw, err = tara.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded knowledge base %s in %v\n", *kbFile, time.Since(start).Round(time.Millisecond))
+	} else {
+		db, err := loadOrGenerate(*load, *fimi, *maxTx, *generate, *tx, *items, *avgLen, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		m, err := mining.ByName(*miner)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "building TARA knowledge base over %d transactions...\n", db.Len())
+		fw, err = tara.Build(db, *winSize, *batches, tara.Config{
+			GenMinSupport: *genSupp,
+			GenMinConf:    *genConf,
+			MaxItemsetLen: *maxLen,
+			Miner:         m,
+			ContentIndex:  true,
+			Workers:       runtime.GOMAXPROCS(0),
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "ready: %d windows, %d rules, archive %d bytes (in %v)\n",
+		fw.Windows(), fw.RuleDict().Len(), fw.Archive().SizeBytes(), time.Since(start).Round(time.Millisecond))
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fw.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved knowledge base to %s\n", *saveFile)
+	}
+
+	if *oneshot != "" {
+		if err := runQuery(fw, *oneshot); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Fprintln(os.Stderr, `enter queries ("help" for syntax, "stats" for a summary, "quit" to exit):`)
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Fprint(os.Stderr, "tara> ")
+		if !sc.Scan() {
+			break
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch line {
+		case "":
+			continue
+		case "quit", "exit":
+			return
+		case "help":
+			printHelp()
+			continue
+		case "stats":
+			printStats(fw)
+			continue
+		}
+		if err := runQuery(fw, line); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		}
+	}
+}
+
+func loadOrGenerate(load, fimi string, maxTx int, generator string, tx, items, avgLen int, seed int64) (*txdb.DB, error) {
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return txdb.Read(f)
+	}
+	if fimi != "" {
+		f, err := os.Open(fimi)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return txdb.ReadFIMI(f, maxTx)
+	}
+	switch generator {
+	case "retail":
+		return gen.Retail(gen.RetailParams{Transactions: tx, NumItems: items, AvgLen: avgLen, Seed: seed})
+	case "quest":
+		return gen.Quest(gen.QuestParams{Transactions: tx, AvgTransLen: avgLen, NumItems: items, Seed: seed})
+	case "webdocs":
+		return gen.Webdocs(gen.WebdocsParams{Transactions: tx, NumItems: items, AvgLen: avgLen, Seed: seed})
+	}
+	return nil, fmt.Errorf("unknown generator %q (want retail, quest or webdocs)", generator)
+}
+
+func runQuery(fw *tara.Framework, line string) error {
+	q, err := query.Parse(line)
+	if err != nil {
+		return err
+	}
+	return query.Execute(os.Stdout, fw, q)
+}
+
+func printStats(fw *tara.Framework) {
+	s := fw.Summarize()
+	fmt.Printf("knowledge base: %d windows, %d rules, %d items\n", s.Windows, s.Rules, s.Items)
+	fmt.Printf("archive: %d entries, %d bytes (%.1fx compression)\n",
+		s.ArchiveEntries, s.ArchiveBytes, float64(s.UncompressedByte)/float64(s.ArchiveBytes))
+	for _, w := range s.PerWindow {
+		fmt.Printf("  window %-3d %v  n=%-7d rules=%-7d locations=%d\n",
+			w.Window, w.Period, w.N, w.Rules, w.Locations)
+	}
+}
+
+func printHelp() {
+	fmt.Fprintln(os.Stderr, `queries:
+  mine      w=0 supp=0.01 conf=0.2
+  traj      w=3 supp=0.01 conf=0.2 in=0,1,2
+  compare   w=0,1,2,3 a=0.01,0.2 b=0.05,0.3
+  recommend w=0 supp=0.01 conf=0.2
+  rollup    from=0 to=3 supp=0.01 conf=0.2
+  drill     rule=12 from=0 to=3
+  about     w=0 supp=0.01 conf=0.2 items=milk,bread
+  rank      from=0 to=3 supp=0.01 conf=0.2 by=stability k=10
+  periodic  from=0 to=8 supp=0.01 conf=0.2 period=7 k=10
+  plot      w=0 [supp=0.01 conf=0.2]
+  export    w=0 supp=0.01 conf=0.2 file=rules.csv [format=csv|json]`)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tara:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Quickstart: build a TARA knowledge base over a small hand-written evolving
+// dataset and run the three fundamental exploration operations — mining,
+// parameter recommendation, and a rule trajectory.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"tara/internal/query"
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+func main() {
+	// An evolving retail log: two "days" (time 0-9 and 10-19). The
+	// milk+bread habit holds all along; beer+chips appears on day two.
+	db := txdb.NewDB()
+	day1 := [][]string{
+		{"milk", "bread"}, {"milk", "bread", "eggs"}, {"milk", "bread"},
+		{"tea", "sugar"}, {"milk", "bread", "tea"}, {"eggs"},
+		{"milk", "bread"}, {"tea", "sugar", "milk"}, {"bread"}, {"milk"},
+	}
+	for i, tx := range day1 {
+		db.Add(int64(i), tx...)
+	}
+	day2 := [][]string{
+		{"beer", "chips"}, {"milk", "bread"}, {"beer", "chips", "salsa"},
+		{"milk", "bread"}, {"beer", "chips"}, {"tea", "sugar"},
+		{"beer", "chips"}, {"milk", "bread", "beer"}, {"chips"}, {"beer"},
+	}
+	for i, tx := range day2 {
+		db.Add(int64(10+i), tx...)
+	}
+
+	// Offline phase: one window per day, pregenerating every rule with
+	// support >= 10% and confidence >= 10%.
+	fw, err := tara.Build(db, 10, 0, tara.Config{
+		GenMinSupport: 0.1,
+		GenMinConf:    0.1,
+		MaxItemsetLen: 3,
+		ContentIndex:  true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("knowledge base: %d windows, %d rules\n\n", fw.Windows(), fw.RuleDict().Len())
+
+	// Online phase — all answers come from the knowledge base.
+	for _, line := range []string{
+		"mine w=1 supp=0.3 conf=0.7",
+		"recommend w=1 supp=0.3 conf=0.7",
+		"traj w=1 supp=0.3 conf=0.7 in=0",
+		"about w=1 supp=0.1 conf=0.5 items=beer",
+	} {
+		fmt.Println("query:", line)
+		q, err := query.Parse(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := query.Execute(os.Stdout, fw, q); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,119 @@
+// Retail exploration: the workload that motivates the paper's introduction.
+// A season of synthetic store transactions is partitioned into weekly
+// windows; the analyst then explores how product associations evolve —
+// trajectories, ruleset comparison between candidate parameter settings,
+// stable-region recommendations, and evolution-measure rankings.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tara/internal/gen"
+	"tara/internal/tara"
+)
+
+func main() {
+	db, err := gen.Retail(gen.RetailParams{
+		Transactions: 30000,
+		NumItems:     1500,
+		AvgLen:       9,
+		Seed:         42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const weeks = 12
+	fw, err := tara.Build(db, 0, weeks, tara.Config{
+		GenMinSupport: 0.005,
+		GenMinConf:    0.1,
+		MaxItemsetLen: 3,
+		ContentIndex:  true,
+		Workers:       4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d weeks of %d transactions: %d distinct rules\n\n",
+		fw.Windows(), db.Len(), fw.RuleDict().Len())
+
+	// 1. What held last week, and how did it behave the month before?
+	last := weeks - 1
+	month := []int{last - 3, last - 2, last - 1}
+	trajectories, err := fw.RuleTrajectories(last, 0.02, 0.4, month)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Q1: %d rules hold last week at (supp>=2%%, conf>=40%%); first three across the month:\n", len(trajectories))
+	for _, tr := range trajectories[:min(3, len(trajectories))] {
+		fmt.Printf("  %s\n", tr.Rule.Format(fw.ItemDict()))
+		for i, w := range tr.Windows {
+			if tr.Present[i] {
+				fmt.Printf("    week %d: supp=%.4f conf=%.3f\n", w, tr.Stats[i].Support(), tr.Stats[i].Confidence())
+			} else {
+				fmt.Printf("    week %d: below generation thresholds\n", w)
+			}
+		}
+	}
+
+	// 2. Would tightening the thresholds lose anything important?
+	diffs, err := fw.Compare([]int{last - 1, last}, 0.02, 0.4, 0.04, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nQ2: tightening (2%,40%) -> (4%,50%) would drop:")
+	for _, d := range diffs {
+		fmt.Printf("  week %d: %d rules (none gained, by dominance)\n", d.Window, len(d.OnlyA))
+	}
+
+	// 3. How far can the analyst wiggle the knobs without changing the answer?
+	region, err := fw.Recommend(last, 0.02, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ3: %v\n", region)
+
+	// 4. The most stable and the most volatile associations of the season.
+	stable, err := fw.RankEvolution(0, last, 0.02, 0.4, tara.ByStability, 0.005, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	volatile, err := fw.RankEvolution(0, last, 0.02, 0.4, tara.ByVolatility, 0.005, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmost stable rules of the season:")
+	for _, s := range stable {
+		fmt.Printf("  %-40s stability=%.2f coverage=%.2f\n", s.Rule.Format(fw.ItemDict()), s.Stability, s.Coverage)
+	}
+	fmt.Println("most volatile rules of the season:")
+	for _, s := range volatile {
+		fmt.Printf("  %-40s stddev=%.4f coverage=%.2f\n", s.Rule.Format(fw.ItemDict()), s.StdDev, s.Coverage)
+	}
+
+	// 5. Roll-up: the whole season at coarse granularity, with error bounds.
+	season, err := fw.MineRollUp(0, last, 0.02, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nQ4: %d rules hold over the whole season; worst support error bound %.5f\n",
+		len(season), maxBound(season))
+}
+
+func maxBound(rs []tara.RollUpRule) float64 {
+	var m float64
+	for _, r := range rs {
+		if r.MaxSupportError > m {
+			m = r.MaxSupportError
+		}
+	}
+	return m
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module tara
+
+go 1.22

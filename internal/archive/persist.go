@@ -1,0 +1,197 @@
+package archive
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"tara/internal/rules"
+)
+
+// Serialization format (all integers as uvarints unless noted):
+//
+//	magic "TARC1\n"
+//	windowCount, then windowCount window cardinalities
+//	seriesCount, then per series:
+//	    ruleID, entryCount,
+//	    prevW(+1), prevXY, prevX, prevY  (append state)
+//	    bufLen, raw encoded payload
+//
+// The payload is stored verbatim — the on-disk format IS the in-memory
+// compressed encoding, so saving and loading are O(bytes).
+
+const archiveMagic = "TARC1\n"
+
+// WriteTo serializes the archive. It implements io.WriterTo.
+func (a *Archive) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(p []byte) error {
+		m, err := bw.Write(p)
+		n += int64(m)
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	writeUvarint := func(u uint64) error {
+		k := binary.PutUvarint(tmp[:], u)
+		return write(tmp[:k])
+	}
+	if err := write([]byte(archiveMagic)); err != nil {
+		return n, err
+	}
+	if err := writeUvarint(uint64(len(a.windowN))); err != nil {
+		return n, err
+	}
+	for _, wn := range a.windowN {
+		if err := writeUvarint(uint64(wn)); err != nil {
+			return n, err
+		}
+	}
+	if err := writeUvarint(uint64(len(a.entries))); err != nil {
+		return n, err
+	}
+	// Deterministic order: ascending rule id.
+	ids := a.Rules()
+	sortIDs(ids)
+	for _, id := range ids {
+		s := a.entries[id]
+		for _, u := range []uint64{
+			uint64(id), uint64(s.n),
+			uint64(s.prevW + 1), uint64(s.prevXY), uint64(s.prevX), uint64(s.prevY),
+			uint64(len(s.buf)),
+		} {
+			if err := writeUvarint(u); err != nil {
+				return n, err
+			}
+		}
+		if err := write(s.buf); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadArchive deserializes an archive written by WriteTo.
+func ReadArchive(r io.Reader) (*Archive, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(archiveMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("archive: reading magic: %w", err)
+	}
+	if string(magic) != archiveMagic {
+		return nil, fmt.Errorf("archive: bad magic %q", magic)
+	}
+	readUvarint := func(what string) (uint64, error) {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("archive: reading %s: %w", what, err)
+		}
+		return u, nil
+	}
+	a := New()
+	wc, err := readUvarint("window count")
+	if err != nil {
+		return nil, err
+	}
+	if wc > 1<<32 {
+		return nil, fmt.Errorf("archive: implausible window count %d", wc)
+	}
+	for i := uint64(0); i < wc; i++ {
+		wn, err := readUvarint("window cardinality")
+		if err != nil {
+			return nil, err
+		}
+		a.windowN = append(a.windowN, uint32(wn))
+	}
+	sc, err := readUvarint("series count")
+	if err != nil {
+		return nil, err
+	}
+	if sc > 1<<32 {
+		return nil, fmt.Errorf("archive: implausible series count %d", sc)
+	}
+	for i := uint64(0); i < sc; i++ {
+		id, err := readUvarint("rule id")
+		if err != nil {
+			return nil, err
+		}
+		entries, err := readUvarint("entry count")
+		if err != nil {
+			return nil, err
+		}
+		prevW1, err := readUvarint("prevW")
+		if err != nil {
+			return nil, err
+		}
+		prevXY, err := readUvarint("prevXY")
+		if err != nil {
+			return nil, err
+		}
+		prevX, err := readUvarint("prevX")
+		if err != nil {
+			return nil, err
+		}
+		prevY, err := readUvarint("prevY")
+		if err != nil {
+			return nil, err
+		}
+		bufLen, err := readUvarint("payload length")
+		if err != nil {
+			return nil, err
+		}
+		buf, err := readN(br, bufLen)
+		if err != nil {
+			return nil, fmt.Errorf("archive: reading payload: %w", err)
+		}
+		s := &series{
+			buf:    buf,
+			prevW:  int(prevW1) - 1,
+			prevXY: uint32(prevXY),
+			prevX:  uint32(prevX),
+			prevY:  uint32(prevY),
+			n:      int(entries),
+		}
+		if s.prevW >= len(a.windowN) {
+			return nil, fmt.Errorf("archive: series %d references window %d beyond %d", id, s.prevW, len(a.windowN))
+		}
+		a.entries[rules.ID(id)] = s
+		a.total += s.n
+	}
+	return a, nil
+}
+
+// readN reads exactly n bytes, growing the buffer chunk-wise so that a
+// corrupt length field fails at end-of-stream instead of pre-allocating an
+// attacker-chosen amount of memory.
+func readN(r io.Reader, n uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	out := make([]byte, 0, min64(n, chunk))
+	for uint64(len(out)) < n {
+		c := n - uint64(len(out))
+		if c > chunk {
+			c = chunk
+		}
+		start := len(out)
+		out = append(out, make([]byte, c)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortIDs(ids []rules.ID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

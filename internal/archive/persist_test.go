@@ -1,0 +1,134 @@
+package archive
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"tara/internal/rules"
+)
+
+func buildRandomArchive(seed int64, windows, rulesN int) *Archive {
+	r := rand.New(rand.NewSource(seed))
+	a := New()
+	for w := 0; w < windows; w++ {
+		a.BeginWindow(uint32(50 + r.Intn(200)))
+		for id := 0; id < rulesN; id++ {
+			if r.Intn(3) == 0 {
+				continue
+			}
+			xy := uint32(r.Intn(1000))
+			a.Append(rules.ID(id), xy, xy+uint32(r.Intn(100)), uint32(r.Intn(1000)))
+		}
+	}
+	return a
+}
+
+func TestArchiveWriteReadRoundTrip(t *testing.T) {
+	a := buildRandomArchive(1, 12, 40)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Windows() != a.Windows() || b.NumEntries() != a.NumEntries() {
+		t.Fatalf("shape: %d/%d vs %d/%d", b.Windows(), b.NumEntries(), a.Windows(), a.NumEntries())
+	}
+	for _, id := range a.Rules() {
+		as, bs := a.Series(id), b.Series(id)
+		if len(as) != len(bs) {
+			t.Fatalf("rule %d: %d vs %d entries", id, len(bs), len(as))
+		}
+		for i := range as {
+			if as[i] != bs[i] {
+				t.Fatalf("rule %d entry %d: %+v vs %+v", id, i, bs[i], as[i])
+			}
+		}
+	}
+}
+
+func TestArchiveReloadedStillAppendable(t *testing.T) {
+	a := New()
+	a.BeginWindow(100)
+	a.Append(1, 10, 20, 30)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadArchive(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.BeginWindow(200)
+	if err := b.Append(1, 15, 25, 35); err != nil {
+		t.Fatal(err)
+	}
+	got := b.Series(1)
+	if len(got) != 2 || got[1].Window != 1 || got[1].CountXY != 15 {
+		t.Fatalf("Series after reload+append = %v", got)
+	}
+	// Double-append within the restored window is still rejected.
+	if err := b.Append(1, 1, 1, 1); err == nil {
+		t.Error("double append accepted after reload")
+	}
+}
+
+func TestReadArchiveErrors(t *testing.T) {
+	if _, err := ReadArchive(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := ReadArchive(strings.NewReader("XXXXXX")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	a := buildRandomArchive(2, 4, 5)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadArchive(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestArchiveSaveDeterministic(t *testing.T) {
+	a := buildRandomArchive(3, 6, 20)
+	var x, y bytes.Buffer
+	if _, err := a.WriteTo(&x); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.WriteTo(&y); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(x.Bytes(), y.Bytes()) {
+		t.Error("WriteTo not deterministic")
+	}
+}
+
+func TestPropertyArchivePersistRoundTrip(t *testing.T) {
+	for seed := int64(10); seed < 20; seed++ {
+		a := buildRandomArchive(seed, 1+int(seed%7), 1+int(seed%13))
+		var buf bytes.Buffer
+		if _, err := a.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		b, err := ReadArchive(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if b.SizeBytes() != a.SizeBytes() {
+			t.Errorf("seed %d: size %d vs %d", seed, b.SizeBytes(), a.SizeBytes())
+		}
+		for w := 0; w < a.Windows(); w++ {
+			an, _ := a.WindowN(w)
+			bn, _ := b.WindowN(w)
+			if an != bn {
+				t.Errorf("seed %d window %d: N %d vs %d", seed, w, bn, an)
+			}
+		}
+	}
+}

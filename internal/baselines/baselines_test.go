@@ -1,0 +1,407 @@
+package baselines
+
+import (
+	"math/rand"
+	"testing"
+
+	"tara/internal/itemset"
+	"tara/internal/rules"
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+// testWindows builds a reproducible evolving database split into n batches.
+func testWindows(t *testing.T, seed int64, nTx, nItems, batches int) ([]txdb.Window, *txdb.DB) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	db := txdb.NewDB()
+	type pair struct{ a, b int }
+	patterns := make([]pair, 4)
+	for i := range patterns {
+		patterns[i] = pair{r.Intn(nItems), r.Intn(nItems)}
+	}
+	for i := 0; i < nTx; i++ {
+		var names []string
+		if r.Float64() < 0.5 {
+			p := patterns[r.Intn(len(patterns))]
+			names = append(names, itemName(p.a), itemName(p.b))
+		}
+		for j := 0; j < 1+r.Intn(4); j++ {
+			names = append(names, itemName(r.Intn(nItems)))
+		}
+		db.Add(int64(i), names...)
+	}
+	ws, err := db.PartitionByCount(batches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws, db
+}
+
+func itemName(i int) string { return string(rune('a'+i/10)) + string(rune('0'+i%10)) }
+
+func ruleKeySet(rs []rules.WithStats) map[string]rules.Stats {
+	out := map[string]rules.Stats{}
+	for _, r := range rs {
+		out[r.Rule.Key()] = r.Stats
+	}
+	return out
+}
+
+// TestAllSystemsAgree is the keystone property: DCTAR, the H-Mine system,
+// PARAS (on its indexed window) and TARA produce identical rulesets with
+// identical statistics for the same requests.
+func TestAllSystemsAgree(t *testing.T) {
+	const (
+		genSupp = 0.01
+		genConf = 0.05
+		maxLen  = 4
+	)
+	ws, db := testWindows(t, 1, 600, 25, 3)
+	dctar := NewDCTAR(ws, nil, maxLen)
+	hmine, err := BuildHMine(ws, genSupp, maxLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paras, err := BuildPARAS(ws, genSupp, genConf, maxLen, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := tara.Build(db, 0, 3, tara.Config{GenMinSupport: genSupp, GenMinConf: genConf, MaxItemsetLen: maxLen})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, q := range []struct{ s, c float64 }{{0.02, 0.1}, {0.05, 0.25}, {0.1, 0.5}} {
+		for w := 0; w < 3; w++ {
+			want, err := dctar.Mine(w, q.s, q.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantKeys := ruleKeySet(want)
+
+			got, err := hmine.Mine(w, q.s, q.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			compare(t, "hmine", w, q.s, q.c, ruleKeySet(got), wantKeys)
+
+			if w == paras.Latest() {
+				got, err = paras.Mine(w, q.s, q.c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compare(t, "paras-indexed", w, q.s, q.c, ruleKeySet(got), wantKeys)
+			} else {
+				got, err = paras.Mine(w, q.s, q.c)
+				if err != nil {
+					t.Fatal(err)
+				}
+				compare(t, "paras-fallback", w, q.s, q.c, ruleKeySet(got), wantKeys)
+			}
+
+			tviews, err := fw.Mine(w, q.s, q.c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tkeys := map[string]rules.Stats{}
+			for _, v := range tviews {
+				tkeys[v.Rule.Key()] = v.Stats
+			}
+			compare(t, "tara", w, q.s, q.c, tkeys, wantKeys)
+		}
+	}
+}
+
+func compare(t *testing.T, system string, w int, s, c float64, got, want map[string]rules.Stats) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s window %d (%g,%g): %d rules, want %d", system, w, s, c, len(got), len(want))
+	}
+	for k, st := range want {
+		gst, ok := got[k]
+		if !ok {
+			t.Fatalf("%s window %d: missing rule", system, w)
+		}
+		if gst != st {
+			t.Fatalf("%s window %d: stats %+v, want %+v", system, w, gst, st)
+		}
+	}
+}
+
+func TestDCTARWindowBounds(t *testing.T) {
+	ws, _ := testWindows(t, 2, 100, 10, 2)
+	d := NewDCTAR(ws, nil, 3)
+	if _, err := d.Mine(5, 0.1, 0.1); err == nil {
+		t.Error("out-of-range window accepted")
+	}
+	if d.Windows() != 2 {
+		t.Errorf("Windows = %d", d.Windows())
+	}
+}
+
+func TestDCTARTrajectories(t *testing.T) {
+	ws, _ := testWindows(t, 3, 400, 15, 4)
+	d := NewDCTAR(ws, nil, 3)
+	rows, err := d.Trajectories(3, 0.05, 0.2, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no trajectory rows")
+	}
+	for _, row := range rows {
+		for j, w := range row.Windows {
+			want := statsIn(row.Rule, ws[w])
+			if row.Stats[j] != want {
+				t.Errorf("rule %v window %d: %+v, want %+v", row.Rule, w, row.Stats[j], want)
+			}
+		}
+	}
+}
+
+func TestHMineTrajectoriesMatchDCTAR(t *testing.T) {
+	ws, _ := testWindows(t, 4, 400, 15, 4)
+	d := NewDCTAR(ws, nil, 3)
+	h, err := BuildHMine(ws, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := d.Trajectories(3, 0.05, 0.2, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Trajectories(3, 0.05, 0.2, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("row counts differ: %d vs %d", len(got), len(want))
+	}
+	wantBy := map[string]TrajectoryRow{}
+	for _, r := range want {
+		wantBy[r.Rule.Key()] = r
+	}
+	for _, g := range got {
+		w, ok := wantBy[g.Rule.Key()]
+		if !ok {
+			t.Fatalf("rule %v only in H-Mine result", g.Rule)
+		}
+		for j := range g.Stats {
+			// H-Mine reports zero stats where an itemset fell below the
+			// generation threshold; where reported, they must match.
+			if g.Stats[j] != (rules.Stats{}) && g.Stats[j] != w.Stats[j] {
+				t.Errorf("rule %v window %d: %+v vs %+v", g.Rule, g.Windows[j], g.Stats[j], w.Stats[j])
+			}
+		}
+	}
+}
+
+func TestHMineRejectsBelowGeneration(t *testing.T) {
+	ws, _ := testWindows(t, 5, 200, 10, 2)
+	h, err := BuildHMine(ws, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Mine(0, 0.01, 0.1); err == nil {
+		t.Error("minsupp below generation threshold accepted")
+	}
+	if _, err := h.Mine(7, 0.1, 0.1); err == nil {
+		t.Error("out-of-range window accepted")
+	}
+}
+
+func TestHMineIndexAccounting(t *testing.T) {
+	ws, _ := testWindows(t, 6, 300, 12, 3)
+	h, err := BuildHMine(ws, 0.02, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumItemsets() == 0 {
+		t.Fatal("no itemsets pregenerated")
+	}
+	if h.IndexBytes() <= 4*h.NumItemsets() {
+		t.Errorf("IndexBytes %d implausibly small for %d itemsets", h.IndexBytes(), h.NumItemsets())
+	}
+	if len(h.PrepTimes()) != 3 {
+		t.Errorf("PrepTimes = %d entries", len(h.PrepTimes()))
+	}
+}
+
+func TestCompareAgainstEachOther(t *testing.T) {
+	ws, _ := testWindows(t, 7, 500, 20, 4)
+	d := NewDCTAR(ws, nil, 3)
+	h, err := BuildHMine(ws, 0.01, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPARAS(ws, 0.01, 0.05, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wins := []int{0, 1, 2, 3}
+	want, err := d.Compare(wins, 0.02, 0.1, 0.05, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []struct {
+		name string
+		got  []Diff
+	}{
+		{"hmine", mustCompare(t, func() ([]Diff, error) { return h.Compare(wins, 0.02, 0.1, 0.05, 0.3) })},
+		{"paras", mustCompare(t, func() ([]Diff, error) { return p.Compare(wins, 0.02, 0.1, 0.05, 0.3) })},
+	} {
+		if len(sys.got) != len(want) {
+			t.Fatalf("%s: %d diffs, want %d", sys.name, len(sys.got), len(want))
+		}
+		for i := range want {
+			if len(sys.got[i].OnlyA) != len(want[i].OnlyA) || len(sys.got[i].OnlyB) != len(want[i].OnlyB) {
+				t.Errorf("%s window %d: (%d,%d), want (%d,%d)", sys.name, want[i].Window,
+					len(sys.got[i].OnlyA), len(sys.got[i].OnlyB), len(want[i].OnlyA), len(want[i].OnlyB))
+			}
+		}
+	}
+}
+
+func mustCompare(t *testing.T, fn func() ([]Diff, error)) []Diff {
+	t.Helper()
+	d, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPARASRegionOnlyLatest(t *testing.T) {
+	ws, _ := testWindows(t, 8, 300, 12, 3)
+	p, err := BuildPARAS(ws, 0.01, 0.05, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Region(0, 0.05, 0.2); err == nil {
+		t.Error("region on non-indexed window accepted")
+	}
+	reg, err := p.Region(p.Latest(), 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Window != p.Latest() {
+		t.Errorf("region window = %d", reg.Window)
+	}
+}
+
+func TestPARASRejectsBelowGeneration(t *testing.T) {
+	ws, _ := testWindows(t, 9, 200, 10, 2)
+	p, err := BuildPARAS(ws, 0.05, 0.2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Mine(p.Latest(), 0.01, 0.3); err == nil {
+		t.Error("request below generation thresholds accepted on indexed window")
+	}
+}
+
+func TestBuildPARASEmpty(t *testing.T) {
+	if _, err := BuildPARAS(nil, 0.1, 0.1, 3, nil); err == nil {
+		t.Error("empty window list accepted")
+	}
+}
+
+func TestStatsIn(t *testing.T) {
+	db := txdb.NewDB()
+	db.Add(1, "a", "b", "c")
+	db.Add(2, "a", "b")
+	db.Add(3, "c")
+	ws, err := db.PartitionByCount(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := db.Dict.Lookup("a")
+	b, _ := db.Dict.Lookup("b")
+	c, _ := db.Dict.Lookup("c")
+	r := rules.Rule{Ant: itemset.New(a, b), Cons: itemset.New(c)}
+	st := statsIn(r, ws[0])
+	if st.CountXY != 1 || st.CountX != 2 || st.CountY != 2 || st.N != 3 {
+		t.Errorf("statsIn = %+v", st)
+	}
+}
+
+func TestPARASTrajectoriesBothPaths(t *testing.T) {
+	ws, _ := testWindows(t, 11, 400, 15, 4)
+	p, err := BuildPARAS(ws, 0.01, 0.05, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDCTAR(ws, nil, 3)
+
+	// Indexed path: base window is the latest.
+	want, err := d.Trajectories(3, 0.05, 0.2, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Trajectories(3, 0.05, 0.2, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("indexed path: %d rows, want %d", len(got), len(want))
+	}
+	wantBy := map[string]TrajectoryRow{}
+	for _, r := range want {
+		wantBy[r.Rule.Key()] = r
+	}
+	for _, g := range got {
+		w, ok := wantBy[g.Rule.Key()]
+		if !ok {
+			t.Fatalf("rule %v only in PARAS result", g.Rule)
+		}
+		for j := range g.Stats {
+			if g.Stats[j] != w.Stats[j] {
+				t.Errorf("rule %v window %d: %+v vs %+v", g.Rule, g.Windows[j], g.Stats[j], w.Stats[j])
+			}
+		}
+	}
+
+	// Fallback path: base window is not the indexed one.
+	want, err = d.Trajectories(1, 0.05, 0.2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = p.Trajectories(1, 0.05, 0.2, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fallback path: %d rows, want %d", len(got), len(want))
+	}
+}
+
+func TestPARASTrajectoriesExaminingLatestUsesIndex(t *testing.T) {
+	ws, _ := testWindows(t, 12, 300, 12, 3)
+	p, err := BuildPARAS(ws, 0.01, 0.05, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Base = latest, examined windows include the latest itself: the
+	// per-rule stats for that window come from the index.
+	rows, err := p.Trajectories(2, 0.05, 0.2, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Stats[1] != r.Base {
+			t.Errorf("rule %v: indexed stats %+v differ from base %+v", r.Rule, r.Stats[1], r.Base)
+		}
+	}
+}
+
+func TestHMineWindows(t *testing.T) {
+	ws, _ := testWindows(t, 13, 100, 10, 2)
+	h, err := BuildHMine(ws, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Windows() != 2 {
+		t.Errorf("Windows = %d", h.Windows())
+	}
+}

@@ -1,0 +1,161 @@
+package baselines
+
+import (
+	"fmt"
+	"time"
+
+	"tara/internal/itemset"
+	"tara/internal/mining"
+	"tara/internal/rules"
+	"tara/internal/txdb"
+)
+
+// HMineSystem is the paper's strongest preprocessing baseline: per window it
+// precomputes the frequent itemsets with the H-Mine algorithm and stores
+// them with their support counts; the final rule derivation remains a
+// query-time task — the shortcoming TARA eliminates.
+type HMineSystem struct {
+	results  []*mining.Result
+	prepTime []time.Duration
+	genSupp  float64
+	maxLen   int
+}
+
+// BuildHMine preprocesses every window at the generation support threshold.
+func BuildHMine(windows []txdb.Window, genMinSupp float64, maxLen int) (*HMineSystem, error) {
+	h := &HMineSystem{genSupp: genMinSupp, maxLen: maxLen}
+	for _, w := range windows {
+		start := time.Now()
+		res, err := mining.HMine{}.Mine(w.Tx, mining.Params{
+			MinCount: mining.MinCountFor(genMinSupp, len(w.Tx)),
+			MaxLen:   maxLen,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("baselines: hmine window %d: %w", w.Index, err)
+		}
+		h.results = append(h.results, res)
+		h.prepTime = append(h.prepTime, time.Since(start))
+	}
+	return h, nil
+}
+
+// Windows returns the number of preprocessed windows.
+func (h *HMineSystem) Windows() int { return len(h.results) }
+
+// PrepTimes returns per-window preprocessing durations (Figure 9).
+func (h *HMineSystem) PrepTimes() []time.Duration { return h.prepTime }
+
+func (h *HMineSystem) result(w int) (*mining.Result, error) {
+	if w < 0 || w >= len(h.results) {
+		return nil, fmt.Errorf("baselines: window %d out of range [0,%d)", w, len(h.results))
+	}
+	return h.results[w], nil
+}
+
+// Mine derives the ruleset for (minSupp, minConf) in window w from the
+// pregenerated itemsets — the query-time rule derivation the paper measures.
+func (h *HMineSystem) Mine(w int, minSupp, minConf float64) ([]rules.WithStats, error) {
+	if minSupp < h.genSupp {
+		return nil, fmt.Errorf("baselines: minsupp %g below itemset generation threshold %g", minSupp, h.genSupp)
+	}
+	res, err := h.result(w)
+	if err != nil {
+		return nil, err
+	}
+	return rules.Generate(res, rules.GenParams{
+		MinCount: mining.MinCountFor(minSupp, res.N),
+		MinConf:  minConf,
+	})
+}
+
+// statsFromItemsets assembles a rule's statistics in window w from the
+// itemset index; ok is false when any constituent itemset fell below the
+// generation threshold in that window.
+func (h *HMineSystem) statsFromItemsets(r rules.Rule, w int) (rules.Stats, bool) {
+	res := h.results[w]
+	xy, ok := res.Count(r.Items())
+	if !ok {
+		return rules.Stats{}, false
+	}
+	x, ok := res.Count(r.Ant)
+	if !ok {
+		return rules.Stats{}, false
+	}
+	y, ok := res.Count(r.Cons)
+	if !ok {
+		return rules.Stats{}, false
+	}
+	return rules.Stats{CountXY: xy, CountX: x, CountY: y, N: uint32(res.N)}, true
+}
+
+// Trajectories answers the Q1 workload: derive the qualifying rules of
+// window w, then look up each rule's itemset counts in the other windows.
+func (h *HMineSystem) Trajectories(w int, minSupp, minConf float64, others []int) ([]TrajectoryRow, error) {
+	mined, err := h.Mine(w, minSupp, minConf)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range others {
+		if _, err := h.result(o); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]TrajectoryRow, len(mined))
+	for i, m := range mined {
+		row := TrajectoryRow{Rule: m.Rule, Base: m.Stats, Windows: others, Stats: make([]rules.Stats, len(others))}
+		for j, o := range others {
+			row.Stats[j], _ = h.statsFromItemsets(m.Rule, o)
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// Compare answers the Q2 workload from the itemset index: rules are derived
+// once per window at the looser thresholds and classified against both
+// settings.
+func (h *HMineSystem) Compare(windows []int, suppA, confA, suppB, confB float64) ([]Diff, error) {
+	looseS, looseC := min2(suppA, suppB), min2(confA, confB)
+	out := make([]Diff, 0, len(windows))
+	for _, w := range windows {
+		all, err := h.Mine(w, looseS, looseC)
+		if err != nil {
+			return nil, err
+		}
+		diff := Diff{Window: w}
+		for _, r := range all {
+			inA := r.Support() >= suppA && r.Confidence() >= confA
+			inB := r.Support() >= suppB && r.Confidence() >= confB
+			switch {
+			case inA && !inB:
+				diff.OnlyA = append(diff.OnlyA, r)
+			case inB && !inA:
+				diff.OnlyB = append(diff.OnlyB, r)
+			}
+		}
+		out = append(out, diff)
+	}
+	return out, nil
+}
+
+// IndexBytes estimates the size of the pregenerated structure for the
+// Figure 12 comparison: per frequent itemset, its key bytes plus a 4-byte
+// count, summed over windows.
+func (h *HMineSystem) IndexBytes() int {
+	n := 0
+	for _, res := range h.results {
+		for _, fs := range res.Sets {
+			n += len(itemset.Key(fs.Items)) + 4
+		}
+	}
+	return n
+}
+
+// NumItemsets returns the total pregenerated itemset count across windows.
+func (h *HMineSystem) NumItemsets() int {
+	n := 0
+	for _, res := range h.results {
+		n += res.Len()
+	}
+	return n
+}

@@ -1,0 +1,167 @@
+package baselines
+
+import (
+	"fmt"
+
+	"tara/internal/eps"
+	"tara/internal/mining"
+	"tara/internal/rules"
+	"tara/internal/txdb"
+)
+
+// PARAS is the static-data predecessor of TARA: it pregenerates rules and a
+// parameter-space index, but assumes all data is given apriori, so the index
+// covers only a single window — here, as in the paper's experiments, the
+// newest one. Requests against the indexed window are answered at TARA
+// speed; requests touching any other window degrade to from-scratch mining.
+type PARAS struct {
+	slice    *eps.Slice
+	dict     *rules.Dict
+	stats    map[rules.ID]rules.Stats
+	latest   int
+	fallback *DCTAR
+	genSupp  float64
+	genConf  float64
+}
+
+// BuildPARAS indexes the newest window of windows at the generation
+// thresholds and keeps the raw windows for fallback mining.
+func BuildPARAS(windows []txdb.Window, genMinSupp, genMinConf float64, maxLen int, miner mining.Miner) (*PARAS, error) {
+	if len(windows) == 0 {
+		return nil, fmt.Errorf("baselines: PARAS needs at least one window")
+	}
+	if miner == nil {
+		miner = mining.Eclat{}
+	}
+	latest := windows[len(windows)-1]
+	minCount := mining.MinCountFor(genMinSupp, len(latest.Tx))
+	res, err := miner.Mine(latest.Tx, mining.Params{MinCount: minCount, MaxLen: maxLen})
+	if err != nil {
+		return nil, err
+	}
+	rs, err := rules.Generate(res, rules.GenParams{MinCount: minCount, MinConf: genMinConf})
+	if err != nil {
+		return nil, err
+	}
+	dict := rules.NewDict()
+	stats := make(map[rules.ID]rules.Stats, len(rs))
+	ids := make([]eps.IDStats, len(rs))
+	for i, r := range rs {
+		id := dict.Add(r.Rule)
+		stats[id] = r.Stats
+		ids[i] = eps.IDStats{ID: id, Stats: r.Stats}
+	}
+	slice, err := eps.BuildSlice(latest.Index, uint32(len(latest.Tx)), ids, eps.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &PARAS{
+		slice:    slice,
+		dict:     dict,
+		stats:    stats,
+		latest:   latest.Index,
+		fallback: NewDCTAR(windows, miner, maxLen),
+		genSupp:  genMinSupp,
+		genConf:  genMinConf,
+	}, nil
+}
+
+// Latest returns the index of the window covered by the parameter-space
+// index.
+func (p *PARAS) Latest() int { return p.latest }
+
+// Mine answers from the index when w is the latest window, otherwise falls
+// back to from-scratch mining (the behaviour the paper describes: "if
+// request comes for different periods it then generates the associations
+// from scratch").
+func (p *PARAS) Mine(w int, minSupp, minConf float64) ([]rules.WithStats, error) {
+	if w != p.latest {
+		return p.fallback.Mine(w, minSupp, minConf)
+	}
+	if minSupp < p.genSupp || minConf < p.genConf {
+		return nil, fmt.Errorf("baselines: request (%g,%g) below PARAS generation thresholds (%g,%g)",
+			minSupp, minConf, p.genSupp, p.genConf)
+	}
+	ids := p.slice.Rules(minSupp, minConf)
+	out := make([]rules.WithStats, len(ids))
+	for i, id := range ids {
+		r, ok := p.dict.Rule(id)
+		if !ok {
+			return nil, fmt.Errorf("baselines: PARAS rule id %d missing", id)
+		}
+		out[i] = rules.WithStats{Rule: r, Stats: p.stats[id]}
+	}
+	return out, nil
+}
+
+// Region returns the stable region of the latest window — PARAS supports
+// parameter recommendation, but only there.
+func (p *PARAS) Region(w int, minSupp, minConf float64) (eps.Region, error) {
+	if w != p.latest {
+		return eps.Region{}, fmt.Errorf("baselines: PARAS indexes only window %d, not %d", p.latest, w)
+	}
+	return p.slice.Region(minSupp, minConf), nil
+}
+
+// Trajectories answers the Q1 workload: the base window is served from the
+// index when it is the latest; every other examined window requires raw
+// scans, exactly the degradation the experiments show.
+func (p *PARAS) Trajectories(w int, minSupp, minConf float64, others []int) ([]TrajectoryRow, error) {
+	if w != p.latest {
+		return p.fallback.Trajectories(w, minSupp, minConf, others)
+	}
+	mined, err := p.Mine(w, minSupp, minConf)
+	if err != nil {
+		return nil, err
+	}
+	wins := make([]txdb.Window, len(others))
+	for i, o := range others {
+		wins[i], err = p.fallback.window(o)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := make([]TrajectoryRow, len(mined))
+	for i, m := range mined {
+		row := TrajectoryRow{Rule: m.Rule, Base: m.Stats, Windows: others, Stats: make([]rules.Stats, len(others))}
+		for j, win := range wins {
+			if win.Index == p.latest {
+				if id, ok := p.dict.Lookup(m.Rule); ok {
+					row.Stats[j] = p.stats[id]
+					continue
+				}
+			}
+			row.Stats[j] = statsIn(m.Rule, win)
+		}
+		out[i] = row
+	}
+	return out, nil
+}
+
+// Compare answers the Q2 workload. Windows other than the latest degrade to
+// from-scratch comparison.
+func (p *PARAS) Compare(windows []int, suppA, confA, suppB, confB float64) ([]Diff, error) {
+	out := make([]Diff, 0, len(windows))
+	for _, w := range windows {
+		if w != p.latest {
+			d, err := p.fallback.Compare([]int{w}, suppA, confA, suppB, confB)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, d...)
+			continue
+		}
+		onlyA, onlyB := p.slice.Diff(suppA, confA, suppB, confB)
+		d := Diff{Window: w}
+		for _, id := range onlyA {
+			r, _ := p.dict.Rule(id)
+			d.OnlyA = append(d.OnlyA, rules.WithStats{Rule: r, Stats: p.stats[id]})
+		}
+		for _, id := range onlyB {
+			r, _ := p.dict.Rule(id)
+			d.OnlyB = append(d.OnlyB, rules.WithStats{Rule: r, Stats: p.stats[id]})
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

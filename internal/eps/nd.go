@@ -1,0 +1,212 @@
+package eps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tara/internal/rules"
+)
+
+// n-dimensional parameter space. Definition 9 defines the EPS over n
+// parameters plus time; the 2-dimensional Slice specializes it to the
+// (support, confidence) plane the paper evaluates. SliceND is the general
+// form: rules live at their exact coordinates under a caller-chosen list of
+// measures, and a mining request is a lower-bound vector. Time-aware
+// stable regions generalize to hyper-boxes (Definition 11) whose bounds are
+// the adjacent distinct values per dimension — the grid cell, which is
+// stable by the same argument as in two dimensions.
+
+// Measure extracts one interestingness coordinate from a rule's statistics.
+type Measure struct {
+	Name string
+	Eval func(rules.Stats) float64
+}
+
+// StandardMeasures returns the three measures of Section 2.2.2: support,
+// confidence and lift (Formulas 1-3).
+func StandardMeasures() []Measure {
+	return []Measure{
+		{Name: "support", Eval: rules.Stats.Support},
+		{Name: "confidence", Eval: rules.Stats.Confidence},
+		{Name: "lift", Eval: rules.Stats.Lift},
+	}
+}
+
+// LocationND is a parametric location in n dimensions.
+type LocationND struct {
+	Coords []float64
+	Rules  []rules.ID
+}
+
+// SliceND is one window's n-dimensional parameter-space slice.
+type SliceND struct {
+	Window   int
+	N        uint32
+	measures []Measure
+	// locs are sorted lexicographically by coordinates, so dimension 0 is
+	// the primary sort key for the pruned quadrant scan.
+	locs []LocationND
+	// distinct[d] holds the sorted distinct values of dimension d.
+	distinct [][]float64
+}
+
+// BuildSliceND organizes the window's rules by their coordinates under the
+// given measures (at least one).
+func BuildSliceND(window int, n uint32, rs []IDStats, measures []Measure) (*SliceND, error) {
+	if len(measures) == 0 {
+		return nil, fmt.Errorf("eps: need at least one measure")
+	}
+	s := &SliceND{Window: window, N: n, measures: measures}
+	group := map[string]*LocationND{}
+	keyBuf := make([]byte, 0, 8*len(measures))
+	for _, r := range rs {
+		coords := make([]float64, len(measures))
+		keyBuf = keyBuf[:0]
+		for d, m := range measures {
+			coords[d] = m.Eval(r.Stats)
+			keyBuf = append(keyBuf, fmt.Sprintf("%x;", coords[d])...)
+		}
+		k := string(keyBuf)
+		loc := group[k]
+		if loc == nil {
+			loc = &LocationND{Coords: coords}
+			group[k] = loc
+		}
+		loc.Rules = append(loc.Rules, r.ID)
+	}
+	s.locs = make([]LocationND, 0, len(group))
+	for _, loc := range group {
+		sort.Slice(loc.Rules, func(i, j int) bool { return loc.Rules[i] < loc.Rules[j] })
+		s.locs = append(s.locs, *loc)
+	}
+	sort.Slice(s.locs, func(i, j int) bool {
+		a, b := s.locs[i].Coords, s.locs[j].Coords
+		for d := range a {
+			if a[d] != b[d] {
+				return a[d] < b[d]
+			}
+		}
+		return false
+	})
+	s.distinct = make([][]float64, len(measures))
+	for d := range measures {
+		vals := make([]float64, 0, len(s.locs))
+		for i := range s.locs {
+			vals = append(vals, s.locs[i].Coords[d])
+		}
+		sort.Float64s(vals)
+		w := 0
+		for i, v := range vals {
+			if i == 0 || v != vals[w-1] {
+				vals[w] = v
+				w++
+			}
+		}
+		s.distinct[d] = vals[:w]
+	}
+	return s, nil
+}
+
+// Measures returns the slice's measure list.
+func (s *SliceND) Measures() []Measure { return s.measures }
+
+// NumLocations returns the number of distinct parametric locations.
+func (s *SliceND) NumLocations() int { return len(s.locs) }
+
+func (s *SliceND) checkMins(mins []float64) error {
+	if len(mins) != len(s.measures) {
+		return fmt.Errorf("eps: %d thresholds for %d measures", len(mins), len(s.measures))
+	}
+	return nil
+}
+
+// Rules returns the rules whose every coordinate meets the corresponding
+// lower bound. The scan skips below-threshold dimension-0 prefixes via
+// binary search and filters the remaining dimensions per location.
+func (s *SliceND) Rules(mins []float64) ([]rules.ID, error) {
+	if err := s.checkMins(mins); err != nil {
+		return nil, err
+	}
+	start := sort.Search(len(s.locs), func(i int) bool { return s.locs[i].Coords[0] >= mins[0] })
+	var out []rules.ID
+locs:
+	for i := start; i < len(s.locs); i++ {
+		l := &s.locs[i]
+		for d := 1; d < len(mins); d++ {
+			if l.Coords[d] < mins[d] {
+				continue locs
+			}
+		}
+		out = append(out, l.Rules...)
+	}
+	return out, nil
+}
+
+// Count returns the number of qualifying rules.
+func (s *SliceND) Count(mins []float64) (int, error) {
+	ids, err := s.Rules(mins)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// RegionND is an n-dimensional time-aware stable region: the grid cell of
+// the request, within which the answer cannot change (no distinct parameter
+// value of any dimension is crossed). Bounds are half-open below:
+// Low[d] < min_d <= High[d].
+type RegionND struct {
+	Window   int
+	Measures []string
+	Low      []float64
+	High     []float64
+	NumRules int
+	Empty    bool
+}
+
+// Region returns the stable grid cell around the request vector.
+func (s *SliceND) Region(mins []float64) (RegionND, error) {
+	if err := s.checkMins(mins); err != nil {
+		return RegionND{}, err
+	}
+	r := RegionND{
+		Window:   s.Window,
+		Measures: make([]string, len(s.measures)),
+		Low:      make([]float64, len(mins)),
+		High:     make([]float64, len(mins)),
+	}
+	for d, m := range s.measures {
+		r.Measures[d] = m.Name
+		vals := s.distinct[d]
+		hi := sort.SearchFloat64s(vals, mins[d])
+		if hi == len(vals) {
+			r.High[d] = maxMeasureBound(m.Name)
+		} else {
+			r.High[d] = vals[hi]
+		}
+		if hi == 0 {
+			r.Low[d] = 0
+		} else {
+			r.Low[d] = vals[hi-1]
+		}
+	}
+	n, err := s.Count(mins)
+	if err != nil {
+		return RegionND{}, err
+	}
+	r.NumRules = n
+	r.Empty = n == 0
+	return r, nil
+}
+
+// maxMeasureBound gives the natural upper end of a measure's range: 1 for
+// the [0,1] measures, unbounded-as-infinity for ratios like lift. Keeping
+// lift regions finite-but-open keeps the output readable.
+func maxMeasureBound(name string) float64 {
+	switch name {
+	case "support", "confidence":
+		return 1
+	}
+	return math.Inf(1)
+}

@@ -1,0 +1,189 @@
+package eps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tara/internal/rules"
+)
+
+// ndStats builds IDStats with all three standard coordinates meaningful.
+func ndStats(r *rand.Rand, n uint32, numRules int) []IDStats {
+	out := make([]IDStats, numRules)
+	for i := range out {
+		xy := uint32(1 + r.Intn(int(n)/2))
+		x := xy + uint32(r.Intn(int(n-xy)+1))
+		y := xy + uint32(r.Intn(int(n-xy)+1))
+		out[i] = IDStats{
+			ID:    rules.ID(i),
+			Stats: rules.Stats{CountXY: xy, CountX: x, CountY: y, N: n},
+		}
+	}
+	return out
+}
+
+func TestBuildSliceNDValidation(t *testing.T) {
+	if _, err := BuildSliceND(0, 1, nil, nil); err == nil {
+		t.Error("empty measure list accepted")
+	}
+}
+
+func TestSliceNDRulesMatchLinearFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	measures := StandardMeasures()
+	for trial := 0; trial < 20; trial++ {
+		n := uint32(20 + r.Intn(60))
+		rs := ndStats(r, n, 1+r.Intn(50))
+		s, err := BuildSliceND(0, n, rs, measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 15; probe++ {
+			mins := []float64{r.Float64(), r.Float64(), r.Float64() * 3}
+			got, err := s.Rules(mins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[rules.ID]bool{}
+			for _, x := range rs {
+				if x.Stats.Support() >= mins[0] && x.Stats.Confidence() >= mins[1] && x.Stats.Lift() >= mins[2] {
+					want[x.ID] = true
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: %d rules, want %d (mins %v)", trial, len(got), len(want), mins)
+			}
+			for _, id := range got {
+				if !want[id] {
+					t.Fatalf("trial %d: unexpected rule %d", trial, id)
+				}
+			}
+		}
+	}
+}
+
+func TestSliceNDThresholdArity(t *testing.T) {
+	s, err := BuildSliceND(0, 10, nil, StandardMeasures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Rules([]float64{0.1}); err == nil {
+		t.Error("wrong threshold arity accepted")
+	}
+	if _, err := s.Region([]float64{0.1, 0.2}); err == nil {
+		t.Error("wrong region arity accepted")
+	}
+	if _, err := s.Count([]float64{0.1, 0.2, 0.3, 0.4}); err == nil {
+		t.Error("excess arity accepted")
+	}
+}
+
+func TestSliceNDRegionStability(t *testing.T) {
+	r := rand.New(rand.NewSource(62))
+	measures := StandardMeasures()
+	for trial := 0; trial < 10; trial++ {
+		n := uint32(30 + r.Intn(40))
+		rs := ndStats(r, n, 1+r.Intn(40))
+		s, err := BuildSliceND(0, n, rs, measures)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for probe := 0; probe < 10; probe++ {
+			mins := []float64{r.Float64(), r.Float64(), r.Float64() * 2}
+			reg, err := s.Region(mins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base, err := s.Count(mins)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if reg.NumRules != base || reg.Empty != (base == 0) {
+				t.Fatalf("trial %d: region %+v vs count %d", trial, reg, base)
+			}
+			// Random points inside the cell yield the same count.
+			for k := 0; k < 5; k++ {
+				probeMins := make([]float64, len(mins))
+				for d := range probeMins {
+					hi := reg.High[d]
+					if math.IsInf(hi, 1) {
+						hi = reg.Low[d] + 1 // any point above Low is inside
+					}
+					probeMins[d] = reg.Low[d] + (hi-reg.Low[d])*(1e-7+r.Float64()*(1-2e-7))
+				}
+				got, err := s.Count(probeMins)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != base {
+					t.Fatalf("trial %d: count changed inside ND region at %v: %d vs %d (region %+v)",
+						trial, probeMins, got, base, reg)
+				}
+			}
+		}
+	}
+}
+
+func TestSliceNDMatches2DSliceOnTwoMeasures(t *testing.T) {
+	r := rand.New(rand.NewSource(63))
+	n := uint32(50)
+	rs := randomIDStats(r, n, 40)
+	two, err := BuildSlice(0, n, rs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := BuildSliceND(0, n, rs, StandardMeasures()[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for probe := 0; probe < 30; probe++ {
+		ms, mc := r.Float64(), r.Float64()
+		want := two.Count(ms, mc)
+		got, err := nd.Count([]float64{ms, mc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("ND %d vs 2D %d at (%g,%g)", got, want, ms, mc)
+		}
+	}
+}
+
+func TestRegionNDBounds(t *testing.T) {
+	rs := []IDStats{
+		{ID: 1, Stats: rules.Stats{CountXY: 2, CountX: 4, CountY: 5, N: 10}}, // supp .2 conf .5 lift 1
+		{ID: 2, Stats: rules.Stats{CountXY: 5, CountX: 5, CountY: 5, N: 10}}, // supp .5 conf 1 lift 2
+	}
+	s, err := BuildSliceND(3, 10, rs, StandardMeasures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg, err := s.Region([]float64{0.3, 0.7, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.NumRules != 1 || reg.Empty {
+		t.Fatalf("region = %+v", reg)
+	}
+	if reg.Low[0] != 0.2 || reg.High[0] != 0.5 {
+		t.Errorf("support bounds (%g,%g]", reg.Low[0], reg.High[0])
+	}
+	if reg.Low[1] != 0.5 || reg.High[1] != 1 {
+		t.Errorf("confidence bounds (%g,%g]", reg.Low[1], reg.High[1])
+	}
+	if reg.Low[2] != 1 || reg.High[2] != 2 {
+		t.Errorf("lift bounds (%g,%g]", reg.Low[2], reg.High[2])
+	}
+	// Above all lift values: region extends to +Inf on the lift axis.
+	reg, err = s.Region([]float64{0.3, 0.7, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Empty || !math.IsInf(reg.High[2], 1) {
+		t.Errorf("open lift region = %+v", reg)
+	}
+	if reg.Window != 3 || reg.Measures[2] != "lift" {
+		t.Errorf("metadata = %+v", reg)
+	}
+}

@@ -1,0 +1,101 @@
+package eps
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Panorama renders the slice's rule distribution over the (support ×
+// confidence) plane as a text heat map — the terminal stand-in for the
+// paper's "rule-centric panorama" visualization. Each cell shows how many
+// rules fall into its parameter box, on a log-ish character ramp; the
+// support axis is scaled to the densest populated prefix so sparse tails
+// do not flatten the picture.
+//
+// If markSupp/markConf are non-negative, the cell containing that request
+// point is marked with '+'.
+func (s *Slice) Panorama(width, height int, markSupp, markConf float64) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 5 {
+		height = 5
+	}
+	var b strings.Builder
+	if len(s.locs) == 0 {
+		fmt.Fprintf(&b, "window %d: no rules\n", s.Window)
+		return b.String()
+	}
+	maxSupp := s.supports[len(s.supports)-1]
+	if maxSupp <= 0 {
+		maxSupp = 1
+	}
+	grid := make([][]int, height)
+	for i := range grid {
+		grid[i] = make([]int, width)
+	}
+	cellOf := func(supp, conf float64) (row, col int, ok bool) {
+		if supp < 0 || conf < 0 {
+			return 0, 0, false
+		}
+		col = int(supp / maxSupp * float64(width))
+		if col >= width {
+			col = width - 1
+		}
+		row = int((1 - conf) * float64(height))
+		if row >= height {
+			row = height - 1
+		}
+		if row < 0 {
+			row = 0
+		}
+		return row, col, true
+	}
+	maxCount := 1
+	for i := range s.locs {
+		l := &s.locs[i]
+		row, col, _ := cellOf(l.Supp, l.Conf)
+		grid[row][col] += len(l.Rules)
+		if grid[row][col] > maxCount {
+			maxCount = grid[row][col]
+		}
+	}
+	ramp := []byte(" .:-=*#@")
+	char := func(c int) byte {
+		if c == 0 {
+			return ' '
+		}
+		// Logarithmic bucketing keeps low counts visible next to hot cells.
+		idx := 1
+		for t := 1; t*2 <= c && idx < len(ramp)-1; t *= 2 {
+			idx++
+		}
+		if idx > len(ramp)-1 {
+			idx = len(ramp) - 1
+		}
+		return ramp[idx]
+	}
+
+	markRow, markCol, marked := -1, -1, false
+	if markSupp >= 0 && markConf >= 0 {
+		markRow, markCol, marked = cellOf(markSupp, markConf)
+	}
+
+	fmt.Fprintf(&b, "window %d: %d rules at %d locations (x: support 0..%.4g, y: confidence 1..0, '+': request)\n",
+		s.Window, s.NumRuleRefs(), s.NumLocations(), maxSupp)
+	for row := 0; row < height; row++ {
+		b.WriteByte('|')
+		for col := 0; col < width; col++ {
+			if marked && row == markRow && col == markCol {
+				b.WriteByte('+')
+				continue
+			}
+			b.WriteByte(char(grid[row][col]))
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteString("+\n")
+	return b.String()
+}

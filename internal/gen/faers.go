@@ -1,0 +1,194 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tara/internal/maras"
+)
+
+// DDI is one planted drug-drug interaction: co-administration of DrugA and
+// DrugB causes ADR. The generator guarantees the ADR is not part of either
+// drug's own profile, so only the interaction explains it — exactly the
+// signal MARAS's contrast measure is designed to surface.
+type DDI struct {
+	DrugA, DrugB string
+	ADR          string
+}
+
+// Key returns the canonical "drugA+drugB=>adr" form (drugs sorted) used to
+// match signals against ground truth.
+func (d DDI) Key() string {
+	a, b := d.DrugA, d.DrugB
+	if b < a {
+		a, b = b, a
+	}
+	return a + "+" + b + "=>" + d.ADR
+}
+
+// FAERSParams parameterizes the synthetic spontaneous-reporting-system
+// generator. It stands in for the public FAERS quarterly extracts the paper
+// uses (see DESIGN.md, Substitutions): per-drug ADR profiles, co-prescription
+// patterns, planted interactions, and reporting noise.
+type FAERSParams struct {
+	Reports  int
+	NumDrugs int
+	NumADRs  int
+	// NumDDIs is how many true interactions to plant (default 20).
+	NumDDIs int
+	// DDIRate is the probability a report draws a DDI co-prescription
+	// (default 0.12).
+	DDIRate float64
+	// NoiseADRRate is the probability of an unrelated ADR appearing on a
+	// report (default 0.15).
+	NoiseADRRate float64
+	Seed         int64
+}
+
+func (p FAERSParams) withDefaults() FAERSParams {
+	if p.NumDDIs == 0 {
+		p.NumDDIs = 20
+	}
+	if p.DDIRate == 0 {
+		// Low enough that interacting drugs are mostly used solo, which is
+		// what gives the contrast measure its discriminating power: the
+		// single-drug contexts stay weakly associated with the interaction
+		// ADR.
+		p.DDIRate = 0.06
+	}
+	if p.NoiseADRRate == 0 {
+		p.NoiseADRRate = 0.15
+	}
+	return p
+}
+
+// FAERS generates a synthetic ADR report collection with planted DDIs and
+// returns the dataset together with the ground-truth interaction table.
+func FAERS(p FAERSParams) (*maras.Dataset, []DDI, error) {
+	p = p.withDefaults()
+	if p.Reports <= 0 || p.NumDrugs < 4 || p.NumADRs < 4 {
+		return nil, nil, fmt.Errorf("gen: faers params too small: %+v", p)
+	}
+	if 2*p.NumDDIs > p.NumDrugs {
+		return nil, nil, fmt.Errorf("gen: %d DDIs need %d distinct drugs, have %d", p.NumDDIs, 2*p.NumDDIs, p.NumDrugs)
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+
+	drugName := func(i int) string { return fmt.Sprintf("drug%03d", i) }
+	adrName := func(i int) string { return fmt.Sprintf("adr%03d", i) }
+
+	// Reserve the first NumDDIs ADRs as interaction outcomes; drug profiles
+	// draw only from the rest, so interactions are never explainable by a
+	// single drug.
+	interADR := make([]string, p.NumDDIs)
+	for i := range interADR {
+		interADR[i] = adrName(i)
+	}
+	profileADRs := p.NumADRs - p.NumDDIs
+	if profileADRs < 2 {
+		return nil, nil, fmt.Errorf("gen: need more ADRs than DDIs")
+	}
+
+	// Per-drug profile: 1-3 own ADRs with individual report probabilities.
+	type profileEntry struct {
+		adr  string
+		prob float64
+	}
+	profiles := make([][]profileEntry, p.NumDrugs)
+	for d := range profiles {
+		n := 1 + r.Intn(3)
+		for k := 0; k < n; k++ {
+			profiles[d] = append(profiles[d], profileEntry{
+				adr:  adrName(p.NumDDIs + r.Intn(profileADRs)),
+				prob: 0.3 + 0.5*r.Float64(),
+			})
+		}
+	}
+
+	// Plant DDIs on disjoint drug pairs (drug 2i, 2i+1).
+	truth := make([]DDI, p.NumDDIs)
+	for i := range truth {
+		truth[i] = DDI{DrugA: drugName(2 * i), DrugB: drugName(2*i + 1), ADR: interADR[i]}
+	}
+
+	// Benign co-prescription patterns among the remaining drugs, the
+	// confounders that make confidence/RR baselines noisy.
+	nPatterns := p.NumDrugs / 4
+	type coRx struct{ a, b int }
+	patterns := make([]coRx, nPatterns)
+	for i := range patterns {
+		lo := 2 * p.NumDDIs
+		patterns[i] = coRx{lo + r.Intn(p.NumDrugs-lo), lo + r.Intn(p.NumDrugs-lo)}
+	}
+
+	ds := maras.NewDataset()
+	for t := 0; t < p.Reports; t++ {
+		var drugIdx []int
+		switch x := r.Float64(); {
+		case x < p.DDIRate:
+			ddi := r.Intn(p.NumDDIs)
+			drugIdx = append(drugIdx, 2*ddi, 2*ddi+1)
+		case x < p.DDIRate+0.25 && nPatterns > 0:
+			pat := patterns[r.Intn(nPatterns)]
+			drugIdx = append(drugIdx, pat.a, pat.b)
+		default:
+			drugIdx = append(drugIdx, r.Intn(p.NumDrugs))
+		}
+		// Occasional extra co-medication.
+		for r.Float64() < 0.15 {
+			drugIdx = append(drugIdx, r.Intn(p.NumDrugs))
+		}
+
+		var drugs, adrs []string
+		seenDrug := map[int]bool{}
+		for _, d := range drugIdx {
+			if seenDrug[d] {
+				continue
+			}
+			seenDrug[d] = true
+			drugs = append(drugs, drugName(d))
+			for _, pe := range profiles[d] {
+				if r.Float64() < pe.prob {
+					adrs = append(adrs, pe.adr)
+				}
+			}
+		}
+		// Interaction outcomes for co-present planted pairs.
+		for i, ddi := range truth {
+			_ = ddi
+			if seenDrug[2*i] && seenDrug[2*i+1] && r.Float64() < 0.9 {
+				adrs = append(adrs, interADR[i])
+			}
+		}
+		// Reporting noise.
+		for r.Float64() < p.NoiseADRRate {
+			adrs = append(adrs, adrName(p.NumDDIs+r.Intn(profileADRs)))
+		}
+		if len(adrs) == 0 {
+			// Every SRS report names at least one reaction.
+			adrs = append(adrs, adrName(p.NumDDIs+r.Intn(profileADRs)))
+		}
+		ds.AddReport(drugs, adrs)
+	}
+	return ds, truth, nil
+}
+
+// SignalKey renders a mined MARAS association in ground-truth key form when
+// it is a two-drug signal whose ADR set includes a single ADR; multi-ADR
+// signals match if any of their ADRs pairs with the drug combination.
+// It returns all candidate keys for matching.
+func SignalKeys(ds *maras.Dataset, s maras.Signal) []string {
+	if len(s.Assoc.Drugs) != 2 {
+		return nil
+	}
+	a := ds.Drugs.Name(s.Assoc.Drugs[0])
+	b := ds.Drugs.Name(s.Assoc.Drugs[1])
+	if b < a {
+		a, b = b, a
+	}
+	keys := make([]string, 0, len(s.Assoc.ADRs))
+	for _, adr := range s.Assoc.ADRs {
+		keys = append(keys, a+"+"+b+"=>"+ds.ADRs.Name(adr))
+	}
+	return keys
+}

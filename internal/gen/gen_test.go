@@ -1,0 +1,295 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"tara/internal/maras"
+	"tara/internal/stats"
+	"tara/internal/txdb"
+)
+
+func TestQuestDeterministic(t *testing.T) {
+	p := QuestParams{Transactions: 500, AvgTransLen: 8, NumItems: 50, Seed: 7}
+	a, err := Quest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Quest(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Tx {
+		if len(a.Tx[i].Items) != len(b.Tx[i].Items) {
+			t.Fatalf("tx %d differs", i)
+		}
+		for j := range a.Tx[i].Items {
+			if a.Tx[i].Items[j] != b.Tx[i].Items[j] {
+				t.Fatalf("tx %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestQuestShape(t *testing.T) {
+	db, err := Quest(QuestParams{Transactions: 2000, AvgTransLen: 10, NumItems: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Transactions != 2000 {
+		t.Errorf("Transactions = %d", s.Transactions)
+	}
+	if s.AvgLen < 5 || s.AvgLen > 15 {
+		t.Errorf("AvgLen = %g, want near 10", s.AvgLen)
+	}
+	if s.UniqueItems > 100 {
+		t.Errorf("UniqueItems = %d beyond N", s.UniqueItems)
+	}
+	// Quest patterns create correlations: some pairs co-occur far above
+	// independence. Check that the most common pair count is well above
+	// the expected independent co-occurrence.
+	counts := map[[2]uint32]int{}
+	for _, tx := range db.Tx {
+		for i := 0; i < len(tx.Items); i++ {
+			for j := i + 1; j < len(tx.Items); j++ {
+				counts[[2]uint32{tx.Items[i], tx.Items[j]}]++
+			}
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 { // independent expectation ~ 2000*(10/100)^2 = 20
+		t.Errorf("strongest pair co-occurs only %d times; patterns too weak", max)
+	}
+}
+
+func TestQuestValidation(t *testing.T) {
+	if _, err := Quest(QuestParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+	if _, err := Quest(QuestParams{Transactions: 10, AvgTransLen: 5, NumItems: 10, Corruption: 1.5}); err == nil {
+		t.Error("corruption > 1 accepted")
+	}
+}
+
+func TestRetailShape(t *testing.T) {
+	db, err := Retail(RetailParams{Transactions: 3000, NumItems: 500, AvgLen: 10, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.Transactions != 3000 {
+		t.Errorf("Transactions = %d", s.Transactions)
+	}
+	if s.AvgLen < 5 || s.AvgLen > 15 {
+		t.Errorf("AvgLen = %g", s.AvgLen)
+	}
+	// Zipf skew: the most popular item should dominate.
+	freq := map[uint32]int{}
+	for _, tx := range db.Tx {
+		for _, it := range tx.Items {
+			freq[it]++
+		}
+	}
+	var fs []float64
+	for _, c := range freq {
+		fs = append(fs, float64(c))
+	}
+	if stats.Percentile(fs, 99) < 10*stats.Percentile(fs, 50) {
+		t.Error("item popularity not skewed enough for a retail workload")
+	}
+}
+
+func TestRetailValidation(t *testing.T) {
+	if _, err := Retail(RetailParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+	if _, err := Retail(RetailParams{Transactions: 10, NumItems: 10, AvgLen: 5, ZipfS: 0.5}); err == nil {
+		t.Error("zipf <= 1 accepted")
+	}
+}
+
+func TestWebdocsShape(t *testing.T) {
+	db, err := Webdocs(WebdocsParams{Transactions: 500, NumItems: 5000, AvgLen: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.AvgLen < 30 || s.AvgLen > 90 {
+		t.Errorf("AvgLen = %g, want near 60", s.AvgLen)
+	}
+	if _, err := Webdocs(WebdocsParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+}
+
+func TestFAERSBasics(t *testing.T) {
+	ds, truth, err := FAERS(FAERSParams{Reports: 2000, NumDrugs: 60, NumADRs: 40, NumDDIs: 8, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() == 0 || ds.Len() > 2000 {
+		t.Fatalf("reports = %d", ds.Len())
+	}
+	if len(truth) != 8 {
+		t.Fatalf("truth = %d DDIs", len(truth))
+	}
+	// Every planted pair must actually co-occur with its ADR somewhere.
+	for _, ddi := range truth {
+		a, okA := ds.Drugs.Lookup(ddi.DrugA)
+		b, okB := ds.Drugs.Lookup(ddi.DrugB)
+		adr, okC := ds.ADRs.Lookup(ddi.ADR)
+		if !okA || !okB || !okC {
+			t.Fatalf("DDI %v references unseen names", ddi)
+		}
+		found := false
+		for _, rep := range ds.Reports {
+			if rep.Drugs.Contains(a) && rep.Drugs.Contains(b) && rep.ADRs.Contains(adr) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("DDI %v never materialized in the reports", ddi)
+		}
+	}
+}
+
+func TestFAERSValidation(t *testing.T) {
+	if _, _, err := FAERS(FAERSParams{}); err == nil {
+		t.Error("zero params accepted")
+	}
+	if _, _, err := FAERS(FAERSParams{Reports: 100, NumDrugs: 10, NumADRs: 40, NumDDIs: 8}); err == nil {
+		t.Error("too many DDIs for drug count accepted")
+	}
+}
+
+func TestDDIKey(t *testing.T) {
+	a := DDI{DrugA: "x", DrugB: "a", ADR: "q"}
+	b := DDI{DrugA: "a", DrugB: "x", ADR: "q"}
+	if a.Key() != b.Key() {
+		t.Error("DDI key not order-invariant")
+	}
+	if a.Key() != "a+x=>q" {
+		t.Errorf("Key = %q", a.Key())
+	}
+}
+
+// TestMARASRecoversPlantedDDIs is the end-to-end effectiveness check behind
+// Figure 6: MARAS's contrast ranking on generated FAERS data should surface
+// planted interactions with high precision at low K.
+func TestMARASRecoversPlantedDDIs(t *testing.T) {
+	ds, truth, err := FAERS(FAERSParams{Reports: 4000, NumDrugs: 60, NumADRs: 40, NumDDIs: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	signals, err := maras.Mine(ds, maras.Params{MinSupportCount: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truthKeys := map[string]bool{}
+	for _, d := range truth {
+		truthKeys[d.Key()] = true
+	}
+	var ranked []string
+	for _, s := range maras.TopK(signals, 10) {
+		hit := ""
+		for _, k := range SignalKeys(ds, s) {
+			if truthKeys[k] {
+				hit = k
+				break
+			}
+		}
+		ranked = append(ranked, hit) // "" counts as a miss
+	}
+	p10 := 0.0
+	for _, k := range ranked {
+		if k != "" {
+			p10++
+		}
+	}
+	p10 /= 10
+	if p10 < 0.6 {
+		t.Errorf("precision@10 = %g, want >= 0.6 on planted data", p10)
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	var sum float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		sum += float64(poisson(r, 7))
+	}
+	mean := sum / float64(n)
+	if mean < 6.5 || mean > 7.5 {
+		t.Errorf("poisson mean = %g, want ~7", mean)
+	}
+	if poisson(r, 0) != 0 || poisson(r, -1) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}
+
+func TestRetailDrift(t *testing.T) {
+	static, err := Retail(RetailParams{Transactions: 6000, NumItems: 300, AvgLen: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drifted, err := Retail(RetailParams{Transactions: 6000, NumItems: 300, AvgLen: 8, Seed: 9, Drift: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measure how much the per-item frequency distribution changes between
+	// the first and last thirds of the stream: drift must increase it.
+	measure := func(db *txdb.DB) float64 {
+		third := db.Len() / 3
+		first := map[uint32]float64{}
+		last := map[uint32]float64{}
+		for i, tr := range db.Tx {
+			for _, it := range tr.Items {
+				if i < third {
+					first[it]++
+				} else if i >= 2*third {
+					last[it]++
+				}
+			}
+		}
+		var dist float64
+		seen := map[uint32]bool{}
+		for it := range first {
+			seen[it] = true
+		}
+		for it := range last {
+			seen[it] = true
+		}
+		for it := range seen {
+			dist += abs(first[it] - last[it])
+		}
+		return dist
+	}
+	if measure(drifted) < 2*measure(static) {
+		t.Errorf("drifted distribution shift %g not clearly above static %g",
+			measure(drifted), measure(static))
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestRetailDriftValidation(t *testing.T) {
+	if _, err := Retail(RetailParams{Transactions: 10, NumItems: 10, AvgLen: 3, Drift: 1.5}); err == nil {
+		t.Error("drift > 1 accepted")
+	}
+}

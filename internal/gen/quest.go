@@ -1,0 +1,182 @@
+// Package gen provides the synthetic data generators behind every
+// experiment: a reimplementation of the IBM Quest transaction generator
+// (used by the paper for T5kL50N100 and T2kL100N1k), Zipf-skewed retail and
+// webdocs-style generators matching the real datasets' shapes (Table 3),
+// and a FAERS-like ADR report generator with planted drug-drug interactions
+// as exact ground truth for the MARAS precision experiments (Figure 6).
+//
+// All generators are deterministic given their Seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// QuestParams parameterizes the Quest-style generator in the usual notation:
+// |D| transactions, |T| average transaction length, |I| average pattern
+// length, |L| number of maximal potentially-frequent patterns, N items.
+type QuestParams struct {
+	Transactions int
+	AvgTransLen  int
+	AvgPatLen    int
+	NumPatterns  int
+	NumItems     int
+	// Corruption is the per-item probability of dropping an item while
+	// embedding a pattern (Quest's corruption level; default 0.25).
+	Corruption float64
+	// NoiseRate is the probability that a transaction slot is filled with
+	// a uniformly random item instead of a pattern (default 0.3). It keeps
+	// the co-occurrence graph from collapsing into one dense clique.
+	NoiseRate float64
+	// Reuse is the probability a pattern item is drawn from the previous
+	// pattern instead of uniformly (Quest's correlation knob; default
+	// 0.25).
+	Reuse float64
+	Seed  int64
+}
+
+func (p QuestParams) withDefaults() QuestParams {
+	if p.AvgPatLen <= 0 {
+		p.AvgPatLen = 4
+	}
+	if p.NumPatterns <= 0 {
+		p.NumPatterns = 20
+	}
+	if p.Corruption == 0 {
+		p.Corruption = 0.25
+	}
+	if p.NoiseRate == 0 {
+		p.NoiseRate = 0.3
+	}
+	if p.Reuse == 0 {
+		p.Reuse = 0.25
+	}
+	return p
+}
+
+func (p QuestParams) validate() error {
+	if p.Transactions <= 0 || p.AvgTransLen <= 0 || p.NumItems <= 0 {
+		return fmt.Errorf("gen: quest params must be positive: %+v", p)
+	}
+	if p.Corruption < 0 || p.Corruption >= 1 {
+		return fmt.Errorf("gen: corruption %g outside [0,1)", p.Corruption)
+	}
+	return nil
+}
+
+// Quest generates a transaction database in the style of the IBM Quest
+// synthetic data generator: maximal potential patterns are drawn first (with
+// item reuse between consecutive patterns, giving correlation structure),
+// then each transaction embeds exponentially-weighted patterns, corrupted
+// item-wise, until its Poisson-drawn length is filled.
+func Quest(p QuestParams) (*txdb.DB, error) {
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(p.Seed))
+	db := txdb.NewDB()
+
+	// Pre-register item names so ids are stable regardless of draw order.
+	names := make([]string, p.NumItems)
+	for i := range names {
+		names[i] = fmt.Sprintf("i%d", i)
+		db.Dict.Add(names[i])
+	}
+
+	// Maximal potential patterns. Each reuses a fraction of the previous
+	// pattern's items (Quest's correlation knob).
+	patterns := make([]itemset.Set, p.NumPatterns)
+	weights := make([]float64, p.NumPatterns)
+	var totalW float64
+	var prev itemset.Set
+	for i := range patterns {
+		l := 1 + poisson(r, float64(p.AvgPatLen-1))
+		s := make(itemset.Set, 0, l)
+		for len(s) < l {
+			if len(prev) > 0 && r.Float64() < p.Reuse {
+				s = append(s, prev[r.Intn(len(prev))])
+			} else {
+				s = append(s, itemset.Item(r.Intn(p.NumItems)))
+			}
+			s = itemset.Canonicalize(s)
+		}
+		patterns[i] = s
+		weights[i] = r.ExpFloat64()
+		totalW += weights[i]
+		prev = s
+	}
+	for i := range weights {
+		weights[i] /= totalW
+	}
+
+	pick := func() itemset.Set {
+		x := r.Float64()
+		for i, w := range weights {
+			if x < w {
+				return patterns[i]
+			}
+			x -= w
+		}
+		return patterns[len(patterns)-1]
+	}
+
+	for t := 0; t < p.Transactions; t++ {
+		target := 1 + poisson(r, float64(p.AvgTransLen-1))
+		var items itemset.Set
+		for len(items) < target {
+			if r.Float64() < p.NoiseRate {
+				items = append(items, itemset.Item(r.Intn(p.NumItems)))
+				items = itemset.Canonicalize(items)
+				continue
+			}
+			pat := pick()
+			for _, it := range pat {
+				if r.Float64() < p.Corruption {
+					continue
+				}
+				items = append(items, it)
+			}
+			items = itemset.Canonicalize(items)
+			// Guard against patterns that corrupt to nothing forever.
+			if len(pat) == 0 {
+				break
+			}
+		}
+		if len(items) > target {
+			items = items[:target]
+		}
+		nameList := make([]string, len(items))
+		for i, it := range items {
+			nameList[i] = names[it]
+		}
+		db.Add(int64(t), nameList...)
+	}
+	return db, nil
+}
+
+// poisson draws a Poisson-distributed integer with the given mean via
+// Knuth's method (fine for the small means used here).
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+		if k > int(mean*20+100) { // numerical guard
+			return k
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// CSV output for the online-time experiments, so the figure series can be
+// plotted directly. Each row is (experiment, dataset, parameter, system,
+// nanoseconds).
+
+// csvCollector accumulates timing rows and flushes them as CSV.
+type csvCollector struct {
+	exp  string
+	rows [][]string
+}
+
+func newCSVCollector(exp string) *csvCollector {
+	return &csvCollector{exp: exp, rows: [][]string{{"experiment", "dataset", "param", "system", "ns"}}}
+}
+
+func (c *csvCollector) add(dataset, param string, times map[string]time.Duration) {
+	for _, sys := range systemOrder {
+		d, ok := times[sys]
+		if !ok {
+			continue
+		}
+		c.rows = append(c.rows, []string{c.exp, dataset, param, sys, strconv.FormatInt(d.Nanoseconds(), 10)})
+	}
+}
+
+func (c *csvCollector) flush(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.WriteAll(c.rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// RunCSV runs one of the online-time experiments (fig7, fig8, fig10, fig11)
+// and writes its series as CSV instead of the text table.
+func RunCSV(exp string, w io.Writer, scale float64) error {
+	if scale <= 0 {
+		scale = 1
+	}
+	type point struct {
+		param      string
+		supp, conf float64
+		second     bool // Q2 experiments vary the second setting
+		supp2      float64
+		conf2      float64
+	}
+	sweep := func(spec DatasetSpec) []point {
+		var pts []point
+		switch exp {
+		case "fig7":
+			for _, s := range spec.SuppSweep {
+				pts = append(pts, point{param: fmt.Sprintf("supp=%g", s), supp: s, conf: spec.FixedConf})
+			}
+		case "fig8":
+			for _, c := range spec.ConfSweep {
+				pts = append(pts, point{param: fmt.Sprintf("conf=%g", c), supp: spec.FixedSupp, conf: c})
+			}
+		case "fig10":
+			for _, s2 := range spec.SuppSweep {
+				pts = append(pts, point{
+					param: fmt.Sprintf("supp2=%g", s2), supp: spec.FixedSupp, conf: spec.FixedConf,
+					second: true, supp2: s2, conf2: spec.FixedConf,
+				})
+			}
+		case "fig11":
+			for _, c2 := range spec.ConfSweep {
+				pts = append(pts, point{
+					param: fmt.Sprintf("conf2=%g", c2), supp: spec.FixedSupp, conf: spec.FixedConf,
+					second: true, supp2: spec.FixedSupp, conf2: c2,
+				})
+			}
+		}
+		return pts
+	}
+	col := newCSVCollector(exp)
+	for _, spec := range Datasets() {
+		pts := sweep(spec)
+		if len(pts) == 0 {
+			return fmt.Errorf("harness: experiment %q has no CSV form (only fig7, fig8, fig10, fig11)", exp)
+		}
+		sys, err := BuildSystems(spec, scale)
+		if err != nil {
+			return err
+		}
+		for _, p := range pts {
+			var times map[string]time.Duration
+			if p.second {
+				times, err = q2Times(sys, p.supp, p.conf, p.supp2, p.conf2)
+			} else {
+				times, err = q1Times(sys, p.supp, p.conf)
+			}
+			if err != nil {
+				return err
+			}
+			col.add(spec.Name, p.param, times)
+		}
+	}
+	return col.flush(w)
+}

@@ -1,0 +1,148 @@
+// Package harness drives the paper's experiments end to end: it generates
+// the four benchmark datasets at a configurable scale, builds TARA and the
+// three competitor systems, runs each figure's workload, and prints the
+// rows/series the paper reports. cmd/tarabench is a thin wrapper; the
+// root-level bench_test.go reuses the same builders for testing.B benches.
+package harness
+
+import (
+	"fmt"
+
+	"tara/internal/gen"
+	"tara/internal/txdb"
+)
+
+// DatasetSpec describes one benchmark dataset: its generator, its window
+// count, and the Table 4 index-construction thresholds together with the
+// query sweeps of Figures 7–11. Transaction counts scale linearly with the
+// harness scale factor; the paper's absolute sizes (Table 3) are noted in
+// the comments.
+type DatasetSpec struct {
+	Name      string
+	Batches   int
+	GenSupp   float64 // Table 4 support threshold
+	GenConf   float64 // Table 4 confidence threshold
+	MaxLen    int     // itemset length cap (see EXPERIMENTS.md)
+	SuppSweep []float64
+	ConfSweep []float64
+	FixedSupp float64
+	FixedConf float64
+	Build     func(scale float64) (*txdb.DB, error)
+}
+
+// scaled applies the scale factor with an explicit floor: below it, windows
+// become so small that the generation support threshold corresponds to a
+// count of 1 and the frequent-itemset lattice degenerates to "everything".
+func scaled(base int, scale float64, floor int) int {
+	n := int(float64(base) * scale)
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
+// Datasets returns the four benchmark dataset specs. scale 1.0 is the
+// repository default (sized so the full suite runs in minutes on a laptop);
+// the paper's originals are 2–3 orders of magnitude larger.
+func Datasets() []DatasetSpec {
+	return []DatasetSpec{
+		{
+			// Paper: Belgian retail, 8.8M transactions (100x replicated),
+			// 16,470 items, avg length 10, thresholds (0.0002, 0.1).
+			Name:      "retail",
+			Batches:   10,
+			GenSupp:   0.005,
+			GenConf:   0.1,
+			MaxLen:    4,
+			SuppSweep: []float64{0.005, 0.01, 0.02, 0.04, 0.08},
+			ConfSweep: []float64{0.1, 0.2, 0.4, 0.6, 0.8},
+			FixedSupp: 0.005,
+			FixedConf: 0.4, // the paper's retail fig7 setting
+			Build: func(scale float64) (*txdb.DB, error) {
+				return gen.Retail(gen.RetailParams{
+					Transactions: scaled(20000, scale, 4000),
+					NumItems:     2000,
+					AvgLen:       10,
+					Seed:         101,
+				})
+			},
+		},
+		{
+			// Paper: T5kL50N100 (IBM Quest), 5M transactions, 23,870 items,
+			// avg length 50, thresholds (0.0012, 0.2).
+			Name:      "t5k",
+			Batches:   5,
+			GenSupp:   0.01,
+			GenConf:   0.2,
+			MaxLen:    4,
+			SuppSweep: []float64{0.01, 0.02, 0.04, 0.08, 0.16},
+			ConfSweep: []float64{0.2, 0.3, 0.45, 0.6, 0.8},
+			FixedSupp: 0.01,
+			FixedConf: 0.2,
+			Build: func(scale float64) (*txdb.DB, error) {
+				return gen.Quest(gen.QuestParams{
+					Transactions: scaled(10000, scale, 1500),
+					AvgTransLen:  25,
+					NumItems:     1200,
+					NumPatterns:  400,
+					AvgPatLen:    4,
+					Seed:         102,
+				})
+			},
+		},
+		{
+			// Paper: T2kL100N1k (IBM Quest), 2M transactions, 30,551 items,
+			// avg length 100, thresholds (0.001, 0.2).
+			Name:      "t2k",
+			Batches:   5,
+			GenSupp:   0.01,
+			GenConf:   0.2,
+			MaxLen:    4,
+			SuppSweep: []float64{0.01, 0.02, 0.04, 0.08, 0.16},
+			ConfSweep: []float64{0.2, 0.3, 0.45, 0.6, 0.8},
+			FixedSupp: 0.01,
+			FixedConf: 0.2,
+			Build: func(scale float64) (*txdb.DB, error) {
+				return gen.Quest(gen.QuestParams{
+					Transactions: scaled(4000, scale, 1500),
+					AvgTransLen:  40,
+					NumItems:     1500,
+					NumPatterns:  600,
+					AvgPatLen:    5,
+					Seed:         103,
+				})
+			},
+		},
+		{
+			// Paper: webdocs, 1.69M documents, 5.3M terms, avg length 177,
+			// thresholds (0.1123, 0.2).
+			Name:      "webdocs",
+			Batches:   5,
+			GenSupp:   0.2,
+			GenConf:   0.2,
+			MaxLen:    3, // webdocs is dense; length-4 lattices explode (see EXPERIMENTS.md)
+			SuppSweep: []float64{0.2, 0.25, 0.3, 0.35, 0.45},
+			ConfSweep: []float64{0.2, 0.3, 0.45, 0.6, 0.8},
+			FixedSupp: 0.2,
+			FixedConf: 0.4,
+			Build: func(scale float64) (*txdb.DB, error) {
+				return gen.Webdocs(gen.WebdocsParams{
+					Transactions: scaled(3000, scale, 800),
+					NumItems:     20000,
+					AvgLen:       60,
+					Seed:         104,
+				})
+			},
+		},
+	}
+}
+
+// DatasetByName finds a spec by name.
+func DatasetByName(name string) (DatasetSpec, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("harness: unknown dataset %q", name)
+}

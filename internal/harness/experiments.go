@@ -1,0 +1,379 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tara/internal/baselines"
+	"tara/internal/itemset"
+	"tara/internal/mining"
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+// systemOrder fixes the column order of the online-time tables.
+var systemOrder = []string{"TARA", "TARA-S", "TARA-R", "HMine", "PARAS", "DCTAR"}
+
+func printTimeHeader(w io.Writer, param string) {
+	fmt.Fprintf(w, "%-10s %-12s", "dataset", param)
+	for _, s := range systemOrder {
+		fmt.Fprintf(w, " %12s", s)
+	}
+	fmt.Fprintln(w)
+}
+
+func printTimeRow(w io.Writer, dataset, param string, times map[string]time.Duration) {
+	fmt.Fprintf(w, "%-10s %-12s", dataset, param)
+	for _, s := range systemOrder {
+		d, ok := times[s]
+		if !ok {
+			fmt.Fprintf(w, " %12s", "-")
+			continue
+		}
+		fmt.Fprintf(w, " %12s", d.Round(10*time.Nanosecond))
+	}
+	fmt.Fprintln(w)
+}
+
+// q1Times runs the Figure 7/8 workload (Q1 trajectory + Q3 recommendation)
+// at one parameter point for every system.
+func q1Times(sys *Systems, minSupp, minConf float64) (map[string]time.Duration, error) {
+	base, others := sys.BaseWindow()
+	times := map[string]time.Duration{}
+	var err error
+
+	if times["TARA"], err = timeIt(func() error {
+		_, e := sys.TARA.RuleTrajectories(base, minSupp, minConf, others)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["TARA-S"], err = timeIt(func() error {
+		_, e := sys.TARASTrajectories(base, minSupp, minConf, others)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["TARA-R"], err = timeIt(func() error {
+		_, e := sys.TARA.Recommend(base, minSupp, minConf)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["HMine"], err = timeIt(func() error {
+		_, e := sys.HMine.Trajectories(base, minSupp, minConf, others)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["PARAS"], err = timeIt(func() error {
+		_, e := sys.PARAS.Trajectories(base, minSupp, minConf, others)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["DCTAR"], err = timeIt(func() error {
+		_, e := sys.DCTAR.Trajectories(base, minSupp, minConf, others)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	return times, nil
+}
+
+// RunFig7 regenerates Figure 7: online Q1/Q3 time varying minimum support
+// at each dataset's fixed confidence.
+func RunFig7(w io.Writer, scale float64) error {
+	return runFig7(w, scale, Datasets())
+}
+
+func runFig7(w io.Writer, scale float64, specs []DatasetSpec) error {
+	fmt.Fprintln(w, "Figure 7 — rule trajectory & parameter recommendation: varying support")
+	printTimeHeader(w, "minsupp")
+	for _, spec := range specs {
+		sys, err := BuildSystems(spec, scale)
+		if err != nil {
+			return err
+		}
+		for _, supp := range spec.SuppSweep {
+			times, err := q1Times(sys, supp, spec.FixedConf)
+			if err != nil {
+				return err
+			}
+			printTimeRow(w, spec.Name, fmt.Sprintf("supp=%g", supp), times)
+		}
+	}
+	return nil
+}
+
+// RunFig8 regenerates Figure 8: the same workload varying minimum
+// confidence at fixed support.
+func RunFig8(w io.Writer, scale float64) error {
+	return runFig8(w, scale, Datasets())
+}
+
+func runFig8(w io.Writer, scale float64, specs []DatasetSpec) error {
+	fmt.Fprintln(w, "Figure 8 — rule trajectory & parameter recommendation: varying confidence")
+	printTimeHeader(w, "minconf")
+	for _, spec := range specs {
+		sys, err := BuildSystems(spec, scale)
+		if err != nil {
+			return err
+		}
+		for _, conf := range spec.ConfSweep {
+			times, err := q1Times(sys, spec.FixedSupp, conf)
+			if err != nil {
+				return err
+			}
+			printTimeRow(w, spec.Name, fmt.Sprintf("conf=%g", conf), times)
+		}
+	}
+	return nil
+}
+
+// RunFig9 regenerates Figure 9: offline preprocessing time per window, with
+// TARA's task breakdown against H-Mine's itemset pregeneration.
+func RunFig9(w io.Writer, scale float64) error {
+	return runFig9(w, scale, Datasets())
+}
+
+func runFig9(w io.Writer, scale float64, specs []DatasetSpec) error {
+	fmt.Fprintln(w, "Figure 9 — offline preprocessing time per window")
+	fmt.Fprintf(w, "%-10s %-7s %12s %12s %12s %12s %12s %12s %10s\n",
+		"dataset", "window", "hmine", "tara-total", "itemsets", "rulegen", "archive", "epsindex", "overhead")
+	for _, spec := range specs {
+		// Build sequentially and with the H-Mine miner as TARA's itemset
+		// engine, so the breakdown isolates TARA's *additional* tasks (rule
+		// generation, archive, EPS index) exactly as the paper's Figure 9
+		// does — not the difference between mining algorithms.
+		fw, err := buildTaraWithMiner(spec, scale, mining.HMine{})
+		if err != nil {
+			return err
+		}
+		db, err := spec.Build(scale)
+		if err != nil {
+			return err
+		}
+		windows, err := db.PartitionByCount(spec.Batches)
+		if err != nil {
+			return err
+		}
+		hmine, err := buildHMineBaseline(windows, spec)
+		if err != nil {
+			return err
+		}
+		hm := hmine.PrepTimes()
+		var hTotal, tTotal time.Duration
+		for i, tm := range fw.Timings() {
+			overhead := float64(tm.Total()-hm[i]) / float64(hm[i]) * 100
+			fmt.Fprintf(w, "%-10s %-7d %12s %12s %12s %12s %12s %12s %9.1f%%\n",
+				spec.Name, i,
+				hm[i].Round(time.Microsecond),
+				tm.Total().Round(time.Microsecond),
+				tm.Mine.Round(time.Microsecond),
+				tm.RuleGen.Round(time.Microsecond),
+				tm.ArchiveTime.Round(time.Microsecond),
+				tm.IndexTime.Round(time.Microsecond),
+				overhead)
+			hTotal += hm[i]
+			tTotal += tm.Total()
+		}
+		fmt.Fprintf(w, "%-10s %-7s %12s %12s  (TARA/H-Mine = %.2fx)\n",
+			spec.Name, "total", hTotal.Round(time.Microsecond), tTotal.Round(time.Microsecond),
+			float64(tTotal)/float64(hTotal))
+	}
+	return nil
+}
+
+// q2Times runs the Figure 10/11 workload at one parameter point.
+func q2Times(sys *Systems, suppA, confA, suppB, confB float64) (map[string]time.Duration, error) {
+	wins := sys.CompareWindows()
+	times := map[string]time.Duration{}
+	var err error
+	if times["TARA"], err = timeIt(func() error {
+		_, e := sys.TARA.Compare(wins, suppA, confA, suppB, confB)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["HMine"], err = timeIt(func() error {
+		_, e := sys.HMine.Compare(wins, suppA, confA, suppB, confB)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["PARAS"], err = timeIt(func() error {
+		_, e := sys.PARAS.Compare(wins, suppA, confA, suppB, confB)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	if times["DCTAR"], err = timeIt(func() error {
+		_, e := sys.DCTAR.Compare(wins, suppA, confA, suppB, confB)
+		return e
+	}); err != nil {
+		return nil, err
+	}
+	return times, nil
+}
+
+// RunFig10 regenerates Figure 10: ruleset comparison time varying the second
+// setting's support.
+func RunFig10(w io.Writer, scale float64) error {
+	return runFig10(w, scale, Datasets())
+}
+
+func runFig10(w io.Writer, scale float64, specs []DatasetSpec) error {
+	fmt.Fprintln(w, "Figure 10 — ruleset comparison: varying 2nd support")
+	printTimeHeader(w, "minsupp2")
+	for _, spec := range specs {
+		sys, err := BuildSystems(spec, scale)
+		if err != nil {
+			return err
+		}
+		for _, supp2 := range spec.SuppSweep {
+			times, err := q2Times(sys, spec.FixedSupp, spec.FixedConf, supp2, spec.FixedConf)
+			if err != nil {
+				return err
+			}
+			printTimeRow(w, spec.Name, fmt.Sprintf("supp2=%g", supp2), times)
+		}
+	}
+	return nil
+}
+
+// RunFig11 regenerates Figure 11: ruleset comparison time varying the second
+// setting's confidence.
+func RunFig11(w io.Writer, scale float64) error {
+	return runFig11(w, scale, Datasets())
+}
+
+func runFig11(w io.Writer, scale float64, specs []DatasetSpec) error {
+	fmt.Fprintln(w, "Figure 11 — ruleset comparison: varying 2nd confidence")
+	printTimeHeader(w, "minconf2")
+	for _, spec := range specs {
+		sys, err := BuildSystems(spec, scale)
+		if err != nil {
+			return err
+		}
+		for _, conf2 := range spec.ConfSweep {
+			times, err := q2Times(sys, spec.FixedSupp, spec.FixedConf, spec.FixedSupp, conf2)
+			if err != nil {
+				return err
+			}
+			printTimeRow(w, spec.Name, fmt.Sprintf("conf2=%g", conf2), times)
+		}
+	}
+	return nil
+}
+
+// RunFig12 regenerates Figure 12: the sizes of the pregenerated structures —
+// H-Mine's itemset index, the TAR Archive, and what uncompressed per-rule
+// parameter storage would occupy.
+func RunFig12(w io.Writer, scale float64) error {
+	return runFig12(w, scale, Datasets())
+}
+
+func runFig12(w io.Writer, scale float64, specs []DatasetSpec) error {
+	fmt.Fprintln(w, "Figure 12 — size of the pregenerated information")
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %10s %10s\n",
+		"dataset", "hmine-index", "tar-archive", "uncompressed", "rules", "itemsets")
+	for _, spec := range specs {
+		sys, err := BuildSystems(spec, scale)
+		if err != nil {
+			return err
+		}
+		arch := sys.TARA.Archive()
+		fmt.Fprintf(w, "%-10s %14d %14d %14d %10d %10d\n",
+			spec.Name,
+			sys.HMine.IndexBytes(),
+			arch.SizeBytes(),
+			arch.UncompressedBytes(),
+			arch.NumEntries(),
+			sys.HMine.NumItemsets())
+	}
+	return nil
+}
+
+// RunRollUp validates the roll-up approximation bound experiment: TARA's
+// coarse-period answers are compared against exact mining of the whole
+// period, and every rule's support underestimate must stay within its
+// reported bound.
+func RunRollUp(w io.Writer, scale float64) error {
+	return runRollUp(w, scale, Datasets())
+}
+
+func runRollUp(w io.Writer, scale float64, specs []DatasetSpec) error {
+	fmt.Fprintln(w, "Roll-up — approximation bound validation")
+	fmt.Fprintf(w, "%-10s %8s %8s %14s %14s %8s\n",
+		"dataset", "rules", "checked", "max-underest", "max-bound", "ok")
+	if len(specs) > 2 {
+		specs = specs[:2] // retail and t5k suffice; others identical in kind
+	}
+	for _, spec := range specs {
+		sys, err := BuildSystems(spec, scale)
+		if err != nil {
+			return err
+		}
+		from, to := 0, len(sys.Windows)-1
+		querySupp := 2 * spec.GenSupp
+		out, err := sys.TARA.MineRollUp(from, to, querySupp, spec.GenConf)
+		if err != nil {
+			return err
+		}
+		var maxUnder, maxBound float64
+		ok := true
+		checked := 0
+		for _, r := range out {
+			if checked >= 200 {
+				break
+			}
+			checked++
+			var xy uint32
+			union := r.Rule.Items()
+			for _, tx := range sys.DB.Tx {
+				if itemset.Subset(union, tx.Items) {
+					xy++
+				}
+			}
+			trueSupp := float64(xy) / float64(sys.DB.Len())
+			under := trueSupp - r.Stats.Support()
+			if under > maxUnder {
+				maxUnder = under
+			}
+			if r.MaxSupportError > maxBound {
+				maxBound = r.MaxSupportError
+			}
+			if under > r.MaxSupportError+1e-12 {
+				ok = false
+			}
+		}
+		fmt.Fprintf(w, "%-10s %8d %8d %14.6f %14.6f %8v\n",
+			spec.Name, len(out), checked, maxUnder, maxBound, ok)
+		if !ok {
+			return fmt.Errorf("harness: roll-up bound violated on %s", spec.Name)
+		}
+	}
+	return nil
+}
+
+// buildTaraWithMiner builds a fresh framework sequentially with an explicit
+// itemset miner.
+func buildTaraWithMiner(spec DatasetSpec, scale float64, m mining.Miner) (*tara.Framework, error) {
+	db, err := spec.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	return tara.Build(db, 0, spec.Batches, tara.Config{
+		GenMinSupport: spec.GenSupp,
+		GenMinConf:    spec.GenConf,
+		MaxItemsetLen: spec.MaxLen,
+		Miner:         m,
+	})
+}
+
+// buildHMineBaseline wraps baselines.BuildHMine with the spec's thresholds.
+func buildHMineBaseline(windows []txdb.Window, spec DatasetSpec) (*baselines.HMineSystem, error) {
+	return baselines.BuildHMine(windows, spec.GenSupp, spec.MaxLen)
+}

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"tara/internal/baselines"
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+// Systems bundles TARA and the three competitors built over one dataset, so
+// each figure's workload runs against identical data.
+type Systems struct {
+	Spec    DatasetSpec
+	DB      *txdb.DB
+	Windows []txdb.Window
+	TARA    *tara.Framework // built with ContentIndex for the TARA-S paths
+	DCTAR   *baselines.DCTAR
+	HMine   *baselines.HMineSystem
+	PARAS   *baselines.PARAS
+}
+
+// BuildSystems generates the dataset at the given scale and constructs all
+// four systems with the spec's Table 4 thresholds.
+func BuildSystems(spec DatasetSpec, scale float64) (*Systems, error) {
+	db, err := spec.Build(scale)
+	if err != nil {
+		return nil, err
+	}
+	windows, err := db.PartitionByCount(spec.Batches)
+	if err != nil {
+		return nil, err
+	}
+	fw, err := tara.Build(db, 0, spec.Batches, tara.Config{
+		GenMinSupport: spec.GenSupp,
+		GenMinConf:    spec.GenConf,
+		MaxItemsetLen: spec.MaxLen,
+		ContentIndex:  true,
+		Workers:       runtime.GOMAXPROCS(0),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("harness: building TARA for %s: %w", spec.Name, err)
+	}
+	hm, err := baselines.BuildHMine(windows, spec.GenSupp, spec.MaxLen)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building H-Mine for %s: %w", spec.Name, err)
+	}
+	pr, err := baselines.BuildPARAS(windows, spec.GenSupp, spec.GenConf, spec.MaxLen, nil)
+	if err != nil {
+		return nil, fmt.Errorf("harness: building PARAS for %s: %w", spec.Name, err)
+	}
+	return &Systems{
+		Spec:    spec,
+		DB:      db,
+		Windows: windows,
+		TARA:    fw,
+		DCTAR:   baselines.NewDCTAR(windows, nil, spec.MaxLen),
+		HMine:   hm,
+		PARAS:   pr,
+	}, nil
+}
+
+// BaseWindow returns the Q1 base window (the newest) and the examined
+// previous windows (up to three, as in the paper's setup).
+func (s *Systems) BaseWindow() (base int, others []int) {
+	base = len(s.Windows) - 1
+	for w := base - 3; w < base; w++ {
+		if w >= 0 {
+			others = append(others, w)
+		}
+	}
+	return base, others
+}
+
+// CompareWindows returns the four newest windows used by the Q2 experiments.
+func (s *Systems) CompareWindows() []int {
+	n := len(s.Windows)
+	start := n - 4
+	if start < 0 {
+		start = 0
+	}
+	out := make([]int, 0, 4)
+	for w := start; w < n; w++ {
+		out = append(out, w)
+	}
+	return out
+}
+
+// TARASTrajectories runs the Q1 workload through the TARA-S collection path:
+// merged content-index collection in the base window, then archive lookups
+// for the examined windows.
+func (s *Systems) TARASTrajectories(base int, minSupp, minConf float64, others []int) (int, error) {
+	views, err := s.TARA.MineMerged(base, minSupp, minConf)
+	if err != nil {
+		return 0, err
+	}
+	for _, v := range views {
+		for _, w := range others {
+			s.TARA.Archive().StatsAt(v.ID, w)
+		}
+	}
+	return len(views), nil
+}
+
+// BuildTARAOnly builds just the TARA framework over a prebuilt database,
+// sequentially, for preprocessing benchmarks.
+func BuildTARAOnly(db *txdb.DB, spec DatasetSpec) (*tara.Framework, error) {
+	return tara.Build(db, 0, spec.Batches, tara.Config{
+		GenMinSupport: spec.GenSupp,
+		GenMinConf:    spec.GenConf,
+		MaxItemsetLen: spec.MaxLen,
+	})
+}
+
+// BuildHMineOnly builds just the H-Mine itemset baseline over prebuilt
+// windows, for preprocessing benchmarks.
+func BuildHMineOnly(windows []txdb.Window, spec DatasetSpec) (*baselines.HMineSystem, error) {
+	return baselines.BuildHMine(windows, spec.GenSupp, spec.MaxLen)
+}
+
+// timeIt measures fn's wall time, repeating fast operations until at least
+// minSample has elapsed so sub-microsecond answers are measurable.
+func timeIt(fn func() error) (time.Duration, error) {
+	const (
+		minSample = 2 * time.Millisecond
+		maxIters  = 10000
+	)
+	start := time.Now()
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	elapsed := time.Since(start)
+	if elapsed >= minSample {
+		return elapsed, nil
+	}
+	iters := 1
+	for elapsed < minSample && iters < maxIters {
+		n := iters // double the work each round
+		for i := 0; i < n; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		iters += n
+		elapsed = time.Since(start)
+	}
+	return elapsed / time.Duration(iters), nil
+}

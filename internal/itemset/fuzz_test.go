@@ -1,0 +1,21 @@
+package itemset
+
+import "testing"
+
+// FuzzFromKey checks that arbitrary byte strings never panic the key
+// decoder, and that accepted keys round-trip.
+func FuzzFromKey(f *testing.F) {
+	f.Add("")
+	f.Add(Key(New(1, 2, 3)))
+	f.Add("abcd")
+	f.Add(string([]byte{0, 0, 0, 2, 0, 0, 0, 1}))
+	f.Fuzz(func(t *testing.T, k string) {
+		s, err := FromKey(k)
+		if err != nil {
+			return
+		}
+		if Key(s) != k {
+			t.Fatalf("accepted key %q does not round-trip", k)
+		}
+	})
+}

@@ -1,0 +1,267 @@
+// Package itemset provides the itemset algebra underlying temporal
+// association rule mining: sorted, duplicate-free sets of item identifiers
+// with the usual set operations, canonical map keys, and subset enumeration.
+//
+// An itemset is represented as a strictly increasing slice of Item values.
+// All functions in this package require their inputs to be in canonical form
+// (use New or Canonicalize to obtain one) and preserve canonical form in
+// their outputs.
+package itemset
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Item is a dictionary-encoded item identifier (see package txdb for the
+// dictionary mapping identifiers to external names).
+type Item = uint32
+
+// Set is a canonical itemset: strictly increasing, duplicate-free items.
+type Set []Item
+
+// New builds a canonical Set from the given items. The input may be in any
+// order and may contain duplicates; it is not modified.
+func New(items ...Item) Set {
+	s := make(Set, len(items))
+	copy(s, items)
+	return Canonicalize(s)
+}
+
+// Canonicalize sorts s in place, removes duplicates and returns the
+// canonical prefix. The returned slice aliases s.
+func Canonicalize(s Set) Set {
+	if len(s) < 2 {
+		return s
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	w := 1
+	for i := 1; i < len(s); i++ {
+		if s[i] != s[w-1] {
+			s[w] = s[i]
+			w++
+		}
+	}
+	return s[:w]
+}
+
+// IsCanonical reports whether s is strictly increasing.
+func IsCanonical(s Set) bool {
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of s that shares no storage with it.
+func Clone(s Set) Set {
+	if s == nil {
+		return nil
+	}
+	c := make(Set, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether a and b contain exactly the same items.
+func Equal(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders itemsets first by length, then lexicographically by item.
+// It returns -1, 0 or +1. The length-first order matches the level-wise
+// organization used by the miners.
+func Compare(a, b Set) int {
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	return 0
+}
+
+// Contains reports whether s contains item x.
+func (s Set) Contains(x Item) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= x })
+	return i < len(s) && s[i] == x
+}
+
+// Subset reports whether every item of sub occurs in sup. Both must be
+// canonical; the check is a linear merge.
+func Subset(sub, sup Set) bool {
+	if len(sub) > len(sup) {
+		return false
+	}
+	j := 0
+	for _, x := range sub {
+		for j < len(sup) && sup[j] < x {
+			j++
+		}
+		if j == len(sup) || sup[j] != x {
+			return false
+		}
+		j++
+	}
+	return true
+}
+
+// ProperSubset reports whether sub ⊂ sup (subset and not equal).
+func ProperSubset(sub, sup Set) bool {
+	return len(sub) < len(sup) && Subset(sub, sup)
+}
+
+// Union returns the canonical union of a and b in fresh storage.
+func Union(a, b Set) Set {
+	out := make(Set, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// Intersect returns the canonical intersection of a and b in fresh storage.
+func Intersect(a, b Set) Set {
+	out := make(Set, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// Diff returns a \ b in fresh storage.
+func Diff(a, b Set) Set {
+	out := make(Set, 0, len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}
+
+// Key returns a canonical string key for s, usable as a map key. The
+// encoding is 4 bytes big-endian per item, so keys of equal sets compare
+// equal and unequal sets produce distinct keys.
+func Key(s Set) string {
+	if len(s) == 0 {
+		return ""
+	}
+	b := make([]byte, 4*len(s))
+	for i, x := range s {
+		b[4*i] = byte(x >> 24)
+		b[4*i+1] = byte(x >> 16)
+		b[4*i+2] = byte(x >> 8)
+		b[4*i+3] = byte(x)
+	}
+	return string(b)
+}
+
+// FromKey decodes a key produced by Key back into a Set.
+func FromKey(k string) (Set, error) {
+	if len(k)%4 != 0 {
+		return nil, fmt.Errorf("itemset: malformed key of length %d", len(k))
+	}
+	s := make(Set, len(k)/4)
+	for i := range s {
+		s[i] = uint32(k[4*i])<<24 | uint32(k[4*i+1])<<16 | uint32(k[4*i+2])<<8 | uint32(k[4*i+3])
+	}
+	if !IsCanonical(s) {
+		return nil, fmt.Errorf("itemset: key decodes to non-canonical set %v", s)
+	}
+	return s, nil
+}
+
+// String renders s as "{1 2 3}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, x := range s {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", x)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ProperNonEmptySubsets invokes fn for every proper, non-empty subset of s,
+// reusing a scratch buffer between invocations; fn must not retain its
+// argument (clone it if needed). Sets with more than 20 items are rejected
+// to keep enumeration bounded.
+func ProperNonEmptySubsets(s Set, fn func(Set)) error {
+	n := len(s)
+	if n > 20 {
+		return fmt.Errorf("itemset: refusing to enumerate 2^%d subsets", n)
+	}
+	if n < 2 {
+		return nil // no proper non-empty subsets beyond the empty/self cases
+	}
+	buf := make(Set, 0, n)
+	for mask := uint32(1); mask < uint32(1)<<n-1; mask++ {
+		buf = buf[:0]
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				buf = append(buf, s[i])
+			}
+		}
+		fn(buf)
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

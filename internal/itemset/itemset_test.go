@@ -1,0 +1,334 @@
+package itemset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCanonicalizes(t *testing.T) {
+	s := New(5, 1, 3, 1, 5)
+	want := Set{1, 3, 5}
+	if !Equal(s, want) {
+		t.Fatalf("New = %v, want %v", s, want)
+	}
+	if !IsCanonical(s) {
+		t.Fatalf("New result not canonical: %v", s)
+	}
+}
+
+func TestNewEmpty(t *testing.T) {
+	if s := New(); len(s) != 0 {
+		t.Fatalf("New() = %v, want empty", s)
+	}
+}
+
+func TestCanonicalizeSingleton(t *testing.T) {
+	s := Canonicalize(Set{7})
+	if !Equal(s, Set{7}) {
+		t.Fatalf("Canonicalize({7}) = %v", s)
+	}
+}
+
+func TestIsCanonical(t *testing.T) {
+	cases := []struct {
+		s    Set
+		want bool
+	}{
+		{nil, true},
+		{Set{1}, true},
+		{Set{1, 2, 3}, true},
+		{Set{1, 1}, false},
+		{Set{2, 1}, false},
+	}
+	for _, c := range cases {
+		if got := IsCanonical(c.s); got != c.want {
+			t.Errorf("IsCanonical(%v) = %v, want %v", c.s, got, c.want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := New(1, 2, 3)
+	c := Clone(s)
+	c[0] = 99
+	if s[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+	if Clone(nil) != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Set
+		want int
+	}{
+		{New(1), New(1, 2), -1},
+		{New(1, 2), New(1), 1},
+		{New(1, 2), New(1, 2), 0},
+		{New(1, 2), New(1, 3), -1},
+		{New(2, 3), New(1, 9), 1},
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	s := New(2, 4, 6)
+	for _, x := range []Item{2, 4, 6} {
+		if !s.Contains(x) {
+			t.Errorf("Contains(%d) = false, want true", x)
+		}
+	}
+	for _, x := range []Item{1, 3, 5, 7} {
+		if s.Contains(x) {
+			t.Errorf("Contains(%d) = true, want false", x)
+		}
+	}
+}
+
+func TestSubset(t *testing.T) {
+	cases := []struct {
+		sub, sup Set
+		want     bool
+	}{
+		{New(), New(1, 2), true},
+		{New(1), New(1, 2), true},
+		{New(2), New(1, 2), true},
+		{New(1, 2), New(1, 2), true},
+		{New(3), New(1, 2), false},
+		{New(1, 3), New(1, 2), false},
+		{New(1, 2, 3), New(1, 2), false},
+	}
+	for _, c := range cases {
+		if got := Subset(c.sub, c.sup); got != c.want {
+			t.Errorf("Subset(%v, %v) = %v, want %v", c.sub, c.sup, got, c.want)
+		}
+	}
+}
+
+func TestProperSubset(t *testing.T) {
+	if ProperSubset(New(1, 2), New(1, 2)) {
+		t.Error("set is a proper subset of itself")
+	}
+	if !ProperSubset(New(1), New(1, 2)) {
+		t.Error("ProperSubset({1}, {1,2}) = false")
+	}
+}
+
+func TestUnionIntersectDiff(t *testing.T) {
+	a, b := New(1, 3, 5), New(2, 3, 6)
+	if got := Union(a, b); !Equal(got, New(1, 2, 3, 5, 6)) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := Intersect(a, b); !Equal(got, New(3)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := Diff(a, b); !Equal(got, New(1, 5)) {
+		t.Errorf("Diff = %v", got)
+	}
+	if got := Diff(b, a); !Equal(got, New(2, 6)) {
+		t.Errorf("Diff = %v", got)
+	}
+}
+
+func TestUnionWithEmpty(t *testing.T) {
+	a := New(1, 2)
+	if got := Union(a, nil); !Equal(got, a) {
+		t.Errorf("Union(a, nil) = %v", got)
+	}
+	if got := Union(nil, a); !Equal(got, a) {
+		t.Errorf("Union(nil, a) = %v", got)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	for _, s := range []Set{nil, New(0), New(1, 2, 3), New(1<<30, 1<<31+5)} {
+		k := Key(s)
+		got, err := FromKey(k)
+		if err != nil {
+			t.Fatalf("FromKey(Key(%v)): %v", s, err)
+		}
+		if !Equal(got, s) {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+}
+
+func TestFromKeyErrors(t *testing.T) {
+	if _, err := FromKey("abc"); err == nil {
+		t.Error("FromKey on length-3 key should fail")
+	}
+	// Key of {2,1} cannot be built via Key, construct manually:
+	bad := string([]byte{0, 0, 0, 2, 0, 0, 0, 1})
+	if _, err := FromKey(bad); err == nil {
+		t.Error("FromKey on non-canonical payload should fail")
+	}
+}
+
+func TestKeyDistinct(t *testing.T) {
+	seen := map[string]Set{}
+	sets := []Set{New(1), New(2), New(1, 2), New(1, 2, 3), New(258), New(1, 258)}
+	for _, s := range sets {
+		k := Key(s)
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision between %v and %v", prev, s)
+		}
+		seen[k] = s
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(3, 1).String(); got != "{1 3}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New().String(); got != "{}" {
+		t.Errorf("String(empty) = %q", got)
+	}
+}
+
+func TestProperNonEmptySubsets(t *testing.T) {
+	s := New(1, 2, 3)
+	var got []Set
+	if err := ProperNonEmptySubsets(s, func(sub Set) {
+		got = append(got, Clone(sub))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 { // 2^3 - 2
+		t.Fatalf("got %d subsets, want 6: %v", len(got), got)
+	}
+	for _, sub := range got {
+		if !ProperSubset(sub, s) {
+			t.Errorf("%v is not a proper subset of %v", sub, s)
+		}
+		if !IsCanonical(sub) {
+			t.Errorf("%v not canonical", sub)
+		}
+	}
+}
+
+func TestProperNonEmptySubsetsSmall(t *testing.T) {
+	for _, s := range []Set{nil, New(1)} {
+		n := 0
+		if err := ProperNonEmptySubsets(s, func(Set) { n++ }); err != nil {
+			t.Fatal(err)
+		}
+		if n != 0 {
+			t.Errorf("%v: got %d subsets, want 0", s, n)
+		}
+	}
+}
+
+func TestProperNonEmptySubsetsTooLarge(t *testing.T) {
+	s := make(Set, 21)
+	for i := range s {
+		s[i] = Item(i)
+	}
+	if err := ProperNonEmptySubsets(s, func(Set) {}); err == nil {
+		t.Error("expected error for 21-item set")
+	}
+}
+
+// randomSet draws a small random canonical set for property tests.
+func randomSet(r *rand.Rand) Set {
+	n := r.Intn(8)
+	s := make(Set, n)
+	for i := range s {
+		s[i] = Item(r.Intn(30))
+	}
+	return Canonicalize(s)
+}
+
+func TestPropertyUnionCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		return Equal(Union(a, b), Union(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyIntersectSubset(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		i := Intersect(a, b)
+		return Subset(i, a) && Subset(i, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDiffDisjointAndPartition(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		d := Diff(a, b)
+		i := Intersect(a, b)
+		// d and b are disjoint; d ∪ i == a.
+		return len(Intersect(d, b)) == 0 && Equal(Union(d, i), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDeMorgan(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	u := New(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 29)
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		// U \ (a ∪ b) == (U \ a) ∩ (U \ b)
+		left := Diff(u, Union(a, b))
+		right := Intersect(Diff(u, a), Diff(u, b))
+		return Equal(left, right)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyKeyInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	f := func() bool {
+		a, b := randomSet(r), randomSet(r)
+		return (Key(a) == Key(b)) == Equal(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSubset(b *testing.B) {
+	sup := make(Set, 100)
+	for i := range sup {
+		sup[i] = Item(i * 3)
+	}
+	sub := New(3, 30, 150, 297)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !Subset(sub, sup) {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkKey(b *testing.B) {
+	s := make(Set, 20)
+	for i := range s {
+		s[i] = Item(i * 7)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Key(s)
+	}
+}

@@ -1,0 +1,69 @@
+package maras
+
+import (
+	"fmt"
+	"sort"
+
+	"tara/internal/itemset"
+	"tara/internal/mining"
+	"tara/internal/txdb"
+)
+
+// adrOffset maps ADR identifiers into an item id range disjoint from drugs,
+// so a report can be mined as one flat transaction (I_Drug ∩ I_ADR = ∅).
+const adrOffset itemset.Item = 1 << 24
+
+// ClosedCandidates learns the non-spurious Drug-ADR associations via closed
+// frequent-itemset mining over the flattened reports — the other direction
+// of Lemma 1 ("identifying S_exp ∪ S_imp is equivalent to identifying
+// closed associations"). Unlike NonSpuriousCandidates, which follows the
+// paper's pairwise Definitions 3–4 literally, the closed-lattice route also
+// captures associations only expressible as intersections of three or more
+// reports; the two coincide on typical SRS data and on the paper's worked
+// examples (see the cross-check tests).
+//
+// minCount is the absolute support threshold of the closed mining pass
+// (at least 1); candidates with fewer supporting reports are not produced.
+func ClosedCandidates(d *Dataset, minDrugs int, minCount uint32) ([]Candidate, error) {
+	if err := assertValid(d); err != nil {
+		return nil, err
+	}
+	if uint32(d.Drugs.Len()) >= uint32(adrOffset) {
+		return nil, fmt.Errorf("maras: %d drugs exceed the id space", d.Drugs.Len())
+	}
+	tx := make([]txdb.Transaction, len(d.Reports))
+	for i, r := range d.Reports {
+		items := make(itemset.Set, 0, len(r.Drugs)+len(r.ADRs))
+		items = append(items, r.Drugs...)
+		for _, a := range r.ADRs {
+			items = append(items, a+adrOffset)
+		}
+		tx[i] = txdb.Transaction{Time: int64(i), Items: itemset.Canonicalize(items)}
+	}
+	res, err := mining.Closed(mining.Eclat{}, tx, mining.Params{MinCount: minCount})
+	if err != nil {
+		return nil, err
+	}
+	var out []Candidate
+	for _, fs := range res.Sets {
+		var drugs, adrs itemset.Set
+		for _, it := range fs.Items {
+			if it >= adrOffset {
+				adrs = append(adrs, it-adrOffset)
+			} else {
+				drugs = append(drugs, it)
+			}
+		}
+		if len(drugs) < minDrugs || len(adrs) == 0 {
+			continue
+		}
+		a := Association{Drugs: drugs, ADRs: adrs}
+		kind := Implicit
+		if IsExplicitlySupported(d, a) {
+			kind = Explicit
+		}
+		out = append(out, Candidate{Assoc: a, Kind: kind})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Assoc.Key() < out[j].Assoc.Key() })
+	return out, nil
+}

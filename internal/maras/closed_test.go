@@ -1,0 +1,157 @@
+package maras
+
+import (
+	"math/rand"
+	"testing"
+
+	"tara/internal/itemset"
+)
+
+func TestClosedCandidatesPaperExample(t *testing.T) {
+	d := paperExample()
+	pairwise := NonSpuriousCandidates(d, 2)
+	closed, err := ClosedCandidates(d, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(closed) != len(pairwise) {
+		t.Fatalf("closed %d candidates, pairwise %d", len(closed), len(pairwise))
+	}
+	for i := range closed {
+		if closed[i].Assoc.Key() != pairwise[i].Assoc.Key() || closed[i].Kind != pairwise[i].Kind {
+			t.Errorf("candidate %d: closed %v/%v vs pairwise %v/%v", i,
+				closed[i].Assoc.Format(d), closed[i].Kind,
+				pairwise[i].Assoc.Format(d), pairwise[i].Kind)
+		}
+	}
+}
+
+// TestClosedCandidatesDeepIntersection documents the Lemma 1 subtlety: an
+// association that is the intersection of three reports but of no pair is a
+// closed association (Definition 5), found by the closed-lattice route but
+// outside the literal pairwise Definition 4.
+func TestClosedCandidatesDeepIntersection(t *testing.T) {
+	d := NewDataset()
+	// Drug x with ADR q is shared by all three; every pair also shares one
+	// extra drug, so no pairwise intersection equals {x} => {q}.
+	d.AddReport([]string{"x", "a", "b"}, []string{"q"})
+	d.AddReport([]string{"x", "a", "c"}, []string{"q"})
+	d.AddReport([]string{"x", "b", "c"}, []string{"q"})
+
+	want := Association{
+		Drugs: itemset.Set{mustDrug(t, d, "x")},
+		ADRs:  itemset.Set{mustADR(t, d, "q")},
+	}
+	if contains(NonSpuriousCandidates(d, 1), want) {
+		t.Error("pairwise generation unexpectedly produced the triple intersection")
+	}
+	closed, err := ClosedCandidates(d, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(closed, want) {
+		t.Error("closed generation missed the triple intersection")
+	}
+	// And it is indeed closed by definition.
+	cl, ok := Closure(d, want)
+	if !ok || !itemset.Equal(cl.Drugs, want.Drugs) || !itemset.Equal(cl.ADRs, want.ADRs) {
+		t.Errorf("closure = %v, %v", cl, ok)
+	}
+}
+
+func mustDrug(t *testing.T, d *Dataset, name string) itemset.Item {
+	t.Helper()
+	id, ok := d.Drugs.Lookup(name)
+	if !ok {
+		t.Fatalf("drug %q unknown", name)
+	}
+	return id
+}
+
+func mustADR(t *testing.T, d *Dataset, name string) itemset.Item {
+	t.Helper()
+	id, ok := d.ADRs.Lookup(name)
+	if !ok {
+		t.Fatalf("ADR %q unknown", name)
+	}
+	return id
+}
+
+func contains(cands []Candidate, a Association) bool {
+	key := a.Key()
+	for _, c := range cands {
+		if c.Assoc.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+func TestPropertyClosedSupersetOfPairwise(t *testing.T) {
+	// Every pairwise candidate (Definitions 3-4) is a closed association,
+	// so the closed route must produce a superset; and every closed
+	// candidate must pass the Closure check.
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		d := NewDataset()
+		n := 10 + r.Intn(30)
+		for i := 0; i < n; i++ {
+			nd := 1 + r.Intn(3)
+			na := 1 + r.Intn(2)
+			drugs := make([]string, nd)
+			for j := range drugs {
+				drugs[j] = "d" + string(rune('0'+r.Intn(6)))
+			}
+			adrs := make([]string, na)
+			for j := range adrs {
+				adrs[j] = "a" + string(rune('0'+r.Intn(4)))
+			}
+			d.AddReport(drugs, adrs)
+		}
+		closed, err := ClosedCandidates(d, 1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		closedKeys := map[string]bool{}
+		for _, c := range closed {
+			closedKeys[c.Assoc.Key()] = true
+			cl, ok := Closure(d, c.Assoc)
+			if !ok {
+				t.Fatalf("trial %d: closed candidate unsupported", trial)
+			}
+			if !itemset.Equal(cl.Drugs, c.Assoc.Drugs) || !itemset.Equal(cl.ADRs, c.Assoc.ADRs) {
+				t.Fatalf("trial %d: candidate %v not closed (closure %v)",
+					trial, c.Assoc.Format(d), cl.Format(d))
+			}
+		}
+		for _, c := range NonSpuriousCandidates(d, 1) {
+			if !closedKeys[c.Assoc.Key()] {
+				t.Fatalf("trial %d: pairwise candidate %v missing from closed route",
+					trial, c.Assoc.Format(d))
+			}
+		}
+	}
+}
+
+func TestClosedCandidatesMinDrugsAndCount(t *testing.T) {
+	d := NewDataset()
+	d.AddReport([]string{"a", "b"}, []string{"x"})
+	d.AddReport([]string{"a", "b"}, []string{"x"})
+	d.AddReport([]string{"c"}, []string{"y"})
+	out, err := ClosedCandidates(d, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Assoc.Format(d) != "a + b => x" {
+		t.Errorf("candidates = %+v", out)
+	}
+	if out[0].Kind != Explicit {
+		t.Errorf("kind = %v", out[0].Kind)
+	}
+}
+
+func TestClosedCandidatesNilDataset(t *testing.T) {
+	if _, err := ClosedCandidates(nil, 2, 1); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}

@@ -1,0 +1,221 @@
+package maras
+
+import (
+	"fmt"
+	"sort"
+
+	"tara/internal/itemset"
+	"tara/internal/stats"
+)
+
+// ContextRule is one contextual association of a CAC (Definition 6): a
+// proper non-empty subset of the target's drugs implying the same ADRs,
+// with its confidence.
+type ContextRule struct {
+	Drugs      itemset.Set
+	Confidence float64
+}
+
+// Signal is one scored MDAR candidate: the target association, its
+// evidence, its contextual association cluster and the contrast scores.
+type Signal struct {
+	Assoc      Association
+	Kind       SupportKind
+	CountXY    uint32  // reports containing D ∪ A
+	CountX     uint32  // reports containing D
+	Confidence float64 // Pc(R), Formula 2
+	Lift       float64 // reporting ratio RR, Formula 3
+
+	CAC []ContextRule
+
+	ContrastMax float64 // Formula 5
+	ContrastAvg float64 // Formula 6
+	ContrastCV  float64 // Formula 7
+	Contrast    float64 // Formula 9 (the ranking score)
+}
+
+// Params controls MARAS mining.
+type Params struct {
+	// MinSupportCount is the minimum number of reports containing D ∪ A
+	// for a candidate to be scored (absolute count; default 2).
+	MinSupportCount uint32
+	// Theta is the coefficient-of-variation penalty weight θ ∈ [0,1] of
+	// Formula 8 (default 0.75, the paper's worked-example setting).
+	Theta float64
+	// MaxDrugs caps the target antecedent size; CAC enumeration is
+	// exponential in it (default 5).
+	MaxDrugs int
+}
+
+func (p Params) withDefaults() Params {
+	if p.MinSupportCount == 0 {
+		p.MinSupportCount = 2
+	}
+	if p.Theta == 0 {
+		p.Theta = 0.75
+	}
+	if p.MaxDrugs == 0 {
+		p.MaxDrugs = 5
+	}
+	return p
+}
+
+func (p Params) validate() error {
+	if p.Theta < 0 || p.Theta > 1 {
+		return fmt.Errorf("maras: theta %g outside [0,1]", p.Theta)
+	}
+	if p.MaxDrugs < 2 {
+		return fmt.Errorf("maras: MaxDrugs %d must be at least 2", p.MaxDrugs)
+	}
+	return nil
+}
+
+// ContrastMax is Formula 5: the target confidence minus the maximum
+// contextual confidence.
+func ContrastMax(target float64, context []float64) float64 {
+	if len(context) == 0 {
+		return target
+	}
+	max := context[0]
+	for _, c := range context[1:] {
+		if c > max {
+			max = c
+		}
+	}
+	return target - max
+}
+
+// ContrastAvg is Formula 6: the target confidence minus the mean contextual
+// confidence.
+func ContrastAvg(target float64, context []float64) float64 {
+	if len(context) == 0 {
+		return target
+	}
+	return target - stats.Mean(context)
+}
+
+// penaltyG is Formula 8: 1 - θ·Cv(confidences), with the sample coefficient
+// of variation (pinned by the paper's worked example).
+func penaltyG(confidences []float64, theta float64) float64 {
+	return 1 - theta*stats.SampleCV(confidences)
+}
+
+// ContrastCV is Formula 7: ContrastAvg weighted by the dispersion penalty of
+// the contextual confidences.
+func ContrastCV(target float64, context []float64, theta float64) float64 {
+	return ContrastAvg(target, context) * penaltyG(context, theta)
+}
+
+// contrastScore is Formula 9: contextual associations are grouped by drug
+// count i; each level contributes its mean confidence gap, weighted by
+// H(i,n) = 1-(i-1)/n (contexts with fewer drugs matter more) and by its own
+// dispersion penalty G; levels are averaged. byLevel[i] holds the
+// confidences of the contexts with i drugs (1 <= i <= n-1).
+func contrastScore(target float64, byLevel map[int][]float64, n int, theta float64) float64 {
+	if len(byLevel) == 0 {
+		return target
+	}
+	var sum float64
+	levels := 0
+	for i := 1; i < n; i++ {
+		confs := byLevel[i]
+		if len(confs) == 0 {
+			continue
+		}
+		var gap float64
+		for _, c := range confs {
+			gap += target - c
+		}
+		gap /= float64(len(confs))
+		h := 1 - float64(i-1)/float64(n)
+		sum += gap * h * penaltyG(confs, theta)
+		levels++
+	}
+	if levels == 0 {
+		return target
+	}
+	return sum / float64(levels)
+}
+
+// Mine runs the full MARAS pipeline: learn the non-spurious multi-drug
+// Drug-ADR associations, build each target's Contextual Association Cluster,
+// and score it with the contrast measure. Signals are returned ranked by
+// descending contrast (ties: higher support, then association key).
+func Mine(d *Dataset, p Params) ([]Signal, error) {
+	if err := assertValid(d); err != nil {
+		return nil, err
+	}
+	p = p.withDefaults()
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	ix := buildIndex(d)
+	candidates := NonSpuriousCandidates(d, 2)
+	var out []Signal
+	for _, c := range candidates {
+		if len(c.Assoc.Drugs) > p.MaxDrugs {
+			continue
+		}
+		xy, x := ix.countAssoc(c.Assoc)
+		if xy < p.MinSupportCount || x == 0 {
+			continue
+		}
+		s := Signal{
+			Assoc:      c.Assoc,
+			Kind:       c.Kind,
+			CountXY:    xy,
+			CountX:     x,
+			Confidence: float64(xy) / float64(x),
+		}
+		// Lift (reporting ratio): P(A|D) / P(A).
+		if ay := ix.countADRs(c.Assoc.ADRs); ay > 0 {
+			s.Lift = s.Confidence * float64(ix.n) / float64(ay)
+		}
+		byLevel := map[int][]float64{}
+		var all []float64
+		err := itemset.ProperNonEmptySubsets(c.Assoc.Drugs, func(sub itemset.Set) {
+			ctx := Association{Drugs: itemset.Clone(sub), ADRs: c.Assoc.ADRs}
+			cxy, cx := ix.countAssoc(ctx)
+			conf := 0.0
+			if cx > 0 {
+				conf = float64(cxy) / float64(cx)
+			}
+			s.CAC = append(s.CAC, ContextRule{Drugs: ctx.Drugs, Confidence: conf})
+			byLevel[len(sub)] = append(byLevel[len(sub)], conf)
+			all = append(all, conf)
+		})
+		if err != nil {
+			return nil, err
+		}
+		n := len(c.Assoc.Drugs)
+		s.ContrastMax = ContrastMax(s.Confidence, all)
+		s.ContrastAvg = ContrastAvg(s.Confidence, all)
+		s.ContrastCV = ContrastCV(s.Confidence, all, p.Theta)
+		s.Contrast = contrastScore(s.Confidence, byLevel, n, p.Theta)
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Contrast != b.Contrast {
+			return a.Contrast > b.Contrast
+		}
+		if a.CountXY != b.CountXY {
+			return a.CountXY > b.CountXY
+		}
+		return a.Assoc.Key() < b.Assoc.Key()
+	})
+	return out, nil
+}
+
+// countADRs returns the number of reports containing every ADR in as.
+func (ix *index) countADRs(as itemset.Set) uint32 {
+	ix.buf = ix.buf[:0]
+	for _, x := range as {
+		b, ok := ix.adrs[x]
+		if !ok {
+			return 0
+		}
+		ix.buf = append(ix.buf, b)
+	}
+	return andAll(ix.tmp, ix.buf).count()
+}

@@ -1,0 +1,71 @@
+package maras_test
+
+import (
+	"fmt"
+	"log"
+
+	"tara/internal/maras"
+)
+
+// A minimal spontaneous-reporting scenario: drugs A and B interact to cause
+// "bleeding" (never seen with either drug alone), while drug C causes
+// "nausea" on its own, confounding its co-prescriptions.
+func exampleReports() *maras.Dataset {
+	d := maras.NewDataset()
+	for i := 0; i < 10; i++ {
+		d.AddReport([]string{"A", "B"}, []string{"bleeding"})
+		d.AddReport([]string{"A"}, []string{"rash"})
+		d.AddReport([]string{"B"}, []string{"rash"})
+		d.AddReport([]string{"C"}, []string{"nausea"})
+		d.AddReport([]string{"C", "D"}, []string{"nausea"})
+	}
+	return d
+}
+
+func ExampleMine() {
+	signals, err := maras.Mine(exampleReports(), maras.Params{MinSupportCount: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds := exampleReports()
+	for _, s := range maras.TopK(signals, 2) {
+		fmt.Printf("%s contrast=%.2f conf=%.2f (%s)\n",
+			s.Assoc.Format(ds), s.Contrast, s.Confidence, s.Kind)
+	}
+	// The true interaction ranks first with high contrast; the confounded
+	// C+D pair scores zero because C alone fully explains nausea.
+
+	// Output:
+	// A + B => bleeding contrast=0.50 conf=1.00 (explicit)
+	// C + D => nausea contrast=0.00 conf=1.00 (explicit)
+}
+
+func ExampleNonSpuriousCandidates() {
+	d := maras.NewDataset()
+	d.AddReport([]string{"d1", "d2", "d3"}, []string{"a1", "a2"})
+	d.AddReport([]string{"d1", "d2", "d4"}, []string{"a1", "a2"})
+	for _, c := range maras.NonSpuriousCandidates(d, 2) {
+		fmt.Printf("%s (%s)\n", c.Assoc.Format(d), c.Kind)
+	}
+	// The two reports themselves are explicit; their intersection is
+	// implicit; no spurious partial interpretation (like d1 => a2) appears.
+
+	// Output:
+	// d1 + d2 => a1, a2 (implicit)
+	// d1 + d2 + d3 => a1, a2 (explicit)
+	// d1 + d2 + d4 => a1, a2 (explicit)
+}
+
+func ExampleEvidence() {
+	d := exampleReports()
+	signals, err := maras.Mine(d, maras.Params{MinSupportCount: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := signals[0]
+	reports := maras.Evidence(d, top.Assoc, 3)
+	fmt.Printf("%s is supported by reports %v (of %d)\n",
+		top.Assoc.Format(d), reports, top.CountXY)
+	// Output:
+	// A + B => bleeding is supported by reports [0 5 10] (of 10)
+}

@@ -1,0 +1,349 @@
+// Package maras implements MARAS, the multi-drug adverse reaction signaling
+// machinery of the paper (Section 2.3): non-spurious Drug–ADR association
+// learning via explicitly/implicitly supported associations (Definitions
+// 2–5, Lemma 1), Contextual Association Clusters (Definitions 6–7), and the
+// contrast interestingness measure (Formulas 5–9) that ranks MDAR signals.
+package maras
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// Report is one spontaneous ADR report: the reported drug combination and
+// the observed adverse reactions, in their respective identifier spaces.
+type Report struct {
+	Drugs itemset.Set
+	ADRs  itemset.Set
+}
+
+// Dataset is a collection of ADR reports with separate drug and ADR
+// dictionaries (the paper's I_Drug and I_ADR are disjoint by construction).
+type Dataset struct {
+	Drugs   *txdb.Dict
+	ADRs    *txdb.Dict
+	Reports []Report
+}
+
+// NewDataset returns an empty dataset.
+func NewDataset() *Dataset {
+	return &Dataset{Drugs: txdb.NewDict(), ADRs: txdb.NewDict()}
+}
+
+// AddReport appends a report given drug and ADR names. Reports without at
+// least one drug and one ADR are silently dropped — they carry no
+// association evidence.
+func (d *Dataset) AddReport(drugs, adrs []string) {
+	if len(drugs) == 0 || len(adrs) == 0 {
+		return
+	}
+	ds := make(itemset.Set, 0, len(drugs))
+	for _, n := range drugs {
+		ds = append(ds, d.Drugs.Add(n))
+	}
+	as := make(itemset.Set, 0, len(adrs))
+	for _, n := range adrs {
+		as = append(as, d.ADRs.Add(n))
+	}
+	d.Reports = append(d.Reports, Report{
+		Drugs: itemset.Canonicalize(ds),
+		ADRs:  itemset.Canonicalize(as),
+	})
+}
+
+// Len returns the number of reports.
+func (d *Dataset) Len() int { return len(d.Reports) }
+
+// Association is a Drug-ADR association D ⇒ A (Definition 2).
+type Association struct {
+	Drugs itemset.Set
+	ADRs  itemset.Set
+}
+
+// Key returns a canonical string key (drug-set length, drug key, ADR key).
+func (a Association) Key() string {
+	var b strings.Builder
+	b.Grow(2 + 4*(len(a.Drugs)+len(a.ADRs)))
+	b.WriteByte(byte(len(a.Drugs)))
+	b.WriteString(itemset.Key(a.Drugs))
+	b.WriteString(itemset.Key(a.ADRs))
+	return b.String()
+}
+
+// Format renders the association with dictionary names.
+func (a Association) Format(d *Dataset) string {
+	var b strings.Builder
+	for i, x := range a.Drugs {
+		if i > 0 {
+			b.WriteString(" + ")
+		}
+		b.WriteString(d.Drugs.Name(x))
+	}
+	b.WriteString(" => ")
+	for i, x := range a.ADRs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(d.ADRs.Name(x))
+	}
+	return b.String()
+}
+
+// SupportKind classifies how a non-spurious association is evidenced.
+type SupportKind int
+
+const (
+	// Explicit: at least one report contains exactly these drugs and ADRs
+	// and nothing else (Definition 3).
+	Explicit SupportKind = iota
+	// Implicit: the association is the intersection of at least two
+	// reports' drug and ADR sets and is not explicit (Definition 4).
+	Implicit
+)
+
+func (k SupportKind) String() string {
+	if k == Explicit {
+		return "explicit"
+	}
+	return "implicit"
+}
+
+// bitset over report indexes.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int) { b[i/64] |= 1 << (i % 64) }
+
+func (b bitset) count() uint32 {
+	var c int
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return uint32(c)
+}
+
+func andAll(dst bitset, sets []bitset) bitset {
+	if len(sets) == 0 {
+		for i := range dst {
+			dst[i] = ^uint64(0)
+		}
+		return dst
+	}
+	copy(dst, sets[0])
+	for _, s := range sets[1:] {
+		for i := range dst {
+			dst[i] &= s[i]
+		}
+	}
+	return dst
+}
+
+// index provides occurrence bitsets per drug and per ADR for fast support
+// and confidence counting.
+type index struct {
+	n     int
+	drugs map[itemset.Item]bitset
+	adrs  map[itemset.Item]bitset
+	buf   []bitset // reusable AND operands
+	tmp   bitset
+	tmp2  bitset
+}
+
+func buildIndex(d *Dataset) *index {
+	ix := &index{
+		n:     len(d.Reports),
+		drugs: map[itemset.Item]bitset{},
+		adrs:  map[itemset.Item]bitset{},
+	}
+	for i, r := range d.Reports {
+		for _, x := range r.Drugs {
+			b := ix.drugs[x]
+			if b == nil {
+				b = newBitset(ix.n)
+				ix.drugs[x] = b
+			}
+			b.set(i)
+		}
+		for _, x := range r.ADRs {
+			b := ix.adrs[x]
+			if b == nil {
+				b = newBitset(ix.n)
+				ix.adrs[x] = b
+			}
+			b.set(i)
+		}
+	}
+	ix.tmp = newBitset(ix.n)
+	ix.tmp2 = newBitset(ix.n)
+	return ix
+}
+
+// countDrugs returns the number of reports containing every drug in ds.
+func (ix *index) countDrugs(ds itemset.Set) uint32 {
+	ix.buf = ix.buf[:0]
+	for _, x := range ds {
+		b, ok := ix.drugs[x]
+		if !ok {
+			return 0
+		}
+		ix.buf = append(ix.buf, b)
+	}
+	return andAll(ix.tmp, ix.buf).count()
+}
+
+// countAssoc returns (|reports ⊇ D∪A|, |reports ⊇ D|).
+func (ix *index) countAssoc(a Association) (xy, x uint32) {
+	ix.buf = ix.buf[:0]
+	for _, d := range a.Drugs {
+		b, ok := ix.drugs[d]
+		if !ok {
+			return 0, 0
+		}
+		ix.buf = append(ix.buf, b)
+	}
+	x = andAll(ix.tmp, ix.buf).count()
+	if x == 0 {
+		return 0, 0
+	}
+	ix.buf = ix.buf[:0]
+	ix.buf = append(ix.buf, ix.tmp)
+	for _, d := range a.ADRs {
+		b, ok := ix.adrs[d]
+		if !ok {
+			return 0, x
+		}
+		ix.buf = append(ix.buf, b)
+	}
+	xy = andAll(ix.tmp2, ix.buf).count()
+	return xy, x
+}
+
+// Candidate is a non-spurious Drug-ADR association with its evidence kind.
+type Candidate struct {
+	Assoc Association
+	Kind  SupportKind
+}
+
+// NonSpuriousCandidates learns the explicitly and implicitly supported
+// Drug-ADR associations of the dataset per Definitions 3 and 4: deduplicated
+// whole reports are explicit; pairwise drug/ADR intersections of distinct
+// report patterns that are not themselves reports are implicit. Spurious
+// partial interpretations are never generated (Lemma 1). Only associations
+// with at least minDrugs drugs and one ADR are returned — MDAR signaling
+// uses minDrugs = 2.
+func NonSpuriousCandidates(d *Dataset, minDrugs int) []Candidate {
+	type pattern struct {
+		drugs, adrs itemset.Set
+	}
+	seen := map[string]pattern{}
+	var uniq []pattern
+	for _, r := range d.Reports {
+		k := Association{Drugs: r.Drugs, ADRs: r.ADRs}.Key()
+		if _, ok := seen[k]; ok {
+			continue
+		}
+		p := pattern{drugs: r.Drugs, adrs: r.ADRs}
+		seen[k] = p
+		uniq = append(uniq, p)
+	}
+	explicit := map[string]bool{}
+	var out []Candidate
+	for _, p := range uniq {
+		a := Association{Drugs: p.drugs, ADRs: p.adrs}
+		explicit[a.Key()] = true
+		if len(p.drugs) >= minDrugs {
+			out = append(out, Candidate{Assoc: a, Kind: Explicit})
+		}
+	}
+	implicit := map[string]bool{}
+	for i := 0; i < len(uniq); i++ {
+		for j := i + 1; j < len(uniq); j++ {
+			ds := itemset.Intersect(uniq[i].drugs, uniq[j].drugs)
+			if len(ds) < minDrugs {
+				continue
+			}
+			as := itemset.Intersect(uniq[i].adrs, uniq[j].adrs)
+			if len(as) == 0 {
+				continue
+			}
+			a := Association{Drugs: ds, ADRs: as}
+			k := a.Key()
+			if explicit[k] || implicit[k] {
+				continue
+			}
+			implicit[k] = true
+			out = append(out, Candidate{Assoc: a, Kind: Implicit})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Assoc.Key() < out[j].Assoc.Key() })
+	return out
+}
+
+// IsExplicitlySupported reports whether some report matches the association
+// exactly (Definition 3).
+func IsExplicitlySupported(d *Dataset, a Association) bool {
+	for _, r := range d.Reports {
+		if itemset.Equal(r.Drugs, a.Drugs) && itemset.Equal(r.ADRs, a.ADRs) {
+			return true
+		}
+	}
+	return false
+}
+
+// Closure returns the intersection of all reports containing the
+// association; the association is closed (Definition 5) iff the closure
+// equals the association itself. ok is false when no report contains it.
+func Closure(d *Dataset, a Association) (Association, bool) {
+	var drugs, adrs itemset.Set
+	found := false
+	for _, r := range d.Reports {
+		if !itemset.Subset(a.Drugs, r.Drugs) || !itemset.Subset(a.ADRs, r.ADRs) {
+			continue
+		}
+		if !found {
+			drugs, adrs = itemset.Clone(r.Drugs), itemset.Clone(r.ADRs)
+			found = true
+			continue
+		}
+		drugs = itemset.Intersect(drugs, r.Drugs)
+		adrs = itemset.Intersect(adrs, r.ADRs)
+	}
+	if !found {
+		return Association{}, false
+	}
+	return Association{Drugs: drugs, ADRs: adrs}, true
+}
+
+// assertValid panics on malformed datasets in debug paths; exported mining
+// entry points validate inputs instead.
+func assertValid(d *Dataset) error {
+	if d == nil {
+		return fmt.Errorf("maras: nil dataset")
+	}
+	return nil
+}
+
+// Evidence returns the indices of the reports supporting an association
+// (reports containing every drug and every ADR), in report order — the raw
+// material a drug-safety evaluator reviews when validating a signal, as in
+// the paper's case studies. maxReports caps the answer; non-positive means
+// all.
+func Evidence(d *Dataset, a Association, maxReports int) []int {
+	var out []int
+	for i, r := range d.Reports {
+		if !itemset.Subset(a.Drugs, r.Drugs) || !itemset.Subset(a.ADRs, r.ADRs) {
+			continue
+		}
+		out = append(out, i)
+		if maxReports > 0 && len(out) >= maxReports {
+			break
+		}
+	}
+	return out
+}

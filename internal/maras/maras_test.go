@@ -1,0 +1,429 @@
+package maras
+
+import (
+	"math"
+	"testing"
+
+	"tara/internal/itemset"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+// TestContrastCVWorkedExample reproduces the paper's worked example: CACs
+// with confidences {1, 0.2, 0.8} and {1, 0.5, 0.55} at θ=0.75 score 0.18 and
+// 0.45 respectively, flipping the preference relative to contrast_avg.
+func TestContrastCVWorkedExample(t *testing.T) {
+	c1 := []float64{0.2, 0.8}
+	c2 := []float64{0.5, 0.55}
+	if got := ContrastAvg(1, c1); !approx(got, 0.5, 1e-12) {
+		t.Errorf("ContrastAvg(C1) = %g", got)
+	}
+	if got := ContrastAvg(1, c2); !approx(got, 0.475, 1e-12) {
+		t.Errorf("ContrastAvg(C2) = %g", got)
+	}
+	// Plain averaging prefers C1 — the flaw the CV penalty fixes.
+	if ContrastAvg(1, c1) <= ContrastAvg(1, c2) {
+		t.Fatal("precondition violated: avg should favor C1")
+	}
+	cv1 := ContrastCV(1, c1, 0.75)
+	cv2 := ContrastCV(1, c2, 0.75)
+	if !approx(cv1, 0.1818, 0.001) {
+		t.Errorf("ContrastCV(C1) = %g, want ~0.18", cv1)
+	}
+	if !approx(cv2, 0.4510, 0.001) {
+		t.Errorf("ContrastCV(C2) = %g, want ~0.45", cv2)
+	}
+	if cv1 >= cv2 {
+		t.Error("contrast_cv should favor C2 over C1")
+	}
+}
+
+func TestContrastMax(t *testing.T) {
+	if got := ContrastMax(0.9, []float64{0.2, 0.5}); !approx(got, 0.4, 1e-12) {
+		t.Errorf("ContrastMax = %g", got)
+	}
+	// Negative when a drug subset explains the ADRs better.
+	if got := ContrastMax(0.3, []float64{0.8}); got >= 0 {
+		t.Errorf("ContrastMax = %g, want negative", got)
+	}
+	if got := ContrastMax(0.7, nil); got != 0.7 {
+		t.Errorf("ContrastMax with empty context = %g", got)
+	}
+}
+
+func TestContrastScoreLevelWeighting(t *testing.T) {
+	// Two levels with identical gaps: level 1 (single drugs) carries
+	// H(1,3)=1, level 2 carries H(2,3)=2/3, so a low-confidence singleton
+	// context hurts less than... verify the exact arithmetic instead.
+	target := 1.0
+	byLevel := map[int][]float64{
+		1: {0.5, 0.5, 0.5}, // gap 0.5, CV 0 => contribution 0.5 * 1
+		2: {0.2, 0.2, 0.2}, // gap 0.8, CV 0 => contribution 0.8 * 2/3
+	}
+	got := contrastScore(target, byLevel, 3, 0.75)
+	want := (0.5*1 + 0.8*(2.0/3)) / 2
+	if !approx(got, want, 1e-12) {
+		t.Errorf("contrastScore = %g, want %g", got, want)
+	}
+}
+
+func TestContrastScoreEmptyContext(t *testing.T) {
+	if got := contrastScore(0.8, nil, 2, 0.75); got != 0.8 {
+		t.Errorf("empty-context score = %g", got)
+	}
+}
+
+// paperExample builds the two-report example of Section 2.3.2.
+func paperExample() *Dataset {
+	d := NewDataset()
+	d.AddReport([]string{"d1", "d2", "d3"}, []string{"a1", "a2"})
+	d.AddReport([]string{"d1", "d2", "d4"}, []string{"a1", "a2"})
+	return d
+}
+
+func TestNonSpuriousCandidatesPaperExample(t *testing.T) {
+	d := paperExample()
+	cands := NonSpuriousCandidates(d, 2)
+	// Expected: R1 = d1d2d3 => a1a2 (explicit), R3 = d1d2d4 => a1a2
+	// (explicit), R4 = d1d2 => a1a2 (implicit). Nothing else.
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates: %+v", len(cands), cands)
+	}
+	kinds := map[string]SupportKind{}
+	for _, c := range cands {
+		kinds[c.Assoc.Format(d)] = c.Kind
+	}
+	if k, ok := kinds["d1 + d2 + d3 => a1, a2"]; !ok || k != Explicit {
+		t.Errorf("R1 missing or wrong kind: %v", kinds)
+	}
+	if k, ok := kinds["d1 + d2 + d4 => a1, a2"]; !ok || k != Explicit {
+		t.Errorf("R3 missing or wrong kind: %v", kinds)
+	}
+	if k, ok := kinds["d1 + d2 => a1, a2"]; !ok || k != Implicit {
+		t.Errorf("R4 missing or wrong kind: %v", kinds)
+	}
+}
+
+func TestNoSpuriousPartialInterpretations(t *testing.T) {
+	d := paperExample()
+	cands := NonSpuriousCandidates(d, 1)
+	for _, c := range cands {
+		// Every candidate must be closed (Definition 5 / Lemma 1).
+		cl, ok := Closure(d, c.Assoc)
+		if !ok {
+			t.Fatalf("candidate %v unsupported", c.Assoc.Format(d))
+		}
+		if !itemset.Equal(cl.Drugs, c.Assoc.Drugs) || !itemset.Equal(cl.ADRs, c.Assoc.ADRs) {
+			t.Errorf("candidate %v not closed: closure %v", c.Assoc.Format(d), cl.Format(d))
+		}
+	}
+	// The misleading partial interpretation d1 => a2 must not appear.
+	for _, c := range cands {
+		if c.Assoc.Format(d) == "d1 => a2" {
+			t.Error("spurious partial interpretation generated")
+		}
+	}
+}
+
+func TestDedupExplicit(t *testing.T) {
+	d := NewDataset()
+	d.AddReport([]string{"x", "y"}, []string{"a"})
+	d.AddReport([]string{"x", "y"}, []string{"a"}) // duplicate pattern
+	cands := NonSpuriousCandidates(d, 2)
+	if len(cands) != 1 || cands[0].Kind != Explicit {
+		t.Fatalf("candidates = %+v", cands)
+	}
+}
+
+func TestAddReportDropsEmpty(t *testing.T) {
+	d := NewDataset()
+	d.AddReport(nil, []string{"a"})
+	d.AddReport([]string{"x"}, nil)
+	if d.Len() != 0 {
+		t.Errorf("empty-sided reports kept: %d", d.Len())
+	}
+}
+
+func TestIsExplicitlySupported(t *testing.T) {
+	d := paperExample()
+	x, _ := d.Drugs.Lookup("d1")
+	y, _ := d.Drugs.Lookup("d2")
+	z, _ := d.Drugs.Lookup("d3")
+	a1, _ := d.ADRs.Lookup("a1")
+	a2, _ := d.ADRs.Lookup("a2")
+	if !IsExplicitlySupported(d, Association{Drugs: itemset.New(x, y, z), ADRs: itemset.New(a1, a2)}) {
+		t.Error("explicit report not recognized")
+	}
+	if IsExplicitlySupported(d, Association{Drugs: itemset.New(x, y), ADRs: itemset.New(a1, a2)}) {
+		t.Error("implicit intersection claimed explicit")
+	}
+}
+
+// plantedDataset builds a synthetic SRS where drugs A and B interact to
+// cause ADR "inter" while drug C alone causes ADR "solo".
+func plantedDataset() *Dataset {
+	d := NewDataset()
+	// A+B co-prescriptions: strong interaction ADR.
+	for i := 0; i < 20; i++ {
+		d.AddReport([]string{"A", "B"}, []string{"inter"})
+	}
+	// A alone and B alone: a different, mild ADR profile.
+	for i := 0; i < 30; i++ {
+		d.AddReport([]string{"A"}, []string{"mild"})
+		d.AddReport([]string{"B"}, []string{"mild"})
+	}
+	// C causes solo regardless of co-medication.
+	for i := 0; i < 25; i++ {
+		d.AddReport([]string{"C"}, []string{"solo"})
+		d.AddReport([]string{"C", "D"}, []string{"solo"})
+	}
+	return d
+}
+
+func TestMineFindsPlantedInteraction(t *testing.T) {
+	d := plantedDataset()
+	signals, err := Mine(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signals) == 0 {
+		t.Fatal("no signals")
+	}
+	top := signals[0]
+	if got := top.Assoc.Format(d); got != "A + B => inter" {
+		t.Fatalf("top signal = %q (contrast %g), want A+B=>inter; all: %d signals",
+			got, top.Contrast, len(signals))
+	}
+	if top.Confidence != 1 {
+		t.Errorf("top confidence = %g", top.Confidence)
+	}
+	if top.Contrast <= 0.5 {
+		t.Errorf("top contrast = %g, expected strong", top.Contrast)
+	}
+	// The confounded C+D => solo signal must rank below: C alone explains
+	// solo, so its contrast is weak.
+	for _, s := range signals {
+		if s.Assoc.Format(d) == "C + D => solo" {
+			if s.Contrast >= top.Contrast {
+				t.Errorf("confounded signal contrast %g not below planted %g", s.Contrast, top.Contrast)
+			}
+			if s.ContrastMax > 0.01 {
+				t.Errorf("confounded ContrastMax = %g, want ~0", s.ContrastMax)
+			}
+		}
+	}
+}
+
+func TestMineCACShape(t *testing.T) {
+	d := NewDataset()
+	for i := 0; i < 5; i++ {
+		d.AddReport([]string{"p", "q", "r"}, []string{"z"})
+	}
+	signals, err := Mine(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, s := range signals {
+		if len(s.Assoc.Drugs) == 3 {
+			found = true
+			if len(s.CAC) != 6 { // 2^3 - 2 proper non-empty subsets
+				t.Errorf("CAC size = %d, want 6", len(s.CAC))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("3-drug target not mined")
+	}
+}
+
+func TestMineParamValidation(t *testing.T) {
+	d := plantedDataset()
+	if _, err := Mine(d, Params{Theta: 2}); err == nil {
+		t.Error("theta > 1 accepted")
+	}
+	if _, err := Mine(d, Params{MaxDrugs: 1}); err == nil {
+		t.Error("MaxDrugs 1 accepted")
+	}
+	if _, err := Mine(nil, Params{}); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestMineMinSupport(t *testing.T) {
+	d := NewDataset()
+	d.AddReport([]string{"a", "b"}, []string{"x"}) // support 1
+	signals, err := Mine(d, Params{MinSupportCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signals) != 0 {
+		t.Errorf("below-support signal emitted: %+v", signals)
+	}
+	signals, err = Mine(d, Params{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signals) != 1 {
+		t.Errorf("signals = %d, want 1", len(signals))
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	d := plantedDataset()
+	a, err := Mine(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i].Assoc.Key() != b[i].Assoc.Key() || a[i].Contrast != b[i].Contrast {
+			t.Fatalf("rank %d differs", i)
+		}
+	}
+}
+
+func TestLiftComputation(t *testing.T) {
+	d := NewDataset()
+	// 10 reports: 4 with {a,b}=>x, 6 others with x from other drugs, so
+	// P(x)=1.0 — lift of any rule onto x is 1.
+	for i := 0; i < 4; i++ {
+		d.AddReport([]string{"a", "b"}, []string{"x"})
+	}
+	for i := 0; i < 6; i++ {
+		d.AddReport([]string{"c"}, []string{"x"})
+	}
+	signals, err := Mine(d, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signals) != 1 {
+		t.Fatalf("signals = %d", len(signals))
+	}
+	if !approx(signals[0].Lift, 1.0, 1e-12) {
+		t.Errorf("Lift = %g, want 1", signals[0].Lift)
+	}
+}
+
+func TestRankBaselineIncludesSpurious(t *testing.T) {
+	d := NewDataset()
+	// One pattern {a,b,c} => x seen 5 times. Baselines enumerate the
+	// partial drug subsets; MARAS does not.
+	for i := 0; i < 5; i++ {
+		d.AddReport([]string{"a", "b", "c"}, []string{"x"})
+	}
+	base, err := RankBaseline(d, ByConfidence, 1, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsets with >= 2 drugs: {ab},{ac},{bc},{abc} => 4 associations.
+	if len(base) != 4 {
+		t.Fatalf("baseline candidates = %d, want 4", len(base))
+	}
+	signals, err := Mine(d, Params{MinSupportCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(signals) != 1 {
+		t.Fatalf("MARAS signals = %d, want 1 (non-spurious only)", len(signals))
+	}
+}
+
+func TestRankBaselineOrdering(t *testing.T) {
+	d := plantedDataset()
+	for _, m := range []BaselineMeasure{ByConfidence, ByReportingRatio} {
+		out, err := RankBaseline(d, m, 2, 5, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Score > out[i-1].Score {
+				t.Errorf("measure %d: order violated at %d", m, i)
+			}
+		}
+	}
+	if _, err := RankBaseline(d, ByConfidence, 1, 1, 0); err == nil {
+		t.Error("maxDrugs 1 accepted")
+	}
+	if _, err := RankBaseline(nil, ByConfidence, 1, 5, 0); err == nil {
+		t.Error("nil dataset accepted")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	s := []Signal{{}, {}, {}}
+	if got := TopK(s, 2); len(got) != 2 {
+		t.Errorf("TopK(2) = %d", len(got))
+	}
+	if got := TopK(s, 0); len(got) != 3 {
+		t.Errorf("TopK(0) = %d", len(got))
+	}
+	if got := TopK(s, 9); len(got) != 3 {
+		t.Errorf("TopK(9) = %d", len(got))
+	}
+}
+
+func TestAssociationKeyDistinct(t *testing.T) {
+	a := Association{Drugs: itemset.New(1), ADRs: itemset.New(2, 3)}
+	b := Association{Drugs: itemset.New(1, 2), ADRs: itemset.New(3)}
+	if a.Key() == b.Key() {
+		t.Error("associations with different splits share a key")
+	}
+}
+
+func TestClosureUnsupported(t *testing.T) {
+	d := paperExample()
+	if _, ok := Closure(d, Association{Drugs: itemset.New(99), ADRs: itemset.New(0)}); ok {
+		t.Error("closure of unsupported association reported ok")
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	b.set(0)
+	b.set(129)
+	if b.count() != 2 {
+		t.Errorf("count = %d", b.count())
+	}
+	other := newBitset(130)
+	other.set(129)
+	dst := newBitset(130)
+	if got := andAll(dst, []bitset{b, other}).count(); got != 1 {
+		t.Errorf("andAll count = %d", got)
+	}
+	// Empty operand list yields all-ones.
+	if got := andAll(dst, nil); got.count() == 0 {
+		t.Error("andAll(nil) should saturate")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Explicit.String() != "explicit" || Implicit.String() != "implicit" {
+		t.Error("SupportKind strings wrong")
+	}
+}
+
+func TestEvidence(t *testing.T) {
+	d := paperExample()
+	x, _ := d.Drugs.Lookup("d1")
+	y, _ := d.Drugs.Lookup("d2")
+	a1, _ := d.ADRs.Lookup("a1")
+	a := Association{Drugs: itemset.New(x, y), ADRs: itemset.New(a1)}
+	got := Evidence(d, a, 0)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("Evidence = %v, want [0 1]", got)
+	}
+	if got := Evidence(d, a, 1); len(got) != 1 {
+		t.Errorf("capped Evidence = %v", got)
+	}
+	none := Association{Drugs: itemset.New(99), ADRs: itemset.New(a1)}
+	if got := Evidence(d, none, 0); got != nil {
+		t.Errorf("Evidence of unsupported = %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+package maras
+
+import (
+	"fmt"
+	"sort"
+
+	"tara/internal/itemset"
+)
+
+// BaselineSignal is an unfiltered multi-drug Drug-ADR association scored by
+// a plain interestingness measure, as produced by the paper's two baseline
+// columns in Table 2 (Confidence and Reporting Ratio). Baselines do not
+// remove spurious partial interpretations, so their candidate space includes
+// every drug-subset variant of each reported pattern.
+type BaselineSignal struct {
+	Assoc      Association
+	CountXY    uint32
+	Confidence float64
+	Lift       float64
+	Score      float64
+}
+
+// BaselineMeasure selects the baseline ranking score.
+type BaselineMeasure int
+
+const (
+	// ByConfidence ranks by Formula 2 — the paper's "Confidence" column.
+	ByConfidence BaselineMeasure = iota
+	// ByReportingRatio ranks by lift/RR (Formula 3) — the "Reporting
+	// Ratio" column.
+	ByReportingRatio
+)
+
+// RankBaseline generates the spurious-inclusive candidate space (every
+// multi-drug subset of every reported pattern paired with the pattern's
+// ADRs) and ranks it by the chosen measure. minCount filters by joint
+// support; maxDrugs caps enumeration.
+func RankBaseline(d *Dataset, m BaselineMeasure, minCount uint32, maxDrugs int, topK int) ([]BaselineSignal, error) {
+	if err := assertValid(d); err != nil {
+		return nil, err
+	}
+	if maxDrugs < 2 {
+		return nil, fmt.Errorf("maras: maxDrugs %d must be at least 2", maxDrugs)
+	}
+	ix := buildIndex(d)
+	seen := map[string]bool{}
+	var out []BaselineSignal
+	consider := func(a Association) error {
+		k := a.Key()
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
+		xy, x := ix.countAssoc(a)
+		if xy < minCount || x == 0 {
+			return nil
+		}
+		s := BaselineSignal{
+			Assoc:      a,
+			CountXY:    xy,
+			Confidence: float64(xy) / float64(x),
+		}
+		if ay := ix.countADRs(a.ADRs); ay > 0 {
+			s.Lift = s.Confidence * float64(ix.n) / float64(ay)
+		}
+		if m == ByReportingRatio {
+			s.Score = s.Lift
+		} else {
+			s.Score = s.Confidence
+		}
+		out = append(out, s)
+		return nil
+	}
+	for _, r := range d.Reports {
+		drugs := r.Drugs
+		if len(drugs) > maxDrugs {
+			drugs = drugs[:maxDrugs]
+		}
+		if len(drugs) < 2 {
+			continue
+		}
+		if err := consider(Association{Drugs: drugs, ADRs: r.ADRs}); err != nil {
+			return nil, err
+		}
+		err := itemset.ProperNonEmptySubsets(drugs, func(sub itemset.Set) {
+			if len(sub) < 2 {
+				return
+			}
+			// Error from consider is impossible today; keep the shape for
+			// future counting failures.
+			_ = consider(Association{Drugs: itemset.Clone(sub), ADRs: r.ADRs})
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.CountXY != b.CountXY {
+			return a.CountXY > b.CountXY
+		}
+		return a.Assoc.Key() < b.Assoc.Key()
+	})
+	if topK > 0 && topK < len(out) {
+		out = out[:topK]
+	}
+	return out, nil
+}
+
+// TopK truncates a ranked signal list.
+func TopK(signals []Signal, k int) []Signal {
+	if k > 0 && k < len(signals) {
+		return signals[:k]
+	}
+	return signals
+}

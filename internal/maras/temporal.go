@@ -1,0 +1,105 @@
+package maras
+
+import (
+	"fmt"
+	"sort"
+
+	"tara/internal/stats"
+)
+
+// Temporal signal analytics (the MeDIAR direction of the paper's Chapter 2
+// manuscripts): MARAS is run per reporting quarter and signals are tracked
+// across quarters, so a drug-safety reviewer can separate emerging
+// interactions from long-known ones.
+
+// TemporalSignal is one association's trace across quarters. Quarters where
+// the association was not mined (below support, or not non-spurious there)
+// have Present false and zero entries.
+type TemporalSignal struct {
+	// Label is the association rendered with the quarter dictionaries'
+	// names; names are the cross-quarter identity since each quarter's
+	// Dataset has its own id space.
+	Label    string
+	Present  []bool
+	Contrast []float64
+	Count    []uint32
+	// Emerging scores how strongly the signal strengthens toward the most
+	// recent quarter: contrast in the last quarter minus the mean contrast
+	// before it (absent quarters contribute zero).
+	Emerging float64
+	// Peak is the maximum contrast across quarters.
+	Peak float64
+}
+
+// TemporalMine runs MARAS over each quarter and aligns the signals by
+// association label. Quarters must be in chronological order. Signals are
+// returned sorted by descending Emerging score (ties by label).
+func TemporalMine(quarters []*Dataset, p Params) ([]TemporalSignal, error) {
+	if len(quarters) == 0 {
+		return nil, fmt.Errorf("maras: no quarters")
+	}
+	n := len(quarters)
+	byLabel := map[string]*TemporalSignal{}
+	for qi, ds := range quarters {
+		signals, err := Mine(ds, p)
+		if err != nil {
+			return nil, fmt.Errorf("maras: quarter %d: %w", qi, err)
+		}
+		for _, s := range signals {
+			label := s.Assoc.Format(ds)
+			ts := byLabel[label]
+			if ts == nil {
+				ts = &TemporalSignal{
+					Label:    label,
+					Present:  make([]bool, n),
+					Contrast: make([]float64, n),
+					Count:    make([]uint32, n),
+				}
+				byLabel[label] = ts
+			}
+			ts.Present[qi] = true
+			ts.Contrast[qi] = s.Contrast
+			ts.Count[qi] = s.CountXY
+		}
+	}
+	out := make([]TemporalSignal, 0, len(byLabel))
+	for _, ts := range byLabel {
+		last := ts.Contrast[n-1]
+		if n == 1 {
+			ts.Emerging = last
+		} else {
+			ts.Emerging = last - stats.Mean(ts.Contrast[:n-1])
+		}
+		for _, c := range ts.Contrast {
+			if c > ts.Peak {
+				ts.Peak = c
+			}
+		}
+		out = append(out, *ts)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Emerging != out[j].Emerging {
+			return out[i].Emerging > out[j].Emerging
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out, nil
+}
+
+// Persistent filters temporal signals to those present in at least
+// minQuarters quarters — the long-standing interactions.
+func Persistent(signals []TemporalSignal, minQuarters int) []TemporalSignal {
+	var out []TemporalSignal
+	for _, s := range signals {
+		present := 0
+		for _, p := range s.Present {
+			if p {
+				present++
+			}
+		}
+		if present >= minQuarters {
+			out = append(out, s)
+		}
+	}
+	return out
+}

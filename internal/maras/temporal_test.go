@@ -1,0 +1,128 @@
+package maras
+
+import (
+	"strings"
+	"testing"
+)
+
+// quarterWith builds one quarter of reports; when interacting is true the
+// A+B => inter signal is present, otherwise A and B appear only solo.
+func quarterWith(interacting bool) *Dataset {
+	d := NewDataset()
+	for i := 0; i < 25; i++ {
+		d.AddReport([]string{"A"}, []string{"mild"})
+		d.AddReport([]string{"B"}, []string{"mild"})
+		d.AddReport([]string{"C", "D"}, []string{"steady"})
+	}
+	if interacting {
+		for i := 0; i < 15; i++ {
+			d.AddReport([]string{"A", "B"}, []string{"inter"})
+		}
+	}
+	return d
+}
+
+func TestTemporalMineEmergingSignal(t *testing.T) {
+	quarters := []*Dataset{
+		quarterWith(false),
+		quarterWith(false),
+		quarterWith(true), // the interaction appears in the newest quarter
+	}
+	out, err := TemporalMine(quarters, Params{MinSupportCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no temporal signals")
+	}
+	top := out[0]
+	if !strings.Contains(top.Label, "inter") {
+		t.Fatalf("top emerging signal = %q, want the A+B interaction", top.Label)
+	}
+	if top.Present[0] || top.Present[1] || !top.Present[2] {
+		t.Errorf("Present = %v, want only the last quarter", top.Present)
+	}
+	if top.Emerging <= 0 {
+		t.Errorf("Emerging = %g, want positive", top.Emerging)
+	}
+	if top.Peak != top.Contrast[2] {
+		t.Errorf("Peak = %g, Contrast[2] = %g", top.Peak, top.Contrast[2])
+	}
+}
+
+func TestTemporalMineSteadySignalNotEmerging(t *testing.T) {
+	quarters := []*Dataset{quarterWith(true), quarterWith(true), quarterWith(true)}
+	out, err := TemporalMine(quarters, Params{MinSupportCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range out {
+		if strings.Contains(s.Label, "steady") {
+			if s.Emerging > 1e-9 {
+				t.Errorf("steady signal Emerging = %g, want ~0", s.Emerging)
+			}
+			for qi, p := range s.Present {
+				if !p {
+					t.Errorf("steady signal absent in quarter %d", qi)
+				}
+			}
+		}
+	}
+}
+
+func TestPersistentFilter(t *testing.T) {
+	quarters := []*Dataset{quarterWith(false), quarterWith(true), quarterWith(true)}
+	out, err := TemporalMine(quarters, Params{MinSupportCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	persistent := Persistent(out, 3)
+	for _, s := range persistent {
+		for qi, p := range s.Present {
+			if !p {
+				t.Errorf("persistent signal %q absent in quarter %d", s.Label, qi)
+			}
+		}
+	}
+	// The late-appearing interaction must be filtered out at minQuarters 3
+	// but kept at 2.
+	for _, s := range persistent {
+		if strings.Contains(s.Label, "inter") {
+			t.Error("interaction present in only 2 quarters survived minQuarters=3")
+		}
+	}
+	found := false
+	for _, s := range Persistent(out, 2) {
+		if strings.Contains(s.Label, "inter") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("interaction missing from minQuarters=2 filter")
+	}
+}
+
+func TestTemporalMineSingleQuarter(t *testing.T) {
+	out, err := TemporalMine([]*Dataset{quarterWith(true)}, Params{MinSupportCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no signals from single quarter")
+	}
+	// With one quarter, Emerging equals the quarter's contrast.
+	for _, s := range out {
+		if s.Emerging != s.Contrast[0] {
+			t.Errorf("single-quarter Emerging = %g, contrast %g", s.Emerging, s.Contrast[0])
+		}
+	}
+}
+
+func TestTemporalMineErrors(t *testing.T) {
+	if _, err := TemporalMine(nil, Params{}); err == nil {
+		t.Error("empty quarter list accepted")
+	}
+	if _, err := TemporalMine([]*Dataset{quarterWith(true)}, Params{Theta: 5}); err == nil {
+		t.Error("bad params accepted")
+	}
+}

@@ -1,0 +1,168 @@
+package mining
+
+import (
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// Apriori is the classic level-wise frequent-itemset miner (Agrawal &
+// Srikant). Candidates of length k are joined from frequent (k-1)-itemsets
+// and pruned by the downward-closure property; counting enumerates only
+// transaction subsets whose every prefix is itself frequent.
+type Apriori struct{}
+
+// Name implements Miner.
+func (Apriori) Name() string { return "apriori" }
+
+// Mine implements Miner.
+func (Apriori) Mine(tx []txdb.Transaction, p Params) (*Result, error) {
+	minCount := p.minCount()
+	res := NewResult(len(tx))
+	frequent1, freq := countSingletons(tx, minCount)
+	if len(frequent1) == 0 || !p.lenOK(1) {
+		return res, nil
+	}
+	isFrequent := make(map[itemset.Item]bool, len(frequent1))
+	for _, it := range frequent1 {
+		res.Add(itemset.Set{it}, freq[it])
+		isFrequent[it] = true
+	}
+
+	// Filter transactions to frequent items once.
+	ftx := make([]itemset.Set, 0, len(tx))
+	for _, t := range tx {
+		f := make(itemset.Set, 0, len(t.Items))
+		for _, it := range t.Items {
+			if isFrequent[it] {
+				f = append(f, it)
+			}
+		}
+		if len(f) >= 2 {
+			ftx = append(ftx, f)
+		}
+	}
+
+	// levels[k] maps the Key of each frequent k-itemset to its count;
+	// levels[1] seeds the lattice walk used while counting.
+	levels := map[int]map[string]uint32{1: {}}
+	prev := make([]itemset.Set, 0, len(frequent1))
+	for _, it := range frequent1 {
+		s := itemset.Set{it}
+		levels[1][itemset.Key(s)] = freq[it]
+		prev = append(prev, s)
+	}
+
+	for k := 2; p.lenOK(k) && len(prev) > 1; k++ {
+		candidates := aprioriJoin(prev, levels[k-1])
+		if len(candidates) == 0 {
+			break
+		}
+		counts := make(map[string]uint32, len(candidates))
+		for _, c := range candidates {
+			counts[itemset.Key(c)] = 0
+		}
+		buf := make(itemset.Set, 0, k)
+		for _, t := range ftx {
+			if len(t) < k {
+				continue
+			}
+			countSubsets(t, k, buf, levels, counts)
+		}
+		levels[k] = map[string]uint32{}
+		prev = prev[:0]
+		for _, c := range candidates {
+			key := itemset.Key(c)
+			if n := counts[key]; n >= minCount {
+				res.Add(c, n)
+				levels[k][key] = n
+				prev = append(prev, c)
+			}
+		}
+		if len(levels[k]) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// aprioriJoin produces the length-(k) candidates from the frequent
+// (k-1)-itemsets in prev (canonically sorted within each set), applying the
+// downward-closure prune against prevKeys.
+func aprioriJoin(prev []itemset.Set, prevKeys map[string]uint32) []itemset.Set {
+	var out []itemset.Set
+	// Group by shared (k-2)-prefix. prev is produced in ascending canonical
+	// order by construction, so a double loop over prefix groups suffices.
+	for i := 0; i < len(prev); i++ {
+		for j := i + 1; j < len(prev); j++ {
+			a, b := prev[i], prev[j]
+			if !samePrefix(a, b) {
+				continue
+			}
+			lo, hi := a[len(a)-1], b[len(b)-1]
+			if lo == hi {
+				continue
+			}
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			cand := make(itemset.Set, 0, len(a)+1)
+			cand = append(cand, a[:len(a)-1]...)
+			cand = append(cand, lo, hi)
+			if aprioriPrune(cand, prevKeys) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b itemset.Set) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// aprioriPrune reports whether every (k-1)-subset of cand is frequent.
+func aprioriPrune(cand itemset.Set, prevKeys map[string]uint32) bool {
+	buf := make(itemset.Set, 0, len(cand)-1)
+	for drop := range cand {
+		buf = buf[:0]
+		buf = append(buf, cand[:drop]...)
+		buf = append(buf, cand[drop+1:]...)
+		if _, ok := prevKeys[itemset.Key(buf)]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// countSubsets increments counts for every k-subset of t that is a candidate
+// (present in counts). Branches whose running prefix is not a frequent
+// itemset at its own level are pruned, which keeps the enumeration inside
+// the frequent lattice.
+func countSubsets(t itemset.Set, k int, buf itemset.Set, levels map[int]map[string]uint32, counts map[string]uint32) {
+	var rec func(start int, prefix itemset.Set)
+	rec = func(start int, prefix itemset.Set) {
+		if len(prefix) == k {
+			key := itemset.Key(prefix)
+			if _, ok := counts[key]; ok {
+				counts[key]++
+			}
+			return
+		}
+		// Not enough items left to reach length k.
+		for i := start; i <= len(t)-(k-len(prefix)); i++ {
+			next := append(prefix, t[i])
+			if len(next) < k {
+				if _, ok := levels[len(next)][itemset.Key(next)]; !ok {
+					continue
+				}
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, buf[:0])
+}

@@ -1,0 +1,56 @@
+package mining
+
+import (
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// FilterClosed returns the closed itemsets of res: those with no proper
+// superset of equal count (Definition 5 of the paper, which Lemma 1 proves
+// equivalent to the explicitly/implicitly supported associations MARAS
+// keeps). Closedness is decided within the mined universe, so when the
+// result was produced with a MaxLen cap, itemsets at the cap are closed
+// relative to that bound.
+//
+// The check is linear in the result: an itemset X is non-closed iff some
+// one-larger superset Y ⊇ X has count(Y) == count(X), because counts are
+// antitone along the lattice — any equal-count superset implies an
+// equal-count superset one level up.
+func FilterClosed(res *Result) *Result {
+	nonClosed := map[string]bool{}
+	buf := make(itemset.Set, 0, 16)
+	for _, fs := range res.Sets {
+		if len(fs.Items) < 2 {
+			continue
+		}
+		for drop := range fs.Items {
+			buf = buf[:0]
+			buf = append(buf, fs.Items[:drop]...)
+			buf = append(buf, fs.Items[drop+1:]...)
+			key := itemset.Key(buf)
+			if nonClosed[key] {
+				continue
+			}
+			if c, ok := res.Count(buf); ok && c == fs.Count {
+				nonClosed[key] = true
+			}
+		}
+	}
+	out := NewResult(res.N)
+	for _, fs := range res.Sets {
+		if !nonClosed[itemset.Key(fs.Items)] {
+			out.Add(fs.Items, fs.Count)
+		}
+	}
+	return out
+}
+
+// Closed mines the closed frequent itemsets directly: a convenience
+// composition of a miner and FilterClosed.
+func Closed(m Miner, tx []txdb.Transaction, p Params) (*Result, error) {
+	res, err := m.Mine(tx, p)
+	if err != nil {
+		return nil, err
+	}
+	return FilterClosed(res), nil
+}

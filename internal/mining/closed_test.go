@@ -1,0 +1,132 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// bruteClosed computes closed itemsets by definition: frequent itemsets
+// whose every proper superset (within the same universe) has a strictly
+// smaller count.
+func bruteClosed(res *Result) map[string]uint32 {
+	out := map[string]uint32{}
+	for _, x := range res.Sets {
+		closed := true
+		for _, y := range res.Sets {
+			if len(y.Items) > len(x.Items) && itemset.Subset(x.Items, y.Items) && y.Count == x.Count {
+				closed = false
+				break
+			}
+		}
+		if closed {
+			out[itemset.Key(x.Items)] = x.Count
+		}
+	}
+	return out
+}
+
+func TestFilterClosedSmall(t *testing.T) {
+	db := txdb.NewDB()
+	// {a,b} always occur together; {a} alone never appears, so {a} and {b}
+	// are non-closed (their closure is {a,b}).
+	db.Add(1, "a", "b")
+	db.Add(2, "a", "b", "c")
+	db.Add(3, "a", "b")
+	db.Add(4, "c")
+	res, err := Eclat{}.Mine(db.Tx, Params{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := FilterClosed(res)
+	a, _ := db.Dict.Lookup("a")
+	b, _ := db.Dict.Lookup("b")
+	c, _ := db.Dict.Lookup("c")
+	if _, ok := closed.Count(itemset.New(a)); ok {
+		t.Error("{a} reported closed despite always co-occurring with b")
+	}
+	if _, ok := closed.Count(itemset.New(b)); ok {
+		t.Error("{b} reported closed")
+	}
+	if cnt, ok := closed.Count(itemset.New(a, b)); !ok || cnt != 3 {
+		t.Errorf("{a,b} count = %d, %v", cnt, ok)
+	}
+	if cnt, ok := closed.Count(itemset.New(c)); !ok || cnt != 2 {
+		t.Errorf("{c} count = %d, %v (c appears alone, so it is closed)", cnt, ok)
+	}
+	if _, ok := closed.Count(itemset.New(a, b, c)); !ok {
+		t.Error("maximal itemset {a,b,c} must be closed")
+	}
+}
+
+func TestPropertyFilterClosedMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 25; trial++ {
+		tx := randomTx(r, 5+r.Intn(30), 2+r.Intn(8), 1+r.Intn(5))
+		res, err := FPGrowth{}.Mine(tx, Params{MinCount: uint32(1 + r.Intn(3))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteClosed(res)
+		got := FilterClosed(res)
+		if got.Len() != len(want) {
+			t.Fatalf("trial %d: %d closed sets, want %d", trial, got.Len(), len(want))
+		}
+		for _, fs := range got.Sets {
+			if want[itemset.Key(fs.Items)] != fs.Count {
+				t.Fatalf("trial %d: %v miscounted or not closed", trial, fs.Items)
+			}
+		}
+	}
+}
+
+func TestFilterClosedPreservesRecoverability(t *testing.T) {
+	// Closed itemsets compactly represent the full set: every frequent
+	// itemset's count equals the count of its smallest closed superset.
+	r := rand.New(rand.NewSource(56))
+	tx := randomTx(r, 40, 8, 5)
+	res, err := Eclat{}.Mine(tx, Params{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := FilterClosed(res)
+	for _, fs := range res.Sets {
+		var best uint32
+		found := false
+		for _, cs := range closed.Sets {
+			if itemset.Subset(fs.Items, cs.Items) {
+				if !found || cs.Count > best {
+					best, found = cs.Count, true
+				}
+			}
+		}
+		if !found {
+			t.Fatalf("frequent %v has no closed superset", fs.Items)
+		}
+		if best != fs.Count {
+			t.Errorf("%v: recovered count %d, want %d", fs.Items, best, fs.Count)
+		}
+	}
+}
+
+func TestClosedComposition(t *testing.T) {
+	db := txdb.NewDB()
+	db.Add(1, "x", "y")
+	db.Add(2, "x", "y")
+	db.Add(3, "z")
+	got, err := Closed(HMine{}, db.Tx, Params{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 { // {x,y} and {z}
+		t.Errorf("Closed = %d sets: %v", got.Len(), got.Sets)
+	}
+}
+
+func TestFilterClosedEmpty(t *testing.T) {
+	if got := FilterClosed(NewResult(0)); got.Len() != 0 {
+		t.Errorf("closed of empty = %d sets", got.Len())
+	}
+}

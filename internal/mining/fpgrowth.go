@@ -1,0 +1,154 @@
+package mining
+
+import (
+	"sort"
+
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// FPGrowth mines frequent itemsets with an FP-tree (Han et al.): a prefix
+// tree over frequency-ordered transactions, mined recursively through
+// conditional pattern bases. It avoids candidate generation entirely and is
+// strong on dense data with long patterns.
+type FPGrowth struct{}
+
+// Name implements Miner.
+func (FPGrowth) Name() string { return "fpgrowth" }
+
+type fpNode struct {
+	item     itemset.Item
+	count    uint32
+	parent   *fpNode
+	children map[itemset.Item]*fpNode
+	next     *fpNode // header-table sibling link
+}
+
+type fpTree struct {
+	root   *fpNode
+	heads  map[itemset.Item]*fpNode // head of each item's node chain
+	counts map[itemset.Item]uint32  // total count per item in this tree
+	order  []itemset.Item           // items by descending count (mining order is reverse)
+}
+
+// newFPTree builds a tree from weighted transactions. Each transaction's
+// items must already be filtered to frequent items; ordering happens here.
+func newFPTree(txs []itemset.Set, weights []uint32, counts map[itemset.Item]uint32) *fpTree {
+	t := &fpTree{
+		root:   &fpNode{children: map[itemset.Item]*fpNode{}},
+		heads:  map[itemset.Item]*fpNode{},
+		counts: counts,
+	}
+	for it := range counts {
+		t.order = append(t.order, it)
+	}
+	// Descending count; ascending item id breaks ties deterministically.
+	sort.Slice(t.order, func(i, j int) bool {
+		a, b := t.order[i], t.order[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
+		}
+		return a < b
+	})
+	rank := make(map[itemset.Item]int, len(t.order))
+	for i, it := range t.order {
+		rank[it] = i
+	}
+
+	buf := make(itemset.Set, 0, 32)
+	for i, tx := range txs {
+		buf = buf[:0]
+		for _, it := range tx {
+			if _, ok := counts[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(a, b int) bool { return rank[buf[a]] < rank[buf[b]] })
+		t.insert(buf, weights[i])
+	}
+	return t
+}
+
+func (t *fpTree) insert(ordered itemset.Set, weight uint32) {
+	node := t.root
+	for _, it := range ordered {
+		child, ok := node.children[it]
+		if !ok {
+			child = &fpNode{item: it, parent: node, children: map[itemset.Item]*fpNode{}}
+			child.next = t.heads[it]
+			t.heads[it] = child
+			node.children[it] = child
+		}
+		child.count += weight
+		node = child
+	}
+}
+
+// Mine implements Miner.
+func (FPGrowth) Mine(tx []txdb.Transaction, p Params) (*Result, error) {
+	minCount := p.minCount()
+	res := NewResult(len(tx))
+	if !p.lenOK(1) {
+		return res, nil
+	}
+	frequent1, freq := countSingletons(tx, minCount)
+	if len(frequent1) == 0 {
+		return res, nil
+	}
+	counts := make(map[itemset.Item]uint32, len(frequent1))
+	for _, it := range frequent1 {
+		counts[it] = freq[it]
+	}
+	txs := make([]itemset.Set, len(tx))
+	weights := make([]uint32, len(tx))
+	for i, t := range tx {
+		txs[i] = t.Items
+		weights[i] = 1
+	}
+	tree := newFPTree(txs, weights, counts)
+	fpMine(tree, nil, minCount, p, res)
+	return res, nil
+}
+
+// fpMine emits suffix ∪ {item} for every item in the tree and recurses into
+// the item's conditional tree. Suffixes grow toward less frequent items, so
+// every frequent itemset is produced exactly once.
+func fpMine(t *fpTree, suffix itemset.Set, minCount uint32, p Params, res *Result) {
+	// Iterate items from least to most frequent (reverse of t.order).
+	for i := len(t.order) - 1; i >= 0; i-- {
+		it := t.order[i]
+		pattern := itemset.Canonicalize(append(itemset.Clone(suffix), it))
+		res.Add(pattern, t.counts[it])
+		if !p.lenOK(len(pattern) + 1) {
+			continue
+		}
+		// Conditional pattern base: root paths of every node of it.
+		var base []itemset.Set
+		var weights []uint32
+		condCounts := map[itemset.Item]uint32{}
+		for node := t.heads[it]; node != nil; node = node.next {
+			var path itemset.Set
+			for a := node.parent; a != nil && a.parent != nil; a = a.parent {
+				path = append(path, a.item)
+			}
+			if len(path) == 0 {
+				continue
+			}
+			base = append(base, path)
+			weights = append(weights, node.count)
+			for _, x := range path {
+				condCounts[x] += node.count
+			}
+		}
+		for x, c := range condCounts {
+			if c < minCount {
+				delete(condCounts, x)
+			}
+		}
+		if len(condCounts) == 0 {
+			continue
+		}
+		cond := newFPTree(base, weights, condCounts)
+		fpMine(cond, pattern, minCount, p, res)
+	}
+}

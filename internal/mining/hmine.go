@@ -1,0 +1,113 @@
+package mining
+
+import (
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// HMine is the hyper-structure miner of Pei et al. ("H-Mine: Hyper-structure
+// mining of frequent patterns in large databases"), the itemset-generation
+// engine of the paper's strongest preprocessing baseline. Filtered
+// transactions are stored once in an arena; projections are lists of
+// (transaction, position) cells rather than copied sub-databases, so memory
+// stays linear in the input while the search walks prefixes in item order.
+type HMine struct{}
+
+// Name implements Miner.
+func (HMine) Name() string { return "hmine" }
+
+// hCell points into the arena: the suffix of transaction tx starting at pos
+// belongs to the current projection.
+type hCell struct {
+	tx  int32
+	pos int32
+}
+
+// Mine implements Miner.
+func (HMine) Mine(tx []txdb.Transaction, p Params) (*Result, error) {
+	minCount := p.minCount()
+	res := NewResult(len(tx))
+	if !p.lenOK(1) {
+		return res, nil
+	}
+	frequent1, _ := countSingletons(tx, minCount)
+	if len(frequent1) == 0 {
+		return res, nil
+	}
+	isFrequent := make(map[itemset.Item]bool, len(frequent1))
+	for _, it := range frequent1 {
+		isFrequent[it] = true
+	}
+
+	// Arena of transactions filtered to frequent items (kept in canonical
+	// ascending order, which is also the projection order).
+	arena := make([]itemset.Set, 0, len(tx))
+	for _, t := range tx {
+		f := make(itemset.Set, 0, len(t.Items))
+		for _, it := range t.Items {
+			if isFrequent[it] {
+				f = append(f, it)
+			}
+		}
+		if len(f) > 0 {
+			arena = append(arena, f)
+		}
+	}
+
+	cells := make([]hCell, len(arena))
+	for i := range arena {
+		cells[i] = hCell{tx: int32(i), pos: 0}
+	}
+	prefix := make(itemset.Set, 0, 16)
+	hMineRec(arena, cells, prefix, minCount, p, res)
+	return res, nil
+}
+
+// hMineRec mines the projection given by cells under the current prefix.
+// For every locally frequent item a it emits prefix ∪ {a} and recurses into
+// the a-projection (cells advanced past a's position).
+func hMineRec(arena []itemset.Set, cells []hCell, prefix itemset.Set, minCount uint32, p Params, res *Result) {
+	// Local header table: item -> count within the projection suffixes.
+	local := map[itemset.Item]uint32{}
+	for _, c := range cells {
+		suffix := arena[c.tx][c.pos:]
+		for _, it := range suffix {
+			local[it]++
+		}
+	}
+	// Items in ascending order keep output canonical and deterministic.
+	var items itemset.Set
+	for it, n := range local {
+		if n >= minCount {
+			items = append(items, it)
+		}
+	}
+	items = itemset.Canonicalize(items)
+
+	for _, a := range items {
+		pattern := append(prefix, a)
+		res.Add(pattern, local[a])
+		if !p.lenOK(len(pattern) + 1) {
+			continue
+		}
+		// Build the a-projection by advancing each cell past a.
+		var sub []hCell
+		for _, c := range cells {
+			t := arena[c.tx]
+			for q := c.pos; q < int32(len(t)); q++ {
+				if t[q] == a {
+					if q+1 < int32(len(t)) {
+						sub = append(sub, hCell{tx: c.tx, pos: q + 1})
+					}
+					break
+				}
+				if t[q] > a { // canonical order: a cannot appear later
+					break
+				}
+			}
+		}
+		if len(sub) > 0 {
+			hMineRec(arena, sub, pattern, minCount, p, res)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package mining implements frequent-itemset mining, the computational core
+// that TARA's offline Association Generator and the paper's baselines are
+// built on. Four classic miners are provided — Apriori, Eclat, FP-Growth and
+// H-Mine — behind one Miner interface; all produce identical Results (this
+// equivalence is enforced by property tests), so callers pick by performance
+// profile:
+//
+//   - Eclat (vertical bitsets) is the default generator used by TARA.
+//   - FP-Growth handles dense data with long patterns well.
+//   - H-Mine is the hyper-structure miner the paper benchmarks against.
+//   - Apriori is the level-wise reference implementation.
+package mining
+
+import (
+	"fmt"
+	"sort"
+
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// Params controls a mining run.
+type Params struct {
+	// MinCount is the absolute minimum occurrence count for a frequent
+	// itemset. Values below 1 are treated as 1.
+	MinCount uint32
+	// MaxLen caps the itemset length; non-positive means unlimited.
+	MaxLen int
+}
+
+// MinCountFor converts a relative minimum support into an absolute count for
+// a database of n transactions, rounding up so that Count/n >= minSupp holds
+// exactly for every reported itemset.
+func MinCountFor(minSupp float64, n int) uint32 {
+	if minSupp <= 0 || n <= 0 {
+		return 1
+	}
+	c := uint32(minSupp * float64(n))
+	if float64(c) < minSupp*float64(n) {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+func (p Params) minCount() uint32 {
+	if p.MinCount < 1 {
+		return 1
+	}
+	return p.MinCount
+}
+
+func (p Params) lenOK(l int) bool { return p.MaxLen <= 0 || l <= p.MaxLen }
+
+// FrequentSet is one frequent itemset with its occurrence count.
+type FrequentSet struct {
+	Items itemset.Set
+	Count uint32
+}
+
+// Result holds the frequent itemsets mined from a window of transactions.
+type Result struct {
+	// N is the number of transactions mined.
+	N int
+	// Sets lists the frequent itemsets. Order is unspecified until Sort.
+	Sets []FrequentSet
+
+	index map[string]uint32
+}
+
+// NewResult returns an empty result over n transactions.
+func NewResult(n int) *Result {
+	return &Result{N: n, index: map[string]uint32{}}
+}
+
+// Add records a frequent itemset. The set is cloned, so callers may reuse
+// their buffer. Adding the same itemset twice overwrites the count.
+func (r *Result) Add(items itemset.Set, count uint32) {
+	k := itemset.Key(items)
+	if _, dup := r.index[k]; dup {
+		for i := range r.Sets {
+			if itemset.Key(r.Sets[i].Items) == k {
+				r.Sets[i].Count = count
+				break
+			}
+		}
+	} else {
+		r.Sets = append(r.Sets, FrequentSet{Items: itemset.Clone(items), Count: count})
+	}
+	r.index[k] = count
+}
+
+// Count returns the occurrence count for items, if frequent.
+func (r *Result) Count(items itemset.Set) (uint32, bool) {
+	c, ok := r.index[itemset.Key(items)]
+	return c, ok
+}
+
+// Support returns Count/N for items, or 0 if items is not frequent or the
+// result is empty.
+func (r *Result) Support(items itemset.Set) float64 {
+	if r.N == 0 {
+		return 0
+	}
+	c, ok := r.Count(items)
+	if !ok {
+		return 0
+	}
+	return float64(c) / float64(r.N)
+}
+
+// Len returns the number of frequent itemsets.
+func (r *Result) Len() int { return len(r.Sets) }
+
+// Sort orders Sets canonically (by length, then lexicographically) so that
+// results from different miners compare equal.
+func (r *Result) Sort() {
+	sort.Slice(r.Sets, func(i, j int) bool {
+		return itemset.Compare(r.Sets[i].Items, r.Sets[j].Items) < 0
+	})
+}
+
+// Equal reports whether two results contain exactly the same itemsets with
+// the same counts over the same N.
+func (r *Result) Equal(o *Result) bool {
+	if r.N != o.N || len(r.index) != len(o.index) {
+		return false
+	}
+	for k, c := range r.index {
+		if oc, ok := o.index[k]; !ok || oc != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Miner is a frequent-itemset mining algorithm.
+type Miner interface {
+	// Name identifies the algorithm, e.g. "eclat".
+	Name() string
+	// Mine returns all itemsets occurring in at least p.MinCount of the
+	// transactions, up to p.MaxLen items long.
+	Mine(tx []txdb.Transaction, p Params) (*Result, error)
+}
+
+// ByName returns the miner registered under name.
+func ByName(name string) (Miner, error) {
+	switch name {
+	case "apriori":
+		return Apriori{}, nil
+	case "eclat":
+		return Eclat{}, nil
+	case "fpgrowth":
+		return FPGrowth{}, nil
+	case "hmine":
+		return HMine{}, nil
+	}
+	return nil, fmt.Errorf("mining: unknown miner %q (have apriori, eclat, fpgrowth, hmine)", name)
+}
+
+// Miners lists all registered miners, for cross-checking tests and benches.
+func Miners() []Miner {
+	return []Miner{Apriori{}, Eclat{}, FPGrowth{}, HMine{}}
+}
+
+// countSingletons tallies item frequencies across the transactions and
+// returns the items meeting minCount, sorted ascending by item id, along
+// with the full frequency map.
+func countSingletons(tx []txdb.Transaction, minCount uint32) ([]itemset.Item, map[itemset.Item]uint32) {
+	freq := map[itemset.Item]uint32{}
+	for _, t := range tx {
+		for _, it := range t.Items {
+			freq[it]++
+		}
+	}
+	var frequent []itemset.Item
+	for it, c := range freq {
+		if c >= minCount {
+			frequent = append(frequent, it)
+		}
+	}
+	sort.Slice(frequent, func(i, j int) bool { return frequent[i] < frequent[j] })
+	return frequent, freq
+}

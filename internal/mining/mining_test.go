@@ -1,0 +1,414 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"tara/internal/itemset"
+	"tara/internal/txdb"
+)
+
+// marketDB is the textbook market-basket example with hand-verifiable
+// frequent itemsets.
+func marketDB() []txdb.Transaction {
+	db := txdb.NewDB()
+	db.Add(1, "bread", "milk")
+	db.Add(2, "bread", "diapers", "beer", "eggs")
+	db.Add(3, "milk", "diapers", "beer", "cola")
+	db.Add(4, "bread", "milk", "diapers", "beer")
+	db.Add(5, "bread", "milk", "diapers", "cola")
+	return db.Tx
+}
+
+// bruteForce is the reference miner: enumerate every subset of the union of
+// items and count by explicit containment checks.
+func bruteForce(tx []txdb.Transaction, p Params) *Result {
+	minCount := p.MinCount
+	if minCount < 1 {
+		minCount = 1
+	}
+	res := NewResult(len(tx))
+	var universe itemset.Set
+	for _, t := range tx {
+		universe = itemset.Union(universe, t.Items)
+	}
+	n := len(universe)
+	if n > 16 {
+		panic("bruteForce universe too large")
+	}
+	for mask := 1; mask < 1<<n; mask++ {
+		var s itemset.Set
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, universe[i])
+			}
+		}
+		if p.MaxLen > 0 && len(s) > p.MaxLen {
+			continue
+		}
+		var c uint32
+		for _, t := range tx {
+			if itemset.Subset(s, t.Items) {
+				c++
+			}
+		}
+		if c >= minCount {
+			res.Add(s, c)
+		}
+	}
+	return res
+}
+
+func TestMinCountFor(t *testing.T) {
+	cases := []struct {
+		supp float64
+		n    int
+		want uint32
+	}{
+		{0.5, 10, 5},
+		{0.51, 10, 6},
+		{0.0001, 10, 1},
+		{0, 10, 1},
+		{-1, 10, 1},
+		{0.5, 0, 1},
+		{1.0, 7, 7},
+	}
+	for _, c := range cases {
+		if got := MinCountFor(c.supp, c.n); got != c.want {
+			t.Errorf("MinCountFor(%g, %d) = %d, want %d", c.supp, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMinCountForSatisfiesThreshold(t *testing.T) {
+	// Whatever rounding happens, count/n >= supp must hold and count-1
+	// must violate it (tightness) whenever count > 1.
+	for _, supp := range []float64{0.01, 0.1, 0.25, 1.0 / 3, 0.5, 0.999} {
+		for _, n := range []int{1, 3, 10, 97, 1000} {
+			c := MinCountFor(supp, n)
+			if float64(c)/float64(n) < supp {
+				t.Errorf("supp=%g n=%d: count %d below threshold", supp, n, c)
+			}
+			if c > 1 && float64(c-1)/float64(n) >= supp {
+				t.Errorf("supp=%g n=%d: count %d not tight", supp, n, c)
+			}
+		}
+	}
+}
+
+func TestResultAddAndLookup(t *testing.T) {
+	r := NewResult(10)
+	r.Add(itemset.New(1, 2), 4)
+	if c, ok := r.Count(itemset.New(1, 2)); !ok || c != 4 {
+		t.Fatalf("Count = %d,%v", c, ok)
+	}
+	if s := r.Support(itemset.New(1, 2)); s != 0.4 {
+		t.Errorf("Support = %g", s)
+	}
+	if s := r.Support(itemset.New(9)); s != 0 {
+		t.Errorf("Support of absent set = %g", s)
+	}
+	// Overwrite.
+	r.Add(itemset.New(1, 2), 7)
+	if c, _ := r.Count(itemset.New(1, 2)); c != 7 {
+		t.Errorf("overwritten Count = %d", c)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d after overwrite", r.Len())
+	}
+}
+
+func TestResultAddClones(t *testing.T) {
+	r := NewResult(1)
+	buf := itemset.New(1, 2)
+	r.Add(buf, 1)
+	buf[0] = 99
+	if !itemset.Equal(r.Sets[0].Items, itemset.New(1, 2)) {
+		t.Error("Result.Add did not clone the itemset")
+	}
+}
+
+func TestResultEqual(t *testing.T) {
+	a, b := NewResult(5), NewResult(5)
+	a.Add(itemset.New(1), 3)
+	b.Add(itemset.New(1), 3)
+	if !a.Equal(b) {
+		t.Error("equal results reported unequal")
+	}
+	b.Add(itemset.New(2), 2)
+	if a.Equal(b) {
+		t.Error("different sizes reported equal")
+	}
+	a.Add(itemset.New(2), 1)
+	if a.Equal(b) {
+		t.Error("different counts reported equal")
+	}
+	c := NewResult(6)
+	c.Add(itemset.New(1), 3)
+	if a.Equal(c) {
+		t.Error("different N reported equal")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"apriori", "eclat", "fpgrowth", "hmine"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if m.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown miner accepted")
+	}
+}
+
+func TestMinersOnMarketData(t *testing.T) {
+	tx := marketDB()
+	want := bruteForce(tx, Params{MinCount: 3})
+	for _, m := range Miners() {
+		got, err := m.Mine(tx, Params{MinCount: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if !got.Equal(want) {
+			got.Sort()
+			want.Sort()
+			t.Errorf("%s: got %d sets %v, want %d sets %v",
+				m.Name(), got.Len(), got.Sets, want.Len(), want.Sets)
+		}
+	}
+}
+
+func TestMinersKnownCounts(t *testing.T) {
+	tx := marketDB()
+	// {bread, milk} appears in tx 1, 4, 5; {diapers, beer} in 2, 3, 4.
+	dict := txdb.NewDict()
+	// Rebuild ids in the order marketDB added them.
+	bread, milk := dict.Add("bread"), dict.Add("milk")
+	diapers, beer := dict.Add("diapers"), dict.Add("beer")
+	for _, m := range Miners() {
+		res, err := m.Mine(tx, Params{MinCount: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c, _ := res.Count(itemset.New(bread, milk)); c != 3 {
+			t.Errorf("%s: count{bread,milk} = %d, want 3", m.Name(), c)
+		}
+		if c, _ := res.Count(itemset.New(diapers, beer)); c != 3 {
+			t.Errorf("%s: count{diapers,beer} = %d, want 3", m.Name(), c)
+		}
+	}
+}
+
+func TestMinersEmptyInput(t *testing.T) {
+	for _, m := range Miners() {
+		res, err := m.Mine(nil, Params{MinCount: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if res.Len() != 0 || res.N != 0 {
+			t.Errorf("%s: non-empty result on empty input", m.Name())
+		}
+	}
+}
+
+func TestMinersThresholdAboveAll(t *testing.T) {
+	tx := marketDB()
+	for _, m := range Miners() {
+		res, err := m.Mine(tx, Params{MinCount: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Len() != 0 {
+			t.Errorf("%s: %d sets above impossible threshold", m.Name(), res.Len())
+		}
+	}
+}
+
+func TestMinersMaxLen(t *testing.T) {
+	tx := marketDB()
+	for _, m := range Miners() {
+		res, err := m.Mine(tx, Params{MinCount: 1, MaxLen: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, fs := range res.Sets {
+			if len(fs.Items) > 2 {
+				t.Errorf("%s: emitted %v beyond MaxLen", m.Name(), fs.Items)
+			}
+		}
+		want := bruteForce(tx, Params{MinCount: 1, MaxLen: 2})
+		if !res.Equal(want) {
+			t.Errorf("%s: MaxLen result differs from brute force", m.Name())
+		}
+	}
+}
+
+func TestMinersMinCountZeroMeansOne(t *testing.T) {
+	tx := marketDB()
+	for _, m := range Miners() {
+		a, err := m.Mine(tx, Params{MinCount: 0, MaxLen: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := m.Mine(tx, Params{MinCount: 1, MaxLen: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Equal(b) {
+			t.Errorf("%s: MinCount 0 and 1 differ", m.Name())
+		}
+	}
+}
+
+// randomTx builds a reproducible random database over nItems items.
+func randomTx(r *rand.Rand, nTx, nItems, maxLen int) []txdb.Transaction {
+	tx := make([]txdb.Transaction, nTx)
+	for i := range tx {
+		l := 1 + r.Intn(maxLen)
+		s := make(itemset.Set, l)
+		for j := range s {
+			s[j] = itemset.Item(r.Intn(nItems))
+		}
+		tx[i] = txdb.Transaction{Time: int64(i), Items: itemset.Canonicalize(s)}
+	}
+	return tx
+}
+
+func TestPropertyMinersAgreeWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		tx := randomTx(r, 3+r.Intn(25), 2+r.Intn(9), 1+r.Intn(6))
+		p := Params{MinCount: uint32(1 + r.Intn(4)), MaxLen: r.Intn(5)} // MaxLen 0 = unlimited
+		want := bruteForce(tx, p)
+		for _, m := range Miners() {
+			got, err := m.Mine(tx, p)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, m.Name(), err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: %s disagrees with brute force (p=%+v, %d tx): got %d want %d sets",
+					trial, m.Name(), p, len(tx), got.Len(), want.Len())
+			}
+		}
+	}
+}
+
+func TestPropertyMinersAgreePairwiseLarger(t *testing.T) {
+	// Larger random instances where brute force is infeasible: check the
+	// four miners against each other.
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		tx := randomTx(r, 300, 40, 8)
+		p := Params{MinCount: 5, MaxLen: 4}
+		var ref *Result
+		var refName string
+		for _, m := range Miners() {
+			got, err := m.Mine(tx, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref, refName = got, m.Name()
+				continue
+			}
+			if !got.Equal(ref) {
+				t.Fatalf("trial %d: %s (%d sets) disagrees with %s (%d sets)",
+					trial, m.Name(), got.Len(), refName, ref.Len())
+			}
+		}
+	}
+}
+
+func TestPropertyDownwardClosure(t *testing.T) {
+	// Every subset of a frequent itemset must be frequent with count >=
+	// the superset's count.
+	r := rand.New(rand.NewSource(7))
+	tx := randomTx(r, 150, 20, 6)
+	res, err := Eclat{}.Mine(tx, Params{MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fs := range res.Sets {
+		fsCount := fs.Count
+		err := itemset.ProperNonEmptySubsets(fs.Items, func(sub itemset.Set) {
+			c, ok := res.Count(sub)
+			if !ok {
+				t.Errorf("subset %v of frequent %v missing", sub, fs.Items)
+			} else if c < fsCount {
+				t.Errorf("subset %v count %d < superset %v count %d", sub, c, fs.Items, fsCount)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTidset(t *testing.T) {
+	ts := newTidset(130)
+	ts.set(0)
+	ts.set(64)
+	ts.set(129)
+	if ts.count() != 3 {
+		t.Errorf("count = %d, want 3", ts.count())
+	}
+	other := newTidset(130)
+	other.set(64)
+	other.set(100)
+	dst := make(tidset, len(ts))
+	if c := andInto(dst, ts, other); c != 1 {
+		t.Errorf("andInto count = %d, want 1", c)
+	}
+}
+
+func BenchmarkMiners(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	tx := randomTx(r, 2000, 100, 10)
+	p := Params{MinCount: 20, MaxLen: 4}
+	for _, m := range Miners() {
+		b.Run(m.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Mine(tx, p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestPropertyMaxLenMonotone(t *testing.T) {
+	// The result at MaxLen k is exactly the length-<=k subset of the
+	// result at MaxLen k+1.
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		tx := randomTx(r, 100, 15, 6)
+		for k := 1; k <= 3; k++ {
+			small, err := Eclat{}.Mine(tx, Params{MinCount: 3, MaxLen: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			big, err := Eclat{}.Mine(tx, Params{MinCount: 3, MaxLen: k + 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, fs := range small.Sets {
+				c, ok := big.Count(fs.Items)
+				if !ok || c != fs.Count {
+					t.Fatalf("trial %d k=%d: %v missing or miscounted in larger run", trial, k, fs.Items)
+				}
+			}
+			for _, fs := range big.Sets {
+				if len(fs.Items) <= k {
+					if c, ok := small.Count(fs.Items); !ok || c != fs.Count {
+						t.Fatalf("trial %d k=%d: %v missing from smaller run", trial, k, fs.Items)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package query
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"tara/internal/rules"
+	"tara/internal/tara"
+)
+
+// Execute runs a parsed query against a framework, writing a human-readable
+// answer (with its response time, as an interactive explorer would show).
+func Execute(w io.Writer, f *tara.Framework, q Query) error {
+	start := time.Now()
+	var err error
+	switch q.Kind {
+	case Mine:
+		err = execMine(w, f, q)
+	case Trajectory:
+		err = execTrajectory(w, f, q)
+	case Compare:
+		err = execCompare(w, f, q)
+	case Recommend:
+		err = execRecommend(w, f, q)
+	case RollUp:
+		err = execRollUp(w, f, q)
+	case DrillDown:
+		err = execDrillDown(w, f, q)
+	case About:
+		err = execAbout(w, f, q)
+	case Rank:
+		err = execRank(w, f, q)
+	case Periodic:
+		err = execPeriodic(w, f, q)
+	case Plot:
+		err = execPlot(w, f, q)
+	case Export:
+		err = execExport(w, f, q)
+	default:
+		err = fmt.Errorf("query: unsupported kind %d", q.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "(%v)\n", time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+const maxListed = 25
+
+func printRule(w io.Writer, f *tara.Framework, v tara.RuleView) {
+	fmt.Fprintf(w, "  #%-6d %-50s supp=%.5f conf=%.3f lift=%.2f\n",
+		v.ID, v.Rule.Format(f.ItemDict()), v.Support(), v.Confidence(), v.Lift())
+}
+
+func execMine(w io.Writer, f *tara.Framework, q Query) error {
+	views, err := f.MineFiltered(q.Window, q.MinSupp, q.MinConf, q.MinLift)
+	if err != nil {
+		return err
+	}
+	extra := ""
+	if q.MinLift > 0 {
+		extra = fmt.Sprintf(", lift>=%g", q.MinLift)
+	}
+	fmt.Fprintf(w, "%d rules in window %d at (supp>=%g, conf>=%g%s)\n", len(views), q.Window, q.MinSupp, q.MinConf, extra)
+	for i, v := range views {
+		if i == maxListed {
+			fmt.Fprintf(w, "  ... %d more\n", len(views)-maxListed)
+			break
+		}
+		printRule(w, f, v)
+	}
+	return nil
+}
+
+func execTrajectory(w io.Writer, f *tara.Framework, q Query) error {
+	trs, err := f.RuleTrajectories(q.Window, q.MinSupp, q.MinConf, q.Windows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d rule trajectories from window %d examined in %v\n", len(trs), q.Window, q.Windows)
+	for i, tr := range trs {
+		if i == maxListed {
+			fmt.Fprintf(w, "  ... %d more\n", len(trs)-maxListed)
+			break
+		}
+		fmt.Fprintf(w, "  #%-6d %s\n", tr.ID, tr.Rule.Format(f.ItemDict()))
+		for j, win := range tr.Windows {
+			if tr.Present[j] {
+				fmt.Fprintf(w, "      w%-3d supp=%.5f conf=%.3f\n", win, tr.Stats[j].Support(), tr.Stats[j].Confidence())
+			} else {
+				fmt.Fprintf(w, "      w%-3d below generation thresholds\n", win)
+			}
+		}
+	}
+	return nil
+}
+
+func execCompare(w io.Writer, f *tara.Framework, q Query) error {
+	diffs, err := f.Compare(q.Windows, q.MinSupp, q.MinConf, q.MinSupp2, q.MinConf2)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "comparison of A=(%g,%g) vs B=(%g,%g)\n", q.MinSupp, q.MinConf, q.MinSupp2, q.MinConf2)
+	for _, d := range diffs {
+		fmt.Fprintf(w, "  window %d: %d rules only in A, %d only in B\n", d.Window, len(d.OnlyA), len(d.OnlyB))
+	}
+	return nil
+}
+
+func execRecommend(w io.Writer, f *tara.Framework, q Query) error {
+	if q.MinLift > 0 {
+		reg, err := f.RecommendND(q.Window, q.MinSupp, q.MinConf, q.MinLift)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "window %d: stable for", reg.Window)
+		for d, name := range reg.Measures {
+			if d > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, " %s in (%.6g,%.6g]", name, reg.Low[d], reg.High[d])
+		}
+		fmt.Fprintf(w, " — %d rules\n", reg.NumRules)
+		return nil
+	}
+	reg, err := f.Recommend(q.Window, q.MinSupp, q.MinConf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, reg.String())
+	return nil
+}
+
+func execRollUp(w io.Writer, f *tara.Framework, q Query) error {
+	out, err := f.MineRollUp(q.From, q.To, q.MinSupp, q.MinConf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d rules over windows [%d,%d] at (supp>=%g, conf>=%g)\n", len(out), q.From, q.To, q.MinSupp, q.MinConf)
+	for i, r := range out {
+		if i == maxListed {
+			fmt.Fprintf(w, "  ... %d more\n", len(out)-maxListed)
+			break
+		}
+		fmt.Fprintf(w, "  #%-6d %-50s supp=%.5f conf=%.3f present=%d/%d errBound=%.5f\n",
+			r.ID, r.Rule.Format(f.ItemDict()), r.Stats.Support(), r.Stats.Confidence(),
+			r.Present, q.To-q.From+1, r.MaxSupportError)
+	}
+	return nil
+}
+
+func execDrillDown(w io.Writer, f *tara.Framework, q Query) error {
+	rows, err := f.DrillDown(rules.ID(q.RuleID), q.From, q.To)
+	if err != nil {
+		return err
+	}
+	r, _ := f.RuleDict().Rule(rules.ID(q.RuleID))
+	fmt.Fprintf(w, "rule #%d %s across windows [%d,%d]\n", q.RuleID, r.Format(f.ItemDict()), q.From, q.To)
+	for _, row := range rows {
+		if row.Present {
+			fmt.Fprintf(w, "  w%-3d %v supp=%.5f conf=%.3f\n", row.Window, row.Period, row.Stats.Support(), row.Stats.Confidence())
+		} else {
+			fmt.Fprintf(w, "  w%-3d %v below generation thresholds\n", row.Window, row.Period)
+		}
+	}
+	return nil
+}
+
+func execAbout(w io.Writer, f *tara.Framework, q Query) error {
+	views, err := f.RulesAbout(q.Window, q.MinSupp, q.MinConf, q.Items)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d rules about %v in window %d\n", len(views), q.Items, q.Window)
+	for i, v := range views {
+		if i == maxListed {
+			fmt.Fprintf(w, "  ... %d more\n", len(views)-maxListed)
+			break
+		}
+		printRule(w, f, v)
+	}
+	return nil
+}
+
+func execRank(w io.Writer, f *tara.Framework, q Query) error {
+	var m tara.EvolutionMeasure
+	switch q.Measure {
+	case "stability", "":
+		m = tara.ByStability
+	case "coverage":
+		m = tara.ByCoverage
+	case "volatility":
+		m = tara.ByVolatility
+	default:
+		return fmt.Errorf("query: unknown measure %q (want stability, coverage or volatility)", q.Measure)
+	}
+	out, err := f.RankEvolution(q.From, q.To, q.MinSupp, q.MinConf, m, 0.01, q.TopK)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "top %d rules over windows [%d,%d] by %s\n", len(out), q.From, q.To, q.Measure)
+	for _, s := range out {
+		fmt.Fprintf(w, "  #%-6d %-50s coverage=%.2f stability=%.2f stddev=%.5f\n",
+			s.ID, s.Rule.Format(f.ItemDict()), s.Coverage, s.Stability, s.StdDev)
+	}
+	return nil
+}
+
+func execPeriodic(w io.Writer, f *tara.Framework, q Query) error {
+	out, err := f.FindPeriodic(q.From, q.To, q.MinSupp, q.MinConf, q.Period, q.TopK)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "top %d rules over windows [%d,%d] by periodicity at period %d\n", len(out), q.From, q.To, q.Period)
+	for _, s := range out {
+		fmt.Fprintf(w, "  #%-6d %-50s score=%.2f phase=%d presence=%v\n",
+			s.ID, s.Rule.Format(f.ItemDict()), s.Score, s.BestPhase, s.PhasePresence)
+	}
+	return nil
+}
+
+func execPlot(w io.Writer, f *tara.Framework, q Query) error {
+	slice, err := f.Index().Slice(q.Window)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, slice.Panorama(60, 16, q.MinSupp, q.MinConf))
+	return err
+}

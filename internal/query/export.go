@@ -1,0 +1,116 @@
+package query
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"tara/internal/tara"
+)
+
+// exportedRule is the JSON shape of one exported rule.
+type exportedRule struct {
+	ID         uint32   `json:"id"`
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+	Lift       float64  `json:"lift"`
+	CountXY    uint32   `json:"countXY"`
+	CountX     uint32   `json:"countX"`
+	CountY     uint32   `json:"countY"`
+	N          uint32   `json:"n"`
+}
+
+func toExported(f *tara.Framework, v tara.RuleView) exportedRule {
+	names := func(items []uint32) []string {
+		out := make([]string, len(items))
+		for i, it := range items {
+			out[i] = f.ItemDict().Name(it)
+		}
+		return out
+	}
+	return exportedRule{
+		ID:         uint32(v.ID),
+		Antecedent: names(v.Rule.Ant),
+		Consequent: names(v.Rule.Cons),
+		Support:    v.Support(),
+		Confidence: v.Confidence(),
+		Lift:       v.Lift(),
+		CountXY:    v.Stats.CountXY,
+		CountX:     v.Stats.CountX,
+		CountY:     v.Stats.CountY,
+		N:          v.Stats.N,
+	}
+}
+
+// execExport writes the window's qualifying ruleset to q.File as CSV or
+// JSON, reporting the row count to the interactive writer.
+func execExport(w io.Writer, f *tara.Framework, q Query) error {
+	views, err := f.Mine(q.Window, q.MinSupp, q.MinConf)
+	if err != nil {
+		return err
+	}
+	out, err := os.Create(q.File)
+	if err != nil {
+		return err
+	}
+	defer out.Close()
+	switch q.Format {
+	case "json":
+		rows := make([]exportedRule, len(views))
+		for i, v := range views {
+			rows[i] = toExported(f, v)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rows); err != nil {
+			return err
+		}
+	default: // csv
+		cw := csv.NewWriter(out)
+		if err := cw.Write([]string{"id", "antecedent", "consequent", "support", "confidence", "lift", "countXY", "countX", "countY", "n"}); err != nil {
+			return err
+		}
+		for _, v := range views {
+			e := toExported(f, v)
+			rec := []string{
+				strconv.FormatUint(uint64(e.ID), 10),
+				joinNames(e.Antecedent), joinNames(e.Consequent),
+				strconv.FormatFloat(e.Support, 'g', -1, 64),
+				strconv.FormatFloat(e.Confidence, 'g', -1, 64),
+				strconv.FormatFloat(e.Lift, 'g', -1, 64),
+				strconv.FormatUint(uint64(e.CountXY), 10),
+				strconv.FormatUint(uint64(e.CountX), 10),
+				strconv.FormatUint(uint64(e.CountY), 10),
+				strconv.FormatUint(uint64(e.N), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			return err
+		}
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "exported %d rules from window %d to %s (%s)\n", len(views), q.Window, q.File, q.Format)
+	return nil
+}
+
+func joinNames(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += " "
+		}
+		out += n
+	}
+	return out
+}

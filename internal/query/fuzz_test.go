@@ -1,0 +1,16 @@
+package query
+
+import "testing"
+
+// FuzzParse checks the query parser never panics and that parsed queries
+// carry the requested kind.
+func FuzzParse(f *testing.F) {
+	f.Add("mine w=0 supp=0.01 conf=0.2")
+	f.Add("compare w=0,1 a=0.1,0.2 b=0.3,0.4")
+	f.Add("rank from=0 to=3 supp=1e-3 conf=.2 by=coverage k=5")
+	f.Add("mine w= supp=NaN conf=+Inf")
+	f.Add("about w=0 supp=0 conf=0 items=,")
+	f.Fuzz(func(t *testing.T, line string) {
+		_, _ = Parse(line)
+	})
+}

@@ -1,0 +1,267 @@
+// Package query defines the typed exploration queries of the TARA Online
+// Explorer and a small textual syntax for them, used by the cmd/tara CLI.
+//
+// Syntax (key=value fields, whitespace separated):
+//
+//	mine      w=0 supp=0.01 conf=0.2 [lift=1.5]
+//	traj      w=3 supp=0.01 conf=0.2 in=0,1,2
+//	compare   w=0,1,2,3 a=0.01,0.2 b=0.05,0.3
+//	recommend w=0 supp=0.01 conf=0.2 [lift=1.5]
+//	rollup    from=0 to=3 supp=0.01 conf=0.2
+//	drill     rule=12 from=0 to=3
+//	about     w=0 supp=0.01 conf=0.2 items=milk,bread
+//	rank      from=0 to=3 supp=0.01 conf=0.2 by=stability k=10
+//	periodic  from=0 to=8 supp=0.01 conf=0.2 period=7 k=10
+//	plot      w=0 [supp=0.01 conf=0.2]
+//	export    w=0 supp=0.01 conf=0.2 file=rules.csv [format=csv|json]
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the supported exploration operations.
+type Kind int
+
+const (
+	// Mine is the traditional mining request (the base of Q1).
+	Mine Kind = iota
+	// Trajectory is Q1: mine one window, examine others.
+	Trajectory
+	// Compare is Q2: evolving ruleset comparison.
+	Compare
+	// Recommend is Q3: stable-region parameter recommendation.
+	Recommend
+	// RollUp is the coarse-granularity mining request (Q4 up).
+	RollUp
+	// DrillDown is the fine-granularity examination (Q4 down).
+	DrillDown
+	// About is Q5: content-based exploration.
+	About
+	// Rank is the evolution-measure ranking exploration.
+	Rank
+	// Periodic is the cyclic-qualification exploration.
+	Periodic
+	// Plot renders the parameter-space panorama of a window.
+	Plot
+	// Export writes a window's qualifying ruleset to a file.
+	Export
+)
+
+// Query is one parsed exploration request.
+type Query struct {
+	Kind     Kind
+	Window   int
+	Windows  []int
+	From, To int
+	MinSupp  float64
+	MinConf  float64
+	MinSupp2 float64
+	MinConf2 float64
+	Items    []string
+	RuleID   uint32
+	Measure  string
+	TopK     int
+	Period   int
+	MinLift  float64
+	File     string
+	Format   string
+}
+
+// Parse parses one query line.
+func Parse(line string) (Query, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Query{}, fmt.Errorf("query: empty input")
+	}
+	var q Query
+	switch fields[0] {
+	case "mine":
+		q.Kind = Mine
+	case "traj", "trajectory":
+		q.Kind = Trajectory
+	case "compare":
+		q.Kind = Compare
+	case "recommend", "region":
+		q.Kind = Recommend
+	case "rollup":
+		q.Kind = RollUp
+	case "drill", "drilldown":
+		q.Kind = DrillDown
+	case "about":
+		q.Kind = About
+	case "rank":
+		q.Kind = Rank
+	case "periodic":
+		q.Kind = Periodic
+	case "plot", "panorama":
+		q.Kind = Plot
+	case "export":
+		q.Kind = Export
+	default:
+		return Query{}, fmt.Errorf("query: unknown operation %q", fields[0])
+	}
+	kv := map[string]string{}
+	for _, f := range fields[1:] {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return Query{}, fmt.Errorf("query: malformed field %q (want key=value)", f)
+		}
+		kv[f[:eq]] = f[eq+1:]
+	}
+	var err error
+	getF := func(key string, dst *float64, required bool) {
+		if err != nil {
+			return
+		}
+		v, ok := kv[key]
+		if !ok {
+			if required {
+				err = fmt.Errorf("query: missing %s=", key)
+			}
+			return
+		}
+		*dst, err = strconv.ParseFloat(v, 64)
+		if err != nil {
+			err = fmt.Errorf("query: bad %s: %v", key, err)
+		}
+	}
+	getI := func(key string, dst *int, required bool) {
+		if err != nil {
+			return
+		}
+		v, ok := kv[key]
+		if !ok {
+			if required {
+				err = fmt.Errorf("query: missing %s=", key)
+			}
+			return
+		}
+		*dst, err = strconv.Atoi(v)
+		if err != nil {
+			err = fmt.Errorf("query: bad %s: %v", key, err)
+		}
+	}
+	getIs := func(key string, dst *[]int, required bool) {
+		if err != nil {
+			return
+		}
+		v, ok := kv[key]
+		if !ok {
+			if required {
+				err = fmt.Errorf("query: missing %s=", key)
+			}
+			return
+		}
+		for _, part := range strings.Split(v, ",") {
+			n, e := strconv.Atoi(strings.TrimSpace(part))
+			if e != nil {
+				err = fmt.Errorf("query: bad %s: %v", key, e)
+				return
+			}
+			*dst = append(*dst, n)
+		}
+	}
+	getPair := func(key string, s, c *float64) {
+		if err != nil {
+			return
+		}
+		v, ok := kv[key]
+		if !ok {
+			err = fmt.Errorf("query: missing %s=supp,conf", key)
+			return
+		}
+		parts := strings.Split(v, ",")
+		if len(parts) != 2 {
+			err = fmt.Errorf("query: %s wants supp,conf", key)
+			return
+		}
+		*s, err = strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return
+		}
+		*c, err = strconv.ParseFloat(parts[1], 64)
+	}
+
+	switch q.Kind {
+	case Mine, Recommend:
+		getI("w", &q.Window, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		getF("lift", &q.MinLift, false)
+	case Trajectory:
+		getI("w", &q.Window, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		getIs("in", &q.Windows, true)
+	case Compare:
+		getIs("w", &q.Windows, true)
+		getPair("a", &q.MinSupp, &q.MinConf)
+		getPair("b", &q.MinSupp2, &q.MinConf2)
+	case RollUp:
+		getI("from", &q.From, true)
+		getI("to", &q.To, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+	case DrillDown:
+		var id int
+		getI("rule", &id, true)
+		q.RuleID = uint32(id)
+		getI("from", &q.From, true)
+		getI("to", &q.To, true)
+	case About:
+		getI("w", &q.Window, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		if v, ok := kv["items"]; ok && v != "" {
+			q.Items = strings.Split(v, ",")
+		} else if err == nil {
+			err = fmt.Errorf("query: missing items=")
+		}
+	case Rank:
+		getI("from", &q.From, true)
+		getI("to", &q.To, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		q.Measure = kv["by"]
+		if q.Measure == "" {
+			q.Measure = "stability"
+		}
+		q.TopK = 10
+		getI("k", &q.TopK, false)
+	case Periodic:
+		getI("from", &q.From, true)
+		getI("to", &q.To, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		getI("period", &q.Period, true)
+		q.TopK = 10
+		getI("k", &q.TopK, false)
+	case Plot:
+		getI("w", &q.Window, true)
+		q.MinSupp, q.MinConf = -1, -1
+		getF("supp", &q.MinSupp, false)
+		getF("conf", &q.MinConf, false)
+	case Export:
+		getI("w", &q.Window, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		q.File = kv["file"]
+		if q.File == "" && err == nil {
+			err = fmt.Errorf("query: missing file=")
+		}
+		q.Format = kv["format"]
+		if q.Format == "" {
+			q.Format = "csv"
+		}
+		if err == nil && q.Format != "csv" && q.Format != "json" {
+			err = fmt.Errorf("query: unknown format %q (want csv or json)", q.Format)
+		}
+	}
+	if err != nil {
+		return Query{}, err
+	}
+	return q, nil
+}

@@ -1,0 +1,337 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+func TestParseMine(t *testing.T) {
+	q, err := Parse("mine w=2 supp=0.01 conf=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != Mine || q.Window != 2 || q.MinSupp != 0.01 || q.MinConf != 0.2 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseTrajectory(t *testing.T) {
+	q, err := Parse("traj w=3 supp=0.05 conf=0.3 in=0,1,2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != Trajectory || len(q.Windows) != 3 || q.Windows[2] != 2 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseCompare(t *testing.T) {
+	q, err := Parse("compare w=0,1 a=0.01,0.2 b=0.05,0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != Compare || q.MinSupp != 0.01 || q.MinConf != 0.2 || q.MinSupp2 != 0.05 || q.MinConf2 != 0.4 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseRollUpDrill(t *testing.T) {
+	q, err := Parse("rollup from=0 to=3 supp=0.02 conf=0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != RollUp || q.From != 0 || q.To != 3 {
+		t.Errorf("parsed %+v", q)
+	}
+	q, err = Parse("drill rule=7 from=1 to=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != DrillDown || q.RuleID != 7 {
+		t.Errorf("parsed %+v", q)
+	}
+}
+
+func TestParseAboutRank(t *testing.T) {
+	q, err := Parse("about w=0 supp=0.01 conf=0.2 items=milk,bread")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != About || len(q.Items) != 2 || q.Items[1] != "bread" {
+		t.Errorf("parsed %+v", q)
+	}
+	q, err = Parse("rank from=0 to=3 supp=0.01 conf=0.2 by=volatility k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != Rank || q.Measure != "volatility" || q.TopK != 5 {
+		t.Errorf("parsed %+v", q)
+	}
+	// Defaults.
+	q, err = Parse("rank from=0 to=1 supp=0.01 conf=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Measure != "stability" || q.TopK != 10 {
+		t.Errorf("defaults not applied: %+v", q)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"frobnicate w=0",
+		"mine w=0 supp=0.01",             // missing conf
+		"mine w=zero supp=0.01 conf=0.2", // bad int
+		"mine w=0 supp=high conf=0.2",    // bad float
+		"compare w=0 a=0.01 b=0.05,0.4",  // malformed pair
+		"traj w=0 supp=0.01 conf=0.2",    // missing in=
+		"about w=0 supp=0.01 conf=0.2",   // missing items=
+		"mine w 0",                       // malformed field
+		"compare w=0,x a=0.1,0.2 b=0.1,0.2",
+	}
+	for _, line := range bad {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) accepted", line)
+		}
+	}
+}
+
+func buildFramework(t *testing.T) *tara.Framework {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	db := txdb.NewDB()
+	names := []string{"milk", "bread", "beer", "eggs", "jam", "tea"}
+	for i := 0; i < 400; i++ {
+		var tx []string
+		if r.Float64() < 0.5 {
+			tx = append(tx, "milk", "bread")
+		}
+		for j := 0; j < 1+r.Intn(3); j++ {
+			tx = append(tx, names[r.Intn(len(names))])
+		}
+		db.Add(int64(i), tx...)
+	}
+	f, err := tara.Build(db, 0, 4, tara.Config{GenMinSupport: 0.01, GenMinConf: 0.05, MaxItemsetLen: 3, ContentIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestExecuteAllKinds(t *testing.T) {
+	f := buildFramework(t)
+	lines := []string{
+		"mine w=0 supp=0.05 conf=0.2",
+		"traj w=3 supp=0.05 conf=0.2 in=0,1,2",
+		"compare w=0,1,2,3 a=0.05,0.2 b=0.2,0.5",
+		"recommend w=0 supp=0.05 conf=0.2",
+		"rollup from=0 to=3 supp=0.05 conf=0.2",
+		"drill rule=0 from=0 to=3",
+		"about w=0 supp=0.05 conf=0.2 items=milk",
+		"rank from=0 to=3 supp=0.05 conf=0.2 by=coverage k=5",
+	}
+	for _, line := range lines {
+		q, err := Parse(line)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", line, err)
+		}
+		var buf bytes.Buffer
+		if err := Execute(&buf, f, q); err != nil {
+			t.Fatalf("Execute(%q): %v", line, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("Execute(%q) produced no output", line)
+		}
+	}
+}
+
+func TestExecuteMineOutput(t *testing.T) {
+	f := buildFramework(t)
+	q, _ := Parse("mine w=0 supp=0.05 conf=0.2")
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rules in window 0") {
+		t.Errorf("unexpected output: %q", out)
+	}
+	if !strings.Contains(out, "supp=") {
+		t.Errorf("rules not listed: %q", out)
+	}
+}
+
+func TestExecuteRankBadMeasure(t *testing.T) {
+	f := buildFramework(t)
+	q, err := Parse("rank from=0 to=3 supp=0.05 conf=0.2 by=zeal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err == nil {
+		t.Error("unknown measure accepted")
+	}
+}
+
+func TestExecutePropagatesErrors(t *testing.T) {
+	f := buildFramework(t)
+	q, _ := Parse("mine w=99 supp=0.05 conf=0.2")
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err == nil {
+		t.Error("bad window accepted")
+	}
+}
+
+func TestParsePeriodic(t *testing.T) {
+	q, err := Parse("periodic from=0 to=8 supp=0.01 conf=0.2 period=3 k=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != Periodic || q.Period != 3 || q.TopK != 4 {
+		t.Errorf("parsed %+v", q)
+	}
+	if _, err := Parse("periodic from=0 to=8 supp=0.01 conf=0.2"); err == nil {
+		t.Error("missing period accepted")
+	}
+}
+
+func TestExecutePeriodic(t *testing.T) {
+	f := buildFramework(t)
+	q, err := Parse("periodic from=0 to=3 supp=0.05 conf=0.2 period=2 k=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "periodicity") {
+		t.Errorf("unexpected output: %q", buf.String())
+	}
+}
+
+func TestParseAndExecutePlot(t *testing.T) {
+	q, err := Parse("plot w=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Kind != Plot || q.MinSupp != -1 || q.MinConf != -1 {
+		t.Errorf("parsed %+v", q)
+	}
+	q, err = Parse("plot w=0 supp=0.05 conf=0.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MinSupp != 0.05 || q.MinConf != 0.4 {
+		t.Errorf("parsed %+v", q)
+	}
+	f := buildFramework(t)
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rules at") {
+		t.Errorf("plot output: %q", buf.String())
+	}
+}
+
+func TestParseMineWithLift(t *testing.T) {
+	q, err := Parse("mine w=0 supp=0.05 conf=0.2 lift=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.MinLift != 1.5 {
+		t.Errorf("MinLift = %g", q.MinLift)
+	}
+	f := buildFramework(t)
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lift>=1.5") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestExecuteRecommendND(t *testing.T) {
+	f := buildFramework(t)
+	q, err := Parse("recommend w=0 supp=0.05 conf=0.2 lift=1.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "lift in (") {
+		t.Errorf("ND region output: %q", buf.String())
+	}
+}
+
+func TestExport(t *testing.T) {
+	f := buildFramework(t)
+	dir := t.TempDir()
+
+	csvPath := filepath.Join(dir, "rules.csv")
+	q, err := Parse("export w=0 supp=0.05 conf=0.2 file=" + csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Execute(&buf, f, q); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	views, _ := f.Mine(0, 0.05, 0.2)
+	if len(lines) != len(views)+1 {
+		t.Fatalf("CSV has %d lines, want %d rules + header", len(lines), len(views))
+	}
+	if !strings.HasPrefix(lines[0], "id,antecedent,consequent,support") {
+		t.Errorf("header = %q", lines[0])
+	}
+
+	jsonPath := filepath.Join(dir, "rules.json")
+	q, err = Parse("export w=0 supp=0.05 conf=0.2 format=json file=" + jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Execute(&buf, f, q); err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	data, err = os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rows) != len(views) {
+		t.Fatalf("JSON has %d rows, want %d", len(rows), len(views))
+	}
+	if _, ok := rows[0]["antecedent"]; !ok {
+		t.Error("JSON rows missing antecedent field")
+	}
+}
+
+func TestExportParseErrors(t *testing.T) {
+	if _, err := Parse("export w=0 supp=0.05 conf=0.2"); err == nil {
+		t.Error("missing file= accepted")
+	}
+	if _, err := Parse("export w=0 supp=0.05 conf=0.2 file=x format=xml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}

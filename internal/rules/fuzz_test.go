@@ -1,0 +1,25 @@
+package rules
+
+import (
+	"testing"
+
+	"tara/internal/itemset"
+)
+
+// FuzzFromKey checks that arbitrary byte strings never panic the rule key
+// decoder, and that accepted keys round-trip.
+func FuzzFromKey(f *testing.F) {
+	f.Add("")
+	f.Add(Rule{Ant: itemset.New(1), Cons: itemset.New(2, 3)}.Key())
+	f.Add(string([]byte{1, 0, 0, 0, 1}))
+	f.Add(string([]byte{5, 0, 0}))
+	f.Fuzz(func(t *testing.T, k string) {
+		r, err := FromKey(k)
+		if err != nil {
+			return
+		}
+		if r.Key() != k {
+			t.Fatalf("accepted key %q does not round-trip", k)
+		}
+	})
+}

@@ -1,0 +1,262 @@
+// Package rules defines the temporal association rule model of the paper
+// (Definition 1) together with its interestingness measures — support,
+// confidence and lift (Formulas 1–3) — plus rule generation from frequent
+// itemsets and a rule dictionary that interns rules to dense identifiers for
+// the TAR Archive and the EPS index.
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tara/internal/itemset"
+	"tara/internal/mining"
+	"tara/internal/txdb"
+)
+
+// Rule is an association rule Antecedent ⇒ Consequent over disjoint,
+// canonical itemsets.
+type Rule struct {
+	Ant  itemset.Set
+	Cons itemset.Set
+}
+
+// MaxAntecedentLen bounds the antecedent length a rule key can encode.
+const MaxAntecedentLen = 255
+
+// Key returns a canonical string key for the rule: one byte of antecedent
+// length followed by the two itemset keys. Distinct rules produce distinct
+// keys. It panics if the antecedent exceeds MaxAntecedentLen items, which is
+// far beyond any mining configuration in this repository.
+func (r Rule) Key() string {
+	if len(r.Ant) > MaxAntecedentLen {
+		panic(fmt.Sprintf("rules: antecedent of %d items exceeds key limit", len(r.Ant)))
+	}
+	var b strings.Builder
+	b.Grow(1 + 4*(len(r.Ant)+len(r.Cons)))
+	b.WriteByte(byte(len(r.Ant)))
+	b.WriteString(itemset.Key(r.Ant))
+	b.WriteString(itemset.Key(r.Cons))
+	return b.String()
+}
+
+// FromKey decodes a rule key produced by Key.
+func FromKey(k string) (Rule, error) {
+	if len(k) < 1 {
+		return Rule{}, fmt.Errorf("rules: empty key")
+	}
+	antLen := int(k[0])
+	if len(k)-1 < 4*antLen || (len(k)-1)%4 != 0 {
+		return Rule{}, fmt.Errorf("rules: malformed key of length %d", len(k))
+	}
+	ant, err := itemset.FromKey(k[1 : 1+4*antLen])
+	if err != nil {
+		return Rule{}, err
+	}
+	cons, err := itemset.FromKey(k[1+4*antLen:])
+	if err != nil {
+		return Rule{}, err
+	}
+	return Rule{Ant: ant, Cons: cons}, nil
+}
+
+// Items returns the union of antecedent and consequent.
+func (r Rule) Items() itemset.Set { return itemset.Union(r.Ant, r.Cons) }
+
+// Equal reports structural equality.
+func (r Rule) Equal(o Rule) bool {
+	return itemset.Equal(r.Ant, o.Ant) && itemset.Equal(r.Cons, o.Cons)
+}
+
+// String renders the rule with numeric item ids.
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v", r.Ant, r.Cons)
+}
+
+// Format renders the rule using the dictionary's item names.
+func (r Rule) Format(d *txdb.Dict) string {
+	var b strings.Builder
+	writeNames := func(s itemset.Set) {
+		b.WriteByte('[')
+		for i, it := range s {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			b.WriteString(d.Name(it))
+		}
+		b.WriteByte(']')
+	}
+	writeNames(r.Ant)
+	b.WriteString(" => ")
+	writeNames(r.Cons)
+	return b.String()
+}
+
+// Stats holds the occurrence counts a rule's measures derive from within one
+// time period: CountXY for X∪Y, CountX for the antecedent, CountY for the
+// consequent, and N transactions in the period. Keeping integer counts (not
+// float measures) is what makes time roll-up exact — counts add across
+// windows while supports do not.
+type Stats struct {
+	CountXY uint32
+	CountX  uint32
+	CountY  uint32
+	N       uint32
+}
+
+// Support is Formula 1: |F(X∪Y)| / |F(∅)|.
+func (s Stats) Support() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.CountXY) / float64(s.N)
+}
+
+// Confidence is Formula 2: |F(X∪Y)| / |F(X)|.
+func (s Stats) Confidence() float64 {
+	if s.CountX == 0 {
+		return 0
+	}
+	return float64(s.CountXY) / float64(s.CountX)
+}
+
+// Lift is Formula 3 (the reporting ratio RR of the MARAS evaluation):
+// how many times more often X and Y co-occur than if independent.
+func (s Stats) Lift() float64 {
+	if s.CountX == 0 || s.CountY == 0 {
+		return 0
+	}
+	return float64(s.CountXY) * float64(s.N) / (float64(s.CountX) * float64(s.CountY))
+}
+
+// Merge adds the counts of two periods, implementing exact roll-up.
+func (s Stats) Merge(o Stats) Stats {
+	return Stats{
+		CountXY: s.CountXY + o.CountXY,
+		CountX:  s.CountX + o.CountX,
+		CountY:  s.CountY + o.CountY,
+		N:       s.N + o.N,
+	}
+}
+
+// WithStats couples a rule with its per-period statistics.
+type WithStats struct {
+	Rule
+	Stats
+}
+
+// GenParams controls rule generation.
+type GenParams struct {
+	// MinCount is the absolute support threshold for X∪Y.
+	MinCount uint32
+	// MinConf is the minimum confidence in [0,1].
+	MinConf float64
+	// MaxAnt caps the antecedent length; non-positive means unlimited.
+	MaxAnt int
+}
+
+// Generate derives all association rules from the frequent itemsets in res
+// whose joint count meets p.MinCount and whose confidence meets p.MinConf.
+// Every proper non-empty split of each frequent itemset is considered
+// (antecedent ⇒ remainder); counts for both sides exist in res by downward
+// closure. Output order is deterministic: canonical order of X∪Y, then of
+// the antecedent.
+func Generate(res *mining.Result, p GenParams) ([]WithStats, error) {
+	var out []WithStats
+	// Sort a copy of the sets for deterministic output without mutating res.
+	sets := make([]mining.FrequentSet, len(res.Sets))
+	copy(sets, res.Sets)
+	sort.Slice(sets, func(i, j int) bool {
+		return itemset.Compare(sets[i].Items, sets[j].Items) < 0
+	})
+	for _, fs := range sets {
+		if len(fs.Items) < 2 || fs.Count < p.MinCount {
+			continue
+		}
+		z := fs.Items
+		countXY := fs.Count
+		var genErr error
+		err := itemset.ProperNonEmptySubsets(z, func(ant itemset.Set) {
+			if p.MaxAnt > 0 && len(ant) > p.MaxAnt {
+				return
+			}
+			countX, ok := res.Count(ant)
+			if !ok {
+				genErr = fmt.Errorf("rules: antecedent %v of frequent %v missing from result", ant, z)
+				return
+			}
+			conf := float64(countXY) / float64(countX)
+			if conf < p.MinConf {
+				return
+			}
+			cons := itemset.Diff(z, ant)
+			countY, ok := res.Count(cons)
+			if !ok {
+				genErr = fmt.Errorf("rules: consequent %v of frequent %v missing from result", cons, z)
+				return
+			}
+			out = append(out, WithStats{
+				Rule: Rule{Ant: itemset.Clone(ant), Cons: cons},
+				Stats: Stats{
+					CountXY: countXY,
+					CountX:  countX,
+					CountY:  countY,
+					N:       uint32(res.N),
+				},
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		if genErr != nil {
+			return nil, genErr
+		}
+	}
+	return out, nil
+}
+
+// ID is a dense rule identifier assigned by a Dict.
+type ID uint32
+
+// Dict interns rules to dense IDs shared across windows, so the archive and
+// index refer to rules by number.
+type Dict struct {
+	ids   map[string]ID
+	rules []Rule
+}
+
+// NewDict returns an empty rule dictionary.
+func NewDict() *Dict { return &Dict{ids: map[string]ID{}} }
+
+// Add returns the ID for r, allocating one on first sight.
+func (d *Dict) Add(r Rule) ID {
+	if d.ids == nil {
+		d.ids = map[string]ID{}
+	}
+	k := r.Key()
+	if id, ok := d.ids[k]; ok {
+		return id
+	}
+	id := ID(len(d.rules))
+	d.ids[k] = id
+	d.rules = append(d.rules, r)
+	return id
+}
+
+// Lookup returns the ID for r if it has been added.
+func (d *Dict) Lookup(r Rule) (ID, bool) {
+	id, ok := d.ids[r.Key()]
+	return id, ok
+}
+
+// Rule returns the rule for id. ok is false for out-of-range ids.
+func (d *Dict) Rule(id ID) (Rule, bool) {
+	if int(id) >= len(d.rules) {
+		return Rule{}, false
+	}
+	return d.rules[id], true
+}
+
+// Len returns the number of interned rules.
+func (d *Dict) Len() int { return len(d.rules) }

@@ -1,0 +1,319 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tara/internal/itemset"
+	"tara/internal/mining"
+	"tara/internal/txdb"
+)
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := []Rule{
+		{Ant: itemset.New(1), Cons: itemset.New(2)},
+		{Ant: itemset.New(1, 2, 3), Cons: itemset.New(7, 9)},
+		{Ant: itemset.New(5), Cons: itemset.New()},
+	}
+	for _, r := range cases {
+		got, err := FromKey(r.Key())
+		if err != nil {
+			t.Fatalf("FromKey(Key(%v)): %v", r, err)
+		}
+		if !got.Equal(r) {
+			t.Errorf("round trip %v -> %v", r, got)
+		}
+	}
+}
+
+func TestKeyDistinguishesSides(t *testing.T) {
+	// {1} => {2,3} versus {1,2} => {3} share the same item union.
+	a := Rule{Ant: itemset.New(1), Cons: itemset.New(2, 3)}
+	b := Rule{Ant: itemset.New(1, 2), Cons: itemset.New(3)}
+	if a.Key() == b.Key() {
+		t.Error("keys collide for rules with different splits")
+	}
+}
+
+func TestFromKeyErrors(t *testing.T) {
+	if _, err := FromKey(""); err == nil {
+		t.Error("empty key accepted")
+	}
+	if _, err := FromKey(string([]byte{2, 0, 0, 0, 1})); err == nil {
+		t.Error("truncated key accepted")
+	}
+}
+
+func TestRuleItemsAndString(t *testing.T) {
+	r := Rule{Ant: itemset.New(2, 1), Cons: itemset.New(3)}
+	if !itemset.Equal(r.Items(), itemset.New(1, 2, 3)) {
+		t.Errorf("Items = %v", r.Items())
+	}
+	if r.String() != "{1 2} => {3}" {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	d := txdb.NewDict()
+	a, b, c := d.Add("aspirin"), d.Add("warfarin"), d.Add("bleeding")
+	r := Rule{Ant: itemset.New(a, b), Cons: itemset.New(c)}
+	if got := r.Format(d); got != "[aspirin warfarin] => [bleeding]" {
+		t.Errorf("Format = %q", got)
+	}
+}
+
+func TestStatsMeasures(t *testing.T) {
+	s := Stats{CountXY: 20, CountX: 40, CountY: 50, N: 100}
+	if got := s.Support(); got != 0.2 {
+		t.Errorf("Support = %g", got)
+	}
+	if got := s.Confidence(); got != 0.5 {
+		t.Errorf("Confidence = %g", got)
+	}
+	if got := s.Lift(); got != 1.0 {
+		t.Errorf("Lift = %g", got)
+	}
+}
+
+func TestStatsZeroDivision(t *testing.T) {
+	var s Stats
+	if s.Support() != 0 || s.Confidence() != 0 || s.Lift() != 0 {
+		t.Error("zero stats should yield zero measures, not NaN")
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	a := Stats{CountXY: 1, CountX: 2, CountY: 3, N: 10}
+	b := Stats{CountXY: 4, CountX: 5, CountY: 6, N: 20}
+	m := a.Merge(b)
+	want := Stats{CountXY: 5, CountX: 7, CountY: 9, N: 30}
+	if m != want {
+		t.Errorf("Merge = %+v, want %+v", m, want)
+	}
+}
+
+func TestLiftIndependence(t *testing.T) {
+	// Independent items: supp(XY) = supp(X)*supp(Y) => lift == 1.
+	s := Stats{CountXY: 6, CountX: 20, CountY: 30, N: 100}
+	if math.Abs(s.Lift()-1.0) > 1e-12 {
+		t.Errorf("Lift = %g, want 1", s.Lift())
+	}
+}
+
+func mineMarket(t *testing.T) *mining.Result {
+	t.Helper()
+	db := txdb.NewDB()
+	db.Add(1, "bread", "milk")
+	db.Add(2, "bread", "diapers", "beer", "eggs")
+	db.Add(3, "milk", "diapers", "beer", "cola")
+	db.Add(4, "bread", "milk", "diapers", "beer")
+	db.Add(5, "bread", "milk", "diapers", "cola")
+	res, err := mining.Eclat{}.Mine(db.Tx, mining.Params{MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestGenerate(t *testing.T) {
+	res := mineMarket(t)
+	out, err := Generate(res, GenParams{MinCount: 3, MinConf: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no rules generated")
+	}
+	for _, r := range out {
+		if r.Support() < 3.0/5 {
+			t.Errorf("rule %v support %g below threshold", r.Rule, r.Support())
+		}
+		if r.Confidence() < 0.7 {
+			t.Errorf("rule %v confidence %g below threshold", r.Rule, r.Confidence())
+		}
+		if len(itemset.Intersect(r.Ant, r.Cons)) != 0 {
+			t.Errorf("rule %v has overlapping sides", r.Rule)
+		}
+		if r.N != 5 {
+			t.Errorf("rule %v N = %d", r.Rule, r.N)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	res := mineMarket(t)
+	a, err := Generate(res, GenParams{MinCount: 2, MinConf: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(res, GenParams{MinCount: 2, MinConf: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Rule.Equal(b[i].Rule) || a[i].Stats != b[i].Stats {
+			t.Fatalf("output %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGenerateMaxAnt(t *testing.T) {
+	res := mineMarket(t)
+	out, err := Generate(res, GenParams{MinCount: 2, MinConf: 0, MaxAnt: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out {
+		if len(r.Ant) > 1 {
+			t.Errorf("rule %v exceeds MaxAnt", r.Rule)
+		}
+	}
+}
+
+func TestGenerateCountsCorrect(t *testing.T) {
+	// Verify generated counts against direct containment counting.
+	db := txdb.NewDB()
+	db.Add(1, "a", "b", "c")
+	db.Add(2, "a", "b")
+	db.Add(3, "a", "c")
+	db.Add(4, "b", "c")
+	db.Add(5, "a", "b", "c")
+	res, err := mining.Apriori{}.Mine(db.Tx, mining.Params{MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Generate(res, GenParams{MinCount: 1, MinConf: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range out {
+		var xy, x, y uint32
+		union := r.Items()
+		for _, tx := range db.Tx {
+			if itemset.Subset(union, tx.Items) {
+				xy++
+			}
+			if itemset.Subset(r.Ant, tx.Items) {
+				x++
+			}
+			if itemset.Subset(r.Cons, tx.Items) {
+				y++
+			}
+		}
+		if r.CountXY != xy || r.CountX != x || r.CountY != y {
+			t.Errorf("rule %v counts (%d,%d,%d), want (%d,%d,%d)",
+				r.Rule, r.CountXY, r.CountX, r.CountY, xy, x, y)
+		}
+	}
+}
+
+func TestGenerateEmptyResult(t *testing.T) {
+	res := mining.NewResult(0)
+	out, err := Generate(res, GenParams{MinCount: 1, MinConf: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("generated %d rules from empty result", len(out))
+	}
+}
+
+func TestDict(t *testing.T) {
+	d := NewDict()
+	r1 := Rule{Ant: itemset.New(1), Cons: itemset.New(2)}
+	r2 := Rule{Ant: itemset.New(2), Cons: itemset.New(1)}
+	id1 := d.Add(r1)
+	id2 := d.Add(r2)
+	if id1 == id2 {
+		t.Fatal("different rules share an id")
+	}
+	if got := d.Add(r1); got != id1 {
+		t.Errorf("re-Add returned %d, want %d", got, id1)
+	}
+	if got, ok := d.Lookup(r2); !ok || got != id2 {
+		t.Errorf("Lookup = %d,%v", got, ok)
+	}
+	if _, ok := d.Lookup(Rule{Ant: itemset.New(9), Cons: itemset.New(8)}); ok {
+		t.Error("Lookup of unknown rule succeeded")
+	}
+	back, ok := d.Rule(id1)
+	if !ok || !back.Equal(r1) {
+		t.Errorf("Rule(%d) = %v,%v", id1, back, ok)
+	}
+	if _, ok := d.Rule(ID(99)); ok {
+		t.Error("out-of-range id resolved")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d", d.Len())
+	}
+}
+
+func TestDictZeroValue(t *testing.T) {
+	var d Dict
+	id := d.Add(Rule{Ant: itemset.New(1), Cons: itemset.New(2)})
+	if r, ok := d.Rule(id); !ok || !r.Equal(Rule{Ant: itemset.New(1), Cons: itemset.New(2)}) {
+		t.Error("zero-value Dict unusable")
+	}
+}
+
+func TestPropertyKeyInjective(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	randRule := func() Rule {
+		n := 1 + r.Intn(4)
+		m := 1 + r.Intn(3)
+		all := make(itemset.Set, n+m)
+		for i := range all {
+			all[i] = itemset.Item(r.Intn(20))
+		}
+		all = itemset.Canonicalize(all)
+		if len(all) < 2 {
+			all = itemset.New(1, 2)
+		}
+		cut := 1 + r.Intn(len(all)-1)
+		return Rule{Ant: itemset.Clone(all[:cut]), Cons: itemset.Clone(all[cut:])}
+	}
+	for trial := 0; trial < 200; trial++ {
+		a, b := randRule(), randRule()
+		if (a.Key() == b.Key()) != a.Equal(b) {
+			t.Fatalf("key injectivity violated: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestPropertyGeneratedRulesSatisfyThresholds(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		db := txdb.NewDB()
+		n := 10 + r.Intn(40)
+		for i := 0; i < n; i++ {
+			l := 1 + r.Intn(5)
+			names := make([]string, l)
+			for j := range names {
+				names[j] = string(rune('a' + r.Intn(8)))
+			}
+			db.Add(int64(i), names...)
+		}
+		res, err := mining.FPGrowth{}.Mine(db.Tx, mining.Params{MinCount: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		minConf := r.Float64()
+		out, err := Generate(res, GenParams{MinCount: 2, MinConf: minConf})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range out {
+			if w.Confidence() < minConf {
+				t.Fatalf("trial %d: rule %v conf %g < %g", trial, w.Rule, w.Confidence(), minConf)
+			}
+			if w.CountXY < 2 {
+				t.Fatalf("trial %d: rule %v below count threshold", trial, w.Rule)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package stats provides the small statistical helpers used across the TARA
+// and MARAS implementations: moments, coefficient of variation, z-scores,
+// and the precision@K metric used by the MARAS evaluation (Figure 6 of the
+// paper).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 for fewer than one
+// element.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// CoefficientOfVariation returns StdDev/Mean (population form). It returns 0
+// when the mean is 0 to keep the measure well defined on degenerate inputs.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// SampleVariance returns the Bessel-corrected (n-1) variance, or 0 for fewer
+// than two elements.
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// SampleStdDev returns the sample standard deviation.
+func SampleStdDev(xs []float64) float64 { return math.Sqrt(SampleVariance(xs)) }
+
+// SampleCV returns SampleStdDev/Mean, the dispersion measure used by the
+// MARAS contrast score's penalty term G (Formula 8) — the paper's worked
+// example (contrast_cv of 0.18 and 0.45 at θ=0.75) pins the sample form.
+// It returns 0 when the mean is 0.
+func SampleCV(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return SampleStdDev(xs) / m
+}
+
+// ZScore returns (x - mean(ref)) / stddev(ref). When ref has zero variance
+// the z-score is defined as 0 (x indistinguishable from the reference).
+func ZScore(x float64, ref []float64) float64 {
+	sd := StdDev(ref)
+	if sd == 0 {
+		return 0
+	}
+	return (x - Mean(ref)) / sd
+}
+
+// PrecisionAtK returns the fraction of the first k ranked identifiers that
+// occur in the truth set. If fewer than k results exist, the available
+// prefix is scored against k per the usual precision@K convention of the
+// paper (missing slots count as misses). k must be positive.
+func PrecisionAtK(ranked []string, truth map[string]bool, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	hits := 0
+	for i := 0; i < k && i < len(ranked); i++ {
+		if truth[ranked[i]] {
+			hits++
+		}
+	}
+	return float64(hits) / float64(k)
+}
+
+// MinMax returns the smallest and largest values in xs. It panics on an
+// empty slice; callers guard for that.
+func MinMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It returns 0 for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	rank := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := rank - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}

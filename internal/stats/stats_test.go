@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{1, 2, 3, 4}, 2.5},
+		{[]float64{-1, 1}, 0},
+	}
+	for _, c := range cases {
+		if got := Mean(c.xs); !approx(got, c.want, 1e-12) {
+			t.Errorf("Mean(%v) = %g, want %g", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); !approx(got, 4, 1e-12) {
+		t.Errorf("Variance = %g, want 4", got)
+	}
+	if got := StdDev(xs); !approx(got, 2, 1e-12) {
+		t.Errorf("StdDev = %g, want 2", got)
+	}
+	if got := Variance(nil); got != 0 {
+		t.Errorf("Variance(nil) = %g", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Errorf("Variance(single) = %g", got)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9} // mean 5, sd 2
+	if got := CoefficientOfVariation(xs); !approx(got, 0.4, 1e-12) {
+		t.Errorf("CV = %g, want 0.4", got)
+	}
+	if got := CoefficientOfVariation([]float64{0, 0}); got != 0 {
+		t.Errorf("CV of zeros = %g, want 0", got)
+	}
+}
+
+func TestZScore(t *testing.T) {
+	ref := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := ZScore(7, ref); !approx(got, 1, 1e-12) {
+		t.Errorf("ZScore(7) = %g, want 1", got)
+	}
+	if got := ZScore(5, []float64{3, 3, 3}); got != 0 {
+		t.Errorf("ZScore with zero-variance ref = %g, want 0", got)
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	truth := map[string]bool{"a": true, "c": true, "e": true}
+	ranked := []string{"a", "b", "c", "d"}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1},
+		{2, 0.5},
+		{3, 2.0 / 3},
+		{4, 0.5},
+		{8, 0.25}, // prefix shorter than k: misses fill the tail
+		{0, 0},
+		{-1, 0},
+	}
+	for _, c := range cases {
+		if got := PrecisionAtK(ranked, truth, c.k); !approx(got, c.want, 1e-12) {
+			t.Errorf("PrecisionAtK(k=%d) = %g, want %g", c.k, got, c.want)
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 7, 2})
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = (%g, %g), want (-1, 7)", lo, hi)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {-5, 1}, {120, 5}, {10, 1.4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); !approx(got, c.want, 1e-12) {
+			t.Errorf("Percentile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("Percentile(nil) = %g", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Percentile mutated input: %v", xs)
+	}
+}
+
+func TestPropertyVarianceNonNegative(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func() bool {
+		n := r.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		return Variance(xs) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMeanShiftInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	f := func() bool {
+		n := 1 + r.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		shift := r.NormFloat64() * 5
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = xs[i] + shift
+		}
+		// Variance is shift-invariant; mean shifts by shift.
+		return approx(Variance(xs), Variance(ys), 1e-9) &&
+			approx(Mean(ys), Mean(xs)+shift, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPrecisionRange(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	f := func() bool {
+		n := r.Intn(10)
+		ranked := make([]string, n)
+		truth := map[string]bool{}
+		for i := range ranked {
+			ranked[i] = string(rune('a' + r.Intn(5)))
+			if r.Intn(2) == 0 {
+				truth[ranked[i]] = true
+			}
+		}
+		k := 1 + r.Intn(10)
+		p := PrecisionAtK(ranked, truth, k)
+		return p >= 0 && p <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleVarianceStdDev(t *testing.T) {
+	// {0.2, 0.8}: mean 0.5, sample variance 0.18, sd ~0.4243.
+	xs := []float64{0.2, 0.8}
+	if got := SampleVariance(xs); !approx(got, 0.18, 1e-12) {
+		t.Errorf("SampleVariance = %g, want 0.18", got)
+	}
+	if got := SampleStdDev(xs); !approx(got, math.Sqrt(0.18), 1e-12) {
+		t.Errorf("SampleStdDev = %g", got)
+	}
+	if got := SampleVariance([]float64{5}); got != 0 {
+		t.Errorf("SampleVariance(single) = %g", got)
+	}
+	if got := SampleVariance(nil); got != 0 {
+		t.Errorf("SampleVariance(nil) = %g", got)
+	}
+}
+
+func TestSampleCV(t *testing.T) {
+	xs := []float64{0.2, 0.8}
+	if got := SampleCV(xs); !approx(got, math.Sqrt(0.18)/0.5, 1e-12) {
+		t.Errorf("SampleCV = %g", got)
+	}
+	if got := SampleCV([]float64{0, 0}); got != 0 {
+		t.Errorf("SampleCV of zeros = %g", got)
+	}
+	// Sample CV exceeds population CV for the same data (Bessel).
+	if SampleCV(xs) <= CoefficientOfVariation(xs) {
+		t.Error("sample CV should exceed population CV")
+	}
+}

@@ -1,0 +1,100 @@
+package tara_test
+
+import (
+	"fmt"
+	"log"
+
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+// exampleDB is a tiny two-day retail log with one habit that persists
+// (milk+bread) and one that appears on day two (beer+chips).
+func exampleDB() *txdb.DB {
+	db := txdb.NewDB()
+	day1 := [][]string{
+		{"milk", "bread"}, {"milk", "bread"}, {"milk", "bread"},
+		{"tea"}, {"milk", "bread"}, {"tea"},
+	}
+	for i, tx := range day1 {
+		db.Add(int64(i), tx...)
+	}
+	day2 := [][]string{
+		{"beer", "chips"}, {"milk", "bread"}, {"beer", "chips"},
+		{"beer", "chips"}, {"milk", "bread"}, {"tea"},
+	}
+	for i, tx := range day2 {
+		db.Add(int64(10+i), tx...)
+	}
+	return db
+}
+
+func ExampleBuild() {
+	fw, err := tara.Build(exampleDB(), 10, 0, tara.Config{
+		GenMinSupport: 0.1,
+		GenMinConf:    0.1,
+		MaxItemsetLen: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("windows:", fw.Windows())
+	views, err := fw.Mine(1, 0.4, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, v := range views {
+		fmt.Printf("%s supp=%.2f conf=%.2f\n", v.Rule.Format(fw.ItemDict()), v.Support(), v.Confidence())
+	}
+	// Output:
+	// windows: 2
+	// [beer] => [chips] supp=0.50 conf=1.00
+	// [chips] => [beer] supp=0.50 conf=1.00
+}
+
+func ExampleFramework_Recommend() {
+	fw, err := tara.Build(exampleDB(), 10, 0, tara.Config{
+		GenMinSupport: 0.1,
+		GenMinConf:    0.1,
+		MaxItemsetLen: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	region, err := fw.Recommend(1, 0.4, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Within this box, any (minsupp, minconf) returns the same two rules.
+	fmt.Printf("stable for supp in (%.4g, %.4g], conf in (%.4g, %.4g], %d rules\n",
+		region.LowSupp, region.HighSupp, region.LowConf, region.HighConf, region.NumRules)
+	// Output:
+	// stable for supp in (0.3333, 0.5], conf in (0, 1], 2 rules
+}
+
+func ExampleFramework_DrillDown() {
+	fw, err := tara.Build(exampleDB(), 10, 0, tara.Config{
+		GenMinSupport: 0.1,
+		GenMinConf:    0.1,
+		MaxItemsetLen: 2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	views, err := fw.Mine(0, 0.5, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := fw.DrillDown(views[0].ID, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(views[0].Rule.Format(fw.ItemDict()))
+	for _, row := range rows {
+		fmt.Printf("window %d: supp=%.2f\n", row.Window, row.Stats.Support())
+	}
+	// Output:
+	// [milk] => [bread]
+	// window 0: supp=0.67
+	// window 1: supp=0.33
+}

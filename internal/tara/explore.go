@@ -1,0 +1,515 @@
+package tara
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tara/internal/archive"
+	"tara/internal/eps"
+	"tara/internal/itemset"
+	"tara/internal/rules"
+	"tara/internal/txdb"
+)
+
+// This file is the TARA Online Explorer: the query classes of Section 2.5
+// answered purely from the knowledge base.
+//
+//	Q1  Mine + RuleTrajectories — rules for a setting in one window, with
+//	    their parameter values examined across other windows.
+//	Q2  Compare — evolving ruleset comparison between two settings.
+//	Q3  Recommend — the time-aware stable region of a setting (TARA-R).
+//	Q4  MineRollUp / DrillDown — coarser/finer time granularity.
+//	Q5  RulesAbout — content-based exploration (TARA-S).
+
+// RuleView is one rule materialized for query output.
+type RuleView struct {
+	ID    rules.ID
+	Rule  rules.Rule
+	Stats rules.Stats
+}
+
+// Support, Confidence and Lift are re-exported from Stats for convenience.
+func (v RuleView) Support() float64    { return v.Stats.Support() }
+func (v RuleView) Confidence() float64 { return v.Stats.Confidence() }
+func (v RuleView) Lift() float64       { return v.Stats.Lift() }
+
+// view materializes a rule id in window w using archived stats.
+func (f *Framework) view(id rules.ID, w int) (RuleView, error) {
+	r, ok := f.ruleDict.Rule(id)
+	if !ok {
+		return RuleView{}, fmt.Errorf("tara: unknown rule id %d", id)
+	}
+	st, ok := f.arch.StatsAt(id, w)
+	if !ok {
+		return RuleView{}, fmt.Errorf("tara: rule %d has no record in window %d", id, w)
+	}
+	return RuleView{ID: id, Rule: r, Stats: st}, nil
+}
+
+// Mine returns the rules satisfying (minSupp, minConf) in window w — the
+// traditional temporal mining request, answered by quadrant collection over
+// the window's parameter-space slice.
+func (f *Framework) Mine(w int, minSupp, minConf float64) ([]RuleView, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return nil, err
+	}
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return nil, err
+	}
+	ids := slice.Rules(minSupp, minConf)
+	out := make([]RuleView, len(ids))
+	for i, id := range ids {
+		out[i], err = f.view(id, w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// MineFiltered is Mine with additional interestingness thresholds beyond
+// the two EPS dimensions — the "other measures can be plugged in" direction
+// of Section 2.2.2. minLift filters on Formula 3 (values <= 0 disable it).
+// The lift filter is a post-pass over the answer set: it is not an index
+// dimension, so its cost is linear in the (support, confidence) answer.
+func (f *Framework) MineFiltered(w int, minSupp, minConf, minLift float64) ([]RuleView, error) {
+	views, err := f.Mine(w, minSupp, minConf)
+	if err != nil {
+		return nil, err
+	}
+	if minLift <= 0 {
+		return views, nil
+	}
+	out := views[:0]
+	for _, v := range views {
+		if v.Lift() >= minLift {
+			out = append(out, v)
+		}
+	}
+	return out, nil
+}
+
+// MineMerged is the TARA-S variant of Mine: qualifying rules are collected
+// by merging the per-region content indexes, the collection path the paper's
+// TARA-S curves measure. It requires ContentIndex.
+func (f *Framework) MineMerged(w int, minSupp, minConf float64) ([]RuleView, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return nil, err
+	}
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := slice.RulesMerged(minSupp, minConf)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RuleView, len(ids))
+	for i, id := range ids {
+		out[i], err = f.view(id, w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// checkGenThresholds rejects requests below the pregeneration thresholds,
+// which the knowledge base cannot answer ("time availability" of the
+// parameter dimension mirrors Definition 8's of the time dimension).
+func (f *Framework) checkGenThresholds(minSupp, minConf float64) error {
+	if minSupp < f.cfg.GenMinSupport {
+		return fmt.Errorf("tara: minsupp %g below generation threshold %g", minSupp, f.cfg.GenMinSupport)
+	}
+	if minConf < f.cfg.GenMinConf {
+		return fmt.Errorf("tara: minconf %g below generation threshold %g", minConf, f.cfg.GenMinConf)
+	}
+	return nil
+}
+
+// RuleTrajectory is one Q1 answer row: a rule qualifying in the query
+// window together with its archived statistics in every examined window
+// (Present[i] false where the rule was not pregenerated).
+type RuleTrajectory struct {
+	ID      rules.ID
+	Rule    rules.Rule
+	Windows []int
+	Stats   []rules.Stats
+	Present []bool
+}
+
+// RuleTrajectories answers Q1: find rules satisfying the setting in window
+// w, then examine their parameter values in the other specified windows.
+func (f *Framework) RuleTrajectories(w int, minSupp, minConf float64, others []int) ([]RuleTrajectory, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return nil, err
+	}
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range others {
+		if o < 0 || o >= len(f.windows) {
+			return nil, fmt.Errorf("tara: trajectory window %d out of range", o)
+		}
+	}
+	ids := slice.Rules(minSupp, minConf)
+	out := make([]RuleTrajectory, 0, len(ids))
+	for _, id := range ids {
+		r, ok := f.ruleDict.Rule(id)
+		if !ok {
+			return nil, fmt.Errorf("tara: unknown rule id %d", id)
+		}
+		tr := RuleTrajectory{
+			ID:      id,
+			Rule:    r,
+			Windows: others,
+			Stats:   make([]rules.Stats, len(others)),
+			Present: make([]bool, len(others)),
+		}
+		for i, o := range others {
+			tr.Stats[i], tr.Present[i] = f.arch.StatsAt(id, o)
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+// WindowDiff is the per-window outcome of a Q2 comparison.
+type WindowDiff struct {
+	Window int
+	OnlyA  []rules.ID
+	OnlyB  []rules.ID
+}
+
+// Compare answers Q2 in exact-match mode: for every requested window, the
+// rules satisfying setting A but not B and vice versa.
+func (f *Framework) Compare(windows []int, suppA, confA, suppB, confB float64) ([]WindowDiff, error) {
+	if err := f.checkGenThresholds(suppA, confA); err != nil {
+		return nil, err
+	}
+	if err := f.checkGenThresholds(suppB, confB); err != nil {
+		return nil, err
+	}
+	out := make([]WindowDiff, 0, len(windows))
+	for _, w := range windows {
+		slice, err := f.index.Slice(w)
+		if err != nil {
+			return nil, err
+		}
+		a, b := slice.Diff(suppA, confA, suppB, confB)
+		out = append(out, WindowDiff{Window: w, OnlyA: a, OnlyB: b})
+	}
+	return out, nil
+}
+
+// Recommend answers Q3: the time-aware stable region around the request,
+// telling the analyst how far the parameters can move before the output
+// changes (the TARA-R response of the experiments).
+func (f *Framework) Recommend(w int, minSupp, minConf float64) (eps.Region, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return eps.Region{}, err
+	}
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return eps.Region{}, err
+	}
+	return slice.Region(minSupp, minConf), nil
+}
+
+// RollUpRule is one rule of a coarse-period mining answer. Stats are the
+// exact sums over the windows where the rule was pregenerated;
+// MaxSupportError bounds how much the period support may be underestimated
+// because of windows where the rule fell below the generation thresholds.
+type RollUpRule struct {
+	ID      rules.ID
+	Rule    rules.Rule
+	Stats   rules.Stats
+	Present int // windows of the period in which the rule was archived
+	// MaxSupportError is the roll-up approximation bound: in each absent
+	// window w the rule's count is < max(⌈s_gen·N_w⌉, ⌈c_gen·N_w⌉), so the
+	// period support is underestimated by less than the sum of those caps
+	// over absent windows divided by the period's N.
+	MaxSupportError float64
+}
+
+// MineRollUp answers the coarse-granularity mining request (roll-up, Q4):
+// rules whose exact rolled-up support and confidence over windows
+// [from, to] meet the thresholds. Candidates are sound for the archived
+// knowledge: any rule whose period support meets minSupp must reach minSupp
+// in at least one window (a mean cannot exceed every component), so the
+// union of per-window qualifying sets is screened. The residual
+// approximation — contributions from windows where a rule fell below the
+// generation thresholds — is quantified per rule by MaxSupportError.
+func (f *Framework) MineRollUp(from, to int, minSupp, minConf float64) ([]RollUpRule, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return nil, err
+	}
+	if from < 0 || to >= len(f.windows) || from > to {
+		return nil, fmt.Errorf("tara: roll-up range [%d,%d] out of bounds (have %d windows)", from, to, len(f.windows))
+	}
+	candidates := map[rules.ID]bool{}
+	for w := from; w <= to; w++ {
+		slice, err := f.index.Slice(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range slice.Rules(minSupp, 0) {
+			candidates[id] = true
+		}
+	}
+	var periodN uint32
+	for w := from; w <= to; w++ {
+		n, err := f.arch.WindowN(w)
+		if err != nil {
+			return nil, err
+		}
+		periodN += n
+	}
+	var out []RollUpRule
+	for id := range candidates {
+		st, present, err := f.arch.RollUp(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		if st.Support() < minSupp || st.Confidence() < minConf {
+			continue
+		}
+		r, ok := f.ruleDict.Rule(id)
+		if !ok {
+			return nil, fmt.Errorf("tara: unknown rule id %d", id)
+		}
+		out = append(out, RollUpRule{
+			ID:              id,
+			Rule:            r,
+			Stats:           st,
+			Present:         present,
+			MaxSupportError: f.rollUpErrorBound(id, from, to, periodN),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// rollUpErrorBound computes the support-underestimate bound for a rule over
+// [from, to]: absent windows contribute strictly less than
+// max(⌈s_gen·N_w⌉, ⌈c_gen·N_w⌉) joint occurrences each.
+func (f *Framework) rollUpErrorBound(id rules.ID, from, to int, periodN uint32) float64 {
+	presentIn := map[int]bool{}
+	for _, e := range f.arch.Range(id, from, to) {
+		presentIn[e.Window] = true
+	}
+	var missing float64
+	for w := from; w <= to; w++ {
+		if presentIn[w] {
+			continue
+		}
+		n := float64(f.windows[w].N)
+		capSupp := math.Ceil(f.cfg.GenMinSupport * n)
+		capConf := math.Ceil(f.cfg.GenMinConf * n)
+		missing += math.Max(capSupp, capConf)
+	}
+	if periodN == 0 {
+		return 0
+	}
+	return missing / float64(periodN)
+}
+
+// RollUpSlice materializes a parameter-space slice for the coarse period
+// [from, to] from the archive's exact rolled-up statistics, so stable-region
+// recommendation (Q3) and ruleset comparison (Q2) work at coarse granularity
+// too. The slice carries the same approximation caveat as MineRollUp: rules
+// below the generation thresholds in some windows contribute only their
+// archived counts. The window index of the returned slice is `from`.
+func (f *Framework) RollUpSlice(from, to int) (*eps.Slice, error) {
+	if from < 0 || to >= len(f.windows) || from > to {
+		return nil, fmt.Errorf("tara: roll-up range [%d,%d] out of bounds (have %d windows)", from, to, len(f.windows))
+	}
+	var ids []eps.IDStats
+	for _, id := range f.arch.Rules() {
+		st, present, err := f.arch.RollUp(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		if present == 0 {
+			continue
+		}
+		ids = append(ids, eps.IDStats{ID: id, Stats: st})
+	}
+	var n uint32
+	for w := from; w <= to; w++ {
+		n += f.windows[w].N
+	}
+	return eps.BuildSlice(from, n, ids, eps.Options{
+		ContentIndex: f.cfg.ContentIndex,
+		Dict:         f.ruleDict,
+	})
+}
+
+// RecommendRollUp answers Q3 at coarse granularity: the stable region of the
+// rolled-up period [from, to] around the request point.
+func (f *Framework) RecommendRollUp(from, to int, minSupp, minConf float64) (eps.Region, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return eps.Region{}, err
+	}
+	slice, err := f.RollUpSlice(from, to)
+	if err != nil {
+		return eps.Region{}, err
+	}
+	return slice.Region(minSupp, minConf), nil
+}
+
+// WindowStats is one drill-down row: a rule's statistics in one window.
+type WindowStats struct {
+	Window  int
+	Period  txdb.Period
+	Stats   rules.Stats
+	Present bool
+}
+
+// DrillDown answers the finer-granularity direction of Q4: the per-window
+// statistics of a rule across [from, to].
+func (f *Framework) DrillDown(id rules.ID, from, to int) ([]WindowStats, error) {
+	if from < 0 || to >= len(f.windows) || from > to {
+		return nil, fmt.Errorf("tara: drill-down range [%d,%d] out of bounds (have %d windows)", from, to, len(f.windows))
+	}
+	if _, ok := f.ruleDict.Rule(id); !ok {
+		return nil, fmt.Errorf("tara: unknown rule id %d", id)
+	}
+	out := make([]WindowStats, 0, to-from+1)
+	for w := from; w <= to; w++ {
+		st, ok := f.arch.StatsAt(id, w)
+		out = append(out, WindowStats{Window: w, Period: f.windows[w].Period, Stats: st, Present: ok})
+	}
+	return out, nil
+}
+
+// Trajectory exposes the archive trajectory of a rule for evolution
+// measures (Definition 10).
+func (f *Framework) Trajectory(id rules.ID, from, to int) (archive.Trajectory, error) {
+	return f.arch.Trajectory(id, from, to)
+}
+
+// RulesAbout answers Q5: rules mentioning all given item names that satisfy
+// the setting in window w. It requires the framework to have been built
+// with ContentIndex (the TARA-S configuration).
+func (f *Framework) RulesAbout(w int, minSupp, minConf float64, names []string) ([]RuleView, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return nil, err
+	}
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return nil, err
+	}
+	items := make(itemset.Set, 0, len(names))
+	for _, n := range names {
+		it, ok := f.itemDict.Lookup(n)
+		if !ok {
+			// Unknown item: no rule can mention it.
+			return nil, nil
+		}
+		items = append(items, it)
+	}
+	items = itemset.Canonicalize(items)
+	ids, err := slice.RulesWithItems(minSupp, minConf, items)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RuleView, len(ids))
+	for i, id := range ids {
+		out[i], err = f.view(id, w)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EvolutionMeasure selects how EvolutionSummaries are ranked.
+type EvolutionMeasure int
+
+const (
+	// ByStability ranks most-stable first (highest fraction of small
+	// support deltas).
+	ByStability EvolutionMeasure = iota
+	// ByCoverage ranks rules present in the most windows first.
+	ByCoverage
+	// ByVolatility ranks the most fluctuating rules first (highest support
+	// standard deviation) — the "most significant change" exploration.
+	ByVolatility
+)
+
+// EvolutionSummary scores one rule's behaviour across a window range.
+type EvolutionSummary struct {
+	ID        rules.ID
+	Rule      rules.Rule
+	Coverage  float64
+	Stability float64
+	StdDev    float64
+}
+
+// RankEvolution finds rules satisfying the setting in at least one window of
+// [from, to] and ranks them by the chosen evolution measure, returning the
+// top k (all if k <= 0). stabilityEps is the support-delta tolerance used by
+// the stability measure.
+func (f *Framework) RankEvolution(from, to int, minSupp, minConf float64, m EvolutionMeasure, stabilityEps float64, k int) ([]EvolutionSummary, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return nil, err
+	}
+	if from < 0 || to >= len(f.windows) || from > to {
+		return nil, fmt.Errorf("tara: evolution range [%d,%d] out of bounds (have %d windows)", from, to, len(f.windows))
+	}
+	seen := map[rules.ID]bool{}
+	for w := from; w <= to; w++ {
+		slice, err := f.index.Slice(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range slice.Rules(minSupp, minConf) {
+			seen[id] = true
+		}
+	}
+	out := make([]EvolutionSummary, 0, len(seen))
+	for id := range seen {
+		tr, err := f.arch.Trajectory(id, from, to)
+		if err != nil {
+			return nil, err
+		}
+		r, _ := f.ruleDict.Rule(id)
+		out = append(out, EvolutionSummary{
+			ID:        id,
+			Rule:      r,
+			Coverage:  tr.Coverage(),
+			Stability: tr.Stability(stabilityEps),
+			StdDev:    tr.SupportStdDev(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		var less bool
+		switch m {
+		case ByCoverage:
+			less = a.Coverage > b.Coverage
+			if a.Coverage == b.Coverage {
+				return a.ID < b.ID
+			}
+		case ByVolatility:
+			less = a.StdDev > b.StdDev
+			if a.StdDev == b.StdDev {
+				return a.ID < b.ID
+			}
+		default: // ByStability
+			less = a.Stability > b.Stability
+			if a.Stability == b.Stability {
+				return a.ID < b.ID
+			}
+		}
+		return less
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,118 @@
+package tara
+
+import (
+	"fmt"
+	"sort"
+
+	"tara/internal/rules"
+)
+
+// Periodicity exploration: the introduction motivates finding "the most
+// significant rules that occur every weekend". With the archive holding
+// every rule's per-window presence, cyclic behaviour reduces to folding the
+// presence vector modulo a candidate period and looking for a phase that
+// concentrates the qualifications.
+
+// PeriodicSummary describes one rule's cyclic qualification pattern.
+type PeriodicSummary struct {
+	ID   rules.ID
+	Rule rules.Rule
+	// Period is the cycle length in windows the summary was computed for.
+	Period int
+	// BestPhase is the offset (0..Period-1) with the highest presence rate.
+	BestPhase int
+	// PhasePresence[p] is the fraction of windows at phase p in which the
+	// rule qualified.
+	PhasePresence []float64
+	// Score is the periodicity strength: presence at the best phase minus
+	// the mean presence at all other phases. 1 means the rule qualifies at
+	// exactly one phase of every cycle and never elsewhere.
+	Score float64
+}
+
+// FindPeriodic ranks rules by how periodically they qualify under
+// (minSupp, minConf) across windows [from, to], folding at the given period
+// (e.g. period 7 over daily windows finds weekly rules). Rules must qualify
+// at least twice to be considered. Top k summaries are returned (all if
+// k <= 0).
+func (f *Framework) FindPeriodic(from, to int, minSupp, minConf float64, period int, k int) ([]PeriodicSummary, error) {
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return nil, err
+	}
+	if from < 0 || to >= len(f.windows) || from > to {
+		return nil, fmt.Errorf("tara: periodic range [%d,%d] out of bounds (have %d windows)", from, to, len(f.windows))
+	}
+	nWindows := to - from + 1
+	if period < 2 || period > nWindows {
+		return nil, fmt.Errorf("tara: period %d outside [2,%d]", period, nWindows)
+	}
+
+	// Candidate rules and their qualification vectors.
+	type presence struct {
+		vec   []bool
+		total int
+	}
+	cand := map[rules.ID]*presence{}
+	for w := from; w <= to; w++ {
+		slice, err := f.index.Slice(w)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range slice.Rules(minSupp, minConf) {
+			p := cand[id]
+			if p == nil {
+				p = &presence{vec: make([]bool, nWindows)}
+				cand[id] = p
+			}
+			p.vec[w-from] = true
+			p.total++
+		}
+	}
+
+	out := make([]PeriodicSummary, 0, len(cand))
+	for id, p := range cand {
+		if p.total < 2 {
+			continue
+		}
+		phases := make([]float64, period)
+		counts := make([]int, period)
+		for i, present := range p.vec {
+			ph := i % period
+			counts[ph]++
+			if present {
+				phases[ph]++
+			}
+		}
+		best, bestRate := 0, -1.0
+		var sum float64
+		for ph := range phases {
+			if counts[ph] > 0 {
+				phases[ph] /= float64(counts[ph])
+			}
+			sum += phases[ph]
+			if phases[ph] > bestRate {
+				best, bestRate = ph, phases[ph]
+			}
+		}
+		others := (sum - bestRate) / float64(period-1)
+		r, _ := f.ruleDict.Rule(id)
+		out = append(out, PeriodicSummary{
+			ID:            id,
+			Rule:          r,
+			Period:        period,
+			BestPhase:     best,
+			PhasePresence: phases,
+			Score:         bestRate - others,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].ID < out[j].ID
+	})
+	if k > 0 && k < len(out) {
+		out = out[:k]
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package tara
+
+import (
+	"math/rand"
+	"testing"
+
+	"tara/internal/txdb"
+)
+
+// periodicDB plants a "weekend" association: the pair (W1, W2) co-occurs
+// heavily in every third window and never otherwise; a steady pair (S1, S2)
+// holds everywhere.
+func periodicDB(windows, perWindow int) *txdb.DB {
+	r := rand.New(rand.NewSource(77))
+	db := txdb.NewDB()
+	t := int64(0)
+	for w := 0; w < windows; w++ {
+		weekend := w%3 == 2
+		for i := 0; i < perWindow; i++ {
+			var names []string
+			names = append(names, "S1", "S2")
+			if weekend && r.Float64() < 0.8 {
+				names = append(names, "W1", "W2")
+			}
+			names = append(names, "f"+string(rune('a'+r.Intn(8))))
+			db.Add(t, names...)
+			t++
+		}
+	}
+	return db
+}
+
+func buildPeriodic(t *testing.T) *Framework {
+	t.Helper()
+	db := periodicDB(9, 100)
+	f, err := Build(db, 100, 0, Config{GenMinSupport: 0.05, GenMinConf: 0.1, MaxItemsetLen: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Windows() != 9 {
+		t.Fatalf("windows = %d", f.Windows())
+	}
+	return f
+}
+
+func TestFindPeriodicDetectsWeekendRule(t *testing.T) {
+	f := buildPeriodic(t)
+	out, err := f.FindPeriodic(0, 8, 0.3, 0.5, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("no periodic summaries")
+	}
+	if out[0].Score != 1 {
+		t.Errorf("top score = %g, want 1 (perfectly periodic rules exist)", out[0].Score)
+	}
+	// The W1/W2 pair must be among the perfectly periodic summaries (rules
+	// involving W1 with steady items are equally periodic — W1 only exists
+	// on weekends — so exact rank is tie-broken by id).
+	w1, _ := f.ItemDict().Lookup("W1")
+	w2, _ := f.ItemDict().Lookup("W2")
+	found := false
+	for _, s := range out {
+		items := s.Rule.Items()
+		if items.Contains(w1) && items.Contains(w2) {
+			found = true
+			if s.BestPhase != 2 {
+				t.Errorf("W1/W2 BestPhase = %d, want 2", s.BestPhase)
+			}
+			if s.Score != 1 {
+				t.Errorf("W1/W2 Score = %g, want 1", s.Score)
+			}
+			if s.PhasePresence[2] != 1 || s.PhasePresence[0] != 0 || s.PhasePresence[1] != 0 {
+				t.Errorf("W1/W2 PhasePresence = %v", s.PhasePresence)
+			}
+			break
+		}
+	}
+	if !found {
+		t.Fatal("W1/W2 rule not among top periodic summaries")
+	}
+}
+
+func TestFindPeriodicSteadyRuleScoresZero(t *testing.T) {
+	f := buildPeriodic(t)
+	out, err := f.FindPeriodic(0, 8, 0.3, 0.5, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := f.ItemDict().Lookup("S1")
+	s2, _ := f.ItemDict().Lookup("S2")
+	found := false
+	for _, s := range out {
+		items := s.Rule.Items()
+		if items.Contains(s1) && items.Contains(s2) && len(items) == 2 {
+			found = true
+			if s.Score != 0 {
+				t.Errorf("steady rule score = %g, want 0", s.Score)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("steady rule not among candidates")
+	}
+}
+
+func TestFindPeriodicWrongPeriodScoresLower(t *testing.T) {
+	f := buildPeriodic(t)
+	right, err := f.FindPeriodic(0, 8, 0.3, 0.5, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Folding at period 2 cannot concentrate a period-3 signal: the top
+	// score must drop.
+	wrong, err := f.FindPeriodic(0, 8, 0.3, 0.5, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(right) == 0 || len(wrong) == 0 {
+		t.Fatal("missing summaries")
+	}
+	if wrong[0].Score >= right[0].Score {
+		t.Errorf("wrong-period score %g >= right-period score %g", wrong[0].Score, right[0].Score)
+	}
+}
+
+func TestFindPeriodicValidation(t *testing.T) {
+	f := buildPeriodic(t)
+	if _, err := f.FindPeriodic(0, 8, 0.3, 0.5, 1, 5); err == nil {
+		t.Error("period 1 accepted")
+	}
+	if _, err := f.FindPeriodic(0, 8, 0.3, 0.5, 10, 5); err == nil {
+		t.Error("period beyond range accepted")
+	}
+	if _, err := f.FindPeriodic(0, 99, 0.3, 0.5, 3, 5); err == nil {
+		t.Error("bad range accepted")
+	}
+	if _, err := f.FindPeriodic(0, 8, 0.0001, 0.5, 3, 5); err == nil {
+		t.Error("below-generation threshold accepted")
+	}
+}

@@ -1,0 +1,305 @@
+package tara
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tara/internal/archive"
+	"tara/internal/eps"
+	"tara/internal/mining"
+	"tara/internal/rules"
+	"tara/internal/txdb"
+)
+
+// Knowledge-base serialization. The archive payload is stored verbatim (its
+// in-memory encoding is already compact); the EPS index is *not* stored — it
+// is derivable from the archive and is rebuilt on load, which keeps the
+// format small and forward-compatible with index-layout changes.
+//
+// Format (uvarints unless noted):
+//
+//	magic "TARAKB1\n"
+//	config: genSupp (float64 bits, fixed 8 bytes), genConf (same),
+//	        maxLen, contentIndex (0/1), miner name (len-prefixed)
+//	items:  count, then len-prefixed names in id order
+//	rules:  count, then len-prefixed rule keys in id order
+//	windows: count, then per window zigzag(start), zigzag(end), N
+//	archive: the archive.WriteTo stream
+
+const kbMagic = "TARAKB1\n"
+
+// Save serializes the framework's knowledge base.
+func (f *Framework) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var tmp [binary.MaxVarintLen64]byte
+	writeUvarint := func(u uint64) error {
+		n := binary.PutUvarint(tmp[:], u)
+		_, err := bw.Write(tmp[:n])
+		return err
+	}
+	writeString := func(s string) error {
+		if err := writeUvarint(uint64(len(s))); err != nil {
+			return err
+		}
+		_, err := bw.WriteString(s)
+		return err
+	}
+	writeFloat := func(v float64) error {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], math.Float64bits(v))
+		_, err := bw.Write(b[:])
+		return err
+	}
+
+	if _, err := bw.WriteString(kbMagic); err != nil {
+		return err
+	}
+	if err := writeFloat(f.cfg.GenMinSupport); err != nil {
+		return err
+	}
+	if err := writeFloat(f.cfg.GenMinConf); err != nil {
+		return err
+	}
+	if err := writeUvarint(uint64(f.cfg.MaxItemsetLen)); err != nil {
+		return err
+	}
+	ci := uint64(0)
+	if f.cfg.ContentIndex {
+		ci = 1
+	}
+	if err := writeUvarint(ci); err != nil {
+		return err
+	}
+	if err := writeString(f.cfg.miner().Name()); err != nil {
+		return err
+	}
+
+	if err := writeUvarint(uint64(f.itemDict.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < f.itemDict.Len(); i++ {
+		if err := writeString(f.itemDict.Name(txdb.Item(i))); err != nil {
+			return err
+		}
+	}
+
+	if err := writeUvarint(uint64(f.ruleDict.Len())); err != nil {
+		return err
+	}
+	for i := 0; i < f.ruleDict.Len(); i++ {
+		r, _ := f.ruleDict.Rule(rules.ID(i))
+		if err := writeString(r.Key()); err != nil {
+			return err
+		}
+	}
+
+	if err := writeUvarint(uint64(len(f.windows))); err != nil {
+		return err
+	}
+	for _, wi := range f.windows {
+		if err := writeUvarint(zigzag64(wi.Period.Start)); err != nil {
+			return err
+		}
+		if err := writeUvarint(zigzag64(wi.Period.End)); err != nil {
+			return err
+		}
+		if err := writeUvarint(uint64(wi.N)); err != nil {
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := f.arch.WriteTo(w); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Load reconstructs a framework from a stream produced by Save. The EPS
+// index is rebuilt from the archive.
+func Load(r io.Reader) (*Framework, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(kbMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tara: reading magic: %w", err)
+	}
+	if string(magic) != kbMagic {
+		return nil, fmt.Errorf("tara: bad knowledge-base magic %q", magic)
+	}
+	readUvarint := func(what string) (uint64, error) {
+		u, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, fmt.Errorf("tara: reading %s: %w", what, err)
+		}
+		return u, nil
+	}
+	readString := func(what string) (string, error) {
+		l, err := readUvarint(what + " length")
+		if err != nil {
+			return "", err
+		}
+		if l > 1<<24 {
+			return "", fmt.Errorf("tara: implausible %s length %d", what, l)
+		}
+		b := make([]byte, l)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return "", fmt.Errorf("tara: reading %s: %w", what, err)
+		}
+		return string(b), nil
+	}
+	readFloat := func(what string) (float64, error) {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil {
+			return 0, fmt.Errorf("tara: reading %s: %w", what, err)
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(b[:])), nil
+	}
+
+	var cfg Config
+	var err error
+	if cfg.GenMinSupport, err = readFloat("genSupp"); err != nil {
+		return nil, err
+	}
+	if cfg.GenMinConf, err = readFloat("genConf"); err != nil {
+		return nil, err
+	}
+	maxLen, err := readUvarint("maxLen")
+	if err != nil {
+		return nil, err
+	}
+	cfg.MaxItemsetLen = int(maxLen)
+	ci, err := readUvarint("contentIndex")
+	if err != nil {
+		return nil, err
+	}
+	cfg.ContentIndex = ci == 1
+	minerName, err := readString("miner name")
+	if err != nil {
+		return nil, err
+	}
+	cfg.Miner, err = mining.ByName(minerName)
+	if err != nil {
+		return nil, err
+	}
+
+	itemCount, err := readUvarint("item count")
+	if err != nil {
+		return nil, err
+	}
+	itemDict := txdb.NewDict()
+	for i := uint64(0); i < itemCount; i++ {
+		name, err := readString("item name")
+		if err != nil {
+			return nil, err
+		}
+		itemDict.Add(name)
+	}
+
+	ruleCount, err := readUvarint("rule count")
+	if err != nil {
+		return nil, err
+	}
+	ruleDict := rules.NewDict()
+	for i := uint64(0); i < ruleCount; i++ {
+		key, err := readString("rule key")
+		if err != nil {
+			return nil, err
+		}
+		rl, err := rules.FromKey(key)
+		if err != nil {
+			return nil, fmt.Errorf("tara: rule %d: %w", i, err)
+		}
+		if got := ruleDict.Add(rl); got != rules.ID(i) {
+			return nil, fmt.Errorf("tara: rule %d interned as %d (duplicate key?)", i, got)
+		}
+	}
+
+	windowCount, err := readUvarint("window count")
+	if err != nil {
+		return nil, err
+	}
+	if windowCount > 1<<24 {
+		return nil, fmt.Errorf("tara: implausible window count %d", windowCount)
+	}
+	windows := make([]WindowInfo, windowCount)
+	for i := range windows {
+		s, err := readUvarint("window start")
+		if err != nil {
+			return nil, err
+		}
+		e, err := readUvarint("window end")
+		if err != nil {
+			return nil, err
+		}
+		n, err := readUvarint("window N")
+		if err != nil {
+			return nil, err
+		}
+		windows[i] = WindowInfo{
+			Index:  i,
+			Period: txdb.Period{Start: unzigzag64(s), End: unzigzag64(e)},
+			N:      uint32(n),
+		}
+	}
+
+	arch, err := archive.ReadArchive(br)
+	if err != nil {
+		return nil, err
+	}
+	if arch.Windows() != len(windows) {
+		return nil, fmt.Errorf("tara: archive has %d windows, metadata %d", arch.Windows(), len(windows))
+	}
+
+	f := &Framework{
+		cfg:      cfg,
+		itemDict: itemDict,
+		ruleDict: ruleDict,
+		arch:     arch,
+		index:    eps.NewIndex(),
+		windows:  windows,
+	}
+	if err := f.rebuildIndex(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// rebuildIndex reconstructs the EPS index from the archive: each window's
+// slice is built from the rules recorded for that window.
+func (f *Framework) rebuildIndex() error {
+	perWindow := make([][]eps.IDStats, len(f.windows))
+	for _, id := range f.arch.Rules() {
+		for _, e := range f.arch.Series(id) {
+			if e.Window < 0 || e.Window >= len(f.windows) {
+				return fmt.Errorf("tara: archived window %d out of range", e.Window)
+			}
+			perWindow[e.Window] = append(perWindow[e.Window], eps.IDStats{
+				ID: id,
+				Stats: rules.Stats{
+					CountXY: e.CountXY, CountX: e.CountX, CountY: e.CountY,
+					N: f.windows[e.Window].N,
+				},
+			})
+		}
+	}
+	for w, ids := range perWindow {
+		slice, err := eps.BuildSlice(w, f.windows[w].N, ids, eps.Options{
+			ContentIndex: f.cfg.ContentIndex,
+			Dict:         f.ruleDict,
+		})
+		if err != nil {
+			return fmt.Errorf("tara: rebuilding window %d: %w", w, err)
+		}
+		if err := f.index.Append(slice); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func zigzag64(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag64(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

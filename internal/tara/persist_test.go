@@ -1,0 +1,168 @@
+package tara
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tara/internal/rules"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.ContentIndex = true
+	orig := build(t, cfg)
+
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if loaded.Windows() != orig.Windows() {
+		t.Fatalf("windows: %d vs %d", loaded.Windows(), orig.Windows())
+	}
+	if loaded.RuleDict().Len() != orig.RuleDict().Len() {
+		t.Fatalf("rules: %d vs %d", loaded.RuleDict().Len(), orig.RuleDict().Len())
+	}
+	if loaded.ItemDict().Len() != orig.ItemDict().Len() {
+		t.Fatalf("items: %d vs %d", loaded.ItemDict().Len(), orig.ItemDict().Len())
+	}
+	lc, oc := loaded.Config(), orig.Config()
+	if lc.GenMinSupport != oc.GenMinSupport || lc.GenMinConf != oc.GenMinConf ||
+		lc.MaxItemsetLen != oc.MaxItemsetLen || lc.ContentIndex != oc.ContentIndex {
+		t.Fatalf("config: %+v vs %+v", lc, oc)
+	}
+
+	// Window metadata round trips.
+	for w := 0; w < orig.Windows(); w++ {
+		ow, _ := orig.Window(w)
+		lw, _ := loaded.Window(w)
+		if ow != lw {
+			t.Errorf("window %d: %+v vs %+v", w, lw, ow)
+		}
+	}
+
+	// Every query answers identically on the loaded framework.
+	for w := 0; w < orig.Windows(); w++ {
+		a, err := orig.Mine(w, 0.05, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := loaded.Mine(w, 0.05, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("window %d: %d vs %d rules", w, len(a), len(b))
+		}
+		bk := map[string]rules.Stats{}
+		for _, v := range b {
+			bk[v.Rule.Key()] = v.Stats
+		}
+		for _, v := range a {
+			if st, ok := bk[v.Rule.Key()]; !ok || st != v.Stats {
+				t.Fatalf("window %d: rule %v differs after reload", w, v.Rule)
+			}
+		}
+	}
+
+	// Rule names survive (dictionary order preserved).
+	views, err := loaded.Mine(0, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origViews, _ := orig.Mine(0, 0.05, 0.2)
+	if views[0].Rule.Format(loaded.ItemDict()) != origViews[0].Rule.Format(orig.ItemDict()) {
+		t.Error("item names differ after reload")
+	}
+
+	// Content-indexed query works on the reloaded knowledge base.
+	name := loaded.ItemDict().Name(views[0].Rule.Items()[0])
+	if _, err := loaded.RulesAbout(0, 0.05, 0.2, []string{name}); err != nil {
+		t.Errorf("RulesAbout after reload: %v", err)
+	}
+
+	// Roll-up and trajectories also answer identically.
+	ra, err := orig.MineRollUp(0, 3, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := loaded.MineRollUp(0, 3, 0.05, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("roll-up: %d vs %d rules", len(ra), len(rb))
+	}
+}
+
+func TestLoadedFrameworkExtendable(t *testing.T) {
+	// AppendWindow after Load continues the stream.
+	db := testDB(12, 600, 25)
+	windows, err := db.PartitionByCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(db.Dict, defaultCfg())
+	for _, w := range windows[:3] {
+		if err := f.AppendWindow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Item ids in windows[3] refer to db.Dict; the loaded dict preserved
+	// id order, so appending is valid.
+	if err := loaded.AppendWindow(windows[3]); err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Windows() != 4 {
+		t.Fatalf("windows = %d", loaded.Windows())
+	}
+	if _, err := loaded.Mine(3, 0.05, 0.2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty stream accepted")
+	}
+	if _, err := Load(strings.NewReader("GARBAGE!")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Truncated stream: take a valid prefix.
+	f := build(t, defaultCfg())
+	var buf bytes.Buffer
+	if err := f.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestSaveDeterministic(t *testing.T) {
+	f := build(t, defaultCfg())
+	var a, b bytes.Buffer
+	if err := f.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("Save output not deterministic")
+	}
+}

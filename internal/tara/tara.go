@@ -1,0 +1,335 @@
+// Package tara implements the TARA framework of the paper: an interactive
+// temporal association analytics system. The offline phase (Build /
+// AppendWindow) runs the Association Generator over each tumbling window and
+// constructs the knowledge base — the TAR Archive of per-rule parameter
+// values across time plus the Evolving Parameter Space index of time-aware
+// stable regions. The online Explorer methods (see explore.go) answer the
+// paper's query classes Q1–Q5 from the knowledge base alone, without
+// touching transaction data.
+package tara
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tara/internal/archive"
+	"tara/internal/eps"
+	"tara/internal/mining"
+	"tara/internal/rules"
+	"tara/internal/txdb"
+)
+
+// Config parameterizes offline preprocessing.
+type Config struct {
+	// GenMinSupport is the generation-time minimum support (Table 4 of the
+	// paper): rules below it are not pregenerated. Lower values make the
+	// knowledge base larger but queries below the threshold unanswerable.
+	GenMinSupport float64
+	// GenMinConf is the generation-time minimum confidence.
+	GenMinConf float64
+	// MaxItemsetLen caps the length of mined itemsets (and thus |X∪Y|).
+	// Non-positive means unlimited.
+	MaxItemsetLen int
+	// Miner selects the frequent-itemset algorithm; nil means Eclat.
+	Miner mining.Miner
+	// ContentIndex enables the TARA-S per-region rule content index that
+	// accelerates content-based exploration (Q5).
+	ContentIndex bool
+	// Workers bounds the number of windows preprocessed concurrently during
+	// Build. Non-positive means 1 (sequential).
+	Workers int
+}
+
+func (c Config) miner() mining.Miner {
+	if c.Miner == nil {
+		return mining.Eclat{}
+	}
+	return c.Miner
+}
+
+// Timing records where one window's preprocessing time went, the breakdown
+// reported in Figure 9.
+type Timing struct {
+	Window      int
+	Mine        time.Duration // frequent itemset generation
+	RuleGen     time.Duration // rule derivation
+	ArchiveTime time.Duration // TAR Archive append
+	IndexTime   time.Duration // EPS slice construction
+	NumItemsets int
+	NumRules    int
+}
+
+// Total returns the window's total preprocessing time.
+func (t Timing) Total() time.Duration {
+	return t.Mine + t.RuleGen + t.ArchiveTime + t.IndexTime
+}
+
+// WindowInfo is the retained metadata of a processed window; the raw
+// transactions are not kept in the knowledge base.
+type WindowInfo struct {
+	Index  int
+	Period txdb.Period
+	N      uint32
+}
+
+// Framework is a built TARA instance: configuration, dictionaries and the
+// knowledge base. All exported methods are safe for concurrent use once
+// Build (or the last AppendWindow) has returned.
+type Framework struct {
+	cfg      Config
+	itemDict *txdb.Dict
+	ruleDict *rules.Dict
+	arch     *archive.Archive
+	index    *eps.Index
+	windows  []WindowInfo
+	timings  []Timing
+
+	mu sync.Mutex // guards appends (knowledge-base growth)
+
+	ndMu     sync.Mutex // guards the lazy n-dimensional slice cache
+	ndSlices map[int]*eps.SliceND
+}
+
+// New returns an empty framework sharing the given item dictionary. Windows
+// are added with AppendWindow; Build wraps partitioning plus appends.
+func New(itemDict *txdb.Dict, cfg Config) *Framework {
+	return &Framework{
+		cfg:      cfg,
+		itemDict: itemDict,
+		ruleDict: rules.NewDict(),
+		arch:     archive.New(),
+		index:    eps.NewIndex(),
+	}
+}
+
+// Build partitions the database into count-based batches (numBatches) or,
+// when windowSize > 0, into time-based tumbling windows, and preprocesses
+// every window. It is the offline phase of Figure 2.
+func Build(db *txdb.DB, windowSize int64, numBatches int, cfg Config) (*Framework, error) {
+	var (
+		ws  []txdb.Window
+		err error
+	)
+	if windowSize > 0 {
+		ws, err = db.PartitionByTime(windowSize)
+	} else {
+		ws, err = db.PartitionByCount(numBatches)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f := New(db.Dict, cfg)
+	if err := f.appendWindows(ws); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// mined is the output of the parallel phase for one window.
+type mined struct {
+	window  txdb.Window
+	ruleSet []rules.WithStats
+	timing  Timing
+}
+
+// appendWindows preprocesses windows, mining in parallel up to cfg.Workers
+// and appending to the knowledge base in window order.
+func (f *Framework) appendWindows(ws []txdb.Window) error {
+	workers := f.cfg.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	results := make([]mined, len(ws))
+	errs := make([]error, len(ws))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, w := range ws {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, w txdb.Window) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = f.mineWindow(w)
+		}(i, w)
+	}
+	wg.Wait()
+	for i := range ws {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		if err := f.appendMined(results[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AppendWindow preprocesses one new window and extends the knowledge base —
+// the incremental construction path (iPARAS): arriving batches are absorbed
+// without reprocessing history. The window's index must equal Windows().
+func (f *Framework) AppendWindow(w txdb.Window) error {
+	m, err := f.mineWindow(w)
+	if err != nil {
+		return err
+	}
+	return f.appendMined(m)
+}
+
+// mineWindow runs the Association Generator for one window: frequent
+// itemsets then rule derivation. It does not touch shared state.
+func (f *Framework) mineWindow(w txdb.Window) (mined, error) {
+	var m mined
+	m.window = w
+	minCount := mining.MinCountFor(f.cfg.GenMinSupport, len(w.Tx))
+
+	start := time.Now()
+	res, err := f.cfg.miner().Mine(w.Tx, mining.Params{MinCount: minCount, MaxLen: f.cfg.MaxItemsetLen})
+	if err != nil {
+		return m, fmt.Errorf("tara: window %d: mining: %w", w.Index, err)
+	}
+	m.timing.Mine = time.Since(start)
+	m.timing.NumItemsets = res.Len()
+
+	start = time.Now()
+	rs, err := rules.Generate(res, rules.GenParams{MinCount: minCount, MinConf: f.cfg.GenMinConf})
+	if err != nil {
+		return m, fmt.Errorf("tara: window %d: rule generation: %w", w.Index, err)
+	}
+	m.timing.RuleGen = time.Since(start)
+	m.timing.NumRules = len(rs)
+	m.timing.Window = w.Index
+	m.ruleSet = rs
+	return m, nil
+}
+
+// appendMined interns rules and extends archive and index for one window,
+// in window order.
+func (f *Framework) appendMined(m mined) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	w := m.window
+	if w.Index != len(f.windows) {
+		return fmt.Errorf("tara: window %d appended at position %d", w.Index, len(f.windows))
+	}
+
+	start := time.Now()
+	f.arch.BeginWindow(uint32(len(w.Tx)))
+	ids := make([]eps.IDStats, len(m.ruleSet))
+	for i, r := range m.ruleSet {
+		id := f.ruleDict.Add(r.Rule)
+		if err := f.arch.Append(id, r.CountXY, r.CountX, r.CountY); err != nil {
+			return fmt.Errorf("tara: window %d: archive: %w", w.Index, err)
+		}
+		ids[i] = eps.IDStats{ID: id, Stats: r.Stats}
+	}
+	archiveTime := time.Since(start)
+
+	start = time.Now()
+	slice, err := eps.BuildSlice(w.Index, uint32(len(w.Tx)), ids, eps.Options{
+		ContentIndex: f.cfg.ContentIndex,
+		Dict:         f.ruleDict,
+	})
+	if err != nil {
+		return fmt.Errorf("tara: window %d: index: %w", w.Index, err)
+	}
+	if err := f.index.Append(slice); err != nil {
+		return fmt.Errorf("tara: window %d: index: %w", w.Index, err)
+	}
+	indexTime := time.Since(start)
+
+	m.timing.ArchiveTime = archiveTime
+	m.timing.IndexTime = indexTime
+	f.timings = append(f.timings, m.timing)
+	f.windows = append(f.windows, WindowInfo{Index: w.Index, Period: w.Period, N: uint32(len(w.Tx))})
+	return nil
+}
+
+// Windows returns the number of processed windows.
+func (f *Framework) Windows() int { return len(f.windows) }
+
+// Window returns metadata for window w.
+func (f *Framework) Window(w int) (WindowInfo, error) {
+	if w < 0 || w >= len(f.windows) {
+		return WindowInfo{}, fmt.Errorf("tara: window %d out of range [0,%d)", w, len(f.windows))
+	}
+	return f.windows[w], nil
+}
+
+// WindowRange maps a time period to the windows it overlaps. It fails when
+// the period misses every window.
+func (f *Framework) WindowRange(p txdb.Period) (from, to int, err error) {
+	from, to = -1, -1
+	for _, w := range f.windows {
+		if w.Period.Overlaps(p) {
+			if from == -1 {
+				from = w.Index
+			}
+			to = w.Index
+		}
+	}
+	if from == -1 {
+		return 0, 0, fmt.Errorf("tara: period %v overlaps no window", p)
+	}
+	return from, to, nil
+}
+
+// Timings returns the per-window preprocessing breakdown (Figure 9).
+func (f *Framework) Timings() []Timing { return f.timings }
+
+// Summary describes the knowledge base for operators: per-window rule and
+// location counts plus storage accounting.
+type Summary struct {
+	Windows          int
+	Rules            int
+	Items            int
+	ArchiveEntries   int
+	ArchiveBytes     int
+	UncompressedByte int
+	PerWindow        []WindowSummary
+}
+
+// WindowSummary is one window's slice statistics.
+type WindowSummary struct {
+	Window    int
+	Period    txdb.Period
+	N         uint32
+	Rules     int
+	Locations int
+}
+
+// Summarize computes the knowledge-base summary.
+func (f *Framework) Summarize() Summary {
+	s := Summary{
+		Windows:          len(f.windows),
+		Rules:            f.ruleDict.Len(),
+		Items:            f.itemDict.Len(),
+		ArchiveEntries:   f.arch.NumEntries(),
+		ArchiveBytes:     f.arch.SizeBytes(),
+		UncompressedByte: f.arch.UncompressedBytes(),
+	}
+	for _, wi := range f.windows {
+		ws := WindowSummary{Window: wi.Index, Period: wi.Period, N: wi.N}
+		if slice, err := f.index.Slice(wi.Index); err == nil {
+			ws.Rules = slice.NumRuleRefs()
+			ws.Locations = slice.NumLocations()
+		}
+		s.PerWindow = append(s.PerWindow, ws)
+	}
+	return s
+}
+
+// Config returns the framework's configuration.
+func (f *Framework) Config() Config { return f.cfg }
+
+// ItemDict returns the shared item dictionary.
+func (f *Framework) ItemDict() *txdb.Dict { return f.itemDict }
+
+// RuleDict returns the rule dictionary.
+func (f *Framework) RuleDict() *rules.Dict { return f.ruleDict }
+
+// Archive returns the TAR Archive for size reporting and direct inspection.
+func (f *Framework) Archive() *archive.Archive { return f.arch }
+
+// Index returns the EPS index.
+func (f *Framework) Index() *eps.Index { return f.index }

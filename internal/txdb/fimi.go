@@ -1,0 +1,58 @@
+package txdb
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadFIMI parses the FIMI repository format used by the paper's real
+// datasets (retail.dat, webdocs.dat): one transaction per line, items as
+// space-separated tokens, no timestamps. Transactions receive sequential
+// timestamps in file order, which is the datasets' chronological order, so
+// PartitionByCount reproduces the paper's equal-sized batches.
+//
+// maxTx caps how many transactions to read; non-positive means all.
+func ReadFIMI(r io.Reader, maxTx int) (*DB, error) {
+	db := NewDB()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	line := 0
+	for sc.Scan() {
+		if maxTx > 0 && db.Len() >= maxTx {
+			break
+		}
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		db.Add(int64(db.Len()), strings.Fields(text)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("txdb: fimi line %d: %v", line, err)
+	}
+	return db, nil
+}
+
+// WriteFIMI serializes the database in FIMI format (timestamps dropped).
+func (db *DB) WriteFIMI(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range db.Tx {
+		for i, it := range t.Items {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(db.Dict.Name(it)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

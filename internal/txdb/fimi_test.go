@@ -1,0 +1,69 @@
+package txdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadFIMI(t *testing.T) {
+	in := "1 2 3\n4 5\n\n# comment\n2 3\n"
+	db, err := ReadFIMI(strings.NewReader(in), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 3 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+	if db.Tx[0].Time != 0 || db.Tx[2].Time != 2 {
+		t.Errorf("timestamps not sequential: %d %d", db.Tx[0].Time, db.Tx[2].Time)
+	}
+	if len(db.Tx[0].Items) != 3 || len(db.Tx[1].Items) != 2 {
+		t.Errorf("item counts wrong")
+	}
+}
+
+func TestReadFIMIMaxTx(t *testing.T) {
+	in := "1\n2\n3\n4\n"
+	db, err := ReadFIMI(strings.NewReader(in), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 2 {
+		t.Errorf("Len = %d, want 2", db.Len())
+	}
+}
+
+func TestFIMIRoundTrip(t *testing.T) {
+	db := NewDB()
+	db.Add(0, "10", "20", "30")
+	db.Add(1, "20")
+	var buf bytes.Buffer
+	if err := db.WriteFIMI(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFIMI(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("round trip lost transactions")
+	}
+	for i := range db.Tx {
+		if len(got.Tx[i].Items) != len(db.Tx[i].Items) {
+			t.Errorf("tx %d item count differs", i)
+		}
+		for j := range db.Tx[i].Items {
+			if got.Dict.Name(got.Tx[i].Items[j]) != db.Dict.Name(db.Tx[i].Items[j]) {
+				t.Errorf("tx %d item %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadFIMIEmpty(t *testing.T) {
+	db, err := ReadFIMI(strings.NewReader(""), 0)
+	if err != nil || db.Len() != 0 {
+		t.Errorf("empty input: %v, %d tx", err, db.Len())
+	}
+}

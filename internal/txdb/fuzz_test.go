@@ -1,0 +1,34 @@
+package txdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks that arbitrary input never panics the reader, and that
+// accepted databases re-serialize and re-parse to the same transaction
+// count (write/read idempotence).
+func FuzzRead(f *testing.F) {
+	f.Add("10\ta b c\n20\td\n")
+	f.Add("# comment\n\n5\tx\n")
+	f.Add("notab\n")
+	f.Add("99999999999999999999\ta\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		db, err := Read(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			t.Fatalf("WriteTo of accepted db: %v", err)
+		}
+		db2, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("re-Read of serialized db: %v", err)
+		}
+		if db2.Len() != db.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", db2.Len(), db.Len())
+		}
+	})
+}

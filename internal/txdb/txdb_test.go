@@ -1,0 +1,341 @@
+package txdb
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"tara/internal/itemset"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Add("apple")
+	b := d.Add("banana")
+	if a == b {
+		t.Fatal("distinct names got same id")
+	}
+	if got := d.Add("apple"); got != a {
+		t.Errorf("re-Add returned %d, want %d", got, a)
+	}
+	if d.Name(a) != "apple" || d.Name(b) != "banana" {
+		t.Errorf("Name mismatch: %q %q", d.Name(a), d.Name(b))
+	}
+	if id, ok := d.Lookup("banana"); !ok || id != b {
+		t.Errorf("Lookup(banana) = %d,%v", id, ok)
+	}
+	if _, ok := d.Lookup("cherry"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictZeroValue(t *testing.T) {
+	var d Dict
+	id := d.Add("x")
+	if d.Name(id) != "x" {
+		t.Error("zero-value Dict unusable")
+	}
+}
+
+func TestDictUnknownName(t *testing.T) {
+	d := NewDict()
+	if got := d.Name(42); got != "item#42" {
+		t.Errorf("Name(42) = %q", got)
+	}
+}
+
+func TestAddCanonicalizes(t *testing.T) {
+	db := NewDB()
+	db.Add(1, "b", "a", "b")
+	tx := db.Tx[0]
+	if len(tx.Items) != 2 {
+		t.Fatalf("items = %v, want 2 distinct", tx.Items)
+	}
+	if !itemset.IsCanonical(tx.Items) {
+		t.Fatalf("items not canonical: %v", tx.Items)
+	}
+}
+
+func TestPeriod(t *testing.T) {
+	p := Period{Start: 10, End: 20}
+	if !p.Contains(10) || !p.Contains(20) || !p.Contains(15) {
+		t.Error("Contains failed on boundary/interior")
+	}
+	if p.Contains(9) || p.Contains(21) {
+		t.Error("Contains accepted outside point")
+	}
+	if !p.Overlaps(Period{20, 30}) || p.Overlaps(Period{21, 30}) {
+		t.Error("Overlaps incorrect")
+	}
+	if p.String() != "[10,20]" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	db := NewDB()
+	if _, ok := db.TimeRange(); ok {
+		t.Error("TimeRange on empty db should be !ok")
+	}
+	db.Add(5, "a")
+	db.Add(2, "b")
+	db.Add(9, "c")
+	p, ok := db.TimeRange()
+	if !ok || p.Start != 2 || p.End != 9 {
+		t.Errorf("TimeRange = %v, %v", p, ok)
+	}
+}
+
+func TestStats(t *testing.T) {
+	db := NewDB()
+	db.Add(1, "a", "b")
+	db.Add(2, "a", "b", "c")
+	db.Add(3, "a")
+	s := db.Stats()
+	if s.Transactions != 3 || s.UniqueItems != 3 || s.MaxLen != 3 {
+		t.Errorf("Stats = %+v", s)
+	}
+	if s.AvgLen != 2 {
+		t.Errorf("AvgLen = %g, want 2", s.AvgLen)
+	}
+	if s.Period.Start != 1 || s.Period.End != 3 {
+		t.Errorf("Period = %v", s.Period)
+	}
+}
+
+func TestPartitionByTime(t *testing.T) {
+	db := NewDB()
+	for _, ts := range []int64{0, 5, 19, 20, 39, 45, 80} {
+		db.Add(ts, "x")
+	}
+	ws, err := db.PartitionByTime(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 5 { // periods [0,19] [20,39] [40,59] [60,79] [80,99]
+		t.Fatalf("got %d windows, want 5", len(ws))
+	}
+	wantCounts := []int{3, 2, 1, 0, 1}
+	for i, w := range ws {
+		if w.Index != i {
+			t.Errorf("window %d has Index %d", i, w.Index)
+		}
+		if len(w.Tx) != wantCounts[i] {
+			t.Errorf("window %d has %d tx, want %d", i, len(w.Tx), wantCounts[i])
+		}
+		for _, tx := range w.Tx {
+			if !w.Period.Contains(tx.Time) {
+				t.Errorf("window %d period %v excludes tx at %d", i, w.Period, tx.Time)
+			}
+		}
+	}
+}
+
+func TestPartitionByTimeErrors(t *testing.T) {
+	db := NewDB()
+	db.Add(1, "a")
+	if _, err := db.PartitionByTime(0); err == nil {
+		t.Error("window size 0 accepted")
+	}
+	empty := NewDB()
+	ws, err := empty.PartitionByTime(10)
+	if err != nil || ws != nil {
+		t.Errorf("empty db: %v, %v", ws, err)
+	}
+}
+
+func TestPartitionByCount(t *testing.T) {
+	db := NewDB()
+	for i := int64(0); i < 11; i++ {
+		db.Add(i, "x")
+	}
+	ws, err := db.PartitionByCount(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 {
+		t.Fatalf("got %d batches", len(ws))
+	}
+	if len(ws[0].Tx) != 3 || len(ws[1].Tx) != 3 || len(ws[2].Tx) != 5 {
+		t.Errorf("batch sizes %d %d %d", len(ws[0].Tx), len(ws[1].Tx), len(ws[2].Tx))
+	}
+	// periods cover their own transactions
+	if ws[2].Period.Start != 6 || ws[2].Period.End != 10 {
+		t.Errorf("last period %v", ws[2].Period)
+	}
+}
+
+func TestPartitionByCountMoreBatchesThanTx(t *testing.T) {
+	db := NewDB()
+	db.Add(1, "a")
+	db.Add(2, "b")
+	ws, err := db.PartitionByCount(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 {
+		t.Fatalf("got %d batches, want 2", len(ws))
+	}
+}
+
+func TestPartitionByCountErrors(t *testing.T) {
+	db := NewDB()
+	db.Add(1, "a")
+	if _, err := db.PartitionByCount(0); err == nil {
+		t.Error("count 0 accepted")
+	}
+}
+
+func TestInPeriod(t *testing.T) {
+	db := NewDB()
+	for _, ts := range []int64{1, 3, 5, 7, 9} {
+		db.Add(ts, "x")
+	}
+	db.SortByTime()
+	got := db.InPeriod(Period{3, 7})
+	if len(got) != 3 {
+		t.Fatalf("InPeriod returned %d tx, want 3", len(got))
+	}
+	if got[0].Time != 3 || got[2].Time != 7 {
+		t.Errorf("wrong boundary transactions: %v", got)
+	}
+	if n := len(db.InPeriod(Period{100, 200})); n != 0 {
+		t.Errorf("out-of-range period returned %d tx", n)
+	}
+}
+
+func TestIORoundTrip(t *testing.T) {
+	db := NewDB()
+	db.Add(10, "milk", "bread")
+	db.Add(20, "beer")
+	db.Add(30, "milk", "diapers", "beer")
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != db.Len() {
+		t.Fatalf("round trip lost transactions: %d vs %d", got.Len(), db.Len())
+	}
+	for i := range db.Tx {
+		if got.Tx[i].Time != db.Tx[i].Time {
+			t.Errorf("tx %d time %d vs %d", i, got.Tx[i].Time, db.Tx[i].Time)
+		}
+		if len(got.Tx[i].Items) != len(db.Tx[i].Items) {
+			t.Errorf("tx %d item count differs", i)
+		}
+		for j, it := range got.Tx[i].Items {
+			if got.Dict.Name(it) != db.Dict.Name(db.Tx[i].Items[j]) {
+				t.Errorf("tx %d item %d name differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n10\ta b\n"
+	db, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Len() != 1 {
+		t.Fatalf("Len = %d", db.Len())
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("notab\n")); err == nil {
+		t.Error("missing tab accepted")
+	}
+	if _, err := Read(strings.NewReader("xyz\ta b\n")); err == nil {
+		t.Error("bad timestamp accepted")
+	}
+}
+
+func TestPropertyPartitionPreservesAllTransactions(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	f := func() bool {
+		db := NewDB()
+		n := 1 + r.Intn(60)
+		for i := 0; i < n; i++ {
+			db.Add(int64(r.Intn(200)), "i"+string(rune('a'+r.Intn(10))))
+		}
+		size := int64(1 + r.Intn(50))
+		ws, err := db.PartitionByTime(size)
+		if err != nil {
+			return false
+		}
+		total := 0
+		for i, w := range ws {
+			total += len(w.Tx)
+			if i > 0 && ws[i-1].Period.End+1 != w.Period.Start {
+				return false // windows must tile the time axis
+			}
+			for _, tx := range w.Tx {
+				if !w.Period.Contains(tx.Time) {
+					return false
+				}
+			}
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyInPeriodMatchesFilter(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	f := func() bool {
+		db := NewDB()
+		n := r.Intn(50)
+		for i := 0; i < n; i++ {
+			db.Add(int64(r.Intn(100)), "x")
+		}
+		db.SortByTime()
+		p := Period{Start: int64(r.Intn(100)), End: int64(r.Intn(100))}
+		got := db.InPeriod(p)
+		want := 0
+		for _, tx := range db.Tx {
+			if p.Contains(tx.Time) {
+				want++
+			}
+		}
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionByTimeNegativeTimestamps(t *testing.T) {
+	db := NewDB()
+	for _, ts := range []int64{-25, -10, -1, 0, 5} {
+		db.Add(ts, "x")
+	}
+	ws, err := db.PartitionByTime(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws[0].Period.Start != -25 {
+		t.Errorf("first window starts at %d", ws[0].Period.Start)
+	}
+	total := 0
+	for i, w := range ws {
+		total += len(w.Tx)
+		if i > 0 && ws[i-1].Period.End+1 != w.Period.Start {
+			t.Errorf("windows not contiguous at %d", i)
+		}
+	}
+	if total != 5 {
+		t.Errorf("lost transactions: %d", total)
+	}
+}
