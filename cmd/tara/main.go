@@ -7,6 +7,7 @@
 //
 //	tara -gen retail -tx 20000 -batches 10 -supp 0.005 -conf 0.1
 //	tara -load transactions.tsv -batches 5 -q "mine w=0 supp=0.01 conf=0.2"
+//	tara serve -kb retail.kb -addr 127.0.0.1:8775   (runs the tarad daemon)
 //
 // Query syntax (see package tara/internal/query):
 //
@@ -33,11 +34,19 @@ import (
 	"tara/internal/gen"
 	"tara/internal/mining"
 	"tara/internal/query"
+	"tara/internal/server"
 	"tara/internal/tara"
 	"tara/internal/txdb"
 )
 
 func main() {
+	// "tara serve ..." runs the query-serving daemon (same as cmd/tarad).
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := server.Run(os.Args[2:], os.Stderr); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	var (
 		load     = flag.String("load", "", "load transactions from a TSV file (timestamp<TAB>item item ...)")
 		fimi     = flag.String("fimi", "", "load transactions from a FIMI-format file (e.g. the real retail.dat)")

@@ -1,0 +1,31 @@
+// Command tarad is the TARA query-serving daemon: it loads a persisted
+// knowledge base (or builds one at startup) and answers the exploration
+// queries of the Online Explorer over HTTP/JSON, concurrently, with
+// per-endpoint metrics on /metrics.
+//
+// Usage:
+//
+//	tarad -kb retail.kb -addr 127.0.0.1:8775
+//	tarad -gen retail -tx 20000 -batches 10 -supp 0.005 -conf 0.1
+//
+//	curl 'http://127.0.0.1:8775/mine?w=0&supp=0.01&conf=0.2'
+//	curl 'http://127.0.0.1:8775/recommend?w=0&supp=0.01&conf=0.2'
+//	curl 'http://127.0.0.1:8775/metrics'
+//
+// See package tara/internal/server for the endpoint list. SIGINT/SIGTERM
+// trigger a graceful shutdown that drains in-flight requests.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"tara/internal/server"
+)
+
+func main() {
+	if err := server.Run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "tarad:", err)
+		os.Exit(1)
+	}
+}

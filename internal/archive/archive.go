@@ -103,32 +103,58 @@ func (a *Archive) Append(id rules.ID, countXY, countX, countY uint32) error {
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 
+// decodePayload walks an encoded series payload, calling fn for every
+// decoded entry. It fails on structural corruption — truncated or overlong
+// varints, a zero window gap, or running counts escaping the uint32 range —
+// none of which the in-memory encoder produces, but all of which a corrupt
+// or adversarial persisted payload can contain. Without these checks a bad
+// payload could loop forever (a truncated varint decodes as zero bytes
+// consumed) or panic (an overlong varint yields a negative byte count).
+func decodePayload(buf []byte, fn func(Entry) error) error {
+	w := -1
+	var xy, x, y int64
+	for len(buf) > 0 {
+		var fields [4]uint64
+		for i := range fields {
+			v, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return fmt.Errorf("archive: malformed varint in series payload")
+			}
+			buf = buf[n:]
+			fields[i] = v
+		}
+		gap := fields[0]
+		if gap == 0 || gap > uint64(math.MaxInt32) {
+			return fmt.Errorf("archive: invalid window gap %d", gap)
+		}
+		w += int(gap)
+		xy += unzigzag(fields[1])
+		x += unzigzag(fields[2])
+		y += unzigzag(fields[3])
+		if xy < 0 || xy > math.MaxUint32 || x < 0 || x > math.MaxUint32 || y < 0 || y > math.MaxUint32 {
+			return fmt.Errorf("archive: counts out of uint32 range in window %d", w)
+		}
+		if err := fn(Entry{Window: w, CountXY: uint32(xy), CountX: uint32(x), CountY: uint32(y)}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Series decodes the full per-window record list of rule id, in window
-// order. A nil slice means the rule was never archived.
+// order. A nil slice means the rule was never archived. Payloads built by
+// Append are always well-formed; should the backing buffer be corrupted
+// anyway, decoding stops at the corruption instead of panicking.
 func (a *Archive) Series(id rules.ID) []Entry {
 	s := a.entries[id]
 	if s == nil {
 		return nil
 	}
 	out := make([]Entry, 0, s.n)
-	buf := s.buf
-	w := -1
-	var xy, x, y int64
-	for len(buf) > 0 {
-		gap, n := binary.Uvarint(buf)
-		buf = buf[n:]
-		dxy, n := binary.Uvarint(buf)
-		buf = buf[n:]
-		dx, n := binary.Uvarint(buf)
-		buf = buf[n:]
-		dy, n := binary.Uvarint(buf)
-		buf = buf[n:]
-		w += int(gap)
-		xy += unzigzag(dxy)
-		x += unzigzag(dx)
-		y += unzigzag(dy)
-		out = append(out, Entry{Window: w, CountXY: uint32(xy), CountX: uint32(x), CountY: uint32(y)})
-	}
+	_ = decodePayload(s.buf, func(e Entry) error {
+		out = append(out, e)
+		return nil
+	})
 	return out
 }
 

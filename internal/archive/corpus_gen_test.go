@@ -1,0 +1,28 @@
+package archive
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateFuzzCorpus materializes the adversarial inputs as seed files
+// under testdata/fuzz/FuzzReadArchive, in the standard Go fuzzing corpus
+// encoding, so `go test -fuzz=FuzzReadArchive` starts from the known-bad
+// streams even when the in-test f.Add seeds change.
+func TestGenerateFuzzCorpus(t *testing.T) {
+	if os.Getenv("GEN_CORPUS") == "" {
+		t.Skip("set GEN_CORPUS=1 to regenerate the seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadArchive")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range adversarialInputs() {
+		content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", in)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

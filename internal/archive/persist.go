@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"tara/internal/rules"
 )
@@ -102,6 +103,9 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 		if err != nil {
 			return nil, err
 		}
+		if wn > math.MaxUint32 {
+			return nil, fmt.Errorf("archive: window %d cardinality %d exceeds uint32", i, wn)
+		}
 		a.windowN = append(a.windowN, uint32(wn))
 	}
 	sc, err := readUvarint("series count")
@@ -115,6 +119,12 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 		id, err := readUvarint("rule id")
 		if err != nil {
 			return nil, err
+		}
+		if id > math.MaxUint32 {
+			return nil, fmt.Errorf("archive: rule id %d exceeds uint32", id)
+		}
+		if _, dup := a.entries[rules.ID(id)]; dup {
+			return nil, fmt.Errorf("archive: duplicate series for rule %d", id)
 		}
 		entries, err := readUvarint("entry count")
 		if err != nil {
@@ -136,9 +146,27 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The append state must reference a recorded window; note the
+		// comparison is on the raw uvarint, so a huge value cannot wrap to a
+		// plausible-looking negative prevW via int conversion.
+		if prevW1 > uint64(len(a.windowN)) {
+			return nil, fmt.Errorf("archive: series %d references window %d beyond %d", id, int64(prevW1)-1, len(a.windowN))
+		}
+		if prevXY > math.MaxUint32 || prevX > math.MaxUint32 || prevY > math.MaxUint32 {
+			return nil, fmt.Errorf("archive: series %d append state exceeds uint32", id)
+		}
 		bufLen, err := readUvarint("payload length")
 		if err != nil {
 			return nil, err
+		}
+		// Every encoded entry takes at least four varint bytes, so an entry
+		// count that the payload cannot possibly hold is rejected before any
+		// allocation sized from it.
+		if entries > bufLen/4 {
+			return nil, fmt.Errorf("archive: series %d claims %d entries in a %d-byte payload", id, entries, bufLen)
+		}
+		if entries == 0 {
+			return nil, fmt.Errorf("archive: series %d has no entries", id)
 		}
 		buf, err := readN(br, bufLen)
 		if err != nil {
@@ -152,13 +180,45 @@ func ReadArchive(r io.Reader) (*Archive, error) {
 			prevY:  uint32(prevY),
 			n:      int(entries),
 		}
-		if s.prevW >= len(a.windowN) {
-			return nil, fmt.Errorf("archive: series %d references window %d beyond %d", id, s.prevW, len(a.windowN))
+		if err := validateSeries(id, s, len(a.windowN)); err != nil {
+			return nil, err
 		}
 		a.entries[rules.ID(id)] = s
 		a.total += s.n
 	}
 	return a, nil
+}
+
+// validateSeries fully decodes a deserialized payload and cross-checks it
+// against the series header: the entry count must match, every window must
+// exist, and the final decoded state must equal the recorded append state
+// (so future Appends continue the encoding consistently). Accepted series
+// are therefore safe for every decoding path — Series, Trajectory, roll-ups
+// — which would otherwise loop, panic or index out of range on adversarial
+// payload bytes.
+func validateSeries(id uint64, s *series, numWindows int) error {
+	count := 0
+	lastW := -1
+	var lastXY, lastX, lastY uint32
+	err := decodePayload(s.buf, func(e Entry) error {
+		if e.Window >= numWindows {
+			return fmt.Errorf("archive: series %d entry references window %d beyond %d", id, e.Window, numWindows)
+		}
+		count++
+		lastW, lastXY, lastX, lastY = e.Window, e.CountXY, e.CountX, e.CountY
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("archive: series %d: %w", id, err)
+	}
+	if count != s.n {
+		return fmt.Errorf("archive: series %d payload holds %d entries, header says %d", id, count, s.n)
+	}
+	if lastW != s.prevW || lastXY != s.prevXY || lastX != s.prevX || lastY != s.prevY {
+		return fmt.Errorf("archive: series %d append state (w=%d, %d/%d/%d) disagrees with payload (w=%d, %d/%d/%d)",
+			id, s.prevW, s.prevXY, s.prevX, s.prevY, lastW, lastXY, lastX, lastY)
+	}
+	return nil
 }
 
 // readN reads exactly n bytes, growing the buffer chunk-wise so that a

@@ -207,7 +207,9 @@ func (s *Slice) forEachQualifying(minSupp, minConf float64, fn func(*Location)) 
 }
 
 // Rules returns the ids of all rules satisfying (minSupp, minConf) in this
-// window. The order is deterministic — locations by ascending support then
+// window. Qualification is inclusive — a rule whose support or confidence
+// equals the threshold exactly is part of the answer, matching the closed
+// dominated quadrant of Lemma 4. The order is deterministic — locations by ascending support then
 // confidence, ids ascending within a location — but not globally sorted by
 // id; sorting a large answer would dominate the collection cost.
 func (s *Slice) Rules(minSupp, minConf float64) []rules.ID {
@@ -305,6 +307,12 @@ const maxRegionExpansion = 64
 // without a boundary crossing — and greedily expands across boundaries whose
 // locations never qualify anywhere in the box. This is the
 // parameter-recommendation answer of query Q3 (the TARA-R response).
+//
+// Boundary semantics: because qualification is inclusive (>=) and region
+// bounds are half-open below (Low < min <= High), a request lying exactly on
+// a distinct parameter value belongs to the region whose High bound equals
+// that value — the on-grid point and its cut location yield the same
+// ruleset, and the answer changes only strictly beyond the value.
 func (s *Slice) Region(minSupp, minConf float64) Region {
 	r := Region{Window: s.Window}
 	// Grid cell indexes: hiS/hiC point at the first distinct value >= the

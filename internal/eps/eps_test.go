@@ -1,6 +1,7 @@
 package eps
 
 import (
+	"math"
 	"math/rand"
 	"strings"
 	"testing"
@@ -490,6 +491,190 @@ func TestPanorama(t *testing.T) {
 	}
 	if !strings.Contains(empty.Panorama(20, 5, -1, -1), "no rules") {
 		t.Error("empty slice panorama missing note")
+	}
+}
+
+// Boundary semantics under test below (Definition 11 / Lemma 4): rule
+// qualification is inclusive (Supp >= minsupp, Conf >= minconf), and stable
+// regions are half-open below and closed above (Low < min <= High). A query
+// point lying exactly ON a distinct parameter value therefore belongs to the
+// region whose High bound equals that value, and the rules at that exact
+// location are part of the answer.
+
+// TestRulesOnGridBoundaryInclusive pins the >= threshold semantics with
+// hand-computed on-grid queries against the paper's fixed slice.
+func TestRulesOnGridBoundaryInclusive(t *testing.T) {
+	s, _ := fixedSlice(t, Options{})
+	// Locations: (1/9,0.25)x2, (1/9,0.5)x2, (3/9,0.75)x2.
+	cases := []struct {
+		name       string
+		supp, conf float64
+		want       int
+	}{
+		{"exactly-at-top-location", 3.0 / 9, 0.75, 2},
+		{"just-above-top-supp", math.Nextafter(3.0/9, 1), 0.75, 0},
+		{"just-above-top-conf", 3.0 / 9, math.Nextafter(0.75, 1), 0},
+		{"exactly-at-mid-location", 1.0 / 9, 0.5, 4},
+		{"just-above-mid-conf", 1.0 / 9, math.Nextafter(0.5, 1), 2},
+		{"on-grid-supp-off-grid-conf", 1.0 / 9, 0.3, 4},
+		{"exactly-at-bottom-location", 1.0 / 9, 0.25, 6},
+	}
+	for _, c := range cases {
+		if got := s.Count(c.supp, c.conf); got != c.want {
+			t.Errorf("%s: Count(%g,%g) = %d, want %d", c.name, c.supp, c.conf, got, c.want)
+		}
+		if got := len(s.Rules(c.supp, c.conf)); got != c.want {
+			t.Errorf("%s: len(Rules(%g,%g)) = %d, want %d", c.name, c.supp, c.conf, got, c.want)
+		}
+	}
+}
+
+// TestRegionOnGridBoundary pins Region's behavior for query points exactly on
+// a cut location, with hand-computed expected boxes on the fixed slice.
+func TestRegionOnGridBoundary(t *testing.T) {
+	s, _ := fixedSlice(t, Options{})
+	cases := []struct {
+		name               string
+		supp, conf         float64
+		wantRules          int
+		loS, hiS, loC, hiC float64
+		cutSupp, cutConf   float64
+	}{
+		// Query exactly at the top location: it still qualifies, and the
+		// region's high corner IS the query point.
+		{"at-top-location", 3.0 / 9, 0.75, 2, 0, 3.0 / 9, 0.5, 0.75, 3.0 / 9, 0.75},
+		// Query exactly at the middle location: the grid cell below-left of
+		// the point, closed at the point itself.
+		{"at-mid-location", 1.0 / 9, 0.5, 4, 0, 1.0 / 9, 0.25, 0.5, 1.0 / 9, 0.5},
+		// On-grid support with a higher on-grid confidence: the low-support
+		// row is invisible above conf 0.5, so the box expands across the
+		// support boundary the query sits on.
+		{"on-grid-supp-high-conf", 1.0 / 9, 0.75, 2, 0, 3.0 / 9, 0.5, 0.75, 3.0 / 9, 0.75},
+	}
+	for _, c := range cases {
+		r := s.Region(c.supp, c.conf)
+		if r.Empty {
+			t.Errorf("%s: region unexpectedly empty", c.name)
+			continue
+		}
+		if r.NumRules != c.wantRules {
+			t.Errorf("%s: NumRules = %d, want %d", c.name, r.NumRules, c.wantRules)
+		}
+		if r.LowSupp != c.loS || r.HighSupp != c.hiS || r.LowConf != c.loC || r.HighConf != c.hiC {
+			t.Errorf("%s: region supp(%g,%g] conf(%g,%g], want supp(%g,%g] conf(%g,%g]",
+				c.name, r.LowSupp, r.HighSupp, r.LowConf, r.HighConf, c.loS, c.hiS, c.loC, c.hiC)
+		}
+		if r.CutSupp != c.cutSupp || r.CutConf != c.cutConf {
+			t.Errorf("%s: cut = (%g,%g), want (%g,%g)", c.name, r.CutSupp, r.CutConf, c.cutSupp, c.cutConf)
+		}
+		// Half-open-below containment: the on-grid query point is inside.
+		if !(r.LowSupp < c.supp && c.supp <= r.HighSupp && r.LowConf < c.conf && c.conf <= r.HighConf) {
+			t.Errorf("%s: query (%g,%g) not inside region %v", c.name, c.supp, c.conf, r)
+		}
+	}
+}
+
+// TestPropertyRegionOnGridBoundary probes Region with every on-grid
+// (support, confidence) combination of random slices — the exact coordinates
+// where a search boundary condition would flip the answer — and checks the
+// region contains the query and reports a count that holds across the box.
+func TestPropertyRegionOnGridBoundary(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 100; trial++ {
+		n := uint32(10 + r.Intn(60))
+		rs := randomIDStats(r, n, 1+r.Intn(25))
+		s, err := BuildSlice(0, n, rs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		locs := s.Locations()
+		for i := range locs {
+			for j := range locs {
+				qs, qc := locs[i].Supp, locs[j].Conf
+				reg := s.Region(qs, qc)
+				base := s.Count(qs, qc)
+				if reg.Empty != (base == 0) {
+					t.Fatalf("trial %d: Empty=%v but Count(%g,%g)=%d", trial, reg.Empty, qs, qc, base)
+				}
+				if reg.NumRules != base {
+					t.Fatalf("trial %d: NumRules=%d but Count(%g,%g)=%d", trial, reg.NumRules, qs, qc, base)
+				}
+				// The on-grid query must fall inside its own region
+				// (half-open below, closed above).
+				if !(reg.LowSupp < qs && qs <= reg.HighSupp && reg.LowConf < qc && qc <= reg.HighConf) {
+					t.Fatalf("trial %d: on-grid query (%g,%g) outside region %v", trial, qs, qc, reg)
+				}
+				// The count is constant across the region: at the closed high
+				// corner, the cut location, just above the open low corner,
+				// and the midpoint.
+				probes := [][2]float64{
+					{reg.HighSupp, reg.HighConf},
+					{reg.CutSupp, reg.CutConf},
+					{math.Nextafter(reg.LowSupp, 2), math.Nextafter(reg.LowConf, 2)},
+					{(reg.LowSupp + reg.HighSupp) / 2, (reg.LowConf + reg.HighConf) / 2},
+				}
+				for _, p := range probes {
+					if p[0] <= reg.LowSupp || p[0] > reg.HighSupp || p[1] <= reg.LowConf || p[1] > reg.HighConf {
+						continue // degenerate box edge; probe landed outside
+					}
+					if got := s.Count(p[0], p[1]); got != base {
+						t.Fatalf("trial %d: count changed inside region at (%g,%g): %d vs %d (query (%g,%g), region %v)",
+							trial, p[0], p[1], got, base, qs, qc, reg)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRegionNDOnGridBoundary checks the n-dimensional grid cell has the same
+// on-cut semantics: a query exactly at a location's coordinates lands in the
+// cell closed at those coordinates, and the location's rules qualify.
+func TestRegionNDOnGridBoundary(t *testing.T) {
+	d := rules.NewDict()
+	mk := func(a, b itemset.Item, countXY, countX uint32) IDStats {
+		id := d.Add(rules.Rule{Ant: itemset.New(a), Cons: itemset.New(b)})
+		return IDStats{ID: id, Stats: rules.Stats{CountXY: countXY, CountX: countX, N: 9}}
+	}
+	rs := []IDStats{
+		mk(0, 1, 1, 4), // (1/9, 0.25)
+		mk(1, 0, 1, 2), // (1/9, 0.5)
+		mk(0, 2, 3, 4), // (3/9, 0.75)
+		mk(2, 0, 3, 4), // (3/9, 0.75)
+	}
+	measures := []Measure{
+		{Name: "support", Eval: rules.Stats.Support},
+		{Name: "confidence", Eval: rules.Stats.Confidence},
+	}
+	s, err := BuildSliceND(0, 9, rs, measures)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query exactly at the top location.
+	reg, err := s.Region([]float64{3.0 / 9, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Empty || reg.NumRules != 2 {
+		t.Fatalf("on-grid ND query: region %+v, want 2 rules", reg)
+	}
+	if reg.Low[0] != 1.0/9 || reg.High[0] != 3.0/9 || reg.Low[1] != 0.5 || reg.High[1] != 0.75 {
+		t.Errorf("ND region bounds Low=%v High=%v, want Low=[1/9 0.5] High=[1/3 0.75]", reg.Low, reg.High)
+	}
+	// Inclusive qualification at the exact coordinates, exclusive just above.
+	if n, _ := s.Count([]float64{3.0 / 9, 0.75}); n != 2 {
+		t.Errorf("ND Count at exact location = %d, want 2", n)
+	}
+	if n, _ := s.Count([]float64{math.Nextafter(3.0/9, 1), 0.75}); n != 0 {
+		t.Errorf("ND Count just above location = %d, want 0", n)
+	}
+	// Above every location: empty region capped at the measure's natural max.
+	reg, err = s.Region([]float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Empty || reg.High[0] != 1 || reg.High[1] != 1 {
+		t.Errorf("empty ND region = %+v, want Empty with High=[1 1]", reg)
 	}
 }
 

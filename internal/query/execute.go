@@ -185,16 +185,9 @@ func execAbout(w io.Writer, f *tara.Framework, q Query) error {
 }
 
 func execRank(w io.Writer, f *tara.Framework, q Query) error {
-	var m tara.EvolutionMeasure
-	switch q.Measure {
-	case "stability", "":
-		m = tara.ByStability
-	case "coverage":
-		m = tara.ByCoverage
-	case "volatility":
-		m = tara.ByVolatility
-	default:
-		return fmt.Errorf("query: unknown measure %q (want stability, coverage or volatility)", q.Measure)
+	m, err := measureByName(q.Measure)
+	if err != nil {
+		return err
 	}
 	out, err := f.RankEvolution(q.From, q.To, q.MinSupp, q.MinConf, m, 0.01, q.TopK)
 	if err != nil {

@@ -11,8 +11,9 @@ import (
 	"tara/internal/tara"
 )
 
-// exportedRule is the JSON shape of one exported rule.
-type exportedRule struct {
+// RuleJSON is the JSON shape of one rule, shared by file export and the
+// query-serving daemon's structured answers.
+type RuleJSON struct {
 	ID         uint32   `json:"id"`
 	Antecedent []string `json:"antecedent"`
 	Consequent []string `json:"consequent"`
@@ -25,7 +26,7 @@ type exportedRule struct {
 	N          uint32   `json:"n"`
 }
 
-func toExported(f *tara.Framework, v tara.RuleView) exportedRule {
+func toRuleJSON(f *tara.Framework, v tara.RuleView) RuleJSON {
 	names := func(items []uint32) []string {
 		out := make([]string, len(items))
 		for i, it := range items {
@@ -33,7 +34,7 @@ func toExported(f *tara.Framework, v tara.RuleView) exportedRule {
 		}
 		return out
 	}
-	return exportedRule{
+	return RuleJSON{
 		ID:         uint32(v.ID),
 		Antecedent: names(v.Rule.Ant),
 		Consequent: names(v.Rule.Cons),
@@ -61,9 +62,9 @@ func execExport(w io.Writer, f *tara.Framework, q Query) error {
 	defer out.Close()
 	switch q.Format {
 	case "json":
-		rows := make([]exportedRule, len(views))
+		rows := make([]RuleJSON, len(views))
 		for i, v := range views {
-			rows[i] = toExported(f, v)
+			rows[i] = toRuleJSON(f, v)
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -76,7 +77,7 @@ func execExport(w io.Writer, f *tara.Framework, q Query) error {
 			return err
 		}
 		for _, v := range views {
-			e := toExported(f, v)
+			e := toRuleJSON(f, v)
 			rec := []string{
 				strconv.FormatUint(uint64(e.ID), 10),
 				joinNames(e.Antecedent), joinNames(e.Consequent),

@@ -18,6 +18,8 @@ package query
 
 import (
 	"fmt"
+	"math"
+	"net/url"
 	"strconv"
 	"strings"
 )
@@ -76,8 +78,34 @@ func Parse(line string) (Query, error) {
 	if len(fields) == 0 {
 		return Query{}, fmt.Errorf("query: empty input")
 	}
+	kv := map[string]string{}
+	for _, f := range fields[1:] {
+		eq := strings.IndexByte(f, '=')
+		if eq <= 0 {
+			return Query{}, fmt.Errorf("query: malformed field %q (want key=value)", f)
+		}
+		kv[f[:eq]] = f[eq+1:]
+	}
+	return build(fields[0], kv)
+}
+
+// FromValues decodes a query from URL parameters — the same keys the textual
+// syntax uses (`w`, `supp`, `conf`, ...) — so HTTP handlers and the CLI share
+// one decoder. Repeated parameters take the first value.
+func FromValues(op string, values url.Values) (Query, error) {
+	kv := make(map[string]string, len(values))
+	for k, vs := range values {
+		if len(vs) > 0 {
+			kv[k] = vs[0]
+		}
+	}
+	return build(op, kv)
+}
+
+// build decodes and validates the shared key=value form of a query.
+func build(op string, kv map[string]string) (Query, error) {
 	var q Query
-	switch fields[0] {
+	switch op {
 	case "mine":
 		q.Kind = Mine
 	case "traj", "trajectory":
@@ -101,15 +129,7 @@ func Parse(line string) (Query, error) {
 	case "export":
 		q.Kind = Export
 	default:
-		return Query{}, fmt.Errorf("query: unknown operation %q", fields[0])
-	}
-	kv := map[string]string{}
-	for _, f := range fields[1:] {
-		eq := strings.IndexByte(f, '=')
-		if eq <= 0 {
-			return Query{}, fmt.Errorf("query: malformed field %q (want key=value)", f)
-		}
-		kv[f[:eq]] = f[eq+1:]
+		return Query{}, fmt.Errorf("query: unknown operation %q", op)
 	}
 	var err error
 	getF := func(key string, dst *float64, required bool) {
@@ -263,5 +283,43 @@ func Parse(line string) (Query, error) {
 	if err != nil {
 		return Query{}, err
 	}
+	if err := q.validate(); err != nil {
+		return Query{}, err
+	}
 	return q, nil
+}
+
+// validate rejects threshold values that no framework can answer sensibly —
+// NaN and infinities in particular would silently pass the generation
+// threshold comparison (NaN compares false) and then corrupt binary searches
+// over the parameter grid. Plot's -1 sentinel ("no request marker") is the
+// one allowed out-of-range value.
+func (q Query) validate() error {
+	checkFrac := func(name string, v float64) error {
+		if q.Kind == Plot && v == -1 {
+			return nil
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+			return fmt.Errorf("query: %s %g outside [0,1]", name, v)
+		}
+		return nil
+	}
+	if err := checkFrac("supp", q.MinSupp); err != nil {
+		return err
+	}
+	if err := checkFrac("conf", q.MinConf); err != nil {
+		return err
+	}
+	if q.Kind == Compare {
+		if err := checkFrac("b supp", q.MinSupp2); err != nil {
+			return err
+		}
+		if err := checkFrac("b conf", q.MinConf2); err != nil {
+			return err
+		}
+	}
+	if math.IsNaN(q.MinLift) || math.IsInf(q.MinLift, 0) || q.MinLift < 0 {
+		return fmt.Errorf("query: lift %g must be a finite non-negative number", q.MinLift)
+	}
+	return nil
 }

@@ -1,0 +1,396 @@
+package query
+
+import (
+	"fmt"
+
+	"tara/internal/rules"
+	"tara/internal/tara"
+)
+
+// Structured, JSON-serializable answers for every query class, used by the
+// tarad daemon. Execute renders human-readable text for the CLI; Answer
+// returns the same information as typed values so HTTP handlers can encode
+// them directly.
+
+// Setting is one (minsupp, minconf) request point.
+type Setting struct {
+	MinSupp float64 `json:"minSupp"`
+	MinConf float64 `json:"minConf"`
+}
+
+// MineResult answers mine and about requests.
+type MineResult struct {
+	Window int        `json:"window"`
+	Count  int        `json:"count"`
+	Rules  []RuleJSON `json:"rules"`
+}
+
+// TrajectoryPoint is one examined window of a rule trajectory.
+type TrajectoryPoint struct {
+	Window     int     `json:"window"`
+	Present    bool    `json:"present"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+}
+
+// TrajectoryRule is one Q1 answer row.
+type TrajectoryRule struct {
+	ID         uint32            `json:"id"`
+	Antecedent []string          `json:"antecedent"`
+	Consequent []string          `json:"consequent"`
+	Points     []TrajectoryPoint `json:"points"`
+}
+
+// TrajectoryResult answers trajectory requests.
+type TrajectoryResult struct {
+	Window int              `json:"window"`
+	Count  int              `json:"count"`
+	Rules  []TrajectoryRule `json:"rules"`
+}
+
+// DiffWindow is one window of a Q2 comparison.
+type DiffWindow struct {
+	Window int      `json:"window"`
+	OnlyA  []uint32 `json:"onlyA"`
+	OnlyB  []uint32 `json:"onlyB"`
+}
+
+// DiffResult answers compare requests.
+type DiffResult struct {
+	A       Setting      `json:"a"`
+	B       Setting      `json:"b"`
+	Windows []DiffWindow `json:"windows"`
+}
+
+// RegionResult answers recommend requests (Q3): the time-aware stable region.
+type RegionResult struct {
+	Window   int     `json:"window"`
+	Empty    bool    `json:"empty"`
+	LowSupp  float64 `json:"lowSupp"`
+	HighSupp float64 `json:"highSupp"`
+	LowConf  float64 `json:"lowConf"`
+	HighConf float64 `json:"highConf"`
+	CutSupp  float64 `json:"cutSupp"`
+	CutConf  float64 `json:"cutConf"`
+	NumRules int     `json:"numRules"`
+}
+
+// RegionNDResult answers recommend requests with a lift bound: the
+// n-dimensional stable box.
+type RegionNDResult struct {
+	Window   int       `json:"window"`
+	Empty    bool      `json:"empty"`
+	Measures []string  `json:"measures"`
+	Low      []float64 `json:"low"`
+	High     []float64 `json:"high"`
+	NumRules int       `json:"numRules"`
+}
+
+// RollUpRow is one rule of a coarse-period answer.
+type RollUpRow struct {
+	RuleJSON
+	Present         int     `json:"presentWindows"`
+	MaxSupportError float64 `json:"maxSupportError"`
+}
+
+// RollUpResult answers rollup requests (Q4 up).
+type RollUpResult struct {
+	From  int         `json:"from"`
+	To    int         `json:"to"`
+	Count int         `json:"count"`
+	Rules []RollUpRow `json:"rules"`
+}
+
+// DrillRow is one window of a drill-down answer.
+type DrillRow struct {
+	Window     int     `json:"window"`
+	Start      int64   `json:"start"`
+	End        int64   `json:"end"`
+	Present    bool    `json:"present"`
+	Support    float64 `json:"support"`
+	Confidence float64 `json:"confidence"`
+}
+
+// DrillResult answers drill requests (Q4 down).
+type DrillResult struct {
+	RuleID     uint32     `json:"ruleId"`
+	Antecedent []string   `json:"antecedent"`
+	Consequent []string   `json:"consequent"`
+	Windows    []DrillRow `json:"windows"`
+}
+
+// RankRow is one ranked rule of an evolution-measure answer.
+type RankRow struct {
+	ID         uint32   `json:"id"`
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Coverage   float64  `json:"coverage"`
+	Stability  float64  `json:"stability"`
+	StdDev     float64  `json:"stdDev"`
+}
+
+// RankResult answers rank requests.
+type RankResult struct {
+	From  int       `json:"from"`
+	To    int       `json:"to"`
+	By    string    `json:"by"`
+	Rules []RankRow `json:"rules"`
+}
+
+// PeriodicRow is one rule of a periodicity answer.
+type PeriodicRow struct {
+	ID            uint32    `json:"id"`
+	Antecedent    []string  `json:"antecedent"`
+	Consequent    []string  `json:"consequent"`
+	Period        int       `json:"period"`
+	BestPhase     int       `json:"bestPhase"`
+	PhasePresence []float64 `json:"phasePresence"`
+	Score         float64   `json:"score"`
+}
+
+// PeriodicResult answers periodic requests.
+type PeriodicResult struct {
+	From  int           `json:"from"`
+	To    int           `json:"to"`
+	Rules []PeriodicRow `json:"rules"`
+}
+
+// PlotResult carries the textual parameter-space panorama.
+type PlotResult struct {
+	Window   int    `json:"window"`
+	Panorama string `json:"panorama"`
+}
+
+// itemNames resolves an itemset to dictionary names.
+func itemNames(f *tara.Framework, items []uint32) []string {
+	out := make([]string, len(items))
+	for i, it := range items {
+		out[i] = f.ItemDict().Name(it)
+	}
+	return out
+}
+
+// Answer runs a parsed query against a framework and returns its structured
+// result — the JSON body the daemon serves. Export is excluded: it writes
+// local files and stays a CLI-only operation.
+func Answer(f *tara.Framework, q Query) (any, error) {
+	switch q.Kind {
+	case Mine:
+		views, err := f.MineFiltered(q.Window, q.MinSupp, q.MinConf, q.MinLift)
+		if err != nil {
+			return nil, err
+		}
+		res := MineResult{Window: q.Window, Count: len(views), Rules: make([]RuleJSON, len(views))}
+		for i, v := range views {
+			res.Rules[i] = toRuleJSON(f, v)
+		}
+		return res, nil
+
+	case About:
+		views, err := f.RulesAbout(q.Window, q.MinSupp, q.MinConf, q.Items)
+		if err != nil {
+			return nil, err
+		}
+		res := MineResult{Window: q.Window, Count: len(views), Rules: make([]RuleJSON, len(views))}
+		for i, v := range views {
+			res.Rules[i] = toRuleJSON(f, v)
+		}
+		return res, nil
+
+	case Trajectory:
+		trs, err := f.RuleTrajectories(q.Window, q.MinSupp, q.MinConf, q.Windows)
+		if err != nil {
+			return nil, err
+		}
+		res := TrajectoryResult{Window: q.Window, Count: len(trs), Rules: make([]TrajectoryRule, len(trs))}
+		for i, tr := range trs {
+			row := TrajectoryRule{
+				ID:         uint32(tr.ID),
+				Antecedent: itemNames(f, tr.Rule.Ant),
+				Consequent: itemNames(f, tr.Rule.Cons),
+				Points:     make([]TrajectoryPoint, len(tr.Windows)),
+			}
+			for j, win := range tr.Windows {
+				row.Points[j] = TrajectoryPoint{
+					Window:     win,
+					Present:    tr.Present[j],
+					Support:    tr.Stats[j].Support(),
+					Confidence: tr.Stats[j].Confidence(),
+				}
+			}
+			res.Rules[i] = row
+		}
+		return res, nil
+
+	case Compare:
+		diffs, err := f.Compare(q.Windows, q.MinSupp, q.MinConf, q.MinSupp2, q.MinConf2)
+		if err != nil {
+			return nil, err
+		}
+		res := DiffResult{
+			A:       Setting{MinSupp: q.MinSupp, MinConf: q.MinConf},
+			B:       Setting{MinSupp: q.MinSupp2, MinConf: q.MinConf2},
+			Windows: make([]DiffWindow, len(diffs)),
+		}
+		for i, d := range diffs {
+			dw := DiffWindow{Window: d.Window, OnlyA: make([]uint32, len(d.OnlyA)), OnlyB: make([]uint32, len(d.OnlyB))}
+			for j, id := range d.OnlyA {
+				dw.OnlyA[j] = uint32(id)
+			}
+			for j, id := range d.OnlyB {
+				dw.OnlyB[j] = uint32(id)
+			}
+			res.Windows[i] = dw
+		}
+		return res, nil
+
+	case Recommend:
+		if q.MinLift > 0 {
+			reg, err := f.RecommendND(q.Window, q.MinSupp, q.MinConf, q.MinLift)
+			if err != nil {
+				return nil, err
+			}
+			return RegionNDResult{
+				Window:   reg.Window,
+				Empty:    reg.Empty,
+				Measures: reg.Measures,
+				Low:      reg.Low,
+				High:     reg.High,
+				NumRules: reg.NumRules,
+			}, nil
+		}
+		reg, err := f.Recommend(q.Window, q.MinSupp, q.MinConf)
+		if err != nil {
+			return nil, err
+		}
+		return RegionResult{
+			Window:   reg.Window,
+			Empty:    reg.Empty,
+			LowSupp:  reg.LowSupp,
+			HighSupp: reg.HighSupp,
+			LowConf:  reg.LowConf,
+			HighConf: reg.HighConf,
+			CutSupp:  reg.CutSupp,
+			CutConf:  reg.CutConf,
+			NumRules: reg.NumRules,
+		}, nil
+
+	case RollUp:
+		out, err := f.MineRollUp(q.From, q.To, q.MinSupp, q.MinConf)
+		if err != nil {
+			return nil, err
+		}
+		res := RollUpResult{From: q.From, To: q.To, Count: len(out), Rules: make([]RollUpRow, len(out))}
+		for i, r := range out {
+			res.Rules[i] = RollUpRow{
+				RuleJSON: RuleJSON{
+					ID:         uint32(r.ID),
+					Antecedent: itemNames(f, r.Rule.Ant),
+					Consequent: itemNames(f, r.Rule.Cons),
+					Support:    r.Stats.Support(),
+					Confidence: r.Stats.Confidence(),
+					Lift:       r.Stats.Lift(),
+					CountXY:    r.Stats.CountXY,
+					CountX:     r.Stats.CountX,
+					CountY:     r.Stats.CountY,
+					N:          r.Stats.N,
+				},
+				Present:         r.Present,
+				MaxSupportError: r.MaxSupportError,
+			}
+		}
+		return res, nil
+
+	case DrillDown:
+		rows, err := f.DrillDown(rules.ID(q.RuleID), q.From, q.To)
+		if err != nil {
+			return nil, err
+		}
+		r, _ := f.RuleDict().Rule(rules.ID(q.RuleID))
+		res := DrillResult{
+			RuleID:     q.RuleID,
+			Antecedent: itemNames(f, r.Ant),
+			Consequent: itemNames(f, r.Cons),
+			Windows:    make([]DrillRow, len(rows)),
+		}
+		for i, row := range rows {
+			res.Windows[i] = DrillRow{
+				Window:     row.Window,
+				Start:      row.Period.Start,
+				End:        row.Period.End,
+				Present:    row.Present,
+				Support:    row.Stats.Support(),
+				Confidence: row.Stats.Confidence(),
+			}
+		}
+		return res, nil
+
+	case Rank:
+		m, err := measureByName(q.Measure)
+		if err != nil {
+			return nil, err
+		}
+		out, err := f.RankEvolution(q.From, q.To, q.MinSupp, q.MinConf, m, 0.01, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		res := RankResult{From: q.From, To: q.To, By: q.Measure, Rules: make([]RankRow, len(out))}
+		for i, s := range out {
+			res.Rules[i] = RankRow{
+				ID:         uint32(s.ID),
+				Antecedent: itemNames(f, s.Rule.Ant),
+				Consequent: itemNames(f, s.Rule.Cons),
+				Coverage:   s.Coverage,
+				Stability:  s.Stability,
+				StdDev:     s.StdDev,
+			}
+		}
+		return res, nil
+
+	case Periodic:
+		out, err := f.FindPeriodic(q.From, q.To, q.MinSupp, q.MinConf, q.Period, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		res := PeriodicResult{From: q.From, To: q.To, Rules: make([]PeriodicRow, len(out))}
+		for i, s := range out {
+			res.Rules[i] = PeriodicRow{
+				ID:            uint32(s.ID),
+				Antecedent:    itemNames(f, s.Rule.Ant),
+				Consequent:    itemNames(f, s.Rule.Cons),
+				Period:        s.Period,
+				BestPhase:     s.BestPhase,
+				PhasePresence: s.PhasePresence,
+				Score:         s.Score,
+			}
+		}
+		return res, nil
+
+	case Plot:
+		slice, err := f.Index().Slice(q.Window)
+		if err != nil {
+			return nil, err
+		}
+		return PlotResult{Window: q.Window, Panorama: slice.Panorama(60, 16, q.MinSupp, q.MinConf)}, nil
+
+	case Export:
+		return nil, fmt.Errorf("query: export is a CLI-only operation")
+
+	default:
+		return nil, fmt.Errorf("query: unsupported kind %d", q.Kind)
+	}
+}
+
+// measureByName maps the textual evolution measure to its enum.
+func measureByName(name string) (tara.EvolutionMeasure, error) {
+	switch name {
+	case "stability", "":
+		return tara.ByStability, nil
+	case "coverage":
+		return tara.ByCoverage, nil
+	case "volatility":
+		return tara.ByVolatility, nil
+	default:
+		return 0, fmt.Errorf("query: unknown measure %q (want stability, coverage or volatility)", name)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"tara/internal/itemset"
 	"tara/internal/mining"
@@ -220,8 +221,12 @@ func Generate(res *mining.Result, p GenParams) ([]WithStats, error) {
 type ID uint32
 
 // Dict interns rules to dense IDs shared across windows, so the archive and
-// index refer to rules by number.
+// index refer to rules by number. A Dict is safe for concurrent use: readers
+// (Lookup, Rule, Len) may run while new windows intern rules via Add, which
+// the query-serving daemon relies on when answering requests during an
+// incremental append.
 type Dict struct {
+	mu    sync.RWMutex
 	ids   map[string]ID
 	rules []Rule
 }
@@ -231,6 +236,8 @@ func NewDict() *Dict { return &Dict{ids: map[string]ID{}} }
 
 // Add returns the ID for r, allocating one on first sight.
 func (d *Dict) Add(r Rule) ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if d.ids == nil {
 		d.ids = map[string]ID{}
 	}
@@ -246,12 +253,16 @@ func (d *Dict) Add(r Rule) ID {
 
 // Lookup returns the ID for r if it has been added.
 func (d *Dict) Lookup(r Rule) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	id, ok := d.ids[r.Key()]
 	return id, ok
 }
 
 // Rule returns the rule for id. ok is false for out-of-range ids.
 func (d *Dict) Rule(id ID) (Rule, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.rules) {
 		return Rule{}, false
 	}
@@ -259,4 +270,8 @@ func (d *Dict) Rule(id ID) (Rule, bool) {
 }
 
 // Len returns the number of interned rules.
-func (d *Dict) Len() int { return len(d.rules) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.rules)
+}

@@ -1,0 +1,157 @@
+package server
+
+import (
+	"expvar"
+	"math"
+	"math/bits"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Per-endpoint request metrics: lock-free counters plus a power-of-two
+// bucketed latency histogram from which /metrics derives p50/p95/p99. All
+// fields are atomics so observation never contends with request handling;
+// snapshots taken during traffic are approximate but internally safe.
+
+// histBuckets spans sub-microsecond to ~9 minutes in powers of two.
+const histBuckets = 30
+
+type latencyHist struct {
+	count  atomic.Uint64
+	sumUS  atomic.Uint64
+	bucket [histBuckets]atomic.Uint64
+}
+
+// observe files d into the bucket whose upper bound is the smallest
+// power-of-two number of microseconds >= d.
+func (h *latencyHist) observe(d time.Duration) {
+	us := uint64(d.Microseconds())
+	i := bits.Len64(us) // 0µs -> 0, 1µs -> 1, (2^k..2^(k+1)-1]µs -> k+1
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.bucket[i].Add(1)
+	h.count.Add(1)
+	h.sumUS.Add(us)
+}
+
+// quantile returns an upper bound (in microseconds) on the q-quantile of the
+// observed latencies, at power-of-two resolution.
+func (h *latencyHist) quantile(q float64) uint64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(total)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := range histBuckets {
+		cum += h.bucket[i].Load()
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			return (uint64(1) << i) - 1
+		}
+	}
+	return (uint64(1) << (histBuckets - 1)) - 1
+}
+
+type endpointStats struct {
+	requests atomic.Uint64
+	errors   atomic.Uint64
+	latency  latencyHist
+}
+
+// registry holds every endpoint's stats. The endpoint set is fixed at
+// construction, so the map is read-only afterwards and needs no lock.
+type registry struct {
+	start     time.Time
+	shed      atomic.Uint64
+	endpoints map[string]*endpointStats
+}
+
+func newRegistry() *registry {
+	return &registry{start: time.Now(), endpoints: map[string]*endpointStats{}}
+}
+
+// endpoint registers (or returns) the stats slot for name. Only called while
+// building the mux, before any traffic.
+func (r *registry) endpoint(name string) *endpointStats {
+	st, ok := r.endpoints[name]
+	if !ok {
+		st = &endpointStats{}
+		r.endpoints[name] = st
+	}
+	return st
+}
+
+// LatencySnapshot reports the latency distribution of one endpoint.
+type LatencySnapshot struct {
+	Count      uint64  `json:"count"`
+	MeanMicros float64 `json:"meanMicros"`
+	P50Micros  uint64  `json:"p50Micros"`
+	P95Micros  uint64  `json:"p95Micros"`
+	P99Micros  uint64  `json:"p99Micros"`
+}
+
+// EndpointSnapshot reports one endpoint's counters and latency quantiles.
+type EndpointSnapshot struct {
+	Requests uint64          `json:"requests"`
+	Errors   uint64          `json:"errors"`
+	Latency  LatencySnapshot `json:"latency"`
+}
+
+// MetricsSnapshot is the /metrics response body.
+type MetricsSnapshot struct {
+	UptimeSeconds float64                     `json:"uptimeSeconds"`
+	Goroutines    int                         `json:"goroutines"`
+	Shed          uint64                      `json:"shed"`
+	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+}
+
+func (r *registry) snapshot() MetricsSnapshot {
+	snap := MetricsSnapshot{
+		UptimeSeconds: time.Since(r.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Shed:          r.shed.Load(),
+		Endpoints:     make(map[string]EndpointSnapshot, len(r.endpoints)),
+	}
+	for name, st := range r.endpoints {
+		count := st.latency.count.Load()
+		mean := 0.0
+		if count > 0 {
+			mean = float64(st.latency.sumUS.Load()) / float64(count)
+		}
+		snap.Endpoints[name] = EndpointSnapshot{
+			Requests: st.requests.Load(),
+			Errors:   st.errors.Load(),
+			Latency: LatencySnapshot{
+				Count:      count,
+				MeanMicros: mean,
+				P50Micros:  st.latency.quantile(0.50),
+				P95Micros:  st.latency.quantile(0.95),
+				P99Micros:  st.latency.quantile(0.99),
+			},
+		}
+	}
+	return snap
+}
+
+// publishOnce guards the process-global expvar name: expvar.Publish panics on
+// duplicates, and tests construct many Servers in one process. The first
+// registry wins — in the daemon there is exactly one.
+var publishOnce sync.Once
+
+// publish exposes the snapshot under expvar as "tarad", so the standard
+// /debug/vars machinery (and anything scraping it) sees the same numbers as
+// /metrics.
+func (r *registry) publish() {
+	publishOnce.Do(func() {
+		expvar.Publish("tarad", expvar.Func(func() any { return r.snapshot() }))
+	})
+}

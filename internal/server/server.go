@@ -1,0 +1,243 @@
+// Package server implements tarad, the TARA query-serving daemon: an
+// HTTP/JSON front end over a read-only tara.Framework knowledge base.
+//
+// Every exploration class of the paper is an endpoint (GET or POST form),
+// taking the same parameters as the cmd/tara textual syntax:
+//
+//	/mine        w=0 supp=0.01 conf=0.2 [lift=1.5]     traditional mining
+//	/trajectory  w=3 supp=0.01 conf=0.2 in=0,1,2       Q1 rule trajectories
+//	/diff        w=0,1,2 a=0.01,0.2 b=0.05,0.3         Q2 ruleset comparison
+//	/recommend   w=0 supp=0.01 conf=0.2 [lift=1.5]     Q3 stable region
+//	/rollup      from=0 to=3 supp=0.01 conf=0.2        Q4 coarse granularity
+//	/drill       rule=12 from=0 to=3                   Q4 fine granularity
+//	/content     w=0 supp=0.01 conf=0.2 items=a,b      Q5 content exploration
+//	/rank        from=0 to=3 supp=… conf=… by=… k=10   evolution ranking
+//	/periodic    from=0 to=8 supp=… conf=… period=7    cyclic qualification
+//	/plot        w=0 [supp=0.01 conf=0.2]              parameter-space panorama
+//
+// plus /stats (knowledge-base summary), /healthz, and /metrics with
+// per-endpoint request counters and latency quantiles (p50/p95/p99).
+//
+// Requests are served concurrently; the Framework's query methods are safe
+// against a writer appending windows, so a daemon can stay up while the
+// knowledge base grows. Each request is bounded by a timeout, and a
+// fixed-size in-flight limiter sheds excess load with 429 instead of
+// queueing without bound.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"tara/internal/query"
+	"tara/internal/tara"
+)
+
+// Config configures a Server. Zero values select sensible defaults.
+type Config struct {
+	// Framework is the knowledge base to serve. Required.
+	Framework *tara.Framework
+	// Logger receives one structured line per request. Defaults to
+	// slog.Default().
+	Logger *slog.Logger
+	// RequestTimeout bounds each query request end to end; requests that
+	// exceed it answer 503. Defaults to 10s.
+	RequestTimeout time.Duration
+	// MaxInFlight caps concurrently executing query requests; excess
+	// requests are shed immediately with 429. Defaults to 256. Negative
+	// disables the limiter.
+	MaxInFlight int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// Server answers TARA exploration queries over HTTP. Create with New; it is
+// safe for concurrent use by any number of connections.
+type Server struct {
+	fw      *tara.Framework
+	log     *slog.Logger
+	timeout time.Duration
+	limiter chan struct{} // nil = unlimited; buffered to MaxInFlight
+	mux     *http.ServeMux
+	metrics *registry
+
+	// delay, when set (tests only), runs inside each query handler after
+	// the limiter slot is taken and before the query executes.
+	delay func(endpoint string)
+}
+
+// endpoints maps each HTTP route to the query operation it decodes as (the
+// same op names the textual syntax uses).
+var endpoints = []struct{ path, op string }{
+	{"/mine", "mine"},
+	{"/trajectory", "traj"},
+	{"/diff", "compare"},
+	{"/recommend", "recommend"},
+	{"/rollup", "rollup"},
+	{"/drill", "drill"},
+	{"/content", "about"},
+	{"/rank", "rank"},
+	{"/periodic", "periodic"},
+	{"/plot", "plot"},
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) (*Server, error) {
+	if cfg.Framework == nil {
+		return nil, fmt.Errorf("server: Config.Framework is required")
+	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.Default()
+	}
+	timeout := cfg.RequestTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	s := &Server{
+		fw:      cfg.Framework,
+		log:     log,
+		timeout: timeout,
+		mux:     http.NewServeMux(),
+		metrics: newRegistry(),
+	}
+	switch {
+	case cfg.MaxInFlight < 0:
+		// unlimited
+	case cfg.MaxInFlight == 0:
+		s.limiter = make(chan struct{}, 256)
+	default:
+		s.limiter = make(chan struct{}, cfg.MaxInFlight)
+	}
+
+	for _, e := range endpoints {
+		st := s.metrics.endpoint(e.path[1:])
+		inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			s.answer(e.path[1:], e.op, w, r)
+		})
+		h := http.TimeoutHandler(inner, timeout, `{"error":"request timed out"}`+"\n")
+		s.mux.Handle(e.path, s.instrument(e.path[1:], st, h))
+	}
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	s.mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.fw.Summarize())
+	})
+	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	})
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	s.metrics.publish()
+	return s, nil
+}
+
+// Handler returns the root handler, ready to mount on an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// instrument wraps a query route with request counting, latency observation
+// and structured logging. The limiter and timeout live inside so that shed
+// (429) and timed-out (503) requests are counted and timed like any other.
+func (s *Server) instrument(name string, st *endpointStats, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(rec, r)
+		d := time.Since(start)
+		st.requests.Add(1)
+		if rec.status >= 400 {
+			st.errors.Add(1)
+		}
+		st.latency.observe(d)
+		s.log.Info("request",
+			"endpoint", name,
+			"status", rec.status,
+			"duration", d,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// answer decodes, executes and encodes one query request.
+func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
+		return
+	}
+	if s.limiter != nil {
+		select {
+		case s.limiter <- struct{}{}:
+			defer func() { <-s.limiter }()
+		default:
+			s.metrics.shed.Add(1)
+			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			return
+		}
+	}
+	if s.delay != nil {
+		s.delay(name)
+	}
+	values := r.URL.Query()
+	if r.Method == http.MethodPost {
+		if err := r.ParseForm(); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		values = r.Form
+	}
+	q, err := query.FromValues(op, values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := query.Answer(s.fw, q)
+	if err != nil {
+		// The knowledge base is read-only: a failing query is a bad
+		// request (window out of range, unknown rule, ...), not a
+		// server fault.
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// statusRecorder captures the status code written by the wrapped handler.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		// Too late for a status change; the connection will show the
+		// truncated body.
+		return
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}

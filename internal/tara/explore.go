@@ -51,6 +51,13 @@ func (f *Framework) view(id rules.ID, w int) (RuleView, error) {
 // traditional temporal mining request, answered by quadrant collection over
 // the window's parameter-space slice.
 func (f *Framework) Mine(w int, minSupp, minConf float64) ([]RuleView, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.mineLocked(w, minSupp, minConf)
+}
+
+// mineLocked is Mine's implementation; callers hold f.mu.
+func (f *Framework) mineLocked(w int, minSupp, minConf float64) ([]RuleView, error) {
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}
@@ -75,7 +82,9 @@ func (f *Framework) Mine(w int, minSupp, minConf float64) ([]RuleView, error) {
 // The lift filter is a post-pass over the answer set: it is not an index
 // dimension, so its cost is linear in the (support, confidence) answer.
 func (f *Framework) MineFiltered(w int, minSupp, minConf, minLift float64) ([]RuleView, error) {
-	views, err := f.Mine(w, minSupp, minConf)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	views, err := f.mineLocked(w, minSupp, minConf)
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +104,8 @@ func (f *Framework) MineFiltered(w int, minSupp, minConf, minLift float64) ([]Ru
 // by merging the per-region content indexes, the collection path the paper's
 // TARA-S curves measure. It requires ContentIndex.
 func (f *Framework) MineMerged(w int, minSupp, minConf float64) ([]RuleView, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}
@@ -143,6 +154,8 @@ type RuleTrajectory struct {
 // RuleTrajectories answers Q1: find rules satisfying the setting in window
 // w, then examine their parameter values in the other specified windows.
 func (f *Framework) RuleTrajectories(w int, minSupp, minConf float64, others []int) ([]RuleTrajectory, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}
@@ -187,6 +200,8 @@ type WindowDiff struct {
 // Compare answers Q2 in exact-match mode: for every requested window, the
 // rules satisfying setting A but not B and vice versa.
 func (f *Framework) Compare(windows []int, suppA, confA, suppB, confB float64) ([]WindowDiff, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(suppA, confA); err != nil {
 		return nil, err
 	}
@@ -209,6 +224,8 @@ func (f *Framework) Compare(windows []int, suppA, confA, suppB, confB float64) (
 // telling the analyst how far the parameters can move before the output
 // changes (the TARA-R response of the experiments).
 func (f *Framework) Recommend(w int, minSupp, minConf float64) (eps.Region, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return eps.Region{}, err
 	}
@@ -244,6 +261,8 @@ type RollUpRule struct {
 // approximation — contributions from windows where a rule fell below the
 // generation thresholds — is quantified per rule by MaxSupportError.
 func (f *Framework) MineRollUp(from, to int, minSupp, minConf float64) ([]RollUpRule, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}
@@ -324,6 +343,13 @@ func (f *Framework) rollUpErrorBound(id rules.ID, from, to int, periodN uint32) 
 // below the generation thresholds in some windows contribute only their
 // archived counts. The window index of the returned slice is `from`.
 func (f *Framework) RollUpSlice(from, to int) (*eps.Slice, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return f.rollUpSliceLocked(from, to)
+}
+
+// rollUpSliceLocked is RollUpSlice's implementation; callers hold f.mu.
+func (f *Framework) rollUpSliceLocked(from, to int) (*eps.Slice, error) {
 	if from < 0 || to >= len(f.windows) || from > to {
 		return nil, fmt.Errorf("tara: roll-up range [%d,%d] out of bounds (have %d windows)", from, to, len(f.windows))
 	}
@@ -351,10 +377,12 @@ func (f *Framework) RollUpSlice(from, to int) (*eps.Slice, error) {
 // RecommendRollUp answers Q3 at coarse granularity: the stable region of the
 // rolled-up period [from, to] around the request point.
 func (f *Framework) RecommendRollUp(from, to int, minSupp, minConf float64) (eps.Region, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return eps.Region{}, err
 	}
-	slice, err := f.RollUpSlice(from, to)
+	slice, err := f.rollUpSliceLocked(from, to)
 	if err != nil {
 		return eps.Region{}, err
 	}
@@ -372,6 +400,8 @@ type WindowStats struct {
 // DrillDown answers the finer-granularity direction of Q4: the per-window
 // statistics of a rule across [from, to].
 func (f *Framework) DrillDown(id rules.ID, from, to int) ([]WindowStats, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if from < 0 || to >= len(f.windows) || from > to {
 		return nil, fmt.Errorf("tara: drill-down range [%d,%d] out of bounds (have %d windows)", from, to, len(f.windows))
 	}
@@ -389,6 +419,8 @@ func (f *Framework) DrillDown(id rules.ID, from, to int) ([]WindowStats, error) 
 // Trajectory exposes the archive trajectory of a rule for evolution
 // measures (Definition 10).
 func (f *Framework) Trajectory(id rules.ID, from, to int) (archive.Trajectory, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	return f.arch.Trajectory(id, from, to)
 }
 
@@ -396,6 +428,8 @@ func (f *Framework) Trajectory(id rules.ID, from, to int) (archive.Trajectory, e
 // the setting in window w. It requires the framework to have been built
 // with ContentIndex (the TARA-S configuration).
 func (f *Framework) RulesAbout(w int, minSupp, minConf float64, names []string) ([]RuleView, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}
@@ -455,6 +489,8 @@ type EvolutionSummary struct {
 // top k (all if k <= 0). stabilityEps is the support-delta tolerance used by
 // the stability measure.
 func (f *Framework) RankEvolution(from, to int, minSupp, minConf float64, m EvolutionMeasure, stabilityEps float64, k int) ([]EvolutionSummary, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}

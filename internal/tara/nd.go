@@ -13,6 +13,9 @@ import (
 // lazily from archived counts and cached; they add nothing to the offline
 // phase unless used.
 
+// ndSlice returns the cached n-dimensional slice for window w, building it
+// on first use. Callers hold f.mu for reading; ndMu is acquired inside, and
+// no writer ever takes ndMu, so the lock order is acyclic.
 func (f *Framework) ndSlice(w int) (*eps.SliceND, error) {
 	if w < 0 || w >= len(f.windows) {
 		return nil, fmt.Errorf("tara: window %d out of range [0,%d)", w, len(f.windows))
@@ -50,6 +53,8 @@ func (f *Framework) ndSlice(w int) (*eps.SliceND, error) {
 // MineND answers a three-measure mining request (support, confidence, lift
 // lower bounds) from the window's n-dimensional parameter-space slice.
 func (f *Framework) MineND(w int, minSupp, minConf, minLift float64) ([]RuleView, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}
@@ -75,6 +80,8 @@ func (f *Framework) MineND(w int, minSupp, minConf, minLift float64) ([]RuleView
 // how far each of minsupp, minconf and minlift can move without changing
 // the answer.
 func (f *Framework) RecommendND(w int, minSupp, minConf, minLift float64) (eps.RegionND, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return eps.RegionND{}, err
 	}

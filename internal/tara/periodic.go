@@ -36,6 +36,8 @@ type PeriodicSummary struct {
 // at least twice to be considered. Top k summaries are returned (all if
 // k <= 0).
 func (f *Framework) FindPeriodic(from, to int, minSupp, minConf float64, period int, k int) ([]PeriodicSummary, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}

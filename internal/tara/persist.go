@@ -31,8 +31,12 @@ import (
 
 const kbMagic = "TARAKB1\n"
 
-// Save serializes the framework's knowledge base.
+// Save serializes the framework's knowledge base. It holds the read lock for
+// the duration, so a snapshot taken while appends are in flight is a
+// consistent whole-window state.
 func (f *Framework) Save(w io.Writer) error {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	var tmp [binary.MaxVarintLen64]byte
 	writeUvarint := func(u uint64) error {
@@ -238,6 +242,9 @@ func Load(r io.Reader) (*Framework, error) {
 		n, err := readUvarint("window N")
 		if err != nil {
 			return nil, err
+		}
+		if n > math.MaxUint32 {
+			return nil, fmt.Errorf("tara: window %d cardinality %d exceeds uint32", i, n)
 		}
 		windows[i] = WindowInfo{
 			Index:  i,

@@ -74,8 +74,16 @@ type WindowInfo struct {
 }
 
 // Framework is a built TARA instance: configuration, dictionaries and the
-// knowledge base. All exported methods are safe for concurrent use once
-// Build (or the last AppendWindow) has returned.
+// knowledge base. All exported methods are safe for concurrent use, including
+// queries running while AppendWindow grows the knowledge base: appends take
+// the write lock, queries the read lock, so a query observes the knowledge
+// base either before or after a window lands, never mid-append. cfg and
+// itemDict are immutable after construction; ruleDict is internally
+// synchronized (query paths resolve rule ids outside the framework lock).
+//
+// The raw Archive and Index accessors hand out the underlying structures
+// without synchronization — they are for offline inspection and reporting,
+// not for use concurrent with AppendWindow.
 type Framework struct {
 	cfg      Config
 	itemDict *txdb.Dict
@@ -85,7 +93,12 @@ type Framework struct {
 	windows  []WindowInfo
 	timings  []Timing
 
-	mu sync.Mutex // guards appends (knowledge-base growth)
+	// mu guards the knowledge base: appendMined holds it for writing;
+	// queries hold it for reading. Exported query methods lock it and call
+	// unexported *Locked implementations, never each other, so a goroutine
+	// holds at most one read lock (nested RLock can deadlock with a waiting
+	// writer).
+	mu sync.RWMutex
 
 	ndMu     sync.Mutex // guards the lazy n-dimensional slice cache
 	ndSlices map[int]*eps.SliceND
@@ -246,10 +259,16 @@ func (f *Framework) appendMined(m mined) error {
 }
 
 // Windows returns the number of processed windows.
-func (f *Framework) Windows() int { return len(f.windows) }
+func (f *Framework) Windows() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.windows)
+}
 
 // Window returns metadata for window w.
 func (f *Framework) Window(w int) (WindowInfo, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	if w < 0 || w >= len(f.windows) {
 		return WindowInfo{}, fmt.Errorf("tara: window %d out of range [0,%d)", w, len(f.windows))
 	}
@@ -259,6 +278,8 @@ func (f *Framework) Window(w int) (WindowInfo, error) {
 // WindowRange maps a time period to the windows it overlaps. It fails when
 // the period misses every window.
 func (f *Framework) WindowRange(p txdb.Period) (from, to int, err error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	from, to = -1, -1
 	for _, w := range f.windows {
 		if w.Period.Overlaps(p) {
@@ -274,8 +295,15 @@ func (f *Framework) WindowRange(p txdb.Period) (from, to int, err error) {
 	return from, to, nil
 }
 
-// Timings returns the per-window preprocessing breakdown (Figure 9).
-func (f *Framework) Timings() []Timing { return f.timings }
+// Timings returns a copy of the per-window preprocessing breakdown
+// (Figure 9).
+func (f *Framework) Timings() []Timing {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]Timing, len(f.timings))
+	copy(out, f.timings)
+	return out
+}
 
 // Summary describes the knowledge base for operators: per-window rule and
 // location counts plus storage accounting.
@@ -300,6 +328,8 @@ type WindowSummary struct {
 
 // Summarize computes the knowledge-base summary.
 func (f *Framework) Summarize() Summary {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
 	s := Summary{
 		Windows:          len(f.windows),
 		Rules:            f.ruleDict.Len(),
@@ -329,7 +359,10 @@ func (f *Framework) ItemDict() *txdb.Dict { return f.itemDict }
 func (f *Framework) RuleDict() *rules.Dict { return f.ruleDict }
 
 // Archive returns the TAR Archive for size reporting and direct inspection.
+// The returned structure is NOT synchronized with AppendWindow; use it only
+// when no append can be in flight.
 func (f *Framework) Archive() *archive.Archive { return f.arch }
 
-// Index returns the EPS index.
+// Index returns the EPS index. Like Archive, the returned structure is NOT
+// synchronized with AppendWindow.
 func (f *Framework) Index() *eps.Index { return f.index }

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"tara/internal/itemset"
@@ -626,6 +627,131 @@ func TestConcurrentQueries(t *testing.T) {
 	}
 }
 
+// TestConcurrentAppendAndQueries interleaves incremental knowledge-base
+// growth with the full online query mix on one Framework. Run under -race
+// this locks in the appends-vs-queries synchronization: every query sees the
+// knowledge base before or after a whole window lands, never mid-append.
+func TestConcurrentAppendAndQueries(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.ContentIndex = true
+	db := testDB(21, 320, 18)
+	windows, err := db.PartitionByCount(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := New(db.Dict, cfg)
+	// Seed two windows so readers always have something to query.
+	for _, w := range windows[:2] {
+		if err := f.AppendWindow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Writer: absorb the remaining windows one by one.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, w := range windows[2:] {
+			if err := f.AppendWindow(w); err != nil {
+				fail(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: hammer the query classes against whatever prefix of the
+	// knowledge base exists at the moment of each request.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				n := f.Windows() // grows concurrently; snapshot per iteration
+				w := (g + i) % n
+				if _, err := f.Mine(w, 0.1, 0.3); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := f.Recommend(w, 0.1, 0.3); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := f.MineRollUp(0, n-1, 0.15, 0.3); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := f.RuleTrajectories(w, 0.15, 0.3, []int{0, w}); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := f.Compare([]int{0, w}, 0.1, 0.3, 0.15, 0.4); err != nil {
+					fail(err)
+					return
+				}
+				if _, err := f.RulesAbout(w, 0.1, 0.3, []string{itemName(1)}); err != nil {
+					fail(err)
+					return
+				}
+				if s := f.Summarize(); s.Windows < 2 {
+					fail(fmt.Errorf("summary lost windows: %d", s.Windows))
+					return
+				}
+				// Snapshot the knowledge base every few iterations; Save is
+				// the heaviest reader.
+				if i%4 == 0 {
+					if err := f.Save(discard{}); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if f.Windows() != len(windows) {
+		t.Fatalf("Windows = %d after concurrent appends, want %d", f.Windows(), len(windows))
+	}
+
+	// The interleaving must not have perturbed the knowledge base: answers
+	// match a framework built from the same data in one batch.
+	db2 := testDB(21, 320, 18)
+	batch, err := Build(db2, 0, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < len(windows); w++ {
+		a, err := f.Mine(w, 0.1, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := batch.Mine(w, 0.1, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("window %d: concurrent-append framework has %d rules, batch %d", w, len(a), len(b))
+		}
+	}
+}
+
+// discard is an io.Writer sink for exercising Save under concurrency.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
 func TestMineMergedMatchesMine(t *testing.T) {
 	cfg := defaultCfg()
 	cfg.ContentIndex = true
@@ -878,16 +1004,22 @@ func TestTrajectoryAccessor(t *testing.T) {
 	}
 }
 
-// failingMiner injects mining failures to exercise error propagation.
-type failingMiner struct{ after int }
+// failingMiner injects mining failures to exercise error propagation. Miners
+// run from parallel Build workers, so the countdown must be atomic.
+type failingMiner struct{ after atomic.Int64 }
+
+func newFailingMiner(after int64) *failingMiner {
+	m := &failingMiner{}
+	m.after.Store(after)
+	return m
+}
 
 func (m *failingMiner) Name() string { return "failing" }
 
 func (m *failingMiner) Mine(tx []txdb.Transaction, p mining.Params) (*mining.Result, error) {
-	if m.after <= 0 {
+	if m.after.Add(-1) < 0 {
 		return nil, errInjected
 	}
-	m.after--
 	return mining.Eclat{}.Mine(tx, p)
 }
 
@@ -896,13 +1028,13 @@ var errInjected = fmt.Errorf("injected mining failure")
 func TestBuildPropagatesMinerFailure(t *testing.T) {
 	db := testDB(20, 200, 10)
 	cfg := defaultCfg()
-	cfg.Miner = &failingMiner{after: 0}
+	cfg.Miner = newFailingMiner(0)
 	if _, err := Build(db, 0, 2, cfg); err == nil || !strings.Contains(err.Error(), "injected") {
 		t.Fatalf("Build error = %v, want injected failure", err)
 	}
 	// Failure in a later window, with parallel workers: still surfaces.
 	db2 := testDB(20, 200, 10)
-	cfg.Miner = &failingMiner{after: 1}
+	cfg.Miner = newFailingMiner(1)
 	cfg.Workers = 4
 	if _, err := Build(db2, 0, 3, cfg); err == nil || !strings.Contains(err.Error(), "injected") {
 		t.Fatalf("parallel Build error = %v, want injected failure", err)
@@ -914,6 +1046,18 @@ func TestBuildPropagatesPartitionErrors(t *testing.T) {
 	if _, err := Build(db, -5, 0, defaultCfg()); err == nil {
 		t.Error("negative window size with zero batches accepted")
 	}
+	// Degenerate partitions surface txdb's descriptive errors.
+	if _, err := Build(db, 0, db.Len()+1, defaultCfg()); err == nil || !strings.Contains(err.Error(), "exceed") {
+		t.Errorf("more batches than transactions: err = %v, want txdb error", err)
+	}
+	p, _ := db.TimeRange()
+	if _, err := Build(db, p.End-p.Start+2, 0, defaultCfg()); err == nil || !strings.Contains(err.Error(), "timestamp span") {
+		t.Errorf("oversized window: err = %v, want txdb error", err)
+	}
+	empty := txdb.NewDB()
+	if _, err := Build(empty, 0, 3, defaultCfg()); err == nil || !strings.Contains(err.Error(), "empty database") {
+		t.Errorf("empty database: err = %v, want txdb error", err)
+	}
 }
 
 func TestAppendWindowAfterFailureLeavesStateConsistent(t *testing.T) {
@@ -922,7 +1066,7 @@ func TestAppendWindowAfterFailureLeavesStateConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fm := &failingMiner{after: 1}
+	fm := newFailingMiner(1)
 	cfg := defaultCfg()
 	cfg.Miner = fm
 	f := New(db.Dict, cfg)
@@ -937,7 +1081,7 @@ func TestAppendWindowAfterFailureLeavesStateConsistent(t *testing.T) {
 	if _, err := f.Mine(0, 0.05, 0.2); err != nil {
 		t.Fatalf("Mine after failed append: %v", err)
 	}
-	fm.after = 10
+	fm.after.Store(10)
 	if err := f.AppendWindow(windows[1]); err != nil {
 		t.Fatalf("retry append: %v", err)
 	}

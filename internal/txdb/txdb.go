@@ -175,22 +175,43 @@ type Window struct {
 	Tx     []Transaction
 }
 
+// MaxWindows bounds how many tumbling windows a partitioning may produce.
+// A sparse database with a tiny window size would otherwise materialize one
+// Window struct per empty time slot — an easy way to exhaust memory from a
+// single bad parameter.
+const MaxWindows = 1 << 22
+
 // PartitionByTime splits the database into consecutive tumbling windows of
 // the given size (in time units), starting at the earliest timestamp. Empty
 // windows inside the covered range are kept so that window indexes remain a
 // contiguous time axis. Transactions must not be mutated afterwards; windows
 // alias the database storage. The database is sorted by time as a side
 // effect.
+//
+// Degenerate inputs are rejected with descriptive errors rather than
+// producing empty or single-window partitions: an empty database, a window
+// size exceeding the timestamp span (which cannot partition anything), and a
+// window size so small the covered range would explode into more than
+// MaxWindows windows.
 func (db *DB) PartitionByTime(windowSize int64) ([]Window, error) {
 	if windowSize <= 0 {
 		return nil, fmt.Errorf("txdb: window size must be positive, got %d", windowSize)
 	}
 	if len(db.Tx) == 0 {
-		return nil, nil
+		return nil, fmt.Errorf("txdb: cannot partition an empty database")
 	}
 	db.SortByTime()
 	start := db.Tx[0].Time
 	end := db.Tx[len(db.Tx)-1].Time
+	span := end - start + 1 // closed period length in time units
+	if windowSize > span {
+		return nil, fmt.Errorf("txdb: window size %d exceeds the timestamp span %d ([%d,%d]); the database cannot be partitioned at that granularity",
+			windowSize, span, start, end)
+	}
+	if (end-start)/windowSize >= MaxWindows {
+		return nil, fmt.Errorf("txdb: window size %d over span [%d,%d] would produce %d windows (limit %d)",
+			windowSize, start, end, (end-start)/windowSize+1, MaxWindows)
+	}
 	n := int((end-start)/windowSize) + 1
 	windows := make([]Window, n)
 	for i := range windows {
@@ -213,15 +234,20 @@ func (db *DB) PartitionByTime(windowSize int64) ([]Window, error) {
 // order, mirroring how the paper partitions its benchmark datasets ("5
 // equal-sized batches"). Each batch's Period is the span of its own
 // transactions. The final batch absorbs the remainder.
+//
+// Degenerate inputs are rejected with descriptive errors rather than
+// silently producing fewer or empty batches: an empty database, and a batch
+// count exceeding the number of transactions (which would force zero-length
+// windows).
 func (db *DB) PartitionByCount(n int) ([]Window, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("txdb: batch count must be positive, got %d", n)
 	}
 	if len(db.Tx) == 0 {
-		return nil, nil
+		return nil, fmt.Errorf("txdb: cannot partition an empty database")
 	}
 	if n > len(db.Tx) {
-		n = len(db.Tx)
+		return nil, fmt.Errorf("txdb: %d batches exceed the %d transactions available; every batch would need at least one transaction", n, len(db.Tx))
 	}
 	db.SortByTime()
 	per := len(db.Tx) / n

@@ -143,9 +143,27 @@ func TestPartitionByTimeErrors(t *testing.T) {
 		t.Error("window size 0 accepted")
 	}
 	empty := NewDB()
-	ws, err := empty.PartitionByTime(10)
-	if err != nil || ws != nil {
-		t.Errorf("empty db: %v, %v", ws, err)
+	if _, err := empty.PartitionByTime(10); err == nil || !strings.Contains(err.Error(), "empty database") {
+		t.Errorf("empty db: err = %v, want descriptive error", err)
+	}
+	// Window size exceeding the timestamp span cannot partition anything.
+	span := NewDB()
+	span.Add(10, "a")
+	span.Add(19, "b")
+	if _, err := span.PartitionByTime(100); err == nil || !strings.Contains(err.Error(), "exceeds the timestamp span") {
+		t.Errorf("oversized window: err = %v, want span error", err)
+	}
+	// Window size exactly equal to the span is the coarsest legal partition.
+	if ws, err := span.PartitionByTime(10); err != nil || len(ws) != 1 {
+		t.Errorf("span-sized window: %v, %v; want one window", ws, err)
+	}
+	// A sparse time axis with a tiny window size must not materialize an
+	// unbounded number of empty windows.
+	sparse := NewDB()
+	sparse.Add(0, "a")
+	sparse.Add(1<<40, "b")
+	if _, err := sparse.PartitionByTime(1); err == nil || !strings.Contains(err.Error(), "windows") {
+		t.Errorf("window explosion: err = %v, want limit error", err)
 	}
 }
 
@@ -174,12 +192,14 @@ func TestPartitionByCountMoreBatchesThanTx(t *testing.T) {
 	db := NewDB()
 	db.Add(1, "a")
 	db.Add(2, "b")
-	ws, err := db.PartitionByCount(5)
-	if err != nil {
-		t.Fatal(err)
+	_, err := db.PartitionByCount(5)
+	if err == nil || !strings.Contains(err.Error(), "exceed the 2 transactions") {
+		t.Fatalf("err = %v, want descriptive error for 5 batches over 2 transactions", err)
 	}
-	if len(ws) != 2 {
-		t.Fatalf("got %d batches, want 2", len(ws))
+	// Exactly one transaction per batch is the finest legal partition.
+	ws, err := db.PartitionByCount(2)
+	if err != nil || len(ws) != 2 {
+		t.Fatalf("2 batches over 2 tx: %v, %v", ws, err)
 	}
 }
 
@@ -188,6 +208,10 @@ func TestPartitionByCountErrors(t *testing.T) {
 	db.Add(1, "a")
 	if _, err := db.PartitionByCount(0); err == nil {
 		t.Error("count 0 accepted")
+	}
+	empty := NewDB()
+	if _, err := empty.PartitionByCount(1); err == nil || !strings.Contains(err.Error(), "empty database") {
+		t.Errorf("empty db: err = %v, want descriptive error", err)
 	}
 }
 
@@ -269,7 +293,12 @@ func TestPropertyPartitionPreservesAllTransactions(t *testing.T) {
 			db.Add(int64(r.Intn(200)), "i"+string(rune('a'+r.Intn(10))))
 		}
 		size := int64(1 + r.Intn(50))
+		p, _ := db.TimeRange()
 		ws, err := db.PartitionByTime(size)
+		if size > p.End-p.Start+1 {
+			// Oversized windows are a degenerate partition and must error.
+			return err != nil
+		}
 		if err != nil {
 			return false
 		}
