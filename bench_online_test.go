@@ -1,0 +1,164 @@
+package tara_bench
+
+import (
+	"sync"
+	"testing"
+
+	"tara/internal/harness"
+	"tara/internal/rules"
+	"tara/internal/tara"
+)
+
+// The BenchmarkOnline* family measures the online query path on a synthetic
+// 10k-location slice (the acceptance workload of the query-cache PR): the
+// retained pre-optimization linear scan, the accelerated cold lookup, and
+// the warm cached answer. CI runs these with -benchtime=1x as a smoke test.
+
+// onlinePoint is a fixed mid-grid request point; benchmarks want a stable
+// answer size, the harness's random sweep covers the distribution.
+const (
+	onlineSupp = 0.5
+	onlineConf = 0.5
+)
+
+var (
+	onlineOnce sync.Once
+	onlineFw   *tara.Framework
+	onlineErr  error
+)
+
+func onlineFramework(b *testing.B) *tara.Framework {
+	b.Helper()
+	onlineOnce.Do(func() {
+		onlineFw, onlineErr = harness.OnlineFramework(10000, 41)
+	})
+	if onlineErr != nil {
+		b.Fatal(onlineErr)
+	}
+	return onlineFw
+}
+
+// materializeOnline rebuilds the Mine answer views from an id list, so the
+// scan and cold benches measure the same end-to-end work the cached path
+// replaces (id collection + dictionary/archive materialization).
+func materializeOnline(b *testing.B, f *tara.Framework, ids []rules.ID) []tara.RuleView {
+	views := make([]tara.RuleView, len(ids))
+	for i, id := range ids {
+		r, ok := f.RuleDict().Rule(id)
+		if !ok {
+			b.Fatalf("unknown rule id %d", id)
+		}
+		st, ok := f.Archive().StatsAt(id, 0)
+		if !ok {
+			b.Fatalf("rule %d missing archived stats", id)
+		}
+		views[i] = tara.RuleView{ID: id, Rule: r, Stats: st}
+	}
+	return views
+}
+
+// BenchmarkOnlineScanMine is the pre-optimization baseline: a linear pass
+// over every parametric location, then answer materialization.
+func BenchmarkOnlineScanMine(b *testing.B) {
+	f := onlineFramework(b)
+	slice, err := f.Index().Slice(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		views := materializeOnline(b, f, slice.ScanRules(onlineSupp, onlineConf))
+		if len(views) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// BenchmarkOnlineColdMine is the accelerated id collection (skip structure,
+// no cache), then answer materialization.
+func BenchmarkOnlineColdMine(b *testing.B) {
+	f := onlineFramework(b)
+	slice, err := f.Index().Slice(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		views := materializeOnline(b, f, slice.Rules(onlineSupp, onlineConf))
+		if len(views) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// BenchmarkOnlineWarmMine serves the full Mine answer from the query cache.
+func BenchmarkOnlineWarmMine(b *testing.B) {
+	f := onlineFramework(b)
+	if _, err := f.Mine(0, onlineSupp, onlineConf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		views, err := f.Mine(0, onlineSupp, onlineConf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(views) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// BenchmarkOnlineScanCount is the pre-optimization counting baseline.
+func BenchmarkOnlineScanCount(b *testing.B) {
+	f := onlineFramework(b)
+	slice, err := f.Index().Slice(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if slice.ScanCount(onlineSupp, onlineConf) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// BenchmarkOnlineColdCount counts via the suffix arrays and skip chains.
+func BenchmarkOnlineColdCount(b *testing.B) {
+	f := onlineFramework(b)
+	slice, err := f.Index().Slice(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if slice.Count(onlineSupp, onlineConf) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// BenchmarkOnlineWarmCount serves Count from the query cache.
+func BenchmarkOnlineWarmCount(b *testing.B) {
+	f := onlineFramework(b)
+	if _, err := f.Count(0, onlineSupp, onlineConf); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := f.Count(0, onlineSupp, onlineConf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if n == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}

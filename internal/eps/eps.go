@@ -85,6 +85,18 @@ type Slice struct {
 	// cols[j] indexes locs at confs[j], sorted by ascending support.
 	cols           [][]int32
 	contentIndexed bool
+
+	// Lookup acceleration (built once per slice, immutable afterwards).
+	// rowMaxConf[i] is the largest confidence in rows[i]; rowSkip[i] is the
+	// next row with a strictly larger maximum confidence (len(rows) if none),
+	// forming the dominance-ordered skip structure: every row between i and
+	// rowSkip[i] has max confidence <= rowMaxConf[i], so a query whose
+	// minconf exceeds rowMaxConf[i] can jump straight to rowSkip[i] without
+	// touching the rows in between. rowCum[i][j] counts the rules at
+	// rows[i][j:], so Count needs no per-location iteration.
+	rowMaxConf []float64
+	rowSkip    []int32
+	rowCum     [][]int32
 }
 
 // BuildSlice organizes the window's rules into a parameter-space slice.
@@ -171,7 +183,33 @@ func BuildSlice(window int, n uint32, rs []IDStats, opts Options) (*Slice, error
 		col := len(s.cols) - 1
 		s.cols[col] = append(s.cols[col], li)
 	}
+	s.buildAccel()
 	return s, nil
+}
+
+// buildAccel derives the skip structure and suffix rule counts from the
+// finished row layout. Rows are conf-ascending, so a row's maximum
+// confidence is its last location's; the skip pointers are the classic
+// next-greater-element chains, built right to left in amortized linear time.
+func (s *Slice) buildAccel() {
+	s.rowMaxConf = make([]float64, len(s.rows))
+	s.rowSkip = make([]int32, len(s.rows))
+	s.rowCum = make([][]int32, len(s.rows))
+	for i, idx := range s.rows {
+		s.rowMaxConf[i] = s.locs[idx[len(idx)-1]].Conf
+		cum := make([]int32, len(idx)+1)
+		for j := len(idx) - 1; j >= 0; j-- {
+			cum[j] = cum[j+1] + int32(len(s.locs[idx[j]].Rules))
+		}
+		s.rowCum[i] = cum
+	}
+	for i := len(s.rows) - 1; i >= 0; i-- {
+		j := int32(i + 1)
+		for j < int32(len(s.rows)) && s.rowMaxConf[j] <= s.rowMaxConf[i] {
+			j = s.rowSkip[j]
+		}
+		s.rowSkip[i] = j
+	}
 }
 
 // NumLocations returns the number of distinct parametric locations.
@@ -192,18 +230,71 @@ func (s *Slice) NumRuleRefs() int {
 // tests. Callers must not mutate the returned slice.
 func (s *Slice) Locations() []Location { return s.locs }
 
+// CutIndex canonicalizes a request point to its time-aware stable region's
+// cut location (Definition 12) by binary search over the per-axis cut grids:
+// si is the index of the first distinct support >= minSupp, ci of the first
+// distinct confidence >= minConf (either may be one past the end, the empty
+// cut above every rule). By Lemma 4 the answer to any of the slice's
+// threshold queries depends on the request point only through (si, ci) — all
+// settings inside one stable region share a cut and therefore a ruleset —
+// which is what makes (Window, si, ci) a lossless memoization key.
+func (s *Slice) CutIndex(minSupp, minConf float64) (si, ci int) {
+	return sort.SearchFloat64s(s.supports, minSupp), sort.SearchFloat64s(s.confs, minConf)
+}
+
 // forEachQualifying visits every location with Supp >= minSupp and Conf >=
-// minConf, the dominated-region collection of Lemma 4.
+// minConf, the dominated-region collection of Lemma 4. Rows below minSupp
+// are excluded by binary search; rows whose maximum confidence falls below
+// minConf are jumped over via the dominance-ordered skip chain, so only rows
+// that contribute at least one qualifying location pay a per-row search
+// (plus the strictly-increasing-max chain rows crossed while skipping).
 func (s *Slice) forEachQualifying(minSupp, minConf float64, fn func(*Location)) {
-	start := sort.SearchFloat64s(s.supports, minSupp)
-	for row := start; row < len(s.rows); row++ {
+	for row := sort.SearchFloat64s(s.supports, minSupp); row < len(s.rows); {
+		if s.rowMaxConf[row] < minConf {
+			row = int(s.rowSkip[row])
+			continue
+		}
 		idx := s.rows[row]
 		// Locations in a row are sorted by confidence.
 		lo := sort.Search(len(idx), func(i int) bool { return s.locs[idx[i]].Conf >= minConf })
 		for _, li := range idx[lo:] {
 			fn(&s.locs[li])
 		}
+		row++
 	}
+}
+
+// scanQualifying is the pre-acceleration reference collection: it visits
+// every row at or above minSupp, whether or not the row contributes. It is
+// retained for differential tests and as the benchmark baseline the skip
+// structure is measured against.
+func (s *Slice) scanQualifying(minSupp, minConf float64, fn func(*Location)) {
+	start := sort.SearchFloat64s(s.supports, minSupp)
+	for row := start; row < len(s.rows); row++ {
+		idx := s.rows[row]
+		lo := sort.Search(len(idx), func(i int) bool { return s.locs[idx[i]].Conf >= minConf })
+		for _, li := range idx[lo:] {
+			fn(&s.locs[li])
+		}
+	}
+}
+
+// ScanRules is Rules computed by the reference scan (no skip structure, no
+// preallocation). Exported for differential tests and benchmarks only.
+func (s *Slice) ScanRules(minSupp, minConf float64) []rules.ID {
+	var out []rules.ID
+	s.scanQualifying(minSupp, minConf, func(l *Location) {
+		out = append(out, l.Rules...)
+	})
+	return out
+}
+
+// ScanCount is Count computed by the reference scan. Exported for
+// differential tests and benchmarks only.
+func (s *Slice) ScanCount(minSupp, minConf float64) int {
+	n := 0
+	s.scanQualifying(minSupp, minConf, func(l *Location) { n += len(l.Rules) })
+	return n
 }
 
 // Rules returns the ids of all rules satisfying (minSupp, minConf) in this
@@ -213,7 +304,11 @@ func (s *Slice) forEachQualifying(minSupp, minConf float64, fn func(*Location)) 
 // confidence, ids ascending within a location — but not globally sorted by
 // id; sorting a large answer would dominate the collection cost.
 func (s *Slice) Rules(minSupp, minConf float64) []rules.ID {
-	var out []rules.ID
+	n := s.Count(minSupp, minConf)
+	if n == 0 {
+		return nil
+	}
+	out := make([]rules.ID, 0, n)
 	s.forEachQualifying(minSupp, minConf, func(l *Location) {
 		out = append(out, l.Rules...)
 	})
@@ -221,10 +316,20 @@ func (s *Slice) Rules(minSupp, minConf float64) []rules.ID {
 }
 
 // Count returns the number of rules satisfying (minSupp, minConf) without
-// materializing them.
+// materializing them. With the suffix rule counts, each contributing row
+// costs one binary search and one array read.
 func (s *Slice) Count(minSupp, minConf float64) int {
 	n := 0
-	s.forEachQualifying(minSupp, minConf, func(l *Location) { n += len(l.Rules) })
+	for row := sort.SearchFloat64s(s.supports, minSupp); row < len(s.rows); {
+		if s.rowMaxConf[row] < minConf {
+			row = int(s.rowSkip[row])
+			continue
+		}
+		idx := s.rows[row]
+		lo := sort.Search(len(idx), func(i int) bool { return s.locs[idx[i]].Conf >= minConf })
+		n += int(s.rowCum[row][lo])
+		row++
+	}
 	return n
 }
 
@@ -272,11 +377,15 @@ func (s *Slice) RulesMerged(minSupp, minConf float64) ([]rules.ID, error) {
 	if !s.contentIndexed {
 		return nil, fmt.Errorf("eps: slice %d was built without a content index", s.Window)
 	}
-	seen := map[rules.ID]bool{}
+	// The answer size is known up front (every qualifying rule appears in the
+	// merge), so the seen-set and output can be sized exactly: the dedup is
+	// one hash probe per posting-list entry, linear in the total posting
+	// volume of the qualifying locations.
+	seen := make(map[rules.ID]struct{}, s.Count(minSupp, minConf))
 	s.forEachQualifying(minSupp, minConf, func(l *Location) {
 		for _, ids := range l.itemIdx {
 			for _, id := range ids {
-				seen[id] = true
+				seen[id] = struct{}{}
 			}
 		}
 	})

@@ -49,6 +49,16 @@ type SliceND struct {
 	locs []LocationND
 	// distinct[d] holds the sorted distinct values of dimension d.
 	distinct [][]float64
+
+	// Lookup acceleration, mirroring the 2-dimensional slice. suffMax[d][i]
+	// is the maximum of dimension d over locs[i:], so a scan can stop as soon
+	// as no remaining location can satisfy the failing dimension. skip[d][i]
+	// (for d >= 1; dimension 0 is handled by the sorted order) is the next
+	// location with a strictly larger coordinate in d: the locations jumped
+	// over all share the failing below-threshold coordinate and can never
+	// qualify.
+	suffMax [][]float64
+	skip    [][]int32
 }
 
 // BuildSliceND organizes the window's rules by their coordinates under the
@@ -105,7 +115,62 @@ func BuildSliceND(window int, n uint32, rs []IDStats, measures []Measure) (*Slic
 		}
 		s.distinct[d] = vals[:w]
 	}
+	s.buildAccel()
 	return s, nil
+}
+
+// buildAccel derives the suffix maxima and next-greater skip chains from the
+// sorted location order.
+func (s *SliceND) buildAccel() {
+	d := len(s.measures)
+	s.suffMax = make([][]float64, d)
+	s.skip = make([][]int32, d)
+	for dim := 0; dim < d; dim++ {
+		sm := make([]float64, len(s.locs))
+		for i := len(s.locs) - 1; i >= 0; i-- {
+			sm[i] = s.locs[i].Coords[dim]
+			if i+1 < len(s.locs) && sm[i+1] > sm[i] {
+				sm[i] = sm[i+1]
+			}
+		}
+		s.suffMax[dim] = sm
+		if dim == 0 {
+			continue
+		}
+		sk := make([]int32, len(s.locs))
+		for i := len(s.locs) - 1; i >= 0; i-- {
+			j := int32(i + 1)
+			for j < int32(len(s.locs)) && s.locs[j].Coords[dim] <= s.locs[i].Coords[dim] {
+				j = sk[j]
+			}
+			sk[i] = j
+		}
+		s.skip[dim] = sk
+	}
+}
+
+// forEachQualifying visits every location meeting all lower bounds. The
+// dimension-0 prefix is excluded by binary search (locations are sorted with
+// dimension 0 primary); a location failing dimension d jumps the scan along
+// d's skip chain, and the scan stops outright once the suffix maximum of a
+// failing dimension falls below its bound.
+func (s *SliceND) forEachQualifying(mins []float64, fn func(*LocationND)) {
+	i := sort.Search(len(s.locs), func(i int) bool { return s.locs[i].Coords[0] >= mins[0] })
+locs:
+	for i < len(s.locs) {
+		l := &s.locs[i]
+		for d := 1; d < len(mins); d++ {
+			if l.Coords[d] < mins[d] {
+				if s.suffMax[d][i] < mins[d] {
+					break locs
+				}
+				i = int(s.skip[d][i])
+				continue locs
+			}
+		}
+		fn(l)
+		i++
+	}
 }
 
 // Measures returns the slice's measure list.
@@ -123,8 +188,32 @@ func (s *SliceND) checkMins(mins []float64) error {
 
 // Rules returns the rules whose every coordinate meets the corresponding
 // lower bound. The scan skips below-threshold dimension-0 prefixes via
-// binary search and filters the remaining dimensions per location.
+// binary search and jumps over non-qualifying runs via the per-dimension
+// skip chains.
 func (s *SliceND) Rules(mins []float64) ([]rules.ID, error) {
+	if err := s.checkMins(mins); err != nil {
+		return nil, err
+	}
+	var out []rules.ID
+	s.forEachQualifying(mins, func(l *LocationND) {
+		out = append(out, l.Rules...)
+	})
+	return out, nil
+}
+
+// Count returns the number of qualifying rules without materializing them.
+func (s *SliceND) Count(mins []float64) (int, error) {
+	if err := s.checkMins(mins); err != nil {
+		return 0, err
+	}
+	n := 0
+	s.forEachQualifying(mins, func(l *LocationND) { n += len(l.Rules) })
+	return n, nil
+}
+
+// ScanRules is Rules computed by the plain filtered scan, without the skip
+// chains. Exported for differential tests and benchmarks only.
+func (s *SliceND) ScanRules(mins []float64) ([]rules.ID, error) {
 	if err := s.checkMins(mins); err != nil {
 		return nil, err
 	}
@@ -141,15 +230,6 @@ locs:
 		out = append(out, l.Rules...)
 	}
 	return out, nil
-}
-
-// Count returns the number of qualifying rules.
-func (s *SliceND) Count(mins []float64) (int, error) {
-	ids, err := s.Rules(mins)
-	if err != nil {
-		return 0, err
-	}
-	return len(ids), nil
 }
 
 // RegionND is an n-dimensional time-aware stable region: the grid cell of

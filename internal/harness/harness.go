@@ -58,6 +58,7 @@ var Experiments = map[string]func(io.Writer, float64) error{
 	"tab3":   RunTab3,
 	"tab4":   RunTab4,
 	"rollup": RunRollUp,
+	"online": RunOnline,
 }
 
 // ExperimentIDs lists the experiment ids in run order.

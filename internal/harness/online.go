@@ -1,0 +1,289 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"tara/internal/itemset"
+	"tara/internal/rules"
+	"tara/internal/tara"
+	"tara/internal/txdb"
+)
+
+// The online-query experiment measures the PR's serving-path work on one
+// large EPS slice: the retained pre-optimization linear scan (ScanRules /
+// ScanCount), the accelerated cold lookup (skip structure + suffix counts),
+// and the warm cached answer (stable-region memoization). Each mode answers
+// the same request points; per-query latencies are reported as p50/p95.
+
+// onlineLocations is the slice size at scale 1 — the acceptance target of
+// the optimization (a 10k-location slice).
+const onlineLocations = 10000
+
+// onlinePoints is the number of random request points timed per mode.
+const onlinePoints = 300
+
+// OnlineQuantiles summarizes one mode's per-query latencies.
+type OnlineQuantiles struct {
+	P50Micros  float64 `json:"p50Micros"`
+	P95Micros  float64 `json:"p95Micros"`
+	MeanMicros float64 `json:"meanMicros"`
+}
+
+// OnlineMode reports the mine and count latencies of one serving mode.
+type OnlineMode struct {
+	Mine  OnlineQuantiles `json:"mine"`
+	Count OnlineQuantiles `json:"count"`
+}
+
+// OnlineReport is the JSON document the online experiment emits
+// (BENCH_online_query.json).
+type OnlineReport struct {
+	Locations int `json:"locations"`
+	Rules     int `json:"rules"`
+	Points    int `json:"points"`
+	// ScanBaseline is the pre-optimization linear scan over every location.
+	ScanBaseline OnlineMode `json:"scanBaseline"`
+	// ColdAccelerated is the skip-structure lookup with a cold cache.
+	ColdAccelerated OnlineMode `json:"coldAccelerated"`
+	// WarmCached replays the same points against the primed query cache.
+	WarmCached OnlineMode `json:"warmCached"`
+	// Speedups are scanBaseline p50 over the named mode's p50.
+	SpeedupColdMine  float64 `json:"speedupColdMineP50"`
+	SpeedupColdCount float64 `json:"speedupColdCountP50"`
+	SpeedupWarmMine  float64 `json:"speedupWarmMineP50"`
+	SpeedupWarmCount float64 `json:"speedupWarmCountP50"`
+	// Cache is the query-cache counter snapshot after the warm pass.
+	Cache tara.CacheStats `json:"cache"`
+}
+
+// OnlineFramework builds a one-window framework whose slice has ~locations
+// distinct parametric locations, ingested through the premined AppendRules
+// path (mining real transactions to that density would dominate the
+// experiment without exercising the serving path any harder).
+func OnlineFramework(locations int, seed int64) (*tara.Framework, error) {
+	const n = 1 << 20 // window cardinality; supports ~locations distinct counts
+	r := rand.New(rand.NewSource(seed))
+	rs := make([]rules.WithStats, locations)
+	for i := range rs {
+		xy := uint32(1 + r.Intn(n))
+		x := xy + uint32(r.Intn(n-int(xy)+1))
+		rs[i] = rules.WithStats{
+			Rule: rules.Rule{
+				Ant:  itemset.New(uint32(10 + 2*i)),
+				Cons: itemset.New(uint32(11 + 2*i)),
+			},
+			Stats: rules.Stats{CountXY: xy, CountX: x, CountY: x, N: n},
+		}
+	}
+	f := tara.New(txdb.NewDict(), tara.Config{})
+	w := txdb.Window{
+		Index:  0,
+		Period: txdb.Period{Start: 0, End: 999},
+		Tx:     make([]txdb.Transaction, n),
+	}
+	if err := f.AppendRules(w, rs); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// onlinePointsFor draws the request points; mid-to-high thresholds keep
+// answer sets a realistic fraction of the slice.
+func onlinePointsFor(count int, seed int64) [][2]float64 {
+	r := rand.New(rand.NewSource(seed))
+	pts := make([][2]float64, count)
+	for i := range pts {
+		pts[i] = [2]float64{r.Float64(), r.Float64()}
+	}
+	return pts
+}
+
+// quantiles reduces per-query durations to the report's summary.
+func quantiles(ds []time.Duration) OnlineQuantiles {
+	if len(ds) == 0 {
+		return OnlineQuantiles{}
+	}
+	sorted := make([]time.Duration, len(ds))
+	copy(sorted, ds)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return float64(sorted[i].Nanoseconds()) / 1e3
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return OnlineQuantiles{
+		P50Micros:  at(0.50),
+		P95Micros:  at(0.95),
+		MeanMicros: float64(sum.Nanoseconds()) / float64(len(ds)) / 1e3,
+	}
+}
+
+// timeEach records fn's latency per point, keeping the best of two runs so
+// one GC pause (materialization allocates the whole answer) does not smear a
+// mode's quantiles.
+func timeEach(pts [][2]float64, fn func(ms, mc float64) error) ([]time.Duration, error) {
+	out := make([]time.Duration, len(pts))
+	for i, p := range pts {
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			if err := fn(p[0], p[1]); err != nil {
+				return nil, err
+			}
+			if d := time.Since(start); rep == 0 || d < out[i] {
+				out[i] = d
+			}
+		}
+	}
+	return out, nil
+}
+
+// OnlineBench runs the online-query experiment and returns its report.
+func OnlineBench(scale float64) (*OnlineReport, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	locations := int(float64(onlineLocations) * scale)
+	if locations < 100 {
+		locations = 100
+	}
+	f, err := OnlineFramework(locations, 41)
+	if err != nil {
+		return nil, err
+	}
+	slice, err := f.Index().Slice(0)
+	if err != nil {
+		return nil, err
+	}
+	pts := onlinePointsFor(onlinePoints, 42)
+	rep := &OnlineReport{
+		Locations: slice.NumLocations(),
+		Rules:     locations,
+		Points:    len(pts),
+	}
+
+	// materialize reproduces the Mine answer-building step (rule dictionary
+	// and archive lookups), so both pre-optimization and cold modes measure
+	// the full serving path, not just the id collection.
+	dict, arch := f.RuleDict(), f.Archive()
+	materialize := func(ids []rules.ID) error {
+		views := make([]tara.RuleView, len(ids))
+		for i, id := range ids {
+			r, ok := dict.Rule(id)
+			if !ok {
+				return fmt.Errorf("harness: unknown rule id %d", id)
+			}
+			st, ok := arch.StatsAt(id, 0)
+			if !ok {
+				return fmt.Errorf("harness: rule %d missing archived stats", id)
+			}
+			views[i] = tara.RuleView{ID: id, Rule: r, Stats: st}
+		}
+		return nil
+	}
+
+	// Pre-optimization baseline: full-slice reference scan + materialization
+	// (what Mine did before the skip structure and the cache existed).
+	scanMine, err := timeEach(pts, func(ms, mc float64) error {
+		return materialize(slice.ScanRules(ms, mc))
+	})
+	if err != nil {
+		return nil, err
+	}
+	scanCount, err := timeEach(pts, func(ms, mc float64) error {
+		slice.ScanCount(ms, mc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.ScanBaseline = OnlineMode{Mine: quantiles(scanMine), Count: quantiles(scanCount)}
+
+	// Cold accelerated: skip-structure lookups, no memoization involved.
+	coldMine, err := timeEach(pts, func(ms, mc float64) error {
+		return materialize(slice.Rules(ms, mc))
+	})
+	if err != nil {
+		return nil, err
+	}
+	coldCount, err := timeEach(pts, func(ms, mc float64) error {
+		slice.Count(ms, mc)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.ColdAccelerated = OnlineMode{Mine: quantiles(coldMine), Count: quantiles(coldCount)}
+
+	// Warm cached: prime every point through the framework, then replay.
+	for _, p := range pts {
+		if _, err := f.Mine(0, p[0], p[1]); err != nil {
+			return nil, err
+		}
+		if _, err := f.Count(0, p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	warmMine, err := timeEach(pts, func(ms, mc float64) error {
+		_, err := f.Mine(0, ms, mc)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	warmCount, err := timeEach(pts, func(ms, mc float64) error {
+		_, err := f.Count(0, ms, mc)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.WarmCached = OnlineMode{Mine: quantiles(warmMine), Count: quantiles(warmCount)}
+
+	div := func(a, b float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	rep.SpeedupColdMine = div(rep.ScanBaseline.Mine.P50Micros, rep.ColdAccelerated.Mine.P50Micros)
+	rep.SpeedupColdCount = div(rep.ScanBaseline.Count.P50Micros, rep.ColdAccelerated.Count.P50Micros)
+	rep.SpeedupWarmMine = div(rep.ScanBaseline.Mine.P50Micros, rep.WarmCached.Mine.P50Micros)
+	rep.SpeedupWarmCount = div(rep.ScanBaseline.Count.P50Micros, rep.WarmCached.Count.P50Micros)
+	rep.Cache = f.CacheStats()
+	return rep, nil
+}
+
+// RunOnline prints the online-query experiment as a paper-style table.
+func RunOnline(w io.Writer, scale float64) error {
+	rep, err := OnlineBench(scale)
+	if err != nil {
+		return err
+	}
+	return PrintOnline(w, rep)
+}
+
+// PrintOnline renders an already-measured report (so one run can feed both
+// the table and the JSON artifact).
+func PrintOnline(w io.Writer, rep *OnlineReport) error {
+	fmt.Fprintf(w, "Online query path — %d locations, %d request points per mode\n", rep.Locations, rep.Points)
+	fmt.Fprintf(w, "%-18s %12s %12s %12s %12s\n", "mode", "mine-p50µs", "mine-p95µs", "count-p50µs", "count-p95µs")
+	row := func(name string, m OnlineMode) {
+		fmt.Fprintf(w, "%-18s %12.2f %12.2f %12.2f %12.2f\n",
+			name, m.Mine.P50Micros, m.Mine.P95Micros, m.Count.P50Micros, m.Count.P95Micros)
+	}
+	row("scan-baseline", rep.ScanBaseline)
+	row("cold-accelerated", rep.ColdAccelerated)
+	row("warm-cached", rep.WarmCached)
+	fmt.Fprintf(w, "speedup vs scan p50: cold mine %.1fx, cold count %.1fx, warm mine %.1fx, warm count %.1fx\n",
+		rep.SpeedupColdMine, rep.SpeedupColdCount, rep.SpeedupWarmMine, rep.SpeedupWarmCount)
+	fmt.Fprintf(w, "cache: %d/%d entries, hit ratio %.3f (%d hits, %d misses)\n",
+		rep.Cache.Entries, rep.Cache.Capacity, rep.Cache.HitRatio, rep.Cache.Hits, rep.Cache.Misses)
+	return nil
+}

@@ -205,6 +205,14 @@ func Key(s Set) string {
 	return string(b)
 }
 
+// AppendKey appends the Key encoding of x to b and returns the extended
+// buffer. Hot loops maintain an incremental key alongside a growing set —
+// append 4 bytes per item, truncate 4 on backtrack — and look maps up with
+// m[string(b)], which the compiler keeps allocation-free.
+func AppendKey(b []byte, x Item) []byte {
+	return append(b, byte(x>>24), byte(x>>16), byte(x>>8), byte(x))
+}
+
 // FromKey decodes a key produced by Key back into a Set.
 func FromKey(k string) (Set, error) {
 	if len(k)%4 != 0 {

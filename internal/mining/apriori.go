@@ -57,24 +57,28 @@ func (Apriori) Mine(tx []txdb.Transaction, p Params) (*Result, error) {
 		if len(candidates) == 0 {
 			break
 		}
-		counts := make(map[string]uint32, len(candidates))
-		for _, c := range candidates {
-			counts[itemset.Key(c)] = 0
+		// Candidate counts live in a slice; the map only resolves a key to a
+		// position. Increments during counting then never store a string key,
+		// so the per-subset lookups below stay allocation-free.
+		candIdx := make(map[string]int32, len(candidates))
+		candCounts := make([]uint32, len(candidates))
+		for i, c := range candidates {
+			candIdx[itemset.Key(c)] = int32(i)
 		}
 		buf := make(itemset.Set, 0, k)
+		kb := make([]byte, 0, 4*k)
 		for _, t := range ftx {
 			if len(t) < k {
 				continue
 			}
-			countSubsets(t, k, buf, levels, counts)
+			countSubsets(t, k, buf, kb, levels, candIdx, candCounts)
 		}
 		levels[k] = map[string]uint32{}
 		prev = prev[:0]
-		for _, c := range candidates {
-			key := itemset.Key(c)
-			if n := counts[key]; n >= minCount {
+		for i, c := range candidates {
+			if n := candCounts[i]; n >= minCount {
 				res.Add(c, n)
-				levels[k][key] = n
+				levels[k][itemset.Key(c)] = n
 				prev = append(prev, c)
 			}
 		}
@@ -90,6 +94,7 @@ func (Apriori) Mine(tx []txdb.Transaction, p Params) (*Result, error) {
 // downward-closure prune against prevKeys.
 func aprioriJoin(prev []itemset.Set, prevKeys map[string]uint32) []itemset.Set {
 	var out []itemset.Set
+	kb := make([]byte, 0, 4*len(prev[0]))
 	// Group by shared (k-2)-prefix. prev is produced in ascending canonical
 	// order by construction, so a double loop over prefix groups suffices.
 	for i := 0; i < len(prev); i++ {
@@ -108,7 +113,7 @@ func aprioriJoin(prev []itemset.Set, prevKeys map[string]uint32) []itemset.Set {
 			cand := make(itemset.Set, 0, len(a)+1)
 			cand = append(cand, a[:len(a)-1]...)
 			cand = append(cand, lo, hi)
-			if aprioriPrune(cand, prevKeys) {
+			if aprioriPrune(cand, prevKeys, kb) {
 				out = append(out, cand)
 			}
 		}
@@ -125,44 +130,47 @@ func samePrefix(a, b itemset.Set) bool {
 	return true
 }
 
-// aprioriPrune reports whether every (k-1)-subset of cand is frequent.
-func aprioriPrune(cand itemset.Set, prevKeys map[string]uint32) bool {
-	buf := make(itemset.Set, 0, len(cand)-1)
+// aprioriPrune reports whether every (k-1)-subset of cand is frequent. kb is
+// a reusable key scratch buffer (callers size it to 4*(len(cand)-1)).
+func aprioriPrune(cand itemset.Set, prevKeys map[string]uint32, kb []byte) bool {
 	for drop := range cand {
-		buf = buf[:0]
-		buf = append(buf, cand[:drop]...)
-		buf = append(buf, cand[drop+1:]...)
-		if _, ok := prevKeys[itemset.Key(buf)]; !ok {
+		kb = kb[:0]
+		for i, x := range cand {
+			if i != drop {
+				kb = itemset.AppendKey(kb, x)
+			}
+		}
+		if _, ok := prevKeys[string(kb)]; !ok {
 			return false
 		}
 	}
 	return true
 }
 
-// countSubsets increments counts for every k-subset of t that is a candidate
-// (present in counts). Branches whose running prefix is not a frequent
-// itemset at its own level are pruned, which keeps the enumeration inside
-// the frequent lattice.
-func countSubsets(t itemset.Set, k int, buf itemset.Set, levels map[int]map[string]uint32, counts map[string]uint32) {
-	var rec func(start int, prefix itemset.Set)
-	rec = func(start int, prefix itemset.Set) {
-		if len(prefix) == k {
-			key := itemset.Key(prefix)
-			if _, ok := counts[key]; ok {
-				counts[key]++
+// countSubsets increments candCounts for every k-subset of t that is a
+// candidate (present in candIdx). Branches whose running prefix is not a
+// frequent itemset at its own level are pruned, which keeps the enumeration
+// inside the frequent lattice. buf and kb are per-level scratch buffers (cap
+// k items / 4k bytes); the recursion grows the itemset and its key encoding
+// in lockstep so no lookup materializes a key string.
+func countSubsets(t itemset.Set, k int, buf itemset.Set, kb []byte, levels map[int]map[string]uint32, candIdx map[string]int32, candCounts []uint32) {
+	countSubsetsRec(t, k, 0, buf[:0], kb[:0], levels, candIdx, candCounts)
+}
+
+func countSubsetsRec(t itemset.Set, k, start int, prefix itemset.Set, kb []byte, levels map[int]map[string]uint32, candIdx map[string]int32, candCounts []uint32) {
+	// The loop bound leaves enough items to still reach length k.
+	for i := start; i <= len(t)-(k-len(prefix)); i++ {
+		next := append(prefix, t[i])
+		nkb := itemset.AppendKey(kb, t[i])
+		if len(next) == k {
+			if ci, ok := candIdx[string(nkb)]; ok {
+				candCounts[ci]++
 			}
-			return
+			continue
 		}
-		// Not enough items left to reach length k.
-		for i := start; i <= len(t)-(k-len(prefix)); i++ {
-			next := append(prefix, t[i])
-			if len(next) < k {
-				if _, ok := levels[len(next)][itemset.Key(next)]; !ok {
-					continue
-				}
-			}
-			rec(i+1, next)
+		if _, ok := levels[len(next)][string(nkb)]; !ok {
+			continue
 		}
+		countSubsetsRec(t, k, i+1, next, nkb, levels, candIdx, candCounts)
 	}
-	rec(0, buf[:0])
 }

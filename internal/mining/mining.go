@@ -67,35 +67,35 @@ type Result struct {
 	// Sets lists the frequent itemsets. Order is unspecified until Sort.
 	Sets []FrequentSet
 
-	index map[string]uint32
+	// index maps itemset keys to positions in Sets, so duplicate Adds and
+	// Count lookups are O(1) rather than rescanning Sets.
+	index map[string]int32
 }
 
 // NewResult returns an empty result over n transactions.
 func NewResult(n int) *Result {
-	return &Result{N: n, index: map[string]uint32{}}
+	return &Result{N: n, index: map[string]int32{}}
 }
 
 // Add records a frequent itemset. The set is cloned, so callers may reuse
 // their buffer. Adding the same itemset twice overwrites the count.
 func (r *Result) Add(items itemset.Set, count uint32) {
 	k := itemset.Key(items)
-	if _, dup := r.index[k]; dup {
-		for i := range r.Sets {
-			if itemset.Key(r.Sets[i].Items) == k {
-				r.Sets[i].Count = count
-				break
-			}
-		}
-	} else {
-		r.Sets = append(r.Sets, FrequentSet{Items: itemset.Clone(items), Count: count})
+	if i, dup := r.index[k]; dup {
+		r.Sets[i].Count = count
+		return
 	}
-	r.index[k] = count
+	r.index[k] = int32(len(r.Sets))
+	r.Sets = append(r.Sets, FrequentSet{Items: itemset.Clone(items), Count: count})
 }
 
 // Count returns the occurrence count for items, if frequent.
 func (r *Result) Count(items itemset.Set) (uint32, bool) {
-	c, ok := r.index[itemset.Key(items)]
-	return c, ok
+	i, ok := r.index[itemset.Key(items)]
+	if !ok {
+		return 0, false
+	}
+	return r.Sets[i].Count, true
 }
 
 // Support returns Count/N for items, or 0 if items is not frequent or the
@@ -120,6 +120,10 @@ func (r *Result) Sort() {
 	sort.Slice(r.Sets, func(i, j int) bool {
 		return itemset.Compare(r.Sets[i].Items, r.Sets[j].Items) < 0
 	})
+	// Reordering Sets invalidates the stored positions.
+	for i := range r.Sets {
+		r.index[itemset.Key(r.Sets[i].Items)] = int32(i)
+	}
 }
 
 // Equal reports whether two results contain exactly the same itemsets with
@@ -128,8 +132,9 @@ func (r *Result) Equal(o *Result) bool {
 	if r.N != o.N || len(r.index) != len(o.index) {
 		return false
 	}
-	for k, c := range r.index {
-		if oc, ok := o.index[k]; !ok || oc != c {
+	for k, i := range r.index {
+		oi, ok := o.index[k]
+		if !ok || o.Sets[oi].Count != r.Sets[i].Count {
 			return false
 		}
 	}

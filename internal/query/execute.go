@@ -17,6 +17,8 @@ func Execute(w io.Writer, f *tara.Framework, q Query) error {
 	switch q.Kind {
 	case Mine:
 		err = execMine(w, f, q)
+	case Count:
+		err = execCount(w, f, q)
 	case Trajectory:
 		err = execTrajectory(w, f, q)
 	case Compare:
@@ -71,6 +73,15 @@ func execMine(w io.Writer, f *tara.Framework, q Query) error {
 		}
 		printRule(w, f, v)
 	}
+	return nil
+}
+
+func execCount(w io.Writer, f *tara.Framework, q Query) error {
+	n, err := f.Count(q.Window, q.MinSupp, q.MinConf)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d rules in window %d at (supp>=%g, conf>=%g)\n", n, q.Window, q.MinSupp, q.MinConf)
 	return nil
 }
 

@@ -4,6 +4,7 @@
 // Syntax (key=value fields, whitespace separated):
 //
 //	mine      w=0 supp=0.01 conf=0.2 [lift=1.5]
+//	count     w=0 supp=0.01 conf=0.2
 //	traj      w=3 supp=0.01 conf=0.2 in=0,1,2
 //	compare   w=0,1,2,3 a=0.01,0.2 b=0.05,0.3
 //	recommend w=0 supp=0.01 conf=0.2 [lift=1.5]
@@ -30,6 +31,9 @@ type Kind int
 const (
 	// Mine is the traditional mining request (the base of Q1).
 	Mine Kind = iota
+	// Count reports the qualifying ruleset's cardinality without
+	// materializing it — the cheapest probe of a parameter setting.
+	Count
 	// Trajectory is Q1: mine one window, examine others.
 	Trajectory
 	// Compare is Q2: evolving ruleset comparison.
@@ -108,6 +112,8 @@ func build(op string, kv map[string]string) (Query, error) {
 	switch op {
 	case "mine":
 		q.Kind = Mine
+	case "count":
+		q.Kind = Count
 	case "traj", "trajectory":
 		q.Kind = Trajectory
 	case "compare":
@@ -211,6 +217,10 @@ func build(op string, kv map[string]string) (Query, error) {
 		getF("supp", &q.MinSupp, true)
 		getF("conf", &q.MinConf, true)
 		getF("lift", &q.MinLift, false)
+	case Count:
+		getI("w", &q.Window, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
 	case Trajectory:
 		getI("w", &q.Window, true)
 		getF("supp", &q.MinSupp, true)

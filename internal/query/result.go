@@ -18,6 +18,14 @@ type Setting struct {
 	MinConf float64 `json:"minConf"`
 }
 
+// CountResult answers count requests: the qualifying ruleset's cardinality.
+type CountResult struct {
+	Window  int     `json:"window"`
+	MinSupp float64 `json:"minSupp"`
+	MinConf float64 `json:"minConf"`
+	Count   int     `json:"count"`
+}
+
 // MineResult answers mine and about requests.
 type MineResult struct {
 	Window int        `json:"window"`
@@ -185,6 +193,13 @@ func Answer(f *tara.Framework, q Query) (any, error) {
 			res.Rules[i] = toRuleJSON(f, v)
 		}
 		return res, nil
+
+	case Count:
+		n, err := f.Count(q.Window, q.MinSupp, q.MinConf)
+		if err != nil {
+			return nil, err
+		}
+		return CountResult{Window: q.Window, MinSupp: q.MinSupp, MinConf: q.MinConf, Count: n}, nil
 
 	case About:
 		views, err := f.RulesAbout(q.Window, q.MinSupp, q.MinConf, q.Items)

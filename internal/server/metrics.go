@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"tara/internal/tara"
 )
 
 // Per-endpoint request metrics: lock-free counters plus a power-of-two
@@ -73,6 +75,9 @@ type registry struct {
 	start     time.Time
 	shed      atomic.Uint64
 	endpoints map[string]*endpointStats
+	// cacheStats, when set, contributes the framework's query-cache counters
+	// to every snapshot (and thus to both /metrics and /debug/vars).
+	cacheStats func() tara.CacheStats
 }
 
 func newRegistry() *registry {
@@ -111,6 +116,7 @@ type MetricsSnapshot struct {
 	UptimeSeconds float64                     `json:"uptimeSeconds"`
 	Goroutines    int                         `json:"goroutines"`
 	Shed          uint64                      `json:"shed"`
+	QueryCache    tara.CacheStats             `json:"queryCache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 }
 
@@ -120,6 +126,9 @@ func (r *registry) snapshot() MetricsSnapshot {
 		Goroutines:    runtime.NumGoroutine(),
 		Shed:          r.shed.Load(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(r.endpoints)),
+	}
+	if r.cacheStats != nil {
+		snap.QueryCache = r.cacheStats()
 	}
 	for name, st := range r.endpoints {
 		count := st.latency.count.Load()

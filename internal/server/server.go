@@ -5,6 +5,7 @@
 // taking the same parameters as the cmd/tara textual syntax:
 //
 //	/mine        w=0 supp=0.01 conf=0.2 [lift=1.5]     traditional mining
+//	/count       w=0 supp=0.01 conf=0.2                qualifying-ruleset cardinality
 //	/trajectory  w=3 supp=0.01 conf=0.2 in=0,1,2       Q1 rule trajectories
 //	/diff        w=0,1,2 a=0.01,0.2 b=0.05,0.3         Q2 ruleset comparison
 //	/recommend   w=0 supp=0.01 conf=0.2 [lift=1.5]     Q3 stable region
@@ -16,7 +17,8 @@
 //	/plot        w=0 [supp=0.01 conf=0.2]              parameter-space panorama
 //
 // plus /stats (knowledge-base summary), /healthz, and /metrics with
-// per-endpoint request counters and latency quantiles (p50/p95/p99).
+// per-endpoint request counters, latency quantiles (p50/p95/p99) and the
+// framework's query-cache hit/miss/eviction counters.
 //
 // Requests are served concurrently; the Framework's query methods are safe
 // against a writer appending windows, so a daemon can stay up while the
@@ -74,6 +76,7 @@ type Server struct {
 // same op names the textual syntax uses).
 var endpoints = []struct{ path, op string }{
 	{"/mine", "mine"},
+	{"/count", "count"},
 	{"/trajectory", "traj"},
 	{"/diff", "compare"},
 	{"/recommend", "recommend"},
@@ -105,6 +108,7 @@ func New(cfg Config) (*Server, error) {
 		mux:     http.NewServeMux(),
 		metrics: newRegistry(),
 	}
+	s.metrics.cacheStats = s.fw.CacheStats
 	switch {
 	case cfg.MaxInFlight < 0:
 		// unlimited

@@ -108,6 +108,7 @@ func TestEndpointsServeConcurrently(t *testing.T) {
 	item := url.QueryEscape(anItemName(t, fw))
 	paths := []string{
 		"/mine?w=0&supp=0.02&conf=0.2",
+		"/count?w=0&supp=0.02&conf=0.2",
 		"/trajectory?w=0&supp=0.02&conf=0.2&in=0,1,2,3",
 		"/diff?w=0,1,2,3&a=0.02,0.2&b=0.05,0.3",
 		"/recommend?w=1&supp=0.02&conf=0.2",
@@ -352,6 +353,68 @@ func TestMetrics(t *testing.T) {
 	}
 	if idle, ok := snap.Endpoints["rollup"]; !ok || idle.Requests != 0 {
 		t.Errorf("idle endpoint rollup: %+v, ok=%v", idle, ok)
+	}
+}
+
+// TestMetricsQueryCache drives repeated identical queries and checks that
+// /metrics reports the framework's query cache doing its job: nonzero hits
+// and a nonzero per-class hit ratio. The framework (and so the cache) is
+// shared across tests, so assertions are lower bounds, not exact counts.
+func TestMetricsQueryCache(t *testing.T) {
+	fw := testFramework(t)
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var want query.CountResult
+	for i := 0; i < 20; i++ {
+		code, body := get(t, ts.URL, "/count?w=0&supp=0.02&conf=0.2")
+		if code != http.StatusOK {
+			t.Fatalf("/count status %d: %s", code, body)
+		}
+		var res query.CountResult
+		if err := json.Unmarshal(body, &res); err != nil {
+			t.Fatalf("decoding /count: %v", err)
+		}
+		if i == 0 {
+			want = res
+			views, err := fw.Mine(0, 0.02, 0.2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Count != len(views) {
+				t.Fatalf("/count = %d, framework mines %d", res.Count, len(views))
+			}
+		} else if res != want {
+			t.Fatalf("cached /count diverged: %+v vs %+v", res, want)
+		}
+		if code, body := get(t, ts.URL, "/mine?w=0&supp=0.02&conf=0.2"); code != http.StatusOK {
+			t.Fatalf("/mine status %d: %s", code, body)
+		}
+	}
+
+	code, body := get(t, ts.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	var snap MetricsSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("decoding /metrics: %v", err)
+	}
+	qc := snap.QueryCache
+	if !qc.Enabled {
+		t.Fatalf("query cache not enabled in /metrics: %s", body)
+	}
+	if qc.Hits == 0 || qc.HitRatio <= 0 {
+		t.Fatalf("query cache never hit: %+v", qc)
+	}
+	for _, class := range []string{"count", "mine"} {
+		if cl := qc.Classes[class]; cl.Hits == 0 || cl.HitRatio <= 0 {
+			t.Fatalf("%s class never hit: %+v", class, qc)
+		}
+	}
+	if qc.Entries == 0 || qc.Entries > qc.Capacity {
+		t.Fatalf("implausible cache occupancy: %+v", qc)
 	}
 }
 

@@ -56,7 +56,10 @@ func (f *Framework) Mine(w int, minSupp, minConf float64) ([]RuleView, error) {
 	return f.mineLocked(w, minSupp, minConf)
 }
 
-// mineLocked is Mine's implementation; callers hold f.mu.
+// mineLocked is Mine's implementation; callers hold f.mu. The answer is
+// served from the query cache when the request's stable region has been
+// collected before (Lemma 4 makes the canonical cut a lossless key); the
+// caller receives a private copy either way and may mutate it freely.
 func (f *Framework) mineLocked(w int, minSupp, minConf float64) ([]RuleView, error) {
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
@@ -65,8 +68,26 @@ func (f *Framework) mineLocked(w int, minSupp, minConf float64) ([]RuleView, err
 	if err != nil {
 		return nil, err
 	}
-	ids := slice.Rules(minSupp, minConf)
+	if f.qcache == nil {
+		return f.materializeViews(slice.Rules(minSupp, minConf), w)
+	}
+	si, ci := slice.CutIndex(minSupp, minConf)
+	k := cacheKey{window: int32(w), class: classMine, a: cutKey(si, ci)}
+	if v, ok := f.qcache.get(k); ok {
+		return cloneViews(v.([]RuleView)), nil
+	}
+	views, err := f.materializeViews(slice.Rules(minSupp, minConf), w)
+	if err != nil {
+		return nil, err
+	}
+	f.qcache.put(k, views)
+	return cloneViews(views), nil
+}
+
+// materializeViews resolves an id list against the archive for window w.
+func (f *Framework) materializeViews(ids []rules.ID, w int) ([]RuleView, error) {
 	out := make([]RuleView, len(ids))
+	var err error
 	for i, id := range ids {
 		out[i], err = f.view(id, w)
 		if err != nil {
@@ -74,6 +95,32 @@ func (f *Framework) mineLocked(w int, minSupp, minConf float64) ([]RuleView, err
 		}
 	}
 	return out, nil
+}
+
+// Count returns the number of rules satisfying (minSupp, minConf) in window
+// w without materializing them — the cheapest online probe, served from the
+// cache's canonical cut when warm.
+func (f *Framework) Count(w int, minSupp, minConf float64) (int, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
+		return 0, err
+	}
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return 0, err
+	}
+	if f.qcache == nil {
+		return slice.Count(minSupp, minConf), nil
+	}
+	si, ci := slice.CutIndex(minSupp, minConf)
+	k := cacheKey{window: int32(w), class: classCount, a: cutKey(si, ci)}
+	if v, ok := f.qcache.get(k); ok {
+		return v.(int), nil
+	}
+	n := slice.Count(minSupp, minConf)
+	f.qcache.put(k, n)
+	return n, nil
 }
 
 // MineFiltered is Mine with additional interestingness thresholds beyond
@@ -210,14 +257,36 @@ func (f *Framework) Compare(windows []int, suppA, confA, suppB, confB float64) (
 	}
 	out := make([]WindowDiff, 0, len(windows))
 	for _, w := range windows {
-		slice, err := f.index.Slice(w)
+		a, b, err := f.diffLocked(w, suppA, confA, suppB, confB)
 		if err != nil {
 			return nil, err
 		}
-		a, b := slice.Diff(suppA, confA, suppB, confB)
 		out = append(out, WindowDiff{Window: w, OnlyA: a, OnlyB: b})
 	}
 	return out, nil
+}
+
+// diffLocked computes one window of a Q2 comparison, cached under the two
+// settings' canonical cuts; callers hold f.mu.
+func (f *Framework) diffLocked(w int, suppA, confA, suppB, confB float64) (onlyA, onlyB []rules.ID, err error) {
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return nil, nil, err
+	}
+	if f.qcache == nil {
+		a, b := slice.Diff(suppA, confA, suppB, confB)
+		return a, b, nil
+	}
+	siA, ciA := slice.CutIndex(suppA, confA)
+	siB, ciB := slice.CutIndex(suppB, confB)
+	k := cacheKey{window: int32(w), class: classDiff, a: cutKey(siA, ciA), b: cutKey(siB, ciB)}
+	if v, ok := f.qcache.get(k); ok {
+		d := v.(diffValue)
+		return cloneIDs(d.onlyA), cloneIDs(d.onlyB), nil
+	}
+	a, b := slice.Diff(suppA, confA, suppB, confB)
+	f.qcache.put(k, diffValue{onlyA: a, onlyB: b})
+	return cloneIDs(a), cloneIDs(b), nil
 }
 
 // Recommend answers Q3: the time-aware stable region around the request,
@@ -233,7 +302,20 @@ func (f *Framework) Recommend(w int, minSupp, minConf float64) (eps.Region, erro
 	if err != nil {
 		return eps.Region{}, err
 	}
-	return slice.Region(minSupp, minConf), nil
+	if f.qcache == nil {
+		return slice.Region(minSupp, minConf), nil
+	}
+	// A stable region is itself a function of the cut only: Region derives
+	// every bound from the grid cell around the request, which the cut
+	// indexes identify.
+	si, ci := slice.CutIndex(minSupp, minConf)
+	k := cacheKey{window: int32(w), class: classRegion, a: cutKey(si, ci)}
+	if v, ok := f.qcache.get(k); ok {
+		return v.(eps.Region), nil
+	}
+	reg := slice.Region(minSupp, minConf)
+	f.qcache.put(k, reg)
+	return reg, nil
 }
 
 // RollUpRule is one rule of a coarse-period mining answer. Stats are the

@@ -269,6 +269,9 @@ func Load(r io.Reader) (*Framework, error) {
 		index:    eps.NewIndex(),
 		windows:  windows,
 	}
+	if cfg.QueryCacheSize >= 0 {
+		f.qcache = newQueryCache(cfg.QueryCacheSize)
+	}
 	if err := f.rebuildIndex(); err != nil {
 		return nil, err
 	}

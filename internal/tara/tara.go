@@ -39,6 +39,11 @@ type Config struct {
 	// Workers bounds the number of windows preprocessed concurrently during
 	// Build. Non-positive means 1 (sequential).
 	Workers int
+	// QueryCacheSize bounds the online query cache (see cache.go): the
+	// number of canonicalized answers memoized across windows and query
+	// classes. Zero selects DefaultQueryCacheSize; negative disables the
+	// cache entirely (every query recollects from the EPS index).
+	QueryCacheSize int
 }
 
 func (c Config) miner() mining.Miner {
@@ -102,18 +107,28 @@ type Framework struct {
 
 	ndMu     sync.Mutex // guards the lazy n-dimensional slice cache
 	ndSlices map[int]*eps.SliceND
+
+	// qcache memoizes canonicalized online answers (see cache.go); nil when
+	// Config.QueryCacheSize is negative. It is internally synchronized —
+	// query paths consult it while holding mu for reading, appendMined
+	// invalidates while holding mu for writing.
+	qcache *queryCache
 }
 
 // New returns an empty framework sharing the given item dictionary. Windows
 // are added with AppendWindow; Build wraps partitioning plus appends.
 func New(itemDict *txdb.Dict, cfg Config) *Framework {
-	return &Framework{
+	f := &Framework{
 		cfg:      cfg,
 		itemDict: itemDict,
 		ruleDict: rules.NewDict(),
 		arch:     archive.New(),
 		index:    eps.NewIndex(),
 	}
+	if cfg.QueryCacheSize >= 0 {
+		f.qcache = newQueryCache(cfg.QueryCacheSize)
+	}
+	return f
 }
 
 // Build partitions the database into count-based batches (numBatches) or,
@@ -255,7 +270,27 @@ func (f *Framework) appendMined(m mined) error {
 	m.timing.IndexTime = indexTime
 	f.timings = append(f.timings, m.timing)
 	f.windows = append(f.windows, WindowInfo{Index: w.Index, Period: w.Period, N: uint32(len(w.Tx))})
+	if f.qcache != nil {
+		// Windows are append-only, so no stale entry for this index can
+		// exist; invalidating anyway keeps "cached == fresh scan" a local
+		// invariant rather than a global argument about construction order.
+		f.qcache.invalidateWindow(w.Index)
+	}
 	return nil
+}
+
+// AppendRules extends the knowledge base with one window of premined rules,
+// skipping the Association Generator: the archive and EPS slice are built
+// directly from the provided per-rule statistics. It serves ingestion paths
+// where rules arrive from an external miner, and the online-query benchmarks
+// that need large, precisely shaped parameter-space slices. The window's
+// index must equal Windows(), like AppendWindow.
+func (f *Framework) AppendRules(w txdb.Window, rs []rules.WithStats) error {
+	return f.appendMined(mined{
+		window:  w,
+		ruleSet: rs,
+		timing:  Timing{Window: w.Index, NumRules: len(rs)},
+	})
 }
 
 // Windows returns the number of processed windows.
