@@ -102,6 +102,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		fmt.Fprintln(os.Stderr, fw.BuildReport())
 	}
 	fmt.Fprintf(os.Stderr, "ready: %d windows, %d rules, archive %d bytes (in %v)\n",
 		fw.Windows(), fw.RuleDict().Len(), fw.Archive().SizeBytes(), time.Since(start).Round(time.Millisecond))
@@ -196,6 +197,20 @@ func printStats(fw *tara.Framework) {
 	for _, w := range s.PerWindow {
 		fmt.Printf("  window %-3d %v  n=%-7d rules=%-7d locations=%d\n",
 			w.Window, w.Period, w.N, w.Rules, w.Locations)
+	}
+	if ts := fw.Timings(); len(ts) > 0 {
+		fmt.Println("build telemetry (per window):")
+		for _, t := range ts {
+			fmt.Printf("  window %-3d mine=%-10v rulegen=%-10v archive=%-10v index=%-10v grid=%dx%d archiveB=%d frequent=[%s]",
+				t.Window,
+				t.Mine.Round(time.Microsecond), t.RuleGen.Round(time.Microsecond),
+				t.ArchiveTime.Round(time.Microsecond), t.IndexTime.Round(time.Microsecond),
+				t.SuppCuts, t.ConfCuts, t.ArchiveBytes, tara.PerLevelString(t.LevelFrequent))
+			if t.LevelCandidates != nil {
+				fmt.Printf(" candidates=[%s]", tara.PerLevelString(t.LevelCandidates))
+			}
+			fmt.Println()
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = repository default sizes)")
 	format := flag.String("format", "text", "output format: text, or csv (fig7/fig8/fig10/fig11 only)")
 	jsonPath := flag.String("json", "", "also write the online experiment's JSON report to this file (online experiment only)")
+	trace := flag.Bool("trace", false, "with -exp online: also print the mean per-stage Mine breakdown (cold and warm)")
 	flag.Parse()
 
 	start := time.Now()
@@ -34,6 +35,8 @@ func main() {
 	switch {
 	case *jsonPath != "" && *exp != "online":
 		err = fmt.Errorf("-json is only meaningful with -exp online (got %q)", *exp)
+	case *trace && *exp != "online":
+		err = fmt.Errorf("-trace is only meaningful with -exp online (got %q)", *exp)
 	case *jsonPath != "":
 		// One measured report feeds both the table and the JSON artifact.
 		err = runOnlineJSON(*jsonPath, *scale)
@@ -43,6 +46,9 @@ func main() {
 		err = harness.RunCSV(*exp, os.Stdout, *scale)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err == nil && *trace {
+		err = runOnlineTrace(*scale)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tarabench:", err)
@@ -67,4 +73,14 @@ func runOnlineJSON(path string, scale float64) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// runOnlineTrace prints the per-stage Mine breakdown (-trace).
+func runOnlineTrace(scale float64) error {
+	rep, err := harness.OnlineTrace(scale)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	return harness.PrintOnlineTrace(os.Stdout, rep)
 }

@@ -238,6 +238,38 @@ func (a *Archive) UncompressedBytes() int {
 	return 16*a.total + 4*len(a.windowN)
 }
 
+// Telemetry is a point-in-time storage snapshot of the archive, the offline
+// build accounting surfaced by tara's build output and tarad startup logs.
+type Telemetry struct {
+	// Entries is the number of (rule, window) records archived.
+	Entries int `json:"entries"`
+	// Rules is the number of distinct rules with at least one record.
+	Rules int `json:"rules"`
+	// Windows is the number of windows begun.
+	Windows int `json:"windows"`
+	// Bytes is the compressed payload size (SizeBytes).
+	Bytes int `json:"bytes"`
+	// UncompressedBytes is the naive 16-bytes-per-record baseline.
+	UncompressedBytes int `json:"uncompressed_bytes"`
+	// CompressionRatio is UncompressedBytes/Bytes (0 when empty).
+	CompressionRatio float64 `json:"compression_ratio"`
+}
+
+// Telemetry summarizes the archive's storage state.
+func (a *Archive) Telemetry() Telemetry {
+	t := Telemetry{
+		Entries:           a.total,
+		Rules:             len(a.entries),
+		Windows:           len(a.windowN),
+		Bytes:             a.SizeBytes(),
+		UncompressedBytes: a.UncompressedBytes(),
+	}
+	if t.Bytes > 0 {
+		t.CompressionRatio = float64(t.UncompressedBytes) / float64(t.Bytes)
+	}
+	return t
+}
+
 // Trajectory is a rule's decoded path through the evolving parameter space
 // over a window range (Definition 10), with absent windows materialized as
 // zero support so evolution measures see the full time axis.

@@ -230,6 +230,14 @@ func (s *Slice) NumRuleRefs() int {
 // tests. Callers must not mutate the returned slice.
 func (s *Slice) Locations() []Location { return s.locs }
 
+// GridDims reports the cut-grid axis sizes: the number of distinct support
+// values and distinct confidence values (Definition 12's candidate cut
+// locations per axis). Build telemetry surfaces these as the slice's
+// "regions/cuts per window" figures.
+func (s *Slice) GridDims() (suppCuts, confCuts int) {
+	return len(s.supports), len(s.confs)
+}
+
 // CutIndex canonicalizes a request point to its time-aware stable region's
 // cut location (Definition 12) by binary search over the per-axis cut grids:
 // si is the index of the first distinct support >= minSupp, ci of the first

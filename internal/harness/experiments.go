@@ -182,6 +182,15 @@ func runFig9(w io.Writer, scale float64, specs []DatasetSpec) error {
 		fmt.Fprintf(w, "%-10s %-7s %12s %12s  (TARA/H-Mine = %.2fx)\n",
 			spec.Name, "total", hTotal.Round(time.Microsecond), tTotal.Round(time.Microsecond),
 			float64(tTotal)/float64(hTotal))
+		rep := fw.BuildReport()
+		fmt.Fprintf(w, "%-10s telemetry: %d itemsets, %d EPS locations, archive %dB/%dB (%.2fx compression)\n",
+			spec.Name, rep.Itemsets, rep.Locations,
+			rep.Storage.Bytes, rep.Storage.UncompressedBytes, rep.Storage.CompressionRatio)
+		for _, tm := range rep.Timings {
+			fmt.Fprintf(w, "%-10s   window %-3d grid=%dx%d locations=%-6d archiveB=%-7d frequent=[%s]\n",
+				spec.Name, tm.Window, tm.SuppCuts, tm.ConfCuts, tm.NumLocations,
+				tm.ArchiveBytes, tara.PerLevelString(tm.LevelFrequent))
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"tara/internal/itemset"
+	"tara/internal/obs"
 	"tara/internal/rules"
 	"tara/internal/tara"
 	"tara/internal/txdb"
@@ -65,6 +66,10 @@ type OnlineReport struct {
 // path (mining real transactions to that density would dominate the
 // experiment without exercising the serving path any harder).
 func OnlineFramework(locations int, seed int64) (*tara.Framework, error) {
+	return onlineFrameworkCfg(locations, seed, tara.Config{})
+}
+
+func onlineFrameworkCfg(locations int, seed int64, cfg tara.Config) (*tara.Framework, error) {
 	const n = 1 << 20 // window cardinality; supports ~locations distinct counts
 	r := rand.New(rand.NewSource(seed))
 	rs := make([]rules.WithStats, locations)
@@ -79,7 +84,7 @@ func OnlineFramework(locations int, seed int64) (*tara.Framework, error) {
 			Stats: rules.Stats{CountXY: xy, CountX: x, CountY: x, N: n},
 		}
 	}
-	f := tara.New(txdb.NewDict(), tara.Config{})
+	f := tara.New(txdb.NewDict(), cfg)
 	w := txdb.Window{
 		Index:  0,
 		Period: txdb.Period{Start: 0, End: 999},
@@ -258,6 +263,96 @@ func OnlineBench(scale float64) (*OnlineReport, error) {
 	rep.SpeedupWarmCount = div(rep.ScanBaseline.Count.P50Micros, rep.WarmCached.Count.P50Micros)
 	rep.Cache = f.CacheStats()
 	return rep, nil
+}
+
+// OnlineStageBreakdown is the traced online experiment: mean per-stage Mine
+// time (µs) over the request points, cold (cache disabled, every query walks
+// the EPS slice) and warm (query cache primed, answers replayed).
+type OnlineStageBreakdown struct {
+	Points int                `json:"points"`
+	Cold   map[string]float64 `json:"coldMeanMicros"`
+	Warm   map[string]float64 `json:"warmMeanMicros"`
+}
+
+// OnlineTrace runs traced Mine calls over the online experiment's request
+// points and reports where the time goes per stage. The cold pass uses a
+// framework with the query cache disabled so every point pays the full
+// canonical-cut + EPS-lookup path; the warm pass primes a cached framework
+// first and then replays.
+func OnlineTrace(scale float64) (*OnlineStageBreakdown, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	locations := int(float64(onlineLocations) * scale)
+	if locations < 100 {
+		locations = 100
+	}
+	pts := onlinePointsFor(onlinePoints, 42)
+
+	tracePass := func(f *tara.Framework) (map[string]float64, error) {
+		var nanos [obs.NumStages]int64
+		for _, p := range pts {
+			tr := obs.NewTrace("")
+			if _, err := f.MineTraced(tr, 0, p[0], p[1]); err != nil {
+				return nil, err
+			}
+			for _, s := range obs.Stages() {
+				nanos[s] += int64(tr.StageDur(s))
+			}
+		}
+		out := map[string]float64{}
+		for _, s := range obs.Stages() {
+			if nanos[s] > 0 {
+				out[s.String()] = float64(nanos[s]) / 1e3 / float64(len(pts))
+			}
+		}
+		return out, nil
+	}
+
+	coldFw, err := onlineFrameworkCfg(locations, 41, tara.Config{QueryCacheSize: -1})
+	if err != nil {
+		return nil, err
+	}
+	cold, err := tracePass(coldFw)
+	if err != nil {
+		return nil, err
+	}
+
+	warmFw, err := onlineFrameworkCfg(locations, 41, tara.Config{})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		if _, err := warmFw.Mine(0, p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	warm, err := tracePass(warmFw)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineStageBreakdown{Points: len(pts), Cold: cold, Warm: warm}, nil
+}
+
+// PrintOnlineTrace renders the traced breakdown, one row per stage in
+// pipeline order.
+func PrintOnlineTrace(w io.Writer, rep *OnlineStageBreakdown) error {
+	fmt.Fprintf(w, "Per-stage Mine breakdown — mean µs over %d points\n", rep.Points)
+	fmt.Fprintf(w, "%-15s %12s %12s\n", "stage", "cold", "warm")
+	var coldTotal, warmTotal float64
+	for _, s := range obs.Stages() {
+		name := s.String()
+		c, cok := rep.Cold[name]
+		h, wok := rep.Warm[name]
+		if !cok && !wok {
+			continue
+		}
+		fmt.Fprintf(w, "%-15s %12.2f %12.2f\n", name, c, h)
+		coldTotal += c
+		warmTotal += h
+	}
+	fmt.Fprintf(w, "%-15s %12.2f %12.2f\n", "total", coldTotal, warmTotal)
+	return nil
 }
 
 // RunOnline prints the online-query experiment as a paper-style table.

@@ -19,6 +19,8 @@ func (Apriori) Mine(tx []txdb.Transaction, p Params) (*Result, error) {
 	minCount := p.minCount()
 	res := NewResult(len(tx))
 	frequent1, freq := countSingletons(tx, minCount)
+	// Level 1's candidates are every distinct item seen.
+	res.LevelCandidates = append(res.LevelCandidates, len(freq))
 	if len(frequent1) == 0 || !p.lenOK(1) {
 		return res, nil
 	}
@@ -54,6 +56,7 @@ func (Apriori) Mine(tx []txdb.Transaction, p Params) (*Result, error) {
 
 	for k := 2; p.lenOK(k) && len(prev) > 1; k++ {
 		candidates := aprioriJoin(prev, levels[k-1])
+		res.LevelCandidates = append(res.LevelCandidates, len(candidates))
 		if len(candidates) == 0 {
 			break
 		}

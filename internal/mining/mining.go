@@ -67,6 +67,12 @@ type Result struct {
 	// Sets lists the frequent itemsets. Order is unspecified until Sort.
 	Sets []FrequentSet
 
+	// LevelCandidates reports, per itemset length (index 0 = length 1), how
+	// many candidates the miner counted before support pruning. Only the
+	// level-wise Apriori fills it; pattern-growth miners have no candidate
+	// notion and leave it nil. Build telemetry surfaces it per window.
+	LevelCandidates []int
+
 	// index maps itemset keys to positions in Sets, so duplicate Adds and
 	// Count lookups are O(1) rather than rescanning Sets.
 	index map[string]int32
@@ -113,6 +119,20 @@ func (r *Result) Support(items itemset.Set) float64 {
 
 // Len returns the number of frequent itemsets.
 func (r *Result) Len() int { return len(r.Sets) }
+
+// FrequentPerLevel counts the frequent itemsets per length (index 0 =
+// length 1) — the surviving side of the per-level candidate telemetry.
+func (r *Result) FrequentPerLevel() []int {
+	var out []int
+	for _, s := range r.Sets {
+		l := len(s.Items)
+		for len(out) < l {
+			out = append(out, 0)
+		}
+		out[l-1]++
+	}
+	return out
+}
 
 // Sort orders Sets canonically (by length, then lexicographically) so that
 // results from different miners compare equal.

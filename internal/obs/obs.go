@@ -1,0 +1,216 @@
+// Package obs is tara's lightweight observability core: request traces with
+// named per-stage spans, monotonic power-of-two latency histograms, and a
+// bounded slow-trace ring — all built on atomics so the hot serving path
+// never takes a lock to be observed.
+//
+// The design is allocation-conscious: a Trace is one allocation per traced
+// request (stage durations live in a fixed array of atomics), spans are
+// values, and every method is safe on a nil *Trace so untraced callers (the
+// framework benchmarks, library users) pay only a nil check.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stage names one step of the online answering path. The stages mirror the
+// serving pipeline: decode → canonical-cut → cache-probe → eps-lookup →
+// materialize → encode. Offline phases reuse the same Trace machinery under
+// their own stage ids.
+type Stage uint8
+
+const (
+	// StageDecode is request parsing and validation.
+	StageDecode Stage = iota
+	// StageCut is canonical-cut computation (EPS grid binary search).
+	StageCut
+	// StageCacheProbe is the query-cache lookup (and store on miss).
+	StageCacheProbe
+	// StageEPSLookup is id collection from the EPS slice (skip-chain walk).
+	StageEPSLookup
+	// StageMaterialize resolves rule ids against dictionary and archive.
+	StageMaterialize
+	// StageEncode is response serialization.
+	StageEncode
+
+	// NumStages bounds the per-trace stage array.
+	NumStages
+)
+
+var stageNames = [NumStages]string{
+	"decode",
+	"canonical-cut",
+	"cache-probe",
+	"eps-lookup",
+	"materialize",
+	"encode",
+}
+
+// String returns the stage's wire name (used in JSON, logs and /metrics).
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage-%d", uint8(s))
+}
+
+// Stages lists every stage in pipeline order.
+func Stages() []Stage {
+	out := make([]Stage, NumStages)
+	for i := range out {
+		out[i] = Stage(i)
+	}
+	return out
+}
+
+// Trace accumulates the per-stage time of one request. Durations are atomic
+// so a snapshot (metrics recording, slow-trace capture) taken while a
+// timed-out handler goroutine is still running never races. A single request
+// goroutine writes; readers only load.
+type Trace struct {
+	id    string
+	start time.Time // carries Go's monotonic clock reading
+	nanos [NumStages]atomic.Int64
+	total atomic.Int64 // set by Finish; 0 until then
+}
+
+// NewTrace starts a trace. An empty id draws a fresh one from NewID.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		id = NewID()
+	}
+	return &Trace{id: id, start: time.Now()}
+}
+
+// ID returns the trace id ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Start opens a span for stage s. On a nil trace it returns an inert span,
+// so instrumented code needs no enabled-checks.
+func (t *Trace) Start(s Stage) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, stage: s, start: time.Now()}
+}
+
+// Add records d against stage s directly (used when the caller already
+// measured the interval).
+func (t *Trace) Add(s Stage, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.nanos[s].Add(int64(d))
+}
+
+// Finish stamps the trace's total wall time (from NewTrace to now). Calling
+// it again overwrites the total.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.total.Store(int64(time.Since(t.start)))
+}
+
+// Total returns the finished total, or the running elapsed time when Finish
+// has not been called yet.
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	if n := t.total.Load(); n > 0 {
+		return time.Duration(n)
+	}
+	return time.Since(t.start)
+}
+
+// StageDur returns the accumulated duration of stage s.
+func (t *Trace) StageDur(s Stage) time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.nanos[s].Load())
+}
+
+// StageTiming is one recorded stage, serialized for ?debug=trace responses
+// and /debug/slow.
+type StageTiming struct {
+	Stage  string  `json:"stage"`
+	Micros float64 `json:"micros"`
+}
+
+// Stages returns the recorded (nonzero) stages in pipeline order.
+func (t *Trace) Stages() []StageTiming {
+	if t == nil {
+		return nil
+	}
+	out := make([]StageTiming, 0, NumStages)
+	for s := Stage(0); s < NumStages; s++ {
+		if n := t.nanos[s].Load(); n > 0 {
+			out = append(out, StageTiming{Stage: s.String(), Micros: float64(n) / 1e3})
+		}
+	}
+	return out
+}
+
+// Span measures one stage interval; End adds the elapsed time to the trace.
+// The zero Span (from a nil trace) is inert.
+type Span struct {
+	t     *Trace
+	stage Stage
+	start time.Time
+}
+
+// End closes the span, accumulating its duration on the owning trace. Safe
+// to call on the zero Span; calling twice double-counts, don't.
+func (sp Span) End() {
+	if sp.t == nil {
+		return
+	}
+	sp.t.nanos[sp.stage].Add(int64(time.Since(sp.start)))
+}
+
+// Trace ids: a per-process random prefix plus an atomic sequence keeps ids
+// unique across restarts without per-request entropy reads.
+var (
+	idPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Fall back to the clock; uniqueness within the process still
+			// holds via the sequence.
+			now := time.Now().UnixNano()
+			b[0], b[1], b[2], b[3] = byte(now>>24), byte(now>>16), byte(now>>8), byte(now)
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	idSeq atomic.Uint64
+)
+
+// NewID returns a fresh process-unique trace id.
+func NewID() string {
+	return fmt.Sprintf("%s-%08x", idPrefix, idSeq.Add(1))
+}
+
+// ctxKey keys the trace in a context.
+type ctxKey struct{}
+
+// WithTrace returns a context carrying tr.
+func WithTrace(ctx context.Context, tr *Trace) context.Context {
+	return context.WithValue(ctx, ctxKey{}, tr)
+}
+
+// FromContext returns the context's trace, or nil when untraced.
+func FromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(ctxKey{}).(*Trace)
+	return tr
+}

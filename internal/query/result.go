@@ -3,6 +3,7 @@ package query
 import (
 	"fmt"
 
+	"tara/internal/obs"
 	"tara/internal/rules"
 	"tara/internal/tara"
 )
@@ -182,20 +183,29 @@ func itemNames(f *tara.Framework, items []uint32) []string {
 // result — the JSON body the daemon serves. Export is excluded: it writes
 // local files and stays a CLI-only operation.
 func Answer(f *tara.Framework, q Query) (any, error) {
+	return AnswerTraced(f, q, nil)
+}
+
+// AnswerTraced is Answer with per-stage span recording on tr for the traced
+// query classes (mine, count, recommend, compare); a nil trace makes it
+// identical to Answer. The daemon passes each request's trace here.
+func AnswerTraced(f *tara.Framework, q Query, tr *obs.Trace) (any, error) {
 	switch q.Kind {
 	case Mine:
-		views, err := f.MineFiltered(q.Window, q.MinSupp, q.MinConf, q.MinLift)
+		views, err := f.MineFilteredTraced(tr, q.Window, q.MinSupp, q.MinConf, q.MinLift)
 		if err != nil {
 			return nil, err
 		}
 		res := MineResult{Window: q.Window, Count: len(views), Rules: make([]RuleJSON, len(views))}
+		sp := tr.Start(obs.StageMaterialize)
 		for i, v := range views {
 			res.Rules[i] = toRuleJSON(f, v)
 		}
+		sp.End()
 		return res, nil
 
 	case Count:
-		n, err := f.Count(q.Window, q.MinSupp, q.MinConf)
+		n, err := f.CountTraced(tr, q.Window, q.MinSupp, q.MinConf)
 		if err != nil {
 			return nil, err
 		}
@@ -238,7 +248,7 @@ func Answer(f *tara.Framework, q Query) (any, error) {
 		return res, nil
 
 	case Compare:
-		diffs, err := f.Compare(q.Windows, q.MinSupp, q.MinConf, q.MinSupp2, q.MinConf2)
+		diffs, err := f.CompareTraced(tr, q.Windows, q.MinSupp, q.MinConf, q.MinSupp2, q.MinConf2)
 		if err != nil {
 			return nil, err
 		}
@@ -274,7 +284,7 @@ func Answer(f *tara.Framework, q Query) (any, error) {
 				NumRules: reg.NumRules,
 			}, nil
 		}
-		reg, err := f.Recommend(q.Window, q.MinSupp, q.MinConf)
+		reg, err := f.RecommendTraced(tr, q.Window, q.MinSupp, q.MinConf)
 		if err != nil {
 			return nil, err
 		}

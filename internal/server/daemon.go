@@ -46,6 +46,7 @@ func Run(args []string, stderr io.Writer) error {
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
 		inflight = fs.Int("maxinflight", 256, "max concurrently executing queries (-1 = unlimited)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+		slowN    = fs.Int("slowtraces", 32, "slowest request traces retained for /debug/slow")
 		drain    = fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +66,19 @@ func Run(args []string, stderr io.Writer) error {
 		"archiveBytes", fw.Archive().SizeBytes(),
 		"elapsed", time.Since(start).Round(time.Millisecond),
 	)
+	// Loaded knowledge bases carry no per-window timings; only a fresh build
+	// has phase telemetry worth logging.
+	if rep := fw.BuildReport(); rep.Total > 0 {
+		log.Info("build telemetry",
+			"mine", rep.Mine.Round(time.Millisecond),
+			"rulegen", rep.RuleGen.Round(time.Millisecond),
+			"archive", rep.Archive.Round(time.Millisecond),
+			"index", rep.Index.Round(time.Millisecond),
+			"itemsets", rep.Itemsets,
+			"epsLocations", rep.Locations,
+			"compression", fmt.Sprintf("%.2fx", rep.Storage.CompressionRatio),
+		)
+	}
 
 	s, err := New(Config{
 		Framework:      fw,
@@ -72,6 +86,7 @@ func Run(args []string, stderr io.Writer) error {
 		RequestTimeout: *timeout,
 		MaxInFlight:    *inflight,
 		EnablePprof:    *pprofOn,
+		SlowTraces:     *slowN,
 	})
 	if err != nil {
 		return err

@@ -2,71 +2,25 @@ package server
 
 import (
 	"expvar"
-	"math"
-	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"tara/internal/obs"
 	"tara/internal/tara"
 )
 
-// Per-endpoint request metrics: lock-free counters plus a power-of-two
-// bucketed latency histogram from which /metrics derives p50/p95/p99. All
-// fields are atomics so observation never contends with request handling;
-// snapshots taken during traffic are approximate but internally safe.
-
-// histBuckets spans sub-microsecond to ~9 minutes in powers of two.
-const histBuckets = 30
-
-type latencyHist struct {
-	count  atomic.Uint64
-	sumUS  atomic.Uint64
-	bucket [histBuckets]atomic.Uint64
-}
-
-// observe files d into the bucket whose upper bound is the smallest
-// power-of-two number of microseconds >= d.
-func (h *latencyHist) observe(d time.Duration) {
-	us := uint64(d.Microseconds())
-	i := bits.Len64(us) // 0µs -> 0, 1µs -> 1, (2^k..2^(k+1)-1]µs -> k+1
-	if i >= histBuckets {
-		i = histBuckets - 1
-	}
-	h.bucket[i].Add(1)
-	h.count.Add(1)
-	h.sumUS.Add(us)
-}
-
-// quantile returns an upper bound (in microseconds) on the q-quantile of the
-// observed latencies, at power-of-two resolution.
-func (h *latencyHist) quantile(q float64) uint64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	target := uint64(math.Ceil(q * float64(total)))
-	if target == 0 {
-		target = 1
-	}
-	var cum uint64
-	for i := range histBuckets {
-		cum += h.bucket[i].Load()
-		if cum >= target {
-			if i == 0 {
-				return 0
-			}
-			return (uint64(1) << i) - 1
-		}
-	}
-	return (uint64(1) << (histBuckets - 1)) - 1
-}
+// Per-endpoint request metrics: lock-free counters plus power-of-two bucketed
+// latency histograms (obs.Hist) from which /metrics derives p50/p95/p99, and
+// per-stage histograms aggregated from request traces. All fields are atomics
+// so observation never contends with request handling; snapshots taken during
+// traffic are approximate but internally safe.
 
 type endpointStats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
-	latency  latencyHist
+	latency  obs.Hist
 }
 
 // registry holds every endpoint's stats. The endpoint set is fixed at
@@ -75,13 +29,22 @@ type registry struct {
 	start     time.Time
 	shed      atomic.Uint64
 	endpoints map[string]*endpointStats
+	// stages aggregates per-stage durations across all traced requests; index
+	// by obs.Stage.
+	stages [obs.NumStages]obs.Hist
+	// slow retains the slowest request traces, served at /debug/slow.
+	slow *obs.SlowRing
 	// cacheStats, when set, contributes the framework's query-cache counters
 	// to every snapshot (and thus to both /metrics and /debug/vars).
 	cacheStats func() tara.CacheStats
 }
 
-func newRegistry() *registry {
-	return &registry{start: time.Now(), endpoints: map[string]*endpointStats{}}
+func newRegistry(slowTraces int) *registry {
+	return &registry{
+		start:     time.Now(),
+		endpoints: map[string]*endpointStats{},
+		slow:      obs.NewSlowRing(slowTraces),
+	}
 }
 
 // endpoint registers (or returns) the stats slot for name. Only called while
@@ -95,6 +58,29 @@ func (r *registry) endpoint(name string) *endpointStats {
 	return st
 }
 
+// recordTrace folds a finished request trace into the per-stage histograms
+// and offers it to the slow-trace ring. Stages the request never entered
+// (zero duration) are not observed, so stage counts reflect executions, not
+// requests.
+func (r *registry) recordTrace(endpoint string, status int, start time.Time, tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	for _, s := range obs.Stages() {
+		if d := tr.StageDur(s); d > 0 {
+			r.stages[s].Observe(d)
+		}
+	}
+	r.slow.Offer(&obs.SlowTrace{
+		ID:          tr.ID(),
+		Endpoint:    endpoint,
+		Status:      status,
+		Start:       start,
+		TotalMicros: float64(tr.Total()) / float64(time.Microsecond),
+		Stages:      tr.Stages(),
+	})
+}
+
 // LatencySnapshot reports the latency distribution of one endpoint.
 type LatencySnapshot struct {
 	Count      uint64  `json:"count"`
@@ -102,6 +88,16 @@ type LatencySnapshot struct {
 	P50Micros  uint64  `json:"p50Micros"`
 	P95Micros  uint64  `json:"p95Micros"`
 	P99Micros  uint64  `json:"p99Micros"`
+}
+
+func latencySnapshot(h *obs.Hist) LatencySnapshot {
+	return LatencySnapshot{
+		Count:      h.Count(),
+		MeanMicros: h.MeanMicros(),
+		P50Micros:  h.Quantile(0.50),
+		P95Micros:  h.Quantile(0.95),
+		P99Micros:  h.Quantile(0.99),
+	}
 }
 
 // EndpointSnapshot reports one endpoint's counters and latency quantiles.
@@ -118,6 +114,10 @@ type MetricsSnapshot struct {
 	Shed          uint64                      `json:"shed"`
 	QueryCache    tara.CacheStats             `json:"queryCache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	// Stages reports the per-stage latency distributions aggregated across
+	// all traced query requests, keyed by stage name (decode, canonical-cut,
+	// cache-probe, eps-lookup, materialize, encode).
+	Stages map[string]LatencySnapshot `json:"stages"`
 }
 
 func (r *registry) snapshot() MetricsSnapshot {
@@ -126,41 +126,47 @@ func (r *registry) snapshot() MetricsSnapshot {
 		Goroutines:    runtime.NumGoroutine(),
 		Shed:          r.shed.Load(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(r.endpoints)),
+		Stages:        make(map[string]LatencySnapshot, obs.NumStages),
 	}
 	if r.cacheStats != nil {
 		snap.QueryCache = r.cacheStats()
 	}
 	for name, st := range r.endpoints {
-		count := st.latency.count.Load()
-		mean := 0.0
-		if count > 0 {
-			mean = float64(st.latency.sumUS.Load()) / float64(count)
-		}
 		snap.Endpoints[name] = EndpointSnapshot{
 			Requests: st.requests.Load(),
 			Errors:   st.errors.Load(),
-			Latency: LatencySnapshot{
-				Count:      count,
-				MeanMicros: mean,
-				P50Micros:  st.latency.quantile(0.50),
-				P95Micros:  st.latency.quantile(0.95),
-				P99Micros:  st.latency.quantile(0.99),
-			},
+			Latency:  latencySnapshot(&st.latency),
+		}
+	}
+	for _, s := range obs.Stages() {
+		if h := &r.stages[s]; h.Count() > 0 {
+			snap.Stages[s.String()] = latencySnapshot(h)
 		}
 	}
 	return snap
 }
 
-// publishOnce guards the process-global expvar name: expvar.Publish panics on
-// duplicates, and tests construct many Servers in one process. The first
-// registry wins — in the daemon there is exactly one.
-var publishOnce sync.Once
+// The process-global expvar name: expvar.Publish panics on duplicates, and
+// tests construct many Servers in one process, so the name is published once
+// with a closure that always reads the most recently published registry —
+// the expvar output tracks the newest Server instead of freezing on the
+// first one built.
+var (
+	publishOnce  sync.Once
+	publishedReg atomic.Pointer[registry]
+)
 
 // publish exposes the snapshot under expvar as "tarad", so the standard
 // /debug/vars machinery (and anything scraping it) sees the same numbers as
 // /metrics.
 func (r *registry) publish() {
+	publishedReg.Store(r)
 	publishOnce.Do(func() {
-		expvar.Publish("tarad", expvar.Func(func() any { return r.snapshot() }))
+		expvar.Publish("tarad", expvar.Func(func() any {
+			if reg := publishedReg.Load(); reg != nil {
+				return reg.snapshot()
+			}
+			return nil
+		}))
 	})
 }

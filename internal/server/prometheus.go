@@ -1,0 +1,94 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"time"
+
+	"tara/internal/obs"
+)
+
+// Prometheus text exposition (version 0.0.4) for /metrics?format=prometheus.
+// Rendered straight from the registry's atomics — no intermediate snapshot —
+// so histogram buckets, sums and counts come from one consistent read order
+// (obs.Hist.Snapshot) per series.
+
+// writePrometheus renders the registry in Prometheus text format.
+func (r *registry) writePrometheus(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeGauge(w, "tarad_uptime_seconds", "Seconds since the server registry was created.", time.Since(r.start).Seconds())
+	writeGauge(w, "tarad_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	writeCounter(w, "tarad_shed_requests_total", "Requests shed with 429 by the in-flight limiter.", float64(r.shed.Load()))
+
+	if r.cacheStats != nil {
+		cs := r.cacheStats()
+		writeCounter(w, "tarad_query_cache_hits_total", "Query-cache hits.", float64(cs.Hits))
+		writeCounter(w, "tarad_query_cache_misses_total", "Query-cache misses.", float64(cs.Misses))
+		writeCounter(w, "tarad_query_cache_evictions_total", "Query-cache evictions.", float64(cs.Evictions))
+		writeGauge(w, "tarad_query_cache_entries", "Query-cache resident entries.", float64(cs.Entries))
+	}
+
+	names := make([]string, 0, len(r.endpoints))
+	for name := range r.endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	fmt.Fprintln(w, "# HELP tarad_requests_total Requests handled, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_requests_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "tarad_requests_total{endpoint=%q} %d\n", name, r.endpoints[name].requests.Load())
+	}
+	fmt.Fprintln(w, "# HELP tarad_request_errors_total Requests answered with status >= 400, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_request_errors_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "tarad_request_errors_total{endpoint=%q} %d\n", name, r.endpoints[name].errors.Load())
+	}
+
+	fmt.Fprintln(w, "# HELP tarad_request_duration_seconds Request latency, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_request_duration_seconds histogram")
+	for _, name := range names {
+		writeHistSeries(w, "tarad_request_duration_seconds", "endpoint", name, r.endpoints[name].latency.Snapshot())
+	}
+
+	fmt.Fprintln(w, "# HELP tarad_stage_duration_seconds Per-stage query latency, aggregated over traced requests.")
+	fmt.Fprintln(w, "# TYPE tarad_stage_duration_seconds histogram")
+	for _, s := range obs.Stages() {
+		if h := &r.stages[s]; h.Count() > 0 {
+			writeHistSeries(w, "tarad_stage_duration_seconds", "stage", s.String(), h.Snapshot())
+		}
+	}
+}
+
+func writeGauge(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func writeCounter(w io.Writer, name, help string, v float64) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+}
+
+// writeHistSeries emits one labeled histogram series: cumulative _bucket
+// lines with power-of-two le bounds (in seconds), then _sum and _count. The
+// +Inf bucket and _count both use the bucket total, which under concurrent
+// observation can momentarily exceed the count field of the snapshot — the
+// exposition stays internally consistent either way.
+func writeHistSeries(w io.Writer, name, label, value string, snap obs.HistSnapshot) {
+	var cum uint64
+	for i, c := range snap.Buckets {
+		cum += c
+		if c == 0 && i > 20 {
+			// Skip empty tail buckets beyond ~1s to bound output; the +Inf
+			// line below still closes the series.
+			continue
+		}
+		le := float64(obs.BucketBound(i)) / 1e6
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%g\"} %d\n", name, label, value, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, value, cum)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %g\n", name, label, value, float64(snap.SumMicros)/1e6)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, value, cum)
+}

@@ -17,8 +17,17 @@
 //	/plot        w=0 [supp=0.01 conf=0.2]              parameter-space panorama
 //
 // plus /stats (knowledge-base summary), /healthz, and /metrics with
-// per-endpoint request counters, latency quantiles (p50/p95/p99) and the
-// framework's query-cache hit/miss/eviction counters.
+// per-endpoint request counters, latency quantiles (p50/p95/p99), per-stage
+// latency histograms and the framework's query-cache hit/miss/eviction
+// counters. /metrics?format=prometheus renders the same data in Prometheus
+// text exposition format.
+//
+// Every request carries a trace (ID from an inbound X-Request-ID header when
+// present, echoed on the response) whose named stages — decode,
+// canonical-cut, cache-probe, eps-lookup, materialize, encode — time the
+// query's path through the knowledge base. Appending ?debug=trace to any
+// query endpoint wraps the response with the request's stage breakdown, and
+// /debug/slow lists the slowest traces seen so far.
 //
 // Requests are served concurrently; the Framework's query methods are safe
 // against a writer appending windows, so a daemon can stay up while the
@@ -35,6 +44,7 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"tara/internal/obs"
 	"tara/internal/query"
 	"tara/internal/tara"
 )
@@ -55,6 +65,9 @@ type Config struct {
 	MaxInFlight int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// SlowTraces sizes the ring of slowest request traces kept for
+	// /debug/slow. Non-positive selects 32.
+	SlowTraces int
 }
 
 // Server answers TARA exploration queries over HTTP. Create with New; it is
@@ -101,12 +114,16 @@ func New(cfg Config) (*Server, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+	slowTraces := cfg.SlowTraces
+	if slowTraces <= 0 {
+		slowTraces = 32
+	}
 	s := &Server{
 		fw:      cfg.Framework,
 		log:     log,
 		timeout: timeout,
 		mux:     http.NewServeMux(),
-		metrics: newRegistry(),
+		metrics: newRegistry(slowTraces),
 	}
 	s.metrics.cacheStats = s.fw.CacheStats
 	switch {
@@ -134,7 +151,14 @@ func New(cfg Config) (*Server, error) {
 		writeJSON(w, http.StatusOK, s.fw.Summarize())
 	})
 	s.mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prometheus" {
+			s.metrics.writePrometheus(w)
+			return
+		}
 		writeJSON(w, http.StatusOK, s.metrics.snapshot())
+	})
+	s.mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.metrics.slow.Snapshot())
 	})
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -150,22 +174,38 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the root handler, ready to mount on an http.Server.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// instrument wraps a query route with request counting, latency observation
-// and structured logging. The limiter and timeout live inside so that shed
-// (429) and timed-out (503) requests are counted and timed like any other.
+// instrument wraps a query route with tracing, request counting, latency
+// observation and structured logging. The limiter and timeout live inside so
+// that shed (429) and timed-out (503) requests are counted and timed like any
+// other. Every request gets a trace: its ID comes from an inbound
+// X-Request-ID header when present (so traces correlate across services) and
+// is echoed back on the response. Stage durations are atomics, so a handler
+// goroutine abandoned by the timeout wrapper can keep writing spans while
+// this records the trace — the record is a safe point-in-time view.
 func (s *Server) instrument(name string, st *endpointStats, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewID()
+		}
+		tr := obs.NewTrace(id)
+		w.Header().Set("X-Request-ID", id)
+		r = r.WithContext(obs.WithTrace(r.Context(), tr))
+
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
 		d := time.Since(start)
+		tr.Finish()
 		st.requests.Add(1)
 		if rec.status >= 400 {
 			st.errors.Add(1)
 		}
-		st.latency.observe(d)
+		st.latency.Observe(d)
+		s.metrics.recordTrace(name, rec.status, start, tr)
 		s.log.Info("request",
 			"endpoint", name,
+			"trace", id,
 			"status", rec.status,
 			"duration", d,
 			"remote", r.RemoteAddr,
@@ -192,20 +232,24 @@ func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request)
 	if s.delay != nil {
 		s.delay(name)
 	}
+	tr := obs.FromContext(r.Context())
+	sp := tr.Start(obs.StageDecode)
 	values := r.URL.Query()
 	if r.Method == http.MethodPost {
 		if err := r.ParseForm(); err != nil {
+			sp.End()
 			writeError(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		values = r.Form
 	}
 	q, err := query.FromValues(op, values)
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := query.Answer(s.fw, q)
+	res, err := query.AnswerTraced(s.fw, q, tr)
 	if err != nil {
 		// The knowledge base is read-only: a failing query is a bad
 		// request (window out of range, unknown rule, ...), not a
@@ -213,7 +257,49 @@ func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if values.Get("debug") == "trace" {
+		s.writeTraced(w, tr, res)
+		return
+	}
+	sp = tr.Start(obs.StageEncode)
 	writeJSON(w, http.StatusOK, res)
+	sp.End()
+}
+
+// tracedBody is the ?debug=trace response envelope: the normal result plus
+// the request's per-stage breakdown.
+type tracedBody struct {
+	Result json.RawMessage `json:"result"`
+	Trace  traceBody       `json:"trace"`
+}
+
+type traceBody struct {
+	ID          string            `json:"id"`
+	TotalMicros float64           `json:"totalMicros"`
+	Stages      []obs.StageTiming `json:"stages"`
+}
+
+// writeTraced encodes res with the trace's stage breakdown attached. The
+// result is pre-marshaled inside the encode span so the reported encode stage
+// covers the real serialization work; only the small envelope is written
+// outside it.
+func (s *Server) writeTraced(w http.ResponseWriter, tr *obs.Trace, res any) {
+	sp := tr.Start(obs.StageEncode)
+	raw, err := json.Marshal(res)
+	sp.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	tr.Finish()
+	writeJSON(w, http.StatusOK, tracedBody{
+		Result: raw,
+		Trace: traceBody{
+			ID:          tr.ID(),
+			TotalMicros: float64(tr.Total()) / float64(time.Microsecond),
+			Stages:      tr.Stages(),
+		},
+	})
 }
 
 // statusRecorder captures the status code written by the wrapped handler.

@@ -8,6 +8,7 @@ import (
 	"tara/internal/archive"
 	"tara/internal/eps"
 	"tara/internal/itemset"
+	"tara/internal/obs"
 	"tara/internal/rules"
 	"tara/internal/txdb"
 )
@@ -51,16 +52,22 @@ func (f *Framework) view(id rules.ID, w int) (RuleView, error) {
 // traditional temporal mining request, answered by quadrant collection over
 // the window's parameter-space slice.
 func (f *Framework) Mine(w int, minSupp, minConf float64) ([]RuleView, error) {
+	return f.MineTraced(nil, w, minSupp, minConf)
+}
+
+// MineTraced is Mine with per-stage span recording on tr (nil disables
+// tracing at the cost of a pointer check — the untraced path stays hot).
+func (f *Framework) MineTraced(tr *obs.Trace, w int, minSupp, minConf float64) ([]RuleView, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	return f.mineLocked(w, minSupp, minConf)
+	return f.mineLocked(tr, w, minSupp, minConf)
 }
 
 // mineLocked is Mine's implementation; callers hold f.mu. The answer is
 // served from the query cache when the request's stable region has been
 // collected before (Lemma 4 makes the canonical cut a lossless key); the
 // caller receives a private copy either way and may mutate it freely.
-func (f *Framework) mineLocked(w int, minSupp, minConf float64) ([]RuleView, error) {
+func (f *Framework) mineLocked(tr *obs.Trace, w int, minSupp, minConf float64) ([]RuleView, error) {
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
 	}
@@ -69,19 +76,43 @@ func (f *Framework) mineLocked(w int, minSupp, minConf float64) ([]RuleView, err
 		return nil, err
 	}
 	if f.qcache == nil {
-		return f.materializeViews(slice.Rules(minSupp, minConf), w)
+		sp := tr.Start(obs.StageEPSLookup)
+		ids := slice.Rules(minSupp, minConf)
+		sp.End()
+		sp = tr.Start(obs.StageMaterialize)
+		views, err := f.materializeViews(ids, w)
+		sp.End()
+		return views, err
 	}
+	sp := tr.Start(obs.StageCut)
 	si, ci := slice.CutIndex(minSupp, minConf)
+	sp.End()
 	k := cacheKey{window: int32(w), class: classMine, a: cutKey(si, ci)}
-	if v, ok := f.qcache.get(k); ok {
-		return cloneViews(v.([]RuleView)), nil
+	sp = tr.Start(obs.StageCacheProbe)
+	v, ok := f.qcache.get(k)
+	sp.End()
+	if ok {
+		sp = tr.Start(obs.StageMaterialize)
+		views := cloneViews(v.([]RuleView))
+		sp.End()
+		return views, nil
 	}
-	views, err := f.materializeViews(slice.Rules(minSupp, minConf), w)
+	sp = tr.Start(obs.StageEPSLookup)
+	ids := slice.Rules(minSupp, minConf)
+	sp.End()
+	sp = tr.Start(obs.StageMaterialize)
+	views, err := f.materializeViews(ids, w)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.Start(obs.StageCacheProbe)
 	f.qcache.put(k, views)
-	return cloneViews(views), nil
+	sp.End()
+	sp = tr.Start(obs.StageMaterialize)
+	out := cloneViews(views)
+	sp.End()
+	return out, nil
 }
 
 // materializeViews resolves an id list against the archive for window w.
@@ -101,6 +132,11 @@ func (f *Framework) materializeViews(ids []rules.ID, w int) ([]RuleView, error) 
 // w without materializing them — the cheapest online probe, served from the
 // cache's canonical cut when warm.
 func (f *Framework) Count(w int, minSupp, minConf float64) (int, error) {
+	return f.CountTraced(nil, w, minSupp, minConf)
+}
+
+// CountTraced is Count with per-stage span recording on tr (nil disables).
+func (f *Framework) CountTraced(tr *obs.Trace, w int, minSupp, minConf float64) (int, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
@@ -110,16 +146,43 @@ func (f *Framework) Count(w int, minSupp, minConf float64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	if f.qcache == nil {
-		return slice.Count(minSupp, minConf), nil
+	if tr == nil {
+		// Untraced fast path: Count is ~65ns warm, so even inlined inert
+		// spans are a measurable tax here. One branch instead of four.
+		if f.qcache == nil {
+			return slice.Count(minSupp, minConf), nil
+		}
+		si, ci := slice.CutIndex(minSupp, minConf)
+		k := cacheKey{window: int32(w), class: classCount, a: cutKey(si, ci)}
+		if v, ok := f.qcache.get(k); ok {
+			return v.(int), nil
+		}
+		n := slice.Count(minSupp, minConf)
+		f.qcache.put(k, n)
+		return n, nil
 	}
+	if f.qcache == nil {
+		sp := tr.Start(obs.StageEPSLookup)
+		n := slice.Count(minSupp, minConf)
+		sp.End()
+		return n, nil
+	}
+	sp := tr.Start(obs.StageCut)
 	si, ci := slice.CutIndex(minSupp, minConf)
+	sp.End()
 	k := cacheKey{window: int32(w), class: classCount, a: cutKey(si, ci)}
-	if v, ok := f.qcache.get(k); ok {
+	sp = tr.Start(obs.StageCacheProbe)
+	v, ok := f.qcache.get(k)
+	sp.End()
+	if ok {
 		return v.(int), nil
 	}
+	sp = tr.Start(obs.StageEPSLookup)
 	n := slice.Count(minSupp, minConf)
+	sp.End()
+	sp = tr.Start(obs.StageCacheProbe)
 	f.qcache.put(k, n)
+	sp.End()
 	return n, nil
 }
 
@@ -129,21 +192,29 @@ func (f *Framework) Count(w int, minSupp, minConf float64) (int, error) {
 // The lift filter is a post-pass over the answer set: it is not an index
 // dimension, so its cost is linear in the (support, confidence) answer.
 func (f *Framework) MineFiltered(w int, minSupp, minConf, minLift float64) ([]RuleView, error) {
+	return f.MineFilteredTraced(nil, w, minSupp, minConf, minLift)
+}
+
+// MineFilteredTraced is MineFiltered with per-stage span recording on tr.
+// The lift post-pass counts toward the materialize stage.
+func (f *Framework) MineFilteredTraced(tr *obs.Trace, w int, minSupp, minConf, minLift float64) ([]RuleView, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	views, err := f.mineLocked(w, minSupp, minConf)
+	views, err := f.mineLocked(tr, w, minSupp, minConf)
 	if err != nil {
 		return nil, err
 	}
 	if minLift <= 0 {
 		return views, nil
 	}
+	sp := tr.Start(obs.StageMaterialize)
 	out := views[:0]
 	for _, v := range views {
 		if v.Lift() >= minLift {
 			out = append(out, v)
 		}
 	}
+	sp.End()
 	return out, nil
 }
 
@@ -247,6 +318,12 @@ type WindowDiff struct {
 // Compare answers Q2 in exact-match mode: for every requested window, the
 // rules satisfying setting A but not B and vice versa.
 func (f *Framework) Compare(windows []int, suppA, confA, suppB, confB float64) ([]WindowDiff, error) {
+	return f.CompareTraced(nil, windows, suppA, confA, suppB, confB)
+}
+
+// CompareTraced is Compare with per-stage span recording on tr; spans
+// accumulate across the requested windows.
+func (f *Framework) CompareTraced(tr *obs.Trace, windows []int, suppA, confA, suppB, confB float64) ([]WindowDiff, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(suppA, confA); err != nil {
@@ -257,7 +334,7 @@ func (f *Framework) Compare(windows []int, suppA, confA, suppB, confB float64) (
 	}
 	out := make([]WindowDiff, 0, len(windows))
 	for _, w := range windows {
-		a, b, err := f.diffLocked(w, suppA, confA, suppB, confB)
+		a, b, err := f.diffLocked(tr, w, suppA, confA, suppB, confB)
 		if err != nil {
 			return nil, err
 		}
@@ -268,31 +345,53 @@ func (f *Framework) Compare(windows []int, suppA, confA, suppB, confB float64) (
 
 // diffLocked computes one window of a Q2 comparison, cached under the two
 // settings' canonical cuts; callers hold f.mu.
-func (f *Framework) diffLocked(w int, suppA, confA, suppB, confB float64) (onlyA, onlyB []rules.ID, err error) {
+func (f *Framework) diffLocked(tr *obs.Trace, w int, suppA, confA, suppB, confB float64) (onlyA, onlyB []rules.ID, err error) {
 	slice, err := f.index.Slice(w)
 	if err != nil {
 		return nil, nil, err
 	}
 	if f.qcache == nil {
+		sp := tr.Start(obs.StageEPSLookup)
 		a, b := slice.Diff(suppA, confA, suppB, confB)
+		sp.End()
 		return a, b, nil
 	}
+	sp := tr.Start(obs.StageCut)
 	siA, ciA := slice.CutIndex(suppA, confA)
 	siB, ciB := slice.CutIndex(suppB, confB)
+	sp.End()
 	k := cacheKey{window: int32(w), class: classDiff, a: cutKey(siA, ciA), b: cutKey(siB, ciB)}
-	if v, ok := f.qcache.get(k); ok {
+	sp = tr.Start(obs.StageCacheProbe)
+	v, ok := f.qcache.get(k)
+	sp.End()
+	if ok {
 		d := v.(diffValue)
-		return cloneIDs(d.onlyA), cloneIDs(d.onlyB), nil
+		sp = tr.Start(obs.StageMaterialize)
+		a, b := cloneIDs(d.onlyA), cloneIDs(d.onlyB)
+		sp.End()
+		return a, b, nil
 	}
+	sp = tr.Start(obs.StageEPSLookup)
 	a, b := slice.Diff(suppA, confA, suppB, confB)
+	sp.End()
+	sp = tr.Start(obs.StageCacheProbe)
 	f.qcache.put(k, diffValue{onlyA: a, onlyB: b})
-	return cloneIDs(a), cloneIDs(b), nil
+	sp.End()
+	sp = tr.Start(obs.StageMaterialize)
+	ca, cb := cloneIDs(a), cloneIDs(b)
+	sp.End()
+	return ca, cb, nil
 }
 
 // Recommend answers Q3: the time-aware stable region around the request,
 // telling the analyst how far the parameters can move before the output
 // changes (the TARA-R response of the experiments).
 func (f *Framework) Recommend(w int, minSupp, minConf float64) (eps.Region, error) {
+	return f.RecommendTraced(nil, w, minSupp, minConf)
+}
+
+// RecommendTraced is Recommend with per-stage span recording on tr.
+func (f *Framework) RecommendTraced(tr *obs.Trace, w int, minSupp, minConf float64) (eps.Region, error) {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
@@ -303,18 +402,30 @@ func (f *Framework) Recommend(w int, minSupp, minConf float64) (eps.Region, erro
 		return eps.Region{}, err
 	}
 	if f.qcache == nil {
-		return slice.Region(minSupp, minConf), nil
+		sp := tr.Start(obs.StageEPSLookup)
+		reg := slice.Region(minSupp, minConf)
+		sp.End()
+		return reg, nil
 	}
 	// A stable region is itself a function of the cut only: Region derives
 	// every bound from the grid cell around the request, which the cut
 	// indexes identify.
+	sp := tr.Start(obs.StageCut)
 	si, ci := slice.CutIndex(minSupp, minConf)
+	sp.End()
 	k := cacheKey{window: int32(w), class: classRegion, a: cutKey(si, ci)}
-	if v, ok := f.qcache.get(k); ok {
+	sp = tr.Start(obs.StageCacheProbe)
+	v, ok := f.qcache.get(k)
+	sp.End()
+	if ok {
 		return v.(eps.Region), nil
 	}
+	sp = tr.Start(obs.StageEPSLookup)
 	reg := slice.Region(minSupp, minConf)
+	sp.End()
+	sp = tr.Start(obs.StageCacheProbe)
 	f.qcache.put(k, reg)
+	sp.End()
 	return reg, nil
 }
 

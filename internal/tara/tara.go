@@ -63,6 +63,22 @@ type Timing struct {
 	IndexTime   time.Duration // EPS slice construction
 	NumItemsets int
 	NumRules    int
+
+	// Build telemetry beyond the Figure 9 breakdown.
+
+	// NumLocations is the number of distinct (support, confidence) locations
+	// in the window's EPS slice; SuppCuts × ConfCuts is its grid extent.
+	NumLocations int
+	SuppCuts     int
+	ConfCuts     int
+	// ArchiveBytes is the compressed archive growth this window caused.
+	ArchiveBytes int
+	// LevelCandidates / LevelFrequent report, per itemset length (index 0 =
+	// length 1), how many candidates the miner counted and how many survived
+	// support pruning. Candidates are only known for level-wise miners
+	// (Apriori); pattern-growth miners leave LevelCandidates nil.
+	LevelCandidates []int
+	LevelFrequent   []int
 }
 
 // Total returns the window's total preprocessing time.
@@ -218,6 +234,8 @@ func (f *Framework) mineWindow(w txdb.Window) (mined, error) {
 	}
 	m.timing.Mine = time.Since(start)
 	m.timing.NumItemsets = res.Len()
+	m.timing.LevelCandidates = res.LevelCandidates
+	m.timing.LevelFrequent = res.FrequentPerLevel()
 
 	start = time.Now()
 	rs, err := rules.Generate(res, rules.GenParams{MinCount: minCount, MinConf: f.cfg.GenMinConf})
@@ -242,6 +260,7 @@ func (f *Framework) appendMined(m mined) error {
 	}
 
 	start := time.Now()
+	bytesBefore := f.arch.SizeBytes()
 	f.arch.BeginWindow(uint32(len(w.Tx)))
 	ids := make([]eps.IDStats, len(m.ruleSet))
 	for i, r := range m.ruleSet {
@@ -268,6 +287,9 @@ func (f *Framework) appendMined(m mined) error {
 
 	m.timing.ArchiveTime = archiveTime
 	m.timing.IndexTime = indexTime
+	m.timing.ArchiveBytes = f.arch.SizeBytes() - bytesBefore
+	m.timing.NumLocations = slice.NumLocations()
+	m.timing.SuppCuts, m.timing.ConfCuts = slice.GridDims()
 	f.timings = append(f.timings, m.timing)
 	f.windows = append(f.windows, WindowInfo{Index: w.Index, Period: w.Period, N: uint32(len(w.Tx))})
 	if f.qcache != nil {
