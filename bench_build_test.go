@@ -1,0 +1,51 @@
+package tara_bench
+
+import (
+	"runtime"
+	"testing"
+
+	"tara/internal/harness"
+	"tara/internal/tara"
+)
+
+// benchmarkBuild measures one full knowledge-base construction (per-window
+// mining → rule generation → EPS → archive commit) over the synthetic retail
+// workload at the given parallelism. Serial and parallel variants build the
+// same inputs with the same config, so their ratio is the pipeline speedup;
+// the bench-regression CI gate watches BenchmarkBuildParallel.
+func benchmarkBuild(b *testing.B, parallelism int) {
+	b.Helper()
+	spec, err := harness.DatasetByName("retail")
+	if err != nil {
+		b.Fatal(err)
+	}
+	db, err := spec.Build(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := tara.Config{
+		GenMinSupport: spec.GenSupp,
+		GenMinConf:    spec.GenConf,
+		MaxItemsetLen: spec.MaxLen,
+		ContentIndex:  true,
+		Parallelism:   parallelism,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fw, err := tara.Build(db, 0, spec.Batches, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if fw.Windows() != spec.Batches {
+			b.Fatalf("built %d windows, want %d", fw.Windows(), spec.Batches)
+		}
+	}
+}
+
+// BenchmarkBuildSerial is the legacy single-goroutine offline build.
+func BenchmarkBuildSerial(b *testing.B) { benchmarkBuild(b, 1) }
+
+// BenchmarkBuildParallel is the pipelined offline build at full GOMAXPROCS;
+// its output is byte-identical to BenchmarkBuildSerial's (see
+// internal/tara/build_test.go for the differential proof).
+func BenchmarkBuildParallel(b *testing.B) { benchmarkBuild(b, runtime.GOMAXPROCS(0)) }

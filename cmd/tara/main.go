@@ -62,6 +62,7 @@ func main() {
 		genConf  = flag.Float64("conf", 0.1, "generation minimum confidence (Table 4)")
 		maxLen   = flag.Int("maxlen", 4, "maximum itemset length")
 		miner    = flag.String("miner", "eclat", "mining algorithm: apriori, eclat, fpgrowth, hmine")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "windows preprocessed concurrently during build (0 or 1 = serial; output is byte-identical either way)")
 		oneshot  = flag.String("q", "", "run a single query and exit")
 		kbFile   = flag.String("kb", "", "load a previously saved knowledge base instead of building")
 		saveFile = flag.String("save", "", "save the knowledge base to this file after building")
@@ -97,7 +98,7 @@ func main() {
 			MaxItemsetLen: *maxLen,
 			Miner:         m,
 			ContentIndex:  true,
-			Workers:       runtime.GOMAXPROCS(0),
+			Parallelism:   *parallel,
 		})
 		if err != nil {
 			fatal(err)
@@ -201,16 +202,24 @@ func printStats(fw *tara.Framework) {
 	if ts := fw.Timings(); len(ts) > 0 {
 		fmt.Println("build telemetry (per window):")
 		for _, t := range ts {
-			fmt.Printf("  window %-3d mine=%-10v rulegen=%-10v archive=%-10v index=%-10v grid=%dx%d archiveB=%d frequent=[%s]",
+			fmt.Printf("  window %-3d mine=%-10v rulegen=%-10v archive=%-10v index=%-10v commit=%-10v wait=%-10v grid=%dx%d archiveB=%d frequent=[%s]",
 				t.Window,
 				t.Mine.Round(time.Microsecond), t.RuleGen.Round(time.Microsecond),
 				t.ArchiveTime.Round(time.Microsecond), t.IndexTime.Round(time.Microsecond),
+				t.Commit.Round(time.Microsecond), t.QueueWait.Round(time.Microsecond),
 				t.SuppCuts, t.ConfCuts, t.ArchiveBytes, tara.PerLevelString(t.LevelFrequent))
 			if t.LevelCandidates != nil {
 				fmt.Printf(" candidates=[%s]", tara.PerLevelString(t.LevelCandidates))
 			}
 			fmt.Println()
 		}
+	}
+	if ctr := fw.BuildCounters(); ctr["build_windows"] > 0 {
+		fmt.Printf("build counters: windows=%d rules=%d mine=%vms rulegen=%vms eps=%vms archive=%vms commit=%vms queue-wait=%vms\n",
+			ctr["build_windows"], ctr["build_rules"],
+			ctr["build_mine_ns"]/1e6, ctr["build_rulegen_ns"]/1e6,
+			ctr["build_eps_ns"]/1e6, ctr["build_archive_ns"]/1e6,
+			ctr["build_commit_ns"]/1e6, ctr["build_queue_wait_ns"]/1e6)
 	}
 }
 

@@ -26,17 +26,20 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id: "+strings.Join(harness.ExperimentIDs(), ", ")+", or all")
 	scale := flag.Float64("scale", 1.0, "dataset scale factor (1.0 = repository default sizes)")
 	format := flag.String("format", "text", "output format: text, or csv (fig7/fig8/fig10/fig11 only)")
-	jsonPath := flag.String("json", "", "also write the online experiment's JSON report to this file (online experiment only)")
+	jsonPath := flag.String("json", "", "also write the experiment's JSON report to this file (online and build experiments)")
 	trace := flag.Bool("trace", false, "with -exp online: also print the mean per-stage Mine breakdown (cold and warm)")
+	parallel := flag.Int("parallel", 0, "with -exp build: top parallelism measured (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	start := time.Now()
 	var err error
 	switch {
-	case *jsonPath != "" && *exp != "online":
-		err = fmt.Errorf("-json is only meaningful with -exp online (got %q)", *exp)
+	case *jsonPath != "" && *exp != "online" && *exp != "build":
+		err = fmt.Errorf("-json is only meaningful with -exp online or build (got %q)", *exp)
 	case *trace && *exp != "online":
 		err = fmt.Errorf("-trace is only meaningful with -exp online (got %q)", *exp)
+	case *jsonPath != "" && *exp == "build":
+		err = runBuildJSON(*jsonPath, *scale, *parallel)
 	case *jsonPath != "":
 		// One measured report feeds both the table and the JSON artifact.
 		err = runOnlineJSON(*jsonPath, *scale)
@@ -66,6 +69,24 @@ func runOnlineJSON(path string, scale float64) error {
 		return err
 	}
 	if err := harness.PrintOnline(os.Stdout, rep); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// runBuildJSON runs the offline-build experiment once, printing its table
+// and storing the measurements as a structured report (the checked-in
+// BENCH_build.json is produced this way).
+func runBuildJSON(path string, scale float64, maxPar int) error {
+	rep, err := harness.BuildBench(scale, maxPar)
+	if err != nil {
+		return err
+	}
+	if err := harness.PrintBuild(os.Stdout, rep); err != nil {
 		return err
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")

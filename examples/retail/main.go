@@ -30,7 +30,7 @@ func main() {
 		GenMinConf:    0.1,
 		MaxItemsetLen: 3,
 		ContentIndex:  true,
-		Workers:       4,
+		Parallelism:   4,
 	})
 	if err != nil {
 		log.Fatal(err)

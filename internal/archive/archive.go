@@ -100,6 +100,28 @@ func (a *Archive) Append(id rules.ID, countXY, countX, countY uint32) error {
 	return nil
 }
 
+// Record is one rule's occurrence counts for a batched window append.
+type Record struct {
+	ID                      rules.ID
+	CountXY, CountX, CountY uint32
+}
+
+// AppendWindow opens the next window and appends every record to it,
+// returning the archive's compressed byte growth. It is exactly equivalent
+// to BeginWindow followed by Append per record in slice order — the ordered
+// committer of the parallel build uses it so one window lands as a single
+// call, and the byte growth feeds the per-window build telemetry.
+func (a *Archive) AppendWindow(n uint32, recs []Record) (int, error) {
+	before := a.SizeBytes()
+	a.BeginWindow(n)
+	for _, r := range recs {
+		if err := a.Append(r.ID, r.CountXY, r.CountX, r.CountY); err != nil {
+			return a.SizeBytes() - before, err
+		}
+	}
+	return a.SizeBytes() - before, nil
+}
+
 func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
 func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
 

@@ -238,6 +238,24 @@ func (s *Slice) GridDims() (suppCuts, confCuts int) {
 	return len(s.supports), len(s.confs)
 }
 
+// SupportCuts returns a copy of the slice's distinct support cut values in
+// ascending order — the support axis of the cut grid (Definition 12). The
+// parallel-build differential test compares these across build modes to
+// assert the EPS came out identical.
+func (s *Slice) SupportCuts() []float64 {
+	out := make([]float64, len(s.supports))
+	copy(out, s.supports)
+	return out
+}
+
+// ConfidenceCuts returns a copy of the distinct confidence cut values in
+// ascending order — the confidence axis of the cut grid.
+func (s *Slice) ConfidenceCuts() []float64 {
+	out := make([]float64, len(s.confs))
+	copy(out, s.confs)
+	return out
+}
+
 // CutIndex canonicalizes a request point to its time-aware stable region's
 // cut location (Definition 12) by binary search over the per-axis cut grids:
 // si is the index of the first distinct support >= minSupp, ci of the first

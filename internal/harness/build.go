@@ -1,0 +1,177 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"tara/internal/tara"
+)
+
+// The build experiment measures the PR's offline-path work: the end-to-end
+// knowledge-base construction (per-window mining → EPS → ordered archive
+// commit) serially and at increasing parallelism over the standard synthetic
+// retail workload, asserting along the way that every parallel build's
+// serialized knowledge base is byte-identical to the serial one — the
+// pipeline's determinism contract, measured and proven in the same artifact.
+
+// buildBenchScale enlarges the retail dataset relative to the harness
+// default so per-window mining dominates and parallel speedup is visible.
+const buildBenchScale = 1.0
+
+// BuildBenchPoint is one measured build at a fixed parallelism.
+type BuildBenchPoint struct {
+	Parallelism int     `json:"parallelism"`
+	WallMillis  float64 `json:"wallMillis"`
+	// Speedup is serial wall time over this point's wall time.
+	Speedup float64 `json:"speedupVsSerial"`
+	// Per-stage work sums across windows (not wall time: stages overlap
+	// across workers), from the framework's build telemetry.
+	MineMillis      float64 `json:"mineMillis"`
+	RuleGenMillis   float64 `json:"rulegenMillis"`
+	EPSMillis       float64 `json:"epsMillis"`
+	ArchiveMillis   float64 `json:"archiveMillis"`
+	CommitMillis    float64 `json:"commitMillis"`
+	QueueWaitMillis float64 `json:"queueWaitMillis"`
+	// ByteIdentical reports whether this build's serialized knowledge base
+	// equals the serial build's, byte for byte.
+	ByteIdentical bool `json:"byteIdentical"`
+}
+
+// BuildBenchReport is the JSON document the build experiment emits
+// (BENCH_build.json).
+type BuildBenchReport struct {
+	Dataset      string            `json:"dataset"`
+	Transactions int               `json:"transactions"`
+	Windows      int               `json:"windows"`
+	Rules        int               `json:"rules"`
+	KBBytes      int               `json:"kbBytes"`
+	GoMaxProcs   int               `json:"gomaxprocs"`
+	Points       []BuildBenchPoint `json:"points"`
+	// SpeedupAt4 is the acceptance headline: serial wall over parallelism-4
+	// wall (0 when parallelism 4 was not measured).
+	SpeedupAt4 float64 `json:"speedupAt4"`
+	// AllByteIdentical is the conjunction of every point's determinism check.
+	AllByteIdentical bool `json:"allByteIdentical"`
+}
+
+// buildParallelisms returns the measured parallelism ladder: serial, 2, 4,
+// and full GOMAXPROCS when it exceeds 4.
+func buildParallelisms(maxPar int) []int {
+	ladder := []int{1, 2, 4}
+	if maxPar > 4 {
+		ladder = append(ladder, maxPar)
+	}
+	return ladder
+}
+
+// BuildBench runs the offline-build experiment at the given scale. maxPar
+// caps the ladder's top rung; non-positive means runtime.GOMAXPROCS(0).
+func BuildBench(scale float64, maxPar int) (*BuildBenchReport, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	if maxPar <= 0 {
+		maxPar = runtime.GOMAXPROCS(0)
+	}
+	spec, err := DatasetByName("retail")
+	if err != nil {
+		return nil, err
+	}
+	db, err := spec.Build(scale * buildBenchScale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BuildBenchReport{
+		Dataset:          spec.Name,
+		Transactions:     db.Len(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		AllByteIdentical: true,
+	}
+
+	var serialKB []byte
+	var serialWall time.Duration
+	for _, p := range buildParallelisms(maxPar) {
+		cfg := tara.Config{
+			GenMinSupport: spec.GenSupp,
+			GenMinConf:    spec.GenConf,
+			MaxItemsetLen: spec.MaxLen,
+			ContentIndex:  true,
+			Parallelism:   p,
+		}
+		start := time.Now()
+		fw, err := tara.Build(db, 0, spec.Batches, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: build at parallelism %d: %w", p, err)
+		}
+		wall := time.Since(start)
+
+		var kb bytes.Buffer
+		if err := fw.Save(&kb); err != nil {
+			return nil, fmt.Errorf("harness: serializing KB at parallelism %d: %w", p, err)
+		}
+		pt := BuildBenchPoint{
+			Parallelism:   p,
+			WallMillis:    float64(wall.Microseconds()) / 1e3,
+			ByteIdentical: true,
+		}
+		if p == 1 {
+			serialKB = kb.Bytes()
+			serialWall = wall
+			rep.Windows = fw.Windows()
+			rep.Rules = fw.RuleDict().Len()
+			rep.KBBytes = kb.Len()
+		} else {
+			pt.ByteIdentical = bytes.Equal(kb.Bytes(), serialKB)
+			if !pt.ByteIdentical {
+				rep.AllByteIdentical = false
+			}
+		}
+		if wall > 0 {
+			pt.Speedup = float64(serialWall) / float64(wall)
+		}
+		ctr := fw.BuildCounters()
+		ms := func(name string) float64 { return float64(ctr[name]) / 1e6 }
+		pt.MineMillis = ms("build_mine_ns")
+		pt.RuleGenMillis = ms("build_rulegen_ns")
+		pt.EPSMillis = ms("build_eps_ns")
+		pt.ArchiveMillis = ms("build_archive_ns")
+		pt.CommitMillis = ms("build_commit_ns")
+		pt.QueueWaitMillis = ms("build_queue_wait_ns")
+		rep.Points = append(rep.Points, pt)
+		if p == 4 && wall > 0 {
+			rep.SpeedupAt4 = float64(serialWall) / float64(wall)
+		}
+	}
+	return rep, nil
+}
+
+// RunBuild prints the offline-build experiment as a table (the "build"
+// experiment of cmd/tarabench).
+func RunBuild(w io.Writer, scale float64) error {
+	rep, err := BuildBench(scale, 0)
+	if err != nil {
+		return err
+	}
+	return PrintBuild(w, rep)
+}
+
+// PrintBuild renders an already-measured build report.
+func PrintBuild(w io.Writer, rep *BuildBenchReport) error {
+	fmt.Fprintf(w, "Offline build — %s, %d transactions, %d windows, %d rules (GOMAXPROCS %d)\n",
+		rep.Dataset, rep.Transactions, rep.Windows, rep.Rules, rep.GoMaxProcs)
+	fmt.Fprintf(w, "%-12s %10s %9s %10s %10s %10s %10s %10s %10s %10s\n",
+		"parallelism", "wall-ms", "speedup", "mine-ms", "rulegen", "eps-ms", "archive", "commit", "queuewait", "identical")
+	for _, p := range rep.Points {
+		fmt.Fprintf(w, "%-12d %10.1f %8.2fx %10.1f %10.1f %10.1f %10.1f %10.1f %10.1f %10v\n",
+			p.Parallelism, p.WallMillis, p.Speedup, p.MineMillis, p.RuleGenMillis,
+			p.EPSMillis, p.ArchiveMillis, p.CommitMillis, p.QueueWaitMillis, p.ByteIdentical)
+	}
+	fmt.Fprintf(w, "determinism: all parallel knowledge bases byte-identical to serial: %v\n", rep.AllByteIdentical)
+	if rep.SpeedupAt4 > 0 {
+		fmt.Fprintf(w, "speedup at parallelism 4: %.2fx\n", rep.SpeedupAt4)
+	}
+	return nil
+}

@@ -59,6 +59,7 @@ var Experiments = map[string]func(io.Writer, float64) error{
 	"tab4":   RunTab4,
 	"rollup": RunRollUp,
 	"online": RunOnline,
+	"build":  RunBuild,
 }
 
 // ExperimentIDs lists the experiment ids in run order.

@@ -38,7 +38,7 @@ func BuildSystems(spec DatasetSpec, scale float64) (*Systems, error) {
 		GenMinConf:    spec.GenConf,
 		MaxItemsetLen: spec.MaxLen,
 		ContentIndex:  true,
-		Workers:       runtime.GOMAXPROCS(0),
+		Parallelism:   runtime.GOMAXPROCS(0),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: building TARA for %s: %w", spec.Name, err)

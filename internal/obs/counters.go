@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// CounterSet is a fixed set of named monotonic counters sharing the
+// package's lock-free discipline: writers Add through atomics, readers
+// snapshot without coordination. The offline build pipeline uses one to
+// account per-stage time (queue wait, mine, rule generation, EPS
+// construction, ordered commit) while worker goroutines run concurrently —
+// the same role the per-request Trace plays on the online path, but
+// aggregated across all windows instead of scoped to one request.
+//
+// Like Trace, every method is safe on a nil *CounterSet, so paths built
+// without counters pay only a nil check.
+type CounterSet struct {
+	names []string
+	vals  []atomic.Int64
+}
+
+// NewCounterSet returns a counter set with one counter per name. Counters
+// are addressed by index, matching the order of names.
+func NewCounterSet(names ...string) *CounterSet {
+	return &CounterSet{names: names, vals: make([]atomic.Int64, len(names))}
+}
+
+// Add increments counter i by delta. Out-of-range indices are ignored so a
+// stale index from a caller compiled against a different layout cannot
+// panic the pipeline.
+func (c *CounterSet) Add(i int, delta int64) {
+	if c == nil || i < 0 || i >= len(c.vals) {
+		return
+	}
+	c.vals[i].Add(delta)
+}
+
+// AddDuration increments counter i by d's nanoseconds.
+func (c *CounterSet) AddDuration(i int, d time.Duration) {
+	c.Add(i, int64(d))
+}
+
+// Value returns counter i's current value (0 for nil sets or out-of-range
+// indices).
+func (c *CounterSet) Value(i int) int64 {
+	if c == nil || i < 0 || i >= len(c.vals) {
+		return 0
+	}
+	return c.vals[i].Load()
+}
+
+// Names returns the counter names in index order. The returned slice is a
+// copy.
+func (c *CounterSet) Names() []string {
+	if c == nil {
+		return nil
+	}
+	out := make([]string, len(c.names))
+	copy(out, c.names)
+	return out
+}
+
+// Snapshot returns a name → value map. Values are loaded individually, so a
+// snapshot taken mid-update is per-counter consistent (each value was
+// current at its load), matching Hist's snapshot semantics.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(c.names))
+	for i, n := range c.names {
+		out[n] = c.vals[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterSetBasics(t *testing.T) {
+	c := NewCounterSet("mine", "eps", "commit")
+	c.Add(0, 5)
+	c.Add(0, 7)
+	c.AddDuration(1, 3*time.Microsecond)
+	if got := c.Value(0); got != 12 {
+		t.Errorf("Value(0) = %d, want 12", got)
+	}
+	if got := c.Value(1); got != 3000 {
+		t.Errorf("Value(1) = %d, want 3000", got)
+	}
+	snap := c.Snapshot()
+	if snap["mine"] != 12 || snap["eps"] != 3000 || snap["commit"] != 0 {
+		t.Errorf("Snapshot = %v", snap)
+	}
+	names := c.Names()
+	if len(names) != 3 || names[0] != "mine" || names[2] != "commit" {
+		t.Errorf("Names = %v", names)
+	}
+	// Mutating the returned slice must not affect the set.
+	names[0] = "clobbered"
+	if c.Names()[0] != "mine" {
+		t.Error("Names returned the internal slice")
+	}
+}
+
+func TestCounterSetOutOfRangeAndNil(t *testing.T) {
+	c := NewCounterSet("only")
+	c.Add(-1, 10)
+	c.Add(1, 10)
+	if got := c.Value(-1); got != 0 {
+		t.Errorf("Value(-1) = %d", got)
+	}
+	if got := c.Value(1); got != 0 {
+		t.Errorf("Value(1) = %d", got)
+	}
+	if got := c.Value(0); got != 0 {
+		t.Errorf("out-of-range Add leaked into counter 0: %d", got)
+	}
+
+	var nilSet *CounterSet
+	nilSet.Add(0, 1) // must not panic
+	nilSet.AddDuration(0, time.Second)
+	if nilSet.Value(0) != 0 || nilSet.Snapshot() != nil || nilSet.Names() != nil {
+		t.Error("nil CounterSet should read as empty")
+	}
+}
+
+// TestCounterSetConcurrent exercises parallel writers under -race and checks
+// the final sums are exact.
+func TestCounterSetConcurrent(t *testing.T) {
+	c := NewCounterSet("a", "b")
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Add(0, 1)
+				c.Add(1, 2)
+				_ = c.Snapshot() // readers race with writers
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(0); got != goroutines*perG {
+		t.Errorf("counter a = %d, want %d", got, goroutines*perG)
+	}
+	if got := c.Value(1); got != 2*goroutines*perG {
+		t.Errorf("counter b = %d, want %d", got, 2*goroutines*perG)
+	}
+}

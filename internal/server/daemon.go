@@ -43,6 +43,7 @@ func Run(args []string, stderr io.Writer) error {
 		genConf  = fs.Float64("conf", 0.1, "generation minimum confidence")
 		maxLen   = fs.Int("maxlen", 4, "maximum itemset length")
 		miner    = fs.String("miner", "eclat", "mining algorithm: apriori, eclat, fpgrowth, hmine")
+		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "windows preprocessed concurrently during build (0 or 1 = serial)")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
 		inflight = fs.Int("maxinflight", 256, "max concurrently executing queries (-1 = unlimited)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
@@ -56,7 +57,7 @@ func Run(args []string, stderr io.Writer) error {
 
 	start := time.Now()
 	fw, err := loadOrBuild(log, *kbFile, *load, *fimi, *maxTx, *generate, *tx, *items, *avgLen,
-		*seed, *batches, *winSize, *genSupp, *genConf, *maxLen, *miner)
+		*seed, *batches, *winSize, *genSupp, *genConf, *maxLen, *miner, *parallel)
 	if err != nil {
 		return err
 	}
@@ -74,6 +75,9 @@ func Run(args []string, stderr io.Writer) error {
 			"rulegen", rep.RuleGen.Round(time.Millisecond),
 			"archive", rep.Archive.Round(time.Millisecond),
 			"index", rep.Index.Round(time.Millisecond),
+			"commit", rep.Commit.Round(time.Millisecond),
+			"queueWait", rep.QueueWait.Round(time.Millisecond),
+			"parallelism", rep.Parallelism,
 			"itemsets", rep.Itemsets,
 			"epsLocations", rep.Locations,
 			"compression", fmt.Sprintf("%.2fx", rep.Storage.CompressionRatio),
@@ -132,7 +136,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 // loaded/generated transactions, mirroring the cmd/tara startup path.
 func loadOrBuild(log *slog.Logger, kbFile, load, fimi string, maxTx int, generate string,
 	tx, items, avgLen int, seed int64, batches int, winSize int64,
-	genSupp, genConf float64, maxLen int, miner string) (*tara.Framework, error) {
+	genSupp, genConf float64, maxLen int, miner string, parallel int) (*tara.Framework, error) {
 	if kbFile != "" {
 		f, err := os.Open(kbFile)
 		if err != nil {
@@ -150,14 +154,14 @@ func loadOrBuild(log *slog.Logger, kbFile, load, fimi string, maxTx int, generat
 	if err != nil {
 		return nil, err
 	}
-	log.Info("building knowledge base", "transactions", db.Len(), "miner", miner)
+	log.Info("building knowledge base", "transactions", db.Len(), "miner", miner, "parallelism", parallel)
 	return tara.Build(db, winSize, batches, tara.Config{
 		GenMinSupport: genSupp,
 		GenMinConf:    genConf,
 		MaxItemsetLen: maxLen,
 		Miner:         m,
 		ContentIndex:  true,
-		Workers:       runtime.GOMAXPROCS(0),
+		Parallelism:   parallel,
 	})
 }
 

@@ -132,10 +132,14 @@ func (r *registry) snapshot() MetricsSnapshot {
 		snap.QueryCache = r.cacheStats()
 	}
 	for name, st := range r.endpoints {
+		// The middleware bumps requests before observing latency, so reading
+		// the histogram first keeps Latency.Count <= Requests even while
+		// requests land mid-snapshot.
+		lat := latencySnapshot(&st.latency)
 		snap.Endpoints[name] = EndpointSnapshot{
 			Requests: st.requests.Load(),
 			Errors:   st.errors.Load(),
-			Latency:  latencySnapshot(&st.latency),
+			Latency:  lat,
 		}
 	}
 	for _, s := range obs.Stages() {

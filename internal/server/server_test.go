@@ -42,7 +42,7 @@ func testFramework(t *testing.T) *tara.Framework {
 			MaxItemsetLen: 3,
 			Miner:         mining.Eclat{},
 			ContentIndex:  true,
-			Workers:       2,
+			Parallelism:   2,
 		})
 	})
 	if fwErr != nil {
@@ -496,7 +496,7 @@ func BenchmarkServerMineQPS(b *testing.B) {
 	}
 	fw, err := tara.Build(db, 0, 4, tara.Config{
 		GenMinSupport: 0.01, GenMinConf: 0.1, MaxItemsetLen: 3,
-		Miner: mining.Eclat{}, ContentIndex: true, Workers: 2,
+		Miner: mining.Eclat{}, ContentIndex: true, Parallelism: 2,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -19,11 +19,19 @@ type BuildReport struct {
 	Itemsets  int `json:"itemsets"`  // frequent itemsets summed over windows
 	Locations int `json:"locations"` // EPS locations summed over windows
 
+	// Parallelism is the configured build parallelism (1 = serial path).
+	Parallelism int `json:"parallelism"`
+
 	Mine    time.Duration `json:"mine_ns"`
 	RuleGen time.Duration `json:"rulegen_ns"`
 	Archive time.Duration `json:"archive_ns"`
 	Index   time.Duration `json:"index_ns"`
-	Total   time.Duration `json:"total_ns"`
+	// Commit is the ordered committer's non-archive critical section (EPS
+	// index append + bookkeeping); QueueWait is how long mined windows sat
+	// waiting for the ordered stages — pipeline latency, excluded from Total.
+	Commit    time.Duration `json:"commit_ns"`
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	Total     time.Duration `json:"total_ns"`
 
 	Storage archive.Telemetry `json:"storage"`
 
@@ -37,11 +45,12 @@ func (f *Framework) BuildReport() BuildReport {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
 	r := BuildReport{
-		Windows: len(f.windows),
-		Rules:   f.ruleDict.Len(),
-		Items:   f.itemDict.Len(),
-		Storage: f.arch.Telemetry(),
-		Timings: make([]Timing, len(f.timings)),
+		Windows:     len(f.windows),
+		Rules:       f.ruleDict.Len(),
+		Items:       f.itemDict.Len(),
+		Parallelism: f.cfg.parallelism(),
+		Storage:     f.arch.Telemetry(),
+		Timings:     make([]Timing, len(f.timings)),
 	}
 	copy(r.Timings, f.timings)
 	for _, t := range f.timings {
@@ -51,8 +60,10 @@ func (f *Framework) BuildReport() BuildReport {
 		r.RuleGen += t.RuleGen
 		r.Archive += t.ArchiveTime
 		r.Index += t.IndexTime
+		r.Commit += t.Commit
+		r.QueueWait += t.QueueWait
 	}
-	r.Total = r.Mine + r.RuleGen + r.Archive + r.Index
+	r.Total = r.Mine + r.RuleGen + r.Archive + r.Index + r.Commit
 	return r
 }
 
@@ -61,10 +72,11 @@ func (r BuildReport) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "build: %d windows, %d rules (%d records), %d items, %d itemsets, %d EPS locations\n",
 		r.Windows, r.Rules, r.Storage.Entries, r.Items, r.Itemsets, r.Locations)
-	fmt.Fprintf(&b, "build: phases mine=%v rulegen=%v archive=%v index=%v total=%v\n",
+	fmt.Fprintf(&b, "build: phases mine=%v rulegen=%v archive=%v index=%v commit=%v total=%v (parallelism %d, queue wait %v)\n",
 		r.Mine.Round(time.Microsecond), r.RuleGen.Round(time.Microsecond),
 		r.Archive.Round(time.Microsecond), r.Index.Round(time.Microsecond),
-		r.Total.Round(time.Microsecond))
+		r.Commit.Round(time.Microsecond), r.Total.Round(time.Microsecond),
+		r.Parallelism, r.QueueWait.Round(time.Microsecond))
 	fmt.Fprintf(&b, "build: archive %d B compressed / %d B raw (%.2fx)",
 		r.Storage.Bytes, r.Storage.UncompressedBytes, r.Storage.CompressionRatio)
 	return b.String()

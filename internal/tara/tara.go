@@ -9,6 +9,7 @@
 package tara
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -16,6 +17,7 @@ import (
 	"tara/internal/archive"
 	"tara/internal/eps"
 	"tara/internal/mining"
+	"tara/internal/obs"
 	"tara/internal/rules"
 	"tara/internal/txdb"
 )
@@ -36,9 +38,12 @@ type Config struct {
 	// ContentIndex enables the TARA-S per-region rule content index that
 	// accelerates content-based exploration (Q5).
 	ContentIndex bool
-	// Workers bounds the number of windows preprocessed concurrently during
-	// Build. Non-positive means 1 (sequential).
-	Workers int
+	// Parallelism bounds the number of windows preprocessed concurrently
+	// during Build / AppendWindows. 0 or 1 (and negative values) select the
+	// legacy serial path; values above 1 run the pipelined parallel build
+	// (see build.go), whose on-disk output is byte-identical to serial.
+	// Callers wanting full parallelism pass runtime.GOMAXPROCS(0).
+	Parallelism int
 	// QueryCacheSize bounds the online query cache (see cache.go): the
 	// number of canonicalized answers memoized across windows and query
 	// classes. Zero selects DefaultQueryCacheSize; negative disables the
@@ -53,14 +58,31 @@ func (c Config) miner() mining.Miner {
 	return c.Miner
 }
 
+// parallelism normalizes Config.Parallelism: anything below 2 is the serial
+// path.
+func (c Config) parallelism() int {
+	if c.Parallelism < 2 {
+		return 1
+	}
+	return c.Parallelism
+}
+
 // Timing records where one window's preprocessing time went, the breakdown
 // reported in Figure 9.
 type Timing struct {
 	Window      int
 	Mine        time.Duration // frequent itemset generation
 	RuleGen     time.Duration // rule derivation
-	ArchiveTime time.Duration // TAR Archive append
+	ArchiveTime time.Duration // rule-ID interning + TAR Archive append
 	IndexTime   time.Duration // EPS slice construction
+	// QueueWait is how long the mined window sat waiting for the ordered
+	// commit stages of the parallel build (zero on the serial path): the
+	// pipeline's head-of-line latency, not work.
+	QueueWait time.Duration
+	// Commit is the ordered committer's critical section beyond the archive
+	// append — EPS index append plus knowledge-base bookkeeping under the
+	// framework write lock.
+	Commit      time.Duration
 	NumItemsets int
 	NumRules    int
 
@@ -81,9 +103,11 @@ type Timing struct {
 	LevelFrequent   []int
 }
 
-// Total returns the window's total preprocessing time.
+// Total returns the window's total preprocessing work time. QueueWait is
+// excluded: it is pipeline latency, not work, and including it would make
+// parallel builds look more expensive than serial ones doing identical work.
 func (t Timing) Total() time.Duration {
-	return t.Mine + t.RuleGen + t.ArchiveTime + t.IndexTime
+	return t.Mine + t.RuleGen + t.ArchiveTime + t.IndexTime + t.Commit
 }
 
 // WindowInfo is the retained metadata of a processed window; the raw
@@ -129,6 +153,11 @@ type Framework struct {
 	// query paths consult it while holding mu for reading, appendMined
 	// invalidates while holding mu for writing.
 	qcache *queryCache
+
+	// buildCtr accumulates per-stage offline-build time and counts across
+	// all committed windows (see build.go for the layout). Lock-free, so
+	// pipeline workers account concurrently without touching mu.
+	buildCtr *obs.CounterSet
 }
 
 // New returns an empty framework sharing the given item dictionary. Windows
@@ -140,6 +169,7 @@ func New(itemDict *txdb.Dict, cfg Config) *Framework {
 		ruleDict: rules.NewDict(),
 		arch:     archive.New(),
 		index:    eps.NewIndex(),
+		buildCtr: obs.NewCounterSet(buildCounterNames...),
 	}
 	if cfg.QueryCacheSize >= 0 {
 		f.qcache = newQueryCache(cfg.QueryCacheSize)
@@ -149,8 +179,18 @@ func New(itemDict *txdb.Dict, cfg Config) *Framework {
 
 // Build partitions the database into count-based batches (numBatches) or,
 // when windowSize > 0, into time-based tumbling windows, and preprocesses
-// every window. It is the offline phase of Figure 2.
+// every window. It is the offline phase of Figure 2. With Config.Parallelism
+// above 1 the windows flow through the pipelined parallel build (build.go);
+// the knowledge base comes out byte-identical either way.
 func Build(db *txdb.DB, windowSize int64, numBatches int, cfg Config) (*Framework, error) {
+	return BuildContext(context.Background(), db, windowSize, numBatches, cfg)
+}
+
+// BuildContext is Build with cancellation: ctx aborts the build between
+// windows (serial path) or cancels the whole worker pool (parallel path),
+// returning the context's error. On failure the partially built framework is
+// discarded, matching Build's all-or-nothing contract.
+func BuildContext(ctx context.Context, db *txdb.DB, windowSize int64, numBatches int, cfg Config) (*Framework, error) {
 	var (
 		ws  []txdb.Window
 		err error
@@ -164,45 +204,34 @@ func Build(db *txdb.DB, windowSize int64, numBatches int, cfg Config) (*Framewor
 		return nil, err
 	}
 	f := New(db.Dict, cfg)
-	if err := f.appendWindows(ws); err != nil {
+	if err := f.AppendWindows(ctx, ws); err != nil {
 		return nil, err
 	}
 	return f, nil
 }
 
-// mined is the output of the parallel phase for one window.
+// mined is the output of the mining phase for one window.
 type mined struct {
 	window  txdb.Window
 	ruleSet []rules.WithStats
 	timing  Timing
 }
 
-// appendWindows preprocesses windows, mining in parallel up to cfg.Workers
-// and appending to the knowledge base in window order.
-func (f *Framework) appendWindows(ws []txdb.Window) error {
-	workers := f.cfg.Workers
-	if workers <= 0 {
-		workers = 1
+// AppendWindows preprocesses a batch of windows and extends the knowledge
+// base in window order. With Config.Parallelism above 1 the batch runs
+// through the pipelined parallel build (build.go); otherwise windows are
+// processed one at a time. Either way the committed knowledge base is
+// byte-identical, failed builds keep the consistent committed prefix, and
+// ctx cancellation aborts cleanly with no goroutines left behind.
+func (f *Framework) AppendWindows(ctx context.Context, ws []txdb.Window) error {
+	if f.cfg.parallelism() > 1 && len(ws) > 1 {
+		return f.appendWindowsPipeline(ctx, ws)
 	}
-	results := make([]mined, len(ws))
-	errs := make([]error, len(ws))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i, w := range ws {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, w txdb.Window) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = f.mineWindow(w)
-		}(i, w)
-	}
-	wg.Wait()
-	for i := range ws {
-		if errs[i] != nil {
-			return errs[i]
+	for _, w := range ws {
+		if err := ctx.Err(); err != nil {
+			return err
 		}
-		if err := f.appendMined(results[i]); err != nil {
+		if err := f.AppendWindow(w); err != nil {
 			return err
 		}
 	}
@@ -249,9 +278,56 @@ func (f *Framework) mineWindow(w txdb.Window) (mined, error) {
 	return m, nil
 }
 
-// appendMined interns rules and extends archive and index for one window,
-// in window order.
+// appendMined interns rules, builds the window's EPS slice and commits the
+// window — the serial path. The pipelined build performs the same three
+// steps in its sequencer / EPS / committer stages; both funnel into
+// commitWindow, and both intern ids and append archive records in the same
+// order, which is what keeps the knowledge base byte-identical across paths.
 func (f *Framework) appendMined(m mined) error {
+	start := time.Now()
+	ids := f.internRules(m.ruleSet)
+	m.timing.ArchiveTime = time.Since(start)
+
+	start = time.Now()
+	slice, err := f.buildSlice(m.window, ids)
+	if err != nil {
+		return err
+	}
+	m.timing.IndexTime = time.Since(start)
+	return f.commitWindow(m, ids, slice)
+}
+
+// internRules resolves the window's rules to dense ids, in ruleSet order.
+// The rule dictionary is internally synchronized and append-only, so ids may
+// be interned before the window commits; an id that never commits (a later
+// failure) is harmless — nothing in the archive or index references it.
+func (f *Framework) internRules(rs []rules.WithStats) []eps.IDStats {
+	ids := make([]eps.IDStats, len(rs))
+	for i, r := range rs {
+		ids[i] = eps.IDStats{ID: f.ruleDict.Add(r.Rule), Stats: r.Stats}
+	}
+	return ids
+}
+
+// buildSlice constructs the window's EPS slice from interned ids. Pure with
+// respect to the knowledge base (the dictionary is read-locked internally),
+// so pipeline workers run it concurrently.
+func (f *Framework) buildSlice(w txdb.Window, ids []eps.IDStats) (*eps.Slice, error) {
+	slice, err := eps.BuildSlice(w.Index, uint32(len(w.Tx)), ids, eps.Options{
+		ContentIndex: f.cfg.ContentIndex,
+		Dict:         f.ruleDict,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tara: window %d: index: %w", w.Index, err)
+	}
+	return slice, nil
+}
+
+// commitWindow appends one fully prepared window to the knowledge base under
+// the write lock: archive records (in ruleSet order — the byte-determinism
+// anchor), the EPS slice, telemetry and window metadata. Windows must commit
+// in index order.
+func (f *Framework) commitWindow(m mined, ids []eps.IDStats, slice *eps.Slice) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	w := m.window
@@ -260,34 +336,21 @@ func (f *Framework) appendMined(m mined) error {
 	}
 
 	start := time.Now()
-	bytesBefore := f.arch.SizeBytes()
-	f.arch.BeginWindow(uint32(len(w.Tx)))
-	ids := make([]eps.IDStats, len(m.ruleSet))
+	recs := make([]archive.Record, len(m.ruleSet))
 	for i, r := range m.ruleSet {
-		id := f.ruleDict.Add(r.Rule)
-		if err := f.arch.Append(id, r.CountXY, r.CountX, r.CountY); err != nil {
-			return fmt.Errorf("tara: window %d: archive: %w", w.Index, err)
-		}
-		ids[i] = eps.IDStats{ID: id, Stats: r.Stats}
+		recs[i] = archive.Record{ID: ids[i].ID, CountXY: r.CountXY, CountX: r.CountX, CountY: r.CountY}
 	}
-	archiveTime := time.Since(start)
+	grew, err := f.arch.AppendWindow(uint32(len(w.Tx)), recs)
+	if err != nil {
+		return fmt.Errorf("tara: window %d: archive: %w", w.Index, err)
+	}
+	m.timing.ArchiveTime += time.Since(start)
+	m.timing.ArchiveBytes = grew
 
 	start = time.Now()
-	slice, err := eps.BuildSlice(w.Index, uint32(len(w.Tx)), ids, eps.Options{
-		ContentIndex: f.cfg.ContentIndex,
-		Dict:         f.ruleDict,
-	})
-	if err != nil {
-		return fmt.Errorf("tara: window %d: index: %w", w.Index, err)
-	}
 	if err := f.index.Append(slice); err != nil {
 		return fmt.Errorf("tara: window %d: index: %w", w.Index, err)
 	}
-	indexTime := time.Since(start)
-
-	m.timing.ArchiveTime = archiveTime
-	m.timing.IndexTime = indexTime
-	m.timing.ArchiveBytes = f.arch.SizeBytes() - bytesBefore
 	m.timing.NumLocations = slice.NumLocations()
 	m.timing.SuppCuts, m.timing.ConfCuts = slice.GridDims()
 	f.timings = append(f.timings, m.timing)
@@ -298,6 +361,8 @@ func (f *Framework) appendMined(m mined) error {
 		// invariant rather than a global argument about construction order.
 		f.qcache.invalidateWindow(w.Index)
 	}
+	m.timing.Commit += time.Since(start)
+	f.recordBuildTiming(m.timing)
 	return nil
 }
 

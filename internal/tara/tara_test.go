@@ -535,7 +535,7 @@ func TestAppendWindowOutOfOrder(t *testing.T) {
 func TestParallelBuildMatchesSequential(t *testing.T) {
 	cfgSeq := defaultCfg()
 	cfgPar := defaultCfg()
-	cfgPar.Workers = 4
+	cfgPar.Parallelism = 4
 	db1 := testDB(8, 800, 25)
 	db2 := testDB(8, 800, 25)
 	seq, err := Build(db1, 0, 6, cfgSeq)
@@ -1035,7 +1035,7 @@ func TestBuildPropagatesMinerFailure(t *testing.T) {
 	// Failure in a later window, with parallel workers: still surfaces.
 	db2 := testDB(20, 200, 10)
 	cfg.Miner = newFailingMiner(1)
-	cfg.Workers = 4
+	cfg.Parallelism = 4
 	if _, err := Build(db2, 0, 3, cfg); err == nil || !strings.Contains(err.Error(), "injected") {
 		t.Fatalf("parallel Build error = %v, want injected failure", err)
 	}

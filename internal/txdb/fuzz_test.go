@@ -6,6 +6,59 @@ import (
 	"testing"
 )
 
+// FuzzParseFIMI checks that arbitrary FIMI-format input never panics the
+// reader and that every accepted database satisfies the parser's contract:
+// maxTx caps the transaction count, timestamps are the dense 0..Len-1
+// sequence, every transaction is non-empty, and item names never contain
+// whitespace (Fields would have split them).
+func FuzzParseFIMI(f *testing.F) {
+	f.Add("1 2 3\n4 5\n", 0)
+	f.Add("# comment\n\na b c\n", 0)
+	f.Add("x\ny\nz\n", 2)
+	f.Add("  padded   fields \n", 1)
+	f.Fuzz(func(t *testing.T, in string, maxTx int) {
+		db, err := ReadFIMI(strings.NewReader(in), maxTx)
+		if err != nil {
+			return
+		}
+		if maxTx > 0 && db.Len() > maxTx {
+			t.Fatalf("maxTx=%d but parsed %d transactions", maxTx, db.Len())
+		}
+		for i, tx := range db.Tx {
+			if tx.Time != int64(i) {
+				t.Fatalf("transaction %d has timestamp %d, want dense sequence", i, tx.Time)
+			}
+			if len(tx.Items) == 0 {
+				t.Fatalf("transaction %d is empty", i)
+			}
+			for _, it := range tx.Items {
+				if name := db.Dict.Name(it); strings.ContainsAny(name, " \t\n\r") || name == "" {
+					t.Fatalf("transaction %d has malformed item name %q", i, name)
+				}
+			}
+		}
+		// FIMI serialization round-trips to the same transaction count, as
+		// long as no canonicalized transaction starts with a '#' item (such a
+		// line would re-parse as a comment).
+		for _, tx := range db.Tx {
+			if strings.HasPrefix(db.Dict.Name(tx.Items[0]), "#") {
+				return
+			}
+		}
+		var buf bytes.Buffer
+		if err := db.WriteFIMI(&buf); err != nil {
+			t.Fatalf("WriteFIMI of accepted db: %v", err)
+		}
+		db2, err := ReadFIMI(&buf, 0)
+		if err != nil {
+			t.Fatalf("re-ReadFIMI of serialized db: %v", err)
+		}
+		if db2.Len() != db.Len() {
+			t.Fatalf("FIMI round trip changed length: %d vs %d", db2.Len(), db.Len())
+		}
+	})
+}
+
 // FuzzRead checks that arbitrary input never panics the reader, and that
 // accepted databases re-serialize and re-parse to the same transaction
 // count (write/read idempotence).
