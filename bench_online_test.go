@@ -1,11 +1,15 @@
 package tara_bench
 
 import (
+	"io"
+	"log/slog"
+	"net/http"
 	"sync"
 	"testing"
 
 	"tara/internal/harness"
 	"tara/internal/rules"
+	"tara/internal/server"
 	"tara/internal/tara"
 )
 
@@ -109,6 +113,71 @@ func BenchmarkOnlineWarmMine(b *testing.B) {
 		if len(views) == 0 {
 			b.Fatal("empty answer")
 		}
+	}
+}
+
+// BenchmarkOnlineWarmMineAppend serves the warm Mine answer through the
+// zero-copy MineAppend path into one reused caller-owned buffer — the
+// steady-state allocation floor of the warm serving path.
+func BenchmarkOnlineWarmMineAppend(b *testing.B) {
+	f := onlineFramework(b)
+	dst, err := f.MineAppend(nil, 0, onlineSupp, onlineConf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, err = f.MineAppend(dst[:0], 0, onlineSupp, onlineConf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(dst) == 0 {
+			b.Fatal("empty answer")
+		}
+	}
+}
+
+// benchDiscardRW drops the response body so the encoded benchmark times the
+// daemon's work rather than a recorder's buffering.
+type benchDiscardRW struct{ h http.Header }
+
+func (d *benchDiscardRW) Header() http.Header {
+	if d.h == nil {
+		d.h = http.Header{}
+	}
+	return d.h
+}
+func (d *benchDiscardRW) Write(p []byte) (int, error) { return len(p), nil }
+func (d *benchDiscardRW) WriteHeader(int)             {}
+
+// BenchmarkOnlineWarmEncodedMine drives the daemon's full /mine path over
+// ServeHTTP with the encoded-response byte cache warm: routing, tracing and
+// the pre-encoded body written straight to the (discarded) wire.
+func BenchmarkOnlineWarmEncodedMine(b *testing.B) {
+	f := onlineFramework(b)
+	srv, err := server.New(server.Config{
+		Framework: f,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	req, err := http.NewRequest(http.MethodGet, "/mine?w=0&supp=0.5&conf=0.5", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &benchDiscardRW{}
+	h.ServeHTTP(w, req) // prime the byte cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.StopTimer()
+	if st := srv.ByteCacheStats(); st.Hits == 0 {
+		b.Fatalf("benchmark never hit the byte cache: %+v", st)
 	}
 }
 

@@ -97,6 +97,13 @@ type Slice struct {
 	rowMaxConf []float64
 	rowSkip    []int32
 	rowCum     [][]int32
+	// rowPost[i] is row i's posting stream — the row's locations encoded as
+	// self-delimiting delta-varint segments in ascending-confidence order —
+	// and rowPostOff[i] the per-location byte offsets into it (see
+	// postings.go). A stable region's ruleset is served as sub-slices of
+	// these streams, shared zero-copy along the domination graph.
+	rowPost    [][]byte
+	rowPostOff [][]int32
 }
 
 // BuildSlice organizes the window's rules into a parameter-space slice.
@@ -210,6 +217,7 @@ func (s *Slice) buildAccel() {
 		}
 		s.rowSkip[i] = j
 	}
+	s.buildPostings()
 }
 
 // NumLocations returns the number of distinct parametric locations.
@@ -330,14 +338,10 @@ func (s *Slice) ScanCount(minSupp, minConf float64) int {
 // confidence, ids ascending within a location — but not globally sorted by
 // id; sorting a large answer would dominate the collection cost.
 func (s *Slice) Rules(minSupp, minConf float64) []rules.ID {
-	n := s.Count(minSupp, minConf)
-	if n == 0 {
+	out := s.AppendRules(nil, minSupp, minConf)
+	if len(out) == 0 {
 		return nil
 	}
-	out := make([]rules.ID, 0, n)
-	s.forEachQualifying(minSupp, minConf, func(l *Location) {
-		out = append(out, l.Rules...)
-	})
 	return out
 }
 

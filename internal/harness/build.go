@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"time"
 
@@ -23,8 +24,12 @@ const buildBenchScale = 1.0
 
 // BuildBenchPoint is one measured build at a fixed parallelism.
 type BuildBenchPoint struct {
-	Parallelism int     `json:"parallelism"`
-	WallMillis  float64 `json:"wallMillis"`
+	Parallelism int `json:"parallelism"`
+	// GoMaxProcs is the effective runtime.GOMAXPROCS when this point ran —
+	// the true core budget, whatever parallelism was requested. Requested
+	// parallelism above it means workers time-shared cores.
+	GoMaxProcs int     `json:"gomaxprocs"`
+	WallMillis float64 `json:"wallMillis"`
 	// Speedup is serial wall time over this point's wall time.
 	Speedup float64 `json:"speedupVsSerial"`
 	// Per-stage work sums across windows (not wall time: stages overlap
@@ -38,6 +43,9 @@ type BuildBenchPoint struct {
 	// ByteIdentical reports whether this build's serialized knowledge base
 	// equals the serial build's, byte for byte.
 	ByteIdentical bool `json:"byteIdentical"`
+	// Warning flags measurement conditions that make this point's numbers
+	// unrepresentative (currently: parallelism oversubscribing GOMAXPROCS).
+	Warning string `json:"warning,omitempty"`
 }
 
 // BuildBenchReport is the JSON document the build experiment emits
@@ -55,6 +63,9 @@ type BuildBenchReport struct {
 	SpeedupAt4 float64 `json:"speedupAt4"`
 	// AllByteIdentical is the conjunction of every point's determinism check.
 	AllByteIdentical bool `json:"allByteIdentical"`
+	// Warnings collects every point's measurement caveat so a reader of the
+	// JSON artifact alone sees them without scanning the points.
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // buildParallelisms returns the measured parallelism ladder: serial, 2, 4,
@@ -114,8 +125,16 @@ func BuildBench(scale float64, maxPar int) (*BuildBenchReport, error) {
 		}
 		pt := BuildBenchPoint{
 			Parallelism:   p,
+			GoMaxProcs:    runtime.GOMAXPROCS(0),
 			WallMillis:    float64(wall.Microseconds()) / 1e3,
 			ByteIdentical: true,
+		}
+		if p > pt.GoMaxProcs {
+			pt.Warning = fmt.Sprintf(
+				"parallelism %d exceeds GOMAXPROCS %d: workers time-share %d core(s), speedup at this point is not meaningful",
+				p, pt.GoMaxProcs, pt.GoMaxProcs)
+			rep.Warnings = append(rep.Warnings, pt.Warning)
+			fmt.Fprintln(os.Stderr, "tarabench: warning:", pt.Warning)
 		}
 		if p == 1 {
 			serialKB = kb.Bytes()
@@ -172,6 +191,9 @@ func PrintBuild(w io.Writer, rep *BuildBenchReport) error {
 	fmt.Fprintf(w, "determinism: all parallel knowledge bases byte-identical to serial: %v\n", rep.AllByteIdentical)
 	if rep.SpeedupAt4 > 0 {
 		fmt.Fprintf(w, "speedup at parallelism 4: %.2fx\n", rep.SpeedupAt4)
+	}
+	for _, warn := range rep.Warnings {
+		fmt.Fprintf(w, "warning: %s\n", warn)
 	}
 	return nil
 }

@@ -3,13 +3,17 @@ package harness
 import (
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
+	"net/http"
 	"sort"
+	"testing"
 	"time"
 
 	"tara/internal/itemset"
 	"tara/internal/obs"
 	"tara/internal/rules"
+	"tara/internal/server"
 	"tara/internal/tara"
 	"tara/internal/txdb"
 )
@@ -59,6 +63,48 @@ type OnlineReport struct {
 	SpeedupWarmCount float64 `json:"speedupWarmCountP50"`
 	// Cache is the query-cache counter snapshot after the warm pass.
 	Cache tara.CacheStats `json:"cache"`
+	// WarmMineAllocs measures the warm Mine hit (shared cached views) and
+	// WarmMineAppendAllocs the zero-copy MineAppend path into a caller-owned
+	// reused buffer — the per-op allocation story of the warm serving path.
+	WarmMineAllocs       OnlineAllocStats `json:"warmMineAllocs"`
+	WarmMineAppendAllocs OnlineAllocStats `json:"warmMineAppendAllocs"`
+	// EncodedWarmMine times the full daemon path (ServeHTTP over /mine) with
+	// the encoded-response byte cache warm: pre-encoded bytes straight to the
+	// wire. EncodedWarmMineAllocs is the same path's per-op allocations, and
+	// ResponseCache the byte-cache counters after the encoded pass.
+	EncodedWarmMine       OnlineQuantiles       `json:"encodedWarmMine"`
+	EncodedWarmMineAllocs OnlineAllocStats      `json:"encodedWarmMineAllocs"`
+	ResponseCache         server.ByteCacheStats `json:"responseCache"`
+}
+
+// OnlineAllocStats reports the allocation behavior of one warm-path
+// operation, measured with testing.Benchmark over the request points.
+type OnlineAllocStats struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+	BytesPerOp  int64   `json:"bytesPerOp"`
+}
+
+// measureAllocs runs fn under testing.Benchmark with allocation reporting.
+func measureAllocs(fn func() error) (OnlineAllocStats, error) {
+	var err error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if e := fn(); e != nil {
+				err = e
+				b.FailNow()
+			}
+		}
+	})
+	if err != nil {
+		return OnlineAllocStats{}, err
+	}
+	return OnlineAllocStats{
+		NsPerOp:     float64(res.NsPerOp()),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}, nil
 }
 
 // OnlineFramework builds a one-window framework whose slice has ~locations
@@ -262,7 +308,104 @@ func OnlineBench(scale float64) (*OnlineReport, error) {
 	rep.SpeedupWarmMine = div(rep.ScanBaseline.Mine.P50Micros, rep.WarmCached.Mine.P50Micros)
 	rep.SpeedupWarmCount = div(rep.ScanBaseline.Count.P50Micros, rep.WarmCached.Count.P50Micros)
 	rep.Cache = f.CacheStats()
+
+	// Warm-path allocations: the shared-view Mine hit and the zero-copy
+	// MineAppend into one reused caller buffer, cycling over the primed
+	// points so per-op numbers average the workload, not a single answer.
+	i := 0
+	rep.WarmMineAllocs, err = measureAllocs(func() error {
+		p := pts[i%len(pts)]
+		i++
+		_, err := f.Mine(0, p[0], p[1])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var dst []tara.RuleView
+	i = 0
+	rep.WarmMineAppendAllocs, err = measureAllocs(func() error {
+		p := pts[i%len(pts)]
+		i++
+		var err error
+		dst, err = f.MineAppend(dst[:0], 0, p[0], p[1])
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Encoded-server mode: the daemon's full /mine path over ServeHTTP with
+	// the byte cache warm, so the measurement covers routing, tracing and the
+	// cached-bytes write — everything but the TCP socket.
+	if err := onlineEncodedPass(f, pts, rep); err != nil {
+		return nil, err
+	}
 	return rep, nil
+}
+
+// discardResponseWriter swallows the response body so the encoded pass times
+// the daemon's work, not a recorder's buffering.
+type discardResponseWriter struct{ h http.Header }
+
+func (d *discardResponseWriter) Header() http.Header {
+	if d.h == nil {
+		d.h = http.Header{}
+	}
+	return d.h
+}
+func (d *discardResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
+func (d *discardResponseWriter) WriteHeader(int)             {}
+
+// onlineEncodedPass builds a Server over f, primes the encoded-response byte
+// cache with every request point, then measures warm ServeHTTP latency and
+// allocations and snapshots the byte-cache counters into rep.
+func onlineEncodedPass(f *tara.Framework, pts [][2]float64, rep *OnlineReport) error {
+	srv, err := server.New(server.Config{
+		Framework: f,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return err
+	}
+	h := srv.Handler()
+	reqs := make([]*http.Request, len(pts))
+	for i, p := range pts {
+		reqs[i], err = http.NewRequest(http.MethodGet,
+			fmt.Sprintf("/mine?w=0&supp=%v&conf=%v", p[0], p[1]), nil)
+		if err != nil {
+			return err
+		}
+	}
+	w := &discardResponseWriter{}
+	for _, r := range reqs {
+		h.ServeHTTP(w, r)
+	}
+	durations := make([]time.Duration, len(reqs))
+	for i, r := range reqs {
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			h.ServeHTTP(w, r)
+			if d := time.Since(start); rep == 0 || d < durations[i] {
+				durations[i] = d
+			}
+		}
+	}
+	rep.EncodedWarmMine = quantiles(durations)
+	i := 0
+	rep.EncodedWarmMineAllocs, err = measureAllocs(func() error {
+		h.ServeHTTP(w, reqs[i%len(reqs)])
+		i++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	rep.ResponseCache = srv.ByteCacheStats()
+	if rep.ResponseCache.Hits == 0 {
+		return fmt.Errorf("harness: encoded pass never hit the byte cache: %+v", rep.ResponseCache)
+	}
+	return nil
 }
 
 // OnlineStageBreakdown is the traced online experiment: mean per-stage Mine
@@ -380,5 +523,12 @@ func PrintOnline(w io.Writer, rep *OnlineReport) error {
 		rep.SpeedupColdMine, rep.SpeedupColdCount, rep.SpeedupWarmMine, rep.SpeedupWarmCount)
 	fmt.Fprintf(w, "cache: %d/%d entries, hit ratio %.3f (%d hits, %d misses)\n",
 		rep.Cache.Entries, rep.Cache.Capacity, rep.Cache.HitRatio, rep.Cache.Hits, rep.Cache.Misses)
+	fmt.Fprintf(w, "warm allocs/op: mine %d (%d B), mine-append %d (%d B), encoded %d (%d B)\n",
+		rep.WarmMineAllocs.AllocsPerOp, rep.WarmMineAllocs.BytesPerOp,
+		rep.WarmMineAppendAllocs.AllocsPerOp, rep.WarmMineAppendAllocs.BytesPerOp,
+		rep.EncodedWarmMineAllocs.AllocsPerOp, rep.EncodedWarmMineAllocs.BytesPerOp)
+	fmt.Fprintf(w, "encoded warm mine: p50 %.2fµs p95 %.2fµs; response byte cache hit ratio %.3f (%d hits / %d requests)\n",
+		rep.EncodedWarmMine.P50Micros, rep.EncodedWarmMine.P95Micros,
+		rep.ResponseCache.HitRatio, rep.ResponseCache.Hits, rep.ResponseCache.Requests)
 	return nil
 }

@@ -37,6 +37,10 @@ const (
 	StageMaterialize
 	// StageEncode is response serialization.
 	StageEncode
+	// StageEncodeCached is a pre-encoded response served from the daemon's
+	// byte cache: the only work is the cache probe and the wire write, so
+	// this span replaces eps-lookup/materialize/encode on a warm hit.
+	StageEncodeCached
 
 	// NumStages bounds the per-trace stage array.
 	NumStages
@@ -49,6 +53,7 @@ var stageNames = [NumStages]string{
 	"eps-lookup",
 	"materialize",
 	"encode",
+	"encode-cached",
 }
 
 // String returns the stage's wire name (used in JSON, logs and /metrics).

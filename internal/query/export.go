@@ -48,6 +48,22 @@ func toRuleJSON(f *tara.Framework, v tara.RuleView) RuleJSON {
 	}
 }
 
+// AppendRuleJSON materializes views into dst, growing it as needed, and
+// returns the extended slice — the append-style counterpart of the per-rule
+// conversion, so callers serving repeated answers can reuse one buffer
+// (dst[:0]) instead of allocating a fresh row slice per request.
+func AppendRuleJSON(dst []RuleJSON, f *tara.Framework, views []tara.RuleView) []RuleJSON {
+	if n := len(dst) + len(views); cap(dst) < n {
+		grown := make([]RuleJSON, len(dst), n)
+		copy(grown, dst)
+		dst = grown
+	}
+	for _, v := range views {
+		dst = append(dst, toRuleJSON(f, v))
+	}
+	return dst
+}
+
 // execExport writes the window's qualifying ruleset to q.File as CSV or
 // JSON, reporting the row count to the interactive writer.
 func execExport(w io.Writer, f *tara.Framework, q Query) error {
@@ -62,10 +78,7 @@ func execExport(w io.Writer, f *tara.Framework, q Query) error {
 	defer out.Close()
 	switch q.Format {
 	case "json":
-		rows := make([]RuleJSON, len(views))
-		for i, v := range views {
-			rows[i] = toRuleJSON(f, v)
-		}
+		rows := AppendRuleJSON(make([]RuleJSON, 0, len(views)), f, views)
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(rows); err != nil {

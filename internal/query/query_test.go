@@ -335,3 +335,46 @@ func TestExportParseErrors(t *testing.T) {
 		t.Error("unknown format accepted")
 	}
 }
+
+func TestAppendRuleJSON(t *testing.T) {
+	f := buildFramework(t)
+	views, err := f.Mine(0, 0.05, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) == 0 {
+		t.Fatal("empty ruleset")
+	}
+	want := make([]RuleJSON, len(views))
+	for i, v := range views {
+		want[i] = toRuleJSON(f, v)
+	}
+
+	// Fresh materialization matches the per-rule conversion exactly.
+	got := AppendRuleJSON(nil, f, views)
+	if len(got) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(got), len(want))
+	}
+	for i := range got {
+		a, _ := json.Marshal(got[i])
+		b, _ := json.Marshal(want[i])
+		if !bytes.Equal(a, b) {
+			t.Fatalf("row %d: got %s, want %s", i, a, b)
+		}
+	}
+
+	// Appending extends rather than replaces.
+	combined := AppendRuleJSON(got, f, views[:1])
+	if len(combined) != len(views)+1 {
+		t.Fatalf("appended length %d, want %d", len(combined), len(views)+1)
+	}
+
+	// Reusing the buffer with dst[:0] does not grow it again when capacity
+	// suffices — the zero-steady-state-alloc contract of the warm path.
+	buf := AppendRuleJSON(nil, f, views)
+	before := cap(buf)
+	buf = AppendRuleJSON(buf[:0], f, views)
+	if cap(buf) != before {
+		t.Fatalf("reuse reallocated: cap %d -> %d", before, cap(buf))
+	}
+}

@@ -196,11 +196,9 @@ func AnswerTraced(f *tara.Framework, q Query, tr *obs.Trace) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := MineResult{Window: q.Window, Count: len(views), Rules: make([]RuleJSON, len(views))}
+		res := MineResult{Window: q.Window, Count: len(views)}
 		sp := tr.Start(obs.StageMaterialize)
-		for i, v := range views {
-			res.Rules[i] = toRuleJSON(f, v)
-		}
+		res.Rules = AppendRuleJSON(make([]RuleJSON, 0, len(views)), f, views)
 		sp.End()
 		return res, nil
 
@@ -216,10 +214,8 @@ func AnswerTraced(f *tara.Framework, q Query, tr *obs.Trace) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := MineResult{Window: q.Window, Count: len(views), Rules: make([]RuleJSON, len(views))}
-		for i, v := range views {
-			res.Rules[i] = toRuleJSON(f, v)
-		}
+		res := MineResult{Window: q.Window, Count: len(views)}
+		res.Rules = AppendRuleJSON(make([]RuleJSON, 0, len(views)), f, views)
 		return res, nil
 
 	case Trajectory:

@@ -1,0 +1,315 @@
+package server
+
+import (
+	"container/list"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"tara/internal/query"
+)
+
+// The encoded-response byte cache: the last hop of the zero-copy pipeline.
+// Lemma 4 already makes a query answer a pure function of (window, canonical
+// cut, query class, extra filter parameters); since committed windows are
+// immutable, the *encoded JSON body* is one too. The daemon therefore caches
+// final response bytes under that key and serves warm hits by writing the
+// cached slice straight to the wire — no decode of the knowledge base, no
+// view materialization, no JSON encoding. Entries are immutable byte views:
+// stored once, never written again, shared by every concurrent reader.
+//
+// Each entry carries a strong ETag — a hash of the knowledge-base generation
+// plus the canonical key — so two equal ETags imply byte-identical bodies.
+// Conditional requests (If-None-Match) short-circuit to 304 without touching
+// the body. Entries are invalidated per window through Framework.OnAppend,
+// mirroring the query cache's invalidation; windows are append-only, so this
+// is defensive, but it keeps "a cached body always equals a fresh encode"
+// locally checkable.
+//
+// Cacheable classes are the single-window, cut-determined ones: mine (the
+// lift filter rides along in the key as raw float bits), count, and
+// recommend without a lift bound (the ND recommend path depends on more than
+// the 2-D cut). Diff spans multiple windows with per-window cuts and stays
+// on the query cache only.
+
+// byteClass enumerates the byte-cached response classes.
+type byteClass uint8
+
+const (
+	byteMine byteClass = iota
+	byteCount
+	byteRecommend
+	numByteClasses
+)
+
+// byteCacheKey identifies one encoded response. cut packs the canonical
+// cut-grid indexes (cutKey layout: support index high 32 bits, confidence
+// low 32); lift carries math.Float64bits of the mine lift filter (zero for
+// the other classes) so distinct filters never share bytes.
+type byteCacheKey struct {
+	class  byteClass
+	window int32
+	cut    uint64
+	lift   uint64
+}
+
+// DefaultByteCacheSize bounds the cache when Config.ByteCacheSize is zero.
+const DefaultByteCacheSize = 2048
+
+const byteCacheShards = 16
+
+type byteCacheEntry struct {
+	key  byteCacheKey
+	etag string
+	body []byte // immutable after store; includes the trailing newline
+}
+
+type byteCacheShard struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recent; values are *byteCacheEntry
+	byKey map[byteCacheKey]*list.Element
+}
+
+// byteCache is the sharded LRU over encoded responses. All counters are
+// atomics; the write/read ordering discipline matters for snapshots — see
+// the comments on get and stats.
+type byteCache struct {
+	shards      [byteCacheShards]byteCacheShard
+	capPerShard int
+
+	// requests counts probes of cacheable requests; the handler bumps it
+	// (inside get) BEFORE the hit/miss outcome is counted, so a snapshot
+	// that reads outcomes first can never observe hits+misses > requests.
+	requests      atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	notModified   atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+}
+
+func newByteCache(size int) *byteCache {
+	if size <= 0 {
+		size = DefaultByteCacheSize
+	}
+	per := (size + byteCacheShards - 1) / byteCacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &byteCache{capPerShard: per}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].byKey = make(map[byteCacheKey]*list.Element)
+	}
+	return c
+}
+
+func (c *byteCache) shardFor(k byteCacheKey) *byteCacheShard {
+	h := uint64(k.window)*0x9E3779B97F4A7C15 + uint64(k.class)*0xBF58476D1CE4E5B9
+	h ^= k.cut * 0x94D049BB133111EB
+	h ^= k.lift*0xD6E8FEB86659FD93 + (h >> 29)
+	return &c.shards[h%byteCacheShards]
+}
+
+// get probes for k's encoded response, promoting a hit to most-recent. The
+// request is counted before its outcome so hits <= requests holds under any
+// snapshot interleaving (the same discipline as the middleware's
+// requests-before-latency ordering).
+func (c *byteCache) get(k byteCacheKey) (*byteCacheEntry, bool) {
+	c.requests.Add(1)
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	el, ok := sh.byKey[k]
+	if ok {
+		sh.lru.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*byteCacheEntry), true
+}
+
+// put stores an encoded response, evicting the shard's least-recent entry
+// when full. The entry's body must never be mutated after this call.
+func (c *byteCache) put(e *byteCacheEntry) {
+	sh := c.shardFor(e.key)
+	sh.mu.Lock()
+	if el, ok := sh.byKey[e.key]; ok {
+		// Same key means same bytes (the key is a lossless function of the
+		// body); keep the resident entry and just refresh recency.
+		sh.lru.MoveToFront(el)
+		sh.mu.Unlock()
+		return
+	}
+	evicted := false
+	if sh.lru.Len() >= c.capPerShard {
+		back := sh.lru.Back()
+		delete(sh.byKey, back.Value.(*byteCacheEntry).key)
+		sh.lru.Remove(back)
+		evicted = true
+	}
+	sh.byKey[e.key] = sh.lru.PushFront(e)
+	sh.mu.Unlock()
+	if evicted {
+		c.evictions.Add(1)
+	}
+}
+
+// invalidateWindow drops every encoded response cached for window w; other
+// windows' entries are untouched. Registered with Framework.OnAppend.
+func (c *byteCache) invalidateWindow(w int) {
+	dropped := uint64(0)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			if e := el.Value.(*byteCacheEntry); e.key.window == int32(w) {
+				delete(sh.byKey, e.key)
+				sh.lru.Remove(el)
+				dropped++
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
+	if dropped > 0 {
+		c.invalidations.Add(dropped)
+	}
+}
+
+// entries counts resident encoded responses across shards.
+func (c *byteCache) entries() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.lru.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// ByteCacheStats is the /metrics view of the encoded-response cache.
+type ByteCacheStats struct {
+	Enabled       bool    `json:"enabled"`
+	Entries       int     `json:"entries"`
+	Capacity      int     `json:"capacity"`
+	Requests      uint64  `json:"requests"`
+	Hits          uint64  `json:"hits"`
+	Misses        uint64  `json:"misses"`
+	HitRatio      float64 `json:"hitRatio"`
+	NotModified   uint64  `json:"notModified"`
+	Evictions     uint64  `json:"evictions"`
+	Invalidations uint64  `json:"invalidations"`
+}
+
+// ByteCacheStats reports the encoded-response cache's counters; the zero
+// value (Enabled false) when the cache is disabled. Exported for the bench
+// harness and /metrics.
+func (s *Server) ByteCacheStats() ByteCacheStats { return s.bcache.stats() }
+
+// stats snapshots the counters. Outcome counters (hits, misses, notModified)
+// are read BEFORE requests: get increments requests first and the outcome
+// second, so this order guarantees Hits+Misses <= Requests and
+// Hits <= Requests in every mid-traffic snapshot — the same discipline as
+// the latency/requests fix in the endpoint middleware.
+func (c *byteCache) stats() ByteCacheStats {
+	if c == nil {
+		return ByteCacheStats{}
+	}
+	s := ByteCacheStats{
+		Enabled:       true,
+		Capacity:      c.capPerShard * byteCacheShards,
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		NotModified:   c.notModified.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+	}
+	s.Requests = c.requests.Load()
+	s.Entries = c.entries()
+	if s.Hits+s.Misses > 0 {
+		s.HitRatio = float64(s.Hits) / float64(s.Hits+s.Misses)
+	}
+	return s
+}
+
+// byteCacheKeyFor canonicalizes a decoded query to its byte-cache key, or
+// reports the request not byte-cacheable. Only single-window classes whose
+// answer is a function of the canonical cut (plus the lift filter bits)
+// qualify; a recommend with a lift bound answers from the ND region path
+// and is excluded.
+func (s *Server) byteCacheKeyFor(q query.Query) (byteCacheKey, bool) {
+	var class byteClass
+	lift := uint64(0)
+	switch q.Kind {
+	case query.Mine:
+		class = byteMine
+		lift = math.Float64bits(q.MinLift)
+	case query.Count:
+		class = byteCount
+	case query.Recommend:
+		if q.MinLift > 0 {
+			return byteCacheKey{}, false
+		}
+		class = byteRecommend
+	default:
+		return byteCacheKey{}, false
+	}
+	si, ci, err := s.fw.CanonicalCut(q.Window, q.MinSupp, q.MinConf)
+	if err != nil {
+		// Out-of-range window and friends: let the normal path produce the
+		// error response (errors are not cached).
+		return byteCacheKey{}, false
+	}
+	return byteCacheKey{class: class, window: int32(q.Window), cut: cutKey(si, ci), lift: lift}, true
+}
+
+// cutKey packs the canonical cut-grid index pair, mirroring the query
+// cache's layout in internal/tara.
+func cutKey(si, ci int) uint64 { return uint64(uint32(si))<<32 | uint64(uint32(ci)) }
+
+// etagFor derives the strong entity tag of a cacheable response: a quoted
+// FNV-64a hash over the knowledge-base generation and the canonical key.
+// Committed windows are immutable, so (generation, key) -> body is a
+// function and equal ETags imply byte-identical bodies — strong comparison
+// as RFC 9110 defines it.
+func etagFor(generation uint64, k byteCacheKey) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(generation)
+	put(uint64(k.class))
+	put(uint64(uint32(k.window)))
+	put(k.cut)
+	put(k.lift)
+	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// etagMatches implements If-None-Match comparison: a comma-separated list of
+// entity tags, or "*" matching anything. Strong comparison only — our tags
+// are never weak.
+func etagMatches(headerVal, etag string) bool {
+	if headerVal == "" {
+		return false
+	}
+	for _, cand := range strings.Split(headerVal, ",") {
+		cand = strings.TrimSpace(cand)
+		if cand == "*" || cand == etag {
+			return true
+		}
+	}
+	return false
+}

@@ -48,6 +48,7 @@ func Run(args []string, stderr io.Writer) error {
 		inflight = fs.Int("maxinflight", 256, "max concurrently executing queries (-1 = unlimited)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowN    = fs.Int("slowtraces", 32, "slowest request traces retained for /debug/slow")
+		bcache   = fs.Int("bytecache", 0, "encoded-response byte cache entries (0 = default, -1 = disabled)")
 		drain    = fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -91,6 +92,7 @@ func Run(args []string, stderr io.Writer) error {
 		MaxInFlight:    *inflight,
 		EnablePprof:    *pprofOn,
 		SlowTraces:     *slowN,
+		ByteCacheSize:  *bcache,
 	})
 	if err != nil {
 		return err

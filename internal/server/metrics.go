@@ -37,6 +37,9 @@ type registry struct {
 	// cacheStats, when set, contributes the framework's query-cache counters
 	// to every snapshot (and thus to both /metrics and /debug/vars).
 	cacheStats func() tara.CacheStats
+	// byteStats, when set, contributes the encoded-response byte cache's
+	// counters the same way.
+	byteStats func() ByteCacheStats
 }
 
 func newRegistry(slowTraces int) *registry {
@@ -113,10 +116,11 @@ type MetricsSnapshot struct {
 	Goroutines    int                         `json:"goroutines"`
 	Shed          uint64                      `json:"shed"`
 	QueryCache    tara.CacheStats             `json:"queryCache"`
+	ResponseCache ByteCacheStats              `json:"responseCache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
 	// Stages reports the per-stage latency distributions aggregated across
 	// all traced query requests, keyed by stage name (decode, canonical-cut,
-	// cache-probe, eps-lookup, materialize, encode).
+	// cache-probe, eps-lookup, materialize, encode, encode-cached).
 	Stages map[string]LatencySnapshot `json:"stages"`
 }
 
@@ -130,6 +134,9 @@ func (r *registry) snapshot() MetricsSnapshot {
 	}
 	if r.cacheStats != nil {
 		snap.QueryCache = r.cacheStats()
+	}
+	if r.byteStats != nil {
+		snap.ResponseCache = r.byteStats()
 	}
 	for name, st := range r.endpoints {
 		// The middleware bumps requests before observing latency, so reading

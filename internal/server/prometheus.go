@@ -31,6 +31,17 @@ func (r *registry) writePrometheus(w http.ResponseWriter) {
 		writeGauge(w, "tarad_query_cache_entries", "Query-cache resident entries.", float64(cs.Entries))
 	}
 
+	if r.byteStats != nil {
+		bs := r.byteStats()
+		writeCounter(w, "tarad_response_cache_requests_total", "Byte-cacheable requests probed against the encoded-response cache.", float64(bs.Requests))
+		writeCounter(w, "tarad_response_cache_hits_total", "Encoded-response cache hits served from cached bytes.", float64(bs.Hits))
+		writeCounter(w, "tarad_response_cache_misses_total", "Encoded-response cache misses.", float64(bs.Misses))
+		writeCounter(w, "tarad_response_cache_not_modified_total", "Conditional requests answered 304 via ETag match.", float64(bs.NotModified))
+		writeCounter(w, "tarad_response_cache_evictions_total", "Encoded-response cache evictions.", float64(bs.Evictions))
+		writeCounter(w, "tarad_response_cache_invalidations_total", "Encoded responses dropped by per-window invalidation.", float64(bs.Invalidations))
+		writeGauge(w, "tarad_response_cache_entries", "Encoded-response cache resident entries.", float64(bs.Entries))
+	}
+
 	names := make([]string, 0, len(r.endpoints))
 	for name := range r.endpoints {
 		names = append(names, name)

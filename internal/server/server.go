@@ -18,16 +18,24 @@
 //
 // plus /stats (knowledge-base summary), /healthz, and /metrics with
 // per-endpoint request counters, latency quantiles (p50/p95/p99), per-stage
-// latency histograms and the framework's query-cache hit/miss/eviction
-// counters. /metrics?format=prometheus renders the same data in Prometheus
-// text exposition format.
+// latency histograms, the framework's query-cache hit/miss/eviction counters
+// and the encoded-response byte cache's counters. /metrics?format=prometheus
+// renders the same data in Prometheus text exposition format.
+//
+// The single-window query classes whose answer is a pure function of the
+// canonical cut — mine, count, recommend without a lift bound — are served
+// through an encoded-response byte cache (bytecache.go): warm repeats write
+// pre-encoded JSON straight to the wire and carry a strong ETag, so clients
+// sending If-None-Match get 304 Not Modified without any body. The cache is
+// invalidated per window when the knowledge base grows.
 //
 // Every request carries a trace (ID from an inbound X-Request-ID header when
 // present, echoed on the response) whose named stages — decode,
-// canonical-cut, cache-probe, eps-lookup, materialize, encode — time the
-// query's path through the knowledge base. Appending ?debug=trace to any
-// query endpoint wraps the response with the request's stage breakdown, and
-// /debug/slow lists the slowest traces seen so far.
+// canonical-cut, cache-probe, eps-lookup, materialize, encode, and
+// encode-cached for byte-cache hits — time the query's path through the
+// knowledge base. Appending ?debug=trace to any query endpoint wraps the
+// response with the request's stage breakdown (bypassing the byte cache),
+// and /debug/slow lists the slowest traces seen so far.
 //
 // Requests are served concurrently; the Framework's query methods are safe
 // against a writer appending windows, so a daemon can stay up while the
@@ -68,6 +76,11 @@ type Config struct {
 	// SlowTraces sizes the ring of slowest request traces kept for
 	// /debug/slow. Non-positive selects 32.
 	SlowTraces int
+	// ByteCacheSize bounds the encoded-response byte cache (see
+	// bytecache.go): the number of pre-encoded JSON bodies kept for the
+	// cacheable query classes. Zero selects DefaultByteCacheSize; negative
+	// disables the cache (every response is encoded per request).
+	ByteCacheSize int
 }
 
 // Server answers TARA exploration queries over HTTP. Create with New; it is
@@ -79,6 +92,9 @@ type Server struct {
 	limiter chan struct{} // nil = unlimited; buffered to MaxInFlight
 	mux     *http.ServeMux
 	metrics *registry
+	// bcache serves pre-encoded response bytes for the cacheable query
+	// classes; nil when Config.ByteCacheSize is negative.
+	bcache *byteCache
 
 	// delay, when set (tests only), runs inside each query handler after
 	// the limiter slot is taken and before the query executes.
@@ -126,6 +142,13 @@ func New(cfg Config) (*Server, error) {
 		metrics: newRegistry(slowTraces),
 	}
 	s.metrics.cacheStats = s.fw.CacheStats
+	if cfg.ByteCacheSize >= 0 {
+		s.bcache = newByteCache(cfg.ByteCacheSize)
+		// Invalidate encoded bytes for a window the moment it commits, the
+		// same per-window discipline as the framework's query cache.
+		s.fw.OnAppend(s.bcache.invalidateWindow)
+		s.metrics.byteStats = s.bcache.stats
+	}
 	switch {
 	case cfg.MaxInFlight < 0:
 		// unlimited
@@ -249,6 +272,12 @@ func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request)
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if s.bcache != nil && values.Get("debug") != "trace" {
+		if key, ok := s.byteCacheKeyFor(q); ok {
+			s.answerCached(key, w, r, tr, q)
+			return
+		}
+	}
 	res, err := query.AnswerTraced(s.fw, q, tr)
 	if err != nil {
 		// The knowledge base is read-only: a failing query is a bad
@@ -264,6 +293,58 @@ func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request)
 	sp = tr.Start(obs.StageEncode)
 	writeJSON(w, http.StatusOK, res)
 	sp.End()
+}
+
+// answerCached serves a byte-cacheable query. A warm hit writes the cached
+// immutable body (or answers 304 on an If-None-Match match) under the
+// encode-cached span without touching the knowledge base; a miss runs the
+// normal pipeline, encodes once via json.Marshal plus the trailing newline —
+// byte-identical to writeJSON's json.Encoder output — and stores the bytes
+// for the next request.
+func (s *Server) answerCached(key byteCacheKey, w http.ResponseWriter, r *http.Request, tr *obs.Trace, q query.Query) {
+	if e, ok := s.bcache.get(key); ok {
+		sp := tr.Start(obs.StageEncodeCached)
+		w.Header().Set("ETag", e.etag)
+		if etagMatches(r.Header.Get("If-None-Match"), e.etag) {
+			s.bcache.notModified.Add(1)
+			w.WriteHeader(http.StatusNotModified)
+			sp.End()
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(e.body)
+		sp.End()
+		return
+	}
+	// The generation is read before the query executes: a window committing
+	// in between can only make the stored tag over-discriminating (a fresh
+	// tag for identical bytes), never make two different bodies share one.
+	gen := s.fw.Generation()
+	res, err := query.AnswerTraced(s.fw, q, tr)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sp := tr.Start(obs.StageEncode)
+	body, err := json.Marshal(res)
+	sp.End()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	body = append(body, '\n')
+	etag := etagFor(gen, key)
+	s.bcache.put(&byteCacheEntry{key: key, etag: etag, body: body})
+	w.Header().Set("ETag", etag)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		s.bcache.notModified.Add(1)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
 }
 
 // tracedBody is the ?debug=trace response envelope: the normal result plus

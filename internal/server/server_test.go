@@ -362,7 +362,9 @@ func TestMetrics(t *testing.T) {
 // shared across tests, so assertions are lower bounds, not exact counts.
 func TestMetricsQueryCache(t *testing.T) {
 	fw := testFramework(t)
-	s := newTestServer(t, Config{})
+	// The byte cache would absorb the warm repeats before they reach the
+	// framework; disable it so this test keeps exercising the query cache.
+	s := newTestServer(t, Config{ByteCacheSize: -1})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

@@ -17,12 +17,15 @@ import (
 // it lossless, sharding keeps concurrent readers off one mutex, and the
 // bound keeps a daemon's memory flat under adversarial request streams.
 //
-// Cached values are immutable once stored; query paths hand out copies, so a
-// caller mutating its answer (MineFiltered filters in place) cannot corrupt
-// the cache. Entries are invalidated per window when AppendWindow lands —
-// windows are append-only and slices immutable, so this is defensive rather
-// than load-bearing, but it makes the invariant "a cached entry always
-// equals a fresh scan" locally checkable.
+// Cached values are immutable once stored and handed out as shared,
+// read-only slices — a warm Mine hit returns the cached []RuleView itself,
+// which is what makes the warm path allocation-free. Query paths therefore
+// never mutate an answer in place (MineFiltered filters into a fresh slice);
+// callers needing a private copy use MineAppend with their own buffer.
+// Entries are invalidated per window when AppendWindow lands — windows are
+// append-only and slices immutable, so this is defensive rather than
+// load-bearing, but it makes the invariant "a cached entry always equals a
+// fresh scan" locally checkable.
 
 // queryClass enumerates the cached online query classes.
 type queryClass uint8
@@ -225,24 +228,4 @@ func (f *Framework) CacheStats() CacheStats {
 	}
 	s.HitRatio = ratio(s.Hits, s.Misses)
 	return s
-}
-
-// cloneViews copies a cached answer so callers may mutate it freely.
-func cloneViews(v []RuleView) []RuleView {
-	if v == nil {
-		return nil
-	}
-	out := make([]RuleView, len(v))
-	copy(out, v)
-	return out
-}
-
-// cloneIDs copies a cached id list.
-func cloneIDs(v []rules.ID) []rules.ID {
-	if v == nil {
-		return nil
-	}
-	out := make([]rules.ID, len(v))
-	copy(out, v)
-	return out
 }

@@ -122,8 +122,9 @@ func TestPropertyCachedQueriesMatchScan(t *testing.T) {
 				t.FailNow()
 			}
 			if i%7 == 0 {
-				// MineFiltered mutates its answer in place; a cached entry
-				// must not be corrupted by that.
+				// Mine hands out the shared cached slice; MineFiltered must
+				// filter into a fresh slice, never compact the shared answer
+				// in place. The re-verify catches any such corruption.
 				if _, err := f.MineFiltered(w, ms, mc, 1.1); err != nil {
 					t.Fatal(err)
 				}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"tara/internal/archive"
 	"tara/internal/eps"
@@ -50,9 +51,33 @@ func (f *Framework) view(id rules.ID, w int) (RuleView, error) {
 
 // Mine returns the rules satisfying (minSupp, minConf) in window w — the
 // traditional temporal mining request, answered by quadrant collection over
-// the window's parameter-space slice.
+// the window's parameter-space slice. The returned slice may be shared with
+// the query cache and other callers: treat it as read-only. Callers that
+// need a mutable answer use MineAppend with their own buffer.
 func (f *Framework) Mine(w int, minSupp, minConf float64) ([]RuleView, error) {
 	return f.MineTraced(nil, w, minSupp, minConf)
+}
+
+// MineAppend appends the Mine answer for (w, minSupp, minConf) to dst and
+// returns the extended slice — the materialize-into variant for callers that
+// pool their own buffers: a warm hit copies views from the shared cached
+// answer into dst and allocates nothing when dst has capacity.
+func (f *Framework) MineAppend(dst []RuleView, w int, minSupp, minConf float64) ([]RuleView, error) {
+	return f.MineAppendTraced(nil, dst, w, minSupp, minConf)
+}
+
+// MineAppendTraced is MineAppend with per-stage span recording on tr.
+func (f *Framework) MineAppendTraced(tr *obs.Trace, dst []RuleView, w int, minSupp, minConf float64) ([]RuleView, error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	views, err := f.mineLocked(tr, w, minSupp, minConf)
+	if err != nil {
+		return dst, err
+	}
+	sp := tr.Start(obs.StageMaterialize)
+	dst = append(dst, views...)
+	sp.End()
+	return dst, nil
 }
 
 // MineTraced is Mine with per-stage span recording on tr (nil disables
@@ -65,8 +90,11 @@ func (f *Framework) MineTraced(tr *obs.Trace, w int, minSupp, minConf float64) (
 
 // mineLocked is Mine's implementation; callers hold f.mu. The answer is
 // served from the query cache when the request's stable region has been
-// collected before (Lemma 4 makes the canonical cut a lossless key); the
-// caller receives a private copy either way and may mutate it freely.
+// collected before (Lemma 4 makes the canonical cut a lossless key). The
+// returned slice is the cached value itself — shared, immutable, and safe
+// for concurrent readers; callers must treat it as read-only and copy (or
+// use MineAppend) before mutating. Serving the shared slice is what makes a
+// warm hit allocation-free.
 func (f *Framework) mineLocked(tr *obs.Trace, w int, minSupp, minConf float64) ([]RuleView, error) {
 	if err := f.checkGenThresholds(minSupp, minConf); err != nil {
 		return nil, err
@@ -76,13 +104,7 @@ func (f *Framework) mineLocked(tr *obs.Trace, w int, minSupp, minConf float64) (
 		return nil, err
 	}
 	if f.qcache == nil {
-		sp := tr.Start(obs.StageEPSLookup)
-		ids := slice.Rules(minSupp, minConf)
-		sp.End()
-		sp = tr.Start(obs.StageMaterialize)
-		views, err := f.materializeViews(ids, w)
-		sp.End()
-		return views, err
+		return f.collectViews(tr, slice, w, minSupp, minConf)
 	}
 	sp := tr.Start(obs.StageCut)
 	si, ci := slice.CutIndex(minSupp, minConf)
@@ -92,27 +114,37 @@ func (f *Framework) mineLocked(tr *obs.Trace, w int, minSupp, minConf float64) (
 	v, ok := f.qcache.get(k)
 	sp.End()
 	if ok {
-		sp = tr.Start(obs.StageMaterialize)
-		views := cloneViews(v.([]RuleView))
-		sp.End()
-		return views, nil
+		return v.([]RuleView), nil
 	}
-	sp = tr.Start(obs.StageEPSLookup)
-	ids := slice.Rules(minSupp, minConf)
-	sp.End()
-	sp = tr.Start(obs.StageMaterialize)
-	views, err := f.materializeViews(ids, w)
-	sp.End()
+	views, err := f.collectViews(tr, slice, w, minSupp, minConf)
 	if err != nil {
 		return nil, err
 	}
 	sp = tr.Start(obs.StageCacheProbe)
 	f.qcache.put(k, views)
 	sp.End()
-	sp = tr.Start(obs.StageMaterialize)
-	out := cloneViews(views)
+	return views, nil
+}
+
+// idBufPool recycles the rule-id scratch buffers of the cold mine path: the
+// ids live only between EPS collection and view materialization, so pooling
+// them removes the one per-miss allocation whose size tracks the answer.
+var idBufPool = sync.Pool{New: func() any { b := make([]rules.ID, 0, 1024); return &b }}
+
+// collectViews runs the uncached mine pipeline: EPS quadrant collection into
+// a pooled id buffer, then view materialization. The returned views are
+// freshly allocated (they may be cached and shared afterwards).
+func (f *Framework) collectViews(tr *obs.Trace, slice *eps.Slice, w int, minSupp, minConf float64) ([]RuleView, error) {
+	bufp := idBufPool.Get().(*[]rules.ID)
+	sp := tr.Start(obs.StageEPSLookup)
+	ids := slice.AppendRules((*bufp)[:0], minSupp, minConf)
 	sp.End()
-	return out, nil
+	sp = tr.Start(obs.StageMaterialize)
+	views, err := f.materializeViews(ids, w)
+	sp.End()
+	*bufp = ids[:0]
+	idBufPool.Put(bufp)
+	return views, err
 }
 
 // materializeViews resolves an id list against the archive for window w.
@@ -207,8 +239,10 @@ func (f *Framework) MineFilteredTraced(tr *obs.Trace, w int, minSupp, minConf, m
 	if minLift <= 0 {
 		return views, nil
 	}
+	// The unfiltered answer may be the shared cached slice, so the lift
+	// post-pass filters into a fresh slice instead of compacting in place.
 	sp := tr.Start(obs.StageMaterialize)
-	out := views[:0]
+	out := make([]RuleView, 0, len(views))
 	for _, v := range views {
 		if v.Lift() >= minLift {
 			out = append(out, v)
@@ -344,7 +378,8 @@ func (f *Framework) CompareTraced(tr *obs.Trace, windows []int, suppA, confA, su
 }
 
 // diffLocked computes one window of a Q2 comparison, cached under the two
-// settings' canonical cuts; callers hold f.mu.
+// settings' canonical cuts; callers hold f.mu. Like mineLocked, the returned
+// id lists may be the shared cached value and are read-only.
 func (f *Framework) diffLocked(tr *obs.Trace, w int, suppA, confA, suppB, confB float64) (onlyA, onlyB []rules.ID, err error) {
 	slice, err := f.index.Slice(w)
 	if err != nil {
@@ -366,10 +401,7 @@ func (f *Framework) diffLocked(tr *obs.Trace, w int, suppA, confA, suppB, confB 
 	sp.End()
 	if ok {
 		d := v.(diffValue)
-		sp = tr.Start(obs.StageMaterialize)
-		a, b := cloneIDs(d.onlyA), cloneIDs(d.onlyB)
-		sp.End()
-		return a, b, nil
+		return d.onlyA, d.onlyB, nil
 	}
 	sp = tr.Start(obs.StageEPSLookup)
 	a, b := slice.Diff(suppA, confA, suppB, confB)
@@ -377,10 +409,7 @@ func (f *Framework) diffLocked(tr *obs.Trace, w int, suppA, confA, suppB, confB 
 	sp = tr.Start(obs.StageCacheProbe)
 	f.qcache.put(k, diffValue{onlyA: a, onlyB: b})
 	sp.End()
-	sp = tr.Start(obs.StageMaterialize)
-	ca, cb := cloneIDs(a), cloneIDs(b)
-	sp.End()
-	return ca, cb, nil
+	return a, b, nil
 }
 
 // Recommend answers Q3: the time-aware stable region around the request,

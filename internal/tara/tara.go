@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tara/internal/archive"
@@ -158,6 +159,19 @@ type Framework struct {
 	// all committed windows (see build.go for the layout). Lock-free, so
 	// pipeline workers account concurrently without touching mu.
 	buildCtr *obs.CounterSet
+
+	// genCtr counts committed windows monotonically; Generation() feeds
+	// response validators (ETags) that must change whenever the knowledge
+	// base grows. Bumped after the commit's write lock is released, so a
+	// generation observed together with a query answer is never newer than
+	// the knowledge base that produced the answer.
+	genCtr atomic.Uint64
+
+	// appendHooks are run after every committed window, outside the
+	// framework lock (a hook may issue queries). Registered via OnAppend;
+	// the daemon uses this to invalidate its encoded-response cache.
+	hooksMu     sync.Mutex
+	appendHooks []func(window int)
 }
 
 // New returns an empty framework sharing the given item dictionary. Windows
@@ -324,10 +338,21 @@ func (f *Framework) buildSlice(w txdb.Window, ids []eps.IDStats) (*eps.Slice, er
 }
 
 // commitWindow appends one fully prepared window to the knowledge base under
-// the write lock: archive records (in ruleSet order — the byte-determinism
-// anchor), the EPS slice, telemetry and window metadata. Windows must commit
-// in index order.
+// the write lock, then bumps the generation and runs the append hooks with
+// the lock released. Windows must commit in index order.
 func (f *Framework) commitWindow(m mined, ids []eps.IDStats, slice *eps.Slice) error {
+	if err := f.commitWindowLocked(m, ids, slice); err != nil {
+		return err
+	}
+	f.genCtr.Add(1)
+	f.notifyAppend(m.window.Index)
+	return nil
+}
+
+// commitWindowLocked performs the commit proper: archive records (in ruleSet
+// order — the byte-determinism anchor), the EPS slice, telemetry and window
+// metadata, all under the write lock.
+func (f *Framework) commitWindowLocked(m mined, ids []eps.IDStats, slice *eps.Slice) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	w := m.window
@@ -378,6 +403,49 @@ func (f *Framework) AppendRules(w txdb.Window, rs []rules.WithStats) error {
 		ruleSet: rs,
 		timing:  Timing{Window: w.Index, NumRules: len(rs)},
 	})
+}
+
+// OnAppend registers fn to run after every window commit, with the framework
+// lock released (fn may query the framework). Hooks run on the committing
+// goroutine in registration order. The daemon registers its encoded-response
+// cache invalidation here, next to the query cache's built-in invalidation.
+func (f *Framework) OnAppend(fn func(window int)) {
+	f.hooksMu.Lock()
+	f.appendHooks = append(f.appendHooks, fn)
+	f.hooksMu.Unlock()
+}
+
+// notifyAppend runs the registered append hooks for window w.
+func (f *Framework) notifyAppend(w int) {
+	f.hooksMu.Lock()
+	hooks := make([]func(int), len(f.appendHooks))
+	copy(hooks, f.appendHooks)
+	f.hooksMu.Unlock()
+	for _, fn := range hooks {
+		fn(w)
+	}
+}
+
+// Generation returns the number of committed windows as a monotonic
+// knowledge-base version. Any response validator derived from it (the
+// daemon's ETags) changes whenever the knowledge base grows; since windows
+// are append-only and immutable once committed, a (generation, window,
+// canonical cut) triple identifies a query answer for all time.
+func (f *Framework) Generation() uint64 { return f.genCtr.Load() }
+
+// CanonicalCut maps a request point in window w to its stable region's
+// canonical cut-grid indexes (Definition 12) — the memoization key Lemma 4
+// licenses, exposed so response-level caches can canonicalize before
+// hashing.
+func (f *Framework) CanonicalCut(w int, minSupp, minConf float64) (si, ci int, err error) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	slice, err := f.index.Slice(w)
+	if err != nil {
+		return 0, 0, err
+	}
+	si, ci = slice.CutIndex(minSupp, minConf)
+	return si, ci, nil
 }
 
 // Windows returns the number of processed windows.
