@@ -181,6 +181,99 @@ func BenchmarkOnlineWarmEncodedMine(b *testing.B) {
 	}
 }
 
+// BenchmarkEncodedColdMine measures the streaming encode tail in isolation:
+// the byte cache is disabled, so every request re-answers from the warm
+// query cache and streams the body to the discarded wire in 32KB chunks
+// instead of serving pre-encoded bytes.
+func BenchmarkEncodedColdMine(b *testing.B) {
+	f := onlineFramework(b)
+	srv, err := server.New(server.Config{
+		Framework:     f,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		ByteCacheSize: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	req, err := http.NewRequest(http.MethodGet, "/mine?w=0&supp=0.5&conf=0.5", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &benchDiscardRW{}
+	h.ServeHTTP(w, req) // warm the query cache; the byte cache stays off
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+}
+
+// BenchmarkEncodedGzipMine serves the warm gzip-precompressed variant: the
+// cached compressed bytes written straight to the wire, no per-request
+// compression.
+func BenchmarkEncodedGzipMine(b *testing.B) {
+	f := onlineFramework(b)
+	srv, err := server.New(server.Config{
+		Framework:    f,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+		GzipMinBytes: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	req, err := http.NewRequest(http.MethodGet, "/mine?w=0&supp=0.5&conf=0.5", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Accept-Encoding", "gzip")
+	w := &benchDiscardRW{}
+	h.ServeHTTP(w, req) // prime: identity encode + variant derivation
+	h.ServeHTTP(w, req)
+	if w.Header().Get("Content-Encoding") != "gzip" {
+		b.Fatalf("warm response not gzip-coded: %v", w.Header())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.StopTimer()
+	if st := srv.ByteCacheStats(); st.Hits == 0 {
+		b.Fatalf("benchmark never hit the byte cache: %+v", st)
+	}
+}
+
+// BenchmarkEncodedPagedMine serves a warm limit=100 page of the same answer —
+// the pagination fast path for dashboards that only render the first screen.
+func BenchmarkEncodedPagedMine(b *testing.B) {
+	f := onlineFramework(b)
+	srv, err := server.New(server.Config{
+		Framework: f,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := srv.Handler()
+	req, err := http.NewRequest(http.MethodGet, "/mine?w=0&supp=0.5&conf=0.5&limit=100", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := &benchDiscardRW{}
+	h.ServeHTTP(w, req) // prime the byte cache with the page
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.ServeHTTP(w, req)
+	}
+	b.StopTimer()
+	if st := srv.ByteCacheStats(); st.Hits == 0 {
+		b.Fatalf("benchmark never hit the byte cache: %+v", st)
+	}
+}
+
 // BenchmarkOnlineScanCount is the pre-optimization counting baseline.
 func BenchmarkOnlineScanCount(b *testing.B) {
 	f := onlineFramework(b)

@@ -75,6 +75,17 @@ type OnlineReport struct {
 	EncodedWarmMine       OnlineQuantiles       `json:"encodedWarmMine"`
 	EncodedWarmMineAllocs OnlineAllocStats      `json:"encodedWarmMineAllocs"`
 	ResponseCache         server.ByteCacheStats `json:"responseCache"`
+	// EncodedColdMine times the same /mine path with the byte cache disabled,
+	// so every request pays the streaming encode; EncodedGzipMine serves the
+	// warm gzip-precompressed variant (Accept-Encoding: gzip); and
+	// EncodedPagedMine serves a warm limit=100 page.
+	EncodedColdMine  OnlineQuantiles `json:"encodedColdMine"`
+	EncodedGzipMine  OnlineQuantiles `json:"encodedGzipMine"`
+	EncodedPagedMine OnlineQuantiles `json:"encodedPagedMine"`
+	// Mean response-body sizes (bytes) over the request points per content
+	// coding — the wire saving the precompressed variants buy.
+	IdentityBodyBytesMean float64 `json:"identityBodyBytesMean"`
+	GzipBodyBytesMean     float64 `json:"gzipBodyBytesMean"`
 }
 
 // OnlineAllocStats reports the allocation behavior of one warm-path
@@ -357,6 +368,41 @@ func (d *discardResponseWriter) Header() http.Header {
 func (d *discardResponseWriter) Write(b []byte) (int, error) { return len(b), nil }
 func (d *discardResponseWriter) WriteHeader(int)             {}
 
+// countingResponseWriter tallies body bytes while discarding them, for the
+// per-coding body-size means.
+type countingResponseWriter struct {
+	h http.Header
+	n int64
+}
+
+func (c *countingResponseWriter) Header() http.Header {
+	if c.h == nil {
+		c.h = http.Header{}
+	}
+	return c.h
+}
+func (c *countingResponseWriter) Write(b []byte) (int, error) {
+	c.n += int64(len(b))
+	return len(b), nil
+}
+func (c *countingResponseWriter) WriteHeader(int) {}
+
+// timeServe measures best-of-two ServeHTTP latency per request.
+func timeServe(h http.Handler, reqs []*http.Request) []time.Duration {
+	w := &discardResponseWriter{}
+	out := make([]time.Duration, len(reqs))
+	for i, r := range reqs {
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			h.ServeHTTP(w, r)
+			if d := time.Since(start); rep == 0 || d < out[i] {
+				out[i] = d
+			}
+		}
+	}
+	return out
+}
+
 // onlineEncodedPass builds a Server over f, primes the encoded-response byte
 // cache with every request point, then measures warm ServeHTTP latency and
 // allocations and snapshots the byte-cache counters into rep.
@@ -381,17 +427,7 @@ func onlineEncodedPass(f *tara.Framework, pts [][2]float64, rep *OnlineReport) e
 	for _, r := range reqs {
 		h.ServeHTTP(w, r)
 	}
-	durations := make([]time.Duration, len(reqs))
-	for i, r := range reqs {
-		for rep := 0; rep < 2; rep++ {
-			start := time.Now()
-			h.ServeHTTP(w, r)
-			if d := time.Since(start); rep == 0 || d < durations[i] {
-				durations[i] = d
-			}
-		}
-	}
-	rep.EncodedWarmMine = quantiles(durations)
+	rep.EncodedWarmMine = quantiles(timeServe(h, reqs))
 	i := 0
 	rep.EncodedWarmMineAllocs, err = measureAllocs(func() error {
 		h.ServeHTTP(w, reqs[i%len(reqs)])
@@ -401,10 +437,60 @@ func onlineEncodedPass(f *tara.Framework, pts [][2]float64, rep *OnlineReport) e
 	if err != nil {
 		return err
 	}
+
+	// Gzip-coded warm pass: the same points asked with Accept-Encoding: gzip,
+	// which derives the precompressed variants on first ask and then serves
+	// them from the cache. The first sweep also tallies per-coding body sizes.
+	gzReqs := make([]*http.Request, len(reqs))
+	for i, r := range reqs {
+		gr := r.Clone(r.Context())
+		gr.Header.Set("Accept-Encoding", "gzip")
+		gzReqs[i] = gr
+	}
+	var idBytes, gzBytes int64
+	for i, r := range reqs {
+		cw := &countingResponseWriter{}
+		h.ServeHTTP(cw, r)
+		idBytes += cw.n
+		cw = &countingResponseWriter{}
+		h.ServeHTTP(cw, gzReqs[i])
+		gzBytes += cw.n
+	}
+	rep.IdentityBodyBytesMean = float64(idBytes) / float64(len(reqs))
+	rep.GzipBodyBytesMean = float64(gzBytes) / float64(len(reqs))
+	rep.EncodedGzipMine = quantiles(timeServe(h, gzReqs))
+
+	// Paged warm pass: first 100 rows of each answer.
+	pagedReqs := make([]*http.Request, len(pts))
+	for i, p := range pts {
+		pagedReqs[i], err = http.NewRequest(http.MethodGet,
+			fmt.Sprintf("/mine?w=0&supp=%v&conf=%v&limit=100", p[0], p[1]), nil)
+		if err != nil {
+			return err
+		}
+	}
+	for _, r := range pagedReqs {
+		h.ServeHTTP(w, r)
+	}
+	rep.EncodedPagedMine = quantiles(timeServe(h, pagedReqs))
+
 	rep.ResponseCache = srv.ByteCacheStats()
 	if rep.ResponseCache.Hits == 0 {
 		return fmt.Errorf("harness: encoded pass never hit the byte cache: %+v", rep.ResponseCache)
 	}
+
+	// Cold encoded pass: a server with the byte cache disabled, so every
+	// request pays the streaming encode over the warm query cache — the
+	// encode tail in isolation.
+	coldSrv, err := server.New(server.Config{
+		Framework:     f,
+		Logger:        slog.New(slog.NewTextHandler(io.Discard, nil)),
+		ByteCacheSize: -1,
+	})
+	if err != nil {
+		return err
+	}
+	rep.EncodedColdMine = quantiles(timeServe(coldSrv.Handler(), reqs))
 	return nil
 }
 
@@ -530,5 +616,15 @@ func PrintOnline(w io.Writer, rep *OnlineReport) error {
 	fmt.Fprintf(w, "encoded warm mine: p50 %.2fµs p95 %.2fµs; response byte cache hit ratio %.3f (%d hits / %d requests)\n",
 		rep.EncodedWarmMine.P50Micros, rep.EncodedWarmMine.P95Micros,
 		rep.ResponseCache.HitRatio, rep.ResponseCache.Hits, rep.ResponseCache.Requests)
+	fmt.Fprintf(w, "encoded modes p50µs: cold-stream %.2f, gzip-warm %.2f, paged-warm %.2f\n",
+		rep.EncodedColdMine.P50Micros, rep.EncodedGzipMine.P50Micros, rep.EncodedPagedMine.P50Micros)
+	fmt.Fprintf(w, "mean body bytes: identity %.0f, gzip %.0f (%.1fx smaller)\n",
+		rep.IdentityBodyBytesMean, rep.GzipBodyBytesMean,
+		func() float64 {
+			if rep.GzipBodyBytesMean == 0 {
+				return 0
+			}
+			return rep.IdentityBodyBytesMean / rep.GzipBodyBytesMean
+		}())
 	return nil
 }

@@ -51,6 +51,17 @@ func Execute(w io.Writer, f *tara.Framework, q Query) error {
 
 const maxListed = 25
 
+// pageOf clips s to q's requested page. The annotation (for the header
+// line) is empty when no pagination was asked for, so default output is
+// unchanged.
+func pageOf[T any](q Query, s []T) ([]T, string) {
+	if q.Limit == 0 && q.Offset == 0 {
+		return s, ""
+	}
+	lo, hi := q.Page(len(s))
+	return s[lo:hi], fmt.Sprintf(", showing rows [%d,%d)", lo, hi)
+}
+
 func printRule(w io.Writer, f *tara.Framework, v tara.RuleView) {
 	fmt.Fprintf(w, "  #%-6d %-50s supp=%.5f conf=%.3f lift=%.2f\n",
 		v.ID, v.Rule.Format(f.ItemDict()), v.Support(), v.Confidence(), v.Lift())
@@ -65,10 +76,11 @@ func execMine(w io.Writer, f *tara.Framework, q Query) error {
 	if q.MinLift > 0 {
 		extra = fmt.Sprintf(", lift>=%g", q.MinLift)
 	}
-	fmt.Fprintf(w, "%d rules in window %d at (supp>=%g, conf>=%g%s)\n", len(views), q.Window, q.MinSupp, q.MinConf, extra)
-	for i, v := range views {
+	page, note := pageOf(q, views)
+	fmt.Fprintf(w, "%d rules in window %d at (supp>=%g, conf>=%g%s)%s\n", len(views), q.Window, q.MinSupp, q.MinConf, extra, note)
+	for i, v := range page {
 		if i == maxListed {
-			fmt.Fprintf(w, "  ... %d more\n", len(views)-maxListed)
+			fmt.Fprintf(w, "  ... %d more\n", len(page)-maxListed)
 			break
 		}
 		printRule(w, f, v)
@@ -90,10 +102,11 @@ func execTrajectory(w io.Writer, f *tara.Framework, q Query) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%d rule trajectories from window %d examined in %v\n", len(trs), q.Window, q.Windows)
-	for i, tr := range trs {
+	page, note := pageOf(q, trs)
+	fmt.Fprintf(w, "%d rule trajectories from window %d examined in %v%s\n", len(trs), q.Window, q.Windows, note)
+	for i, tr := range page {
 		if i == maxListed {
-			fmt.Fprintf(w, "  ... %d more\n", len(trs)-maxListed)
+			fmt.Fprintf(w, "  ... %d more\n", len(page)-maxListed)
 			break
 		}
 		fmt.Fprintf(w, "  #%-6d %s\n", tr.ID, tr.Rule.Format(f.ItemDict()))
@@ -149,10 +162,11 @@ func execRollUp(w io.Writer, f *tara.Framework, q Query) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%d rules over windows [%d,%d] at (supp>=%g, conf>=%g)\n", len(out), q.From, q.To, q.MinSupp, q.MinConf)
-	for i, r := range out {
+	page, note := pageOf(q, out)
+	fmt.Fprintf(w, "%d rules over windows [%d,%d] at (supp>=%g, conf>=%g)%s\n", len(out), q.From, q.To, q.MinSupp, q.MinConf, note)
+	for i, r := range page {
 		if i == maxListed {
-			fmt.Fprintf(w, "  ... %d more\n", len(out)-maxListed)
+			fmt.Fprintf(w, "  ... %d more\n", len(page)-maxListed)
 			break
 		}
 		fmt.Fprintf(w, "  #%-6d %-50s supp=%.5f conf=%.3f present=%d/%d errBound=%.5f\n",
@@ -184,10 +198,11 @@ func execAbout(w io.Writer, f *tara.Framework, q Query) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "%d rules about %v in window %d\n", len(views), q.Items, q.Window)
-	for i, v := range views {
+	page, note := pageOf(q, views)
+	fmt.Fprintf(w, "%d rules about %v in window %d%s\n", len(views), q.Items, q.Window, note)
+	for i, v := range page {
 		if i == maxListed {
-			fmt.Fprintf(w, "  ... %d more\n", len(views)-maxListed)
+			fmt.Fprintf(w, "  ... %d more\n", len(page)-maxListed)
 			break
 		}
 		printRule(w, f, v)

@@ -27,25 +27,32 @@ type RuleJSON struct {
 }
 
 func toRuleJSON(f *tara.Framework, v tara.RuleView) RuleJSON {
-	names := func(items []uint32) []string {
-		out := make([]string, len(items))
-		for i, it := range items {
-			out[i] = f.ItemDict().Name(it)
+	var r RuleJSON
+	r.fill(f, v)
+	return r
+}
+
+// fill overwrites r in place from v, reusing r's name slices when their
+// capacity suffices — the zero-alloc row conversion the streaming encoder
+// leans on.
+func (r *RuleJSON) fill(f *tara.Framework, v tara.RuleView) {
+	names := func(dst []string, items []uint32) []string {
+		dst = dst[:0]
+		for _, it := range items {
+			dst = append(dst, f.ItemDict().Name(it))
 		}
-		return out
+		return dst
 	}
-	return RuleJSON{
-		ID:         uint32(v.ID),
-		Antecedent: names(v.Rule.Ant),
-		Consequent: names(v.Rule.Cons),
-		Support:    v.Support(),
-		Confidence: v.Confidence(),
-		Lift:       v.Lift(),
-		CountXY:    v.Stats.CountXY,
-		CountX:     v.Stats.CountX,
-		CountY:     v.Stats.CountY,
-		N:          v.Stats.N,
-	}
+	r.ID = uint32(v.ID)
+	r.Antecedent = names(r.Antecedent, v.Rule.Ant)
+	r.Consequent = names(r.Consequent, v.Rule.Cons)
+	r.Support = v.Support()
+	r.Confidence = v.Confidence()
+	r.Lift = v.Lift()
+	r.CountXY = v.Stats.CountXY
+	r.CountX = v.Stats.CountX
+	r.CountY = v.Stats.CountY
+	r.N = v.Stats.N
 }
 
 // AppendRuleJSON materializes views into dst, growing it as needed, and
@@ -71,6 +78,9 @@ func execExport(w io.Writer, f *tara.Framework, q Query) error {
 	if err != nil {
 		return err
 	}
+	total := len(views)
+	lo, hi := q.Page(total)
+	views = views[lo:hi]
 	out, err := os.Create(q.File)
 	if err != nil {
 		return err
@@ -114,7 +124,11 @@ func execExport(w io.Writer, f *tara.Framework, q Query) error {
 	if err := out.Close(); err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "exported %d rules from window %d to %s (%s)\n", len(views), q.Window, q.File, q.Format)
+	if len(views) != total {
+		fmt.Fprintf(w, "exported %d of %d rules from window %d to %s (%s)\n", len(views), total, q.Window, q.File, q.Format)
+	} else {
+		fmt.Fprintf(w, "exported %d rules from window %d to %s (%s)\n", len(views), q.Window, q.File, q.Format)
+	}
 	return nil
 }
 

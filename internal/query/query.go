@@ -74,6 +74,27 @@ type Query struct {
 	MinLift  float64
 	File     string
 	Format   string
+	// Limit and Offset paginate the rule-list answers (mine, about,
+	// trajectory, rollup, export): the answer covers rows
+	// [Offset, Offset+Limit) of the full qualifying set, and the envelope
+	// reports the unpaginated total. Limit 0 means "to the end".
+	Limit  int
+	Offset int
+}
+
+// Page clips the [Offset, Offset+Limit) request window to a result of n rows,
+// returning the half-open row range [lo, hi) to serve. An offset past the end
+// yields an empty page; a zero limit runs to the end.
+func (q Query) Page(n int) (lo, hi int) {
+	lo = q.Offset
+	if lo > n {
+		lo = n
+	}
+	hi = n
+	if q.Limit > 0 && lo+q.Limit < hi {
+		hi = lo + q.Limit
+	}
+	return lo, hi
 }
 
 // Parse parses one query line.
@@ -190,6 +211,29 @@ func build(op string, kv map[string]string) (Query, error) {
 			*dst = append(*dst, n)
 		}
 	}
+	// getPage decodes the shared limit/offset pagination parameters. The
+	// values feed slice arithmetic and cache keys, so anything that is not a
+	// plain non-negative integer fitting in int32 is rejected up front with a
+	// typed error — mirroring the NaN/Inf threshold validation below.
+	getPage := func() {
+		parse := func(key string, dst *int) {
+			if err != nil {
+				return
+			}
+			v, ok := kv[key]
+			if !ok {
+				return
+			}
+			n, e := strconv.Atoi(v)
+			if e != nil || n < 0 || n > math.MaxInt32 {
+				err = fmt.Errorf("query: %s %q must be an integer in [0, %d]", key, v, math.MaxInt32)
+				return
+			}
+			*dst = n
+		}
+		parse("limit", &q.Limit)
+		parse("offset", &q.Offset)
+	}
 	getPair := func(key string, s, c *float64) {
 		if err != nil {
 			return
@@ -212,7 +256,13 @@ func build(op string, kv map[string]string) (Query, error) {
 	}
 
 	switch q.Kind {
-	case Mine, Recommend:
+	case Mine:
+		getI("w", &q.Window, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		getF("lift", &q.MinLift, false)
+		getPage()
+	case Recommend:
 		getI("w", &q.Window, true)
 		getF("supp", &q.MinSupp, true)
 		getF("conf", &q.MinConf, true)
@@ -226,6 +276,7 @@ func build(op string, kv map[string]string) (Query, error) {
 		getF("supp", &q.MinSupp, true)
 		getF("conf", &q.MinConf, true)
 		getIs("in", &q.Windows, true)
+		getPage()
 	case Compare:
 		getIs("w", &q.Windows, true)
 		getPair("a", &q.MinSupp, &q.MinConf)
@@ -235,6 +286,7 @@ func build(op string, kv map[string]string) (Query, error) {
 		getI("to", &q.To, true)
 		getF("supp", &q.MinSupp, true)
 		getF("conf", &q.MinConf, true)
+		getPage()
 	case DrillDown:
 		var id int
 		getI("rule", &id, true)
@@ -250,6 +302,7 @@ func build(op string, kv map[string]string) (Query, error) {
 		} else if err == nil {
 			err = fmt.Errorf("query: missing items=")
 		}
+		getPage()
 	case Rank:
 		getI("from", &q.From, true)
 		getI("to", &q.To, true)
@@ -289,6 +342,7 @@ func build(op string, kv map[string]string) (Query, error) {
 		if err == nil && q.Format != "csv" && q.Format != "json" {
 			err = fmt.Errorf("query: unknown format %q (want csv or json)", q.Format)
 		}
+		getPage()
 	}
 	if err != nil {
 		return Query{}, err

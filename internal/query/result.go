@@ -27,9 +27,13 @@ type CountResult struct {
 	Count   int     `json:"count"`
 }
 
-// MineResult answers mine and about requests.
+// MineResult is the decoded JSON shape of mine and about answers. The server
+// encodes those answers through MineStream (same fields, streamed rows); this
+// struct is the client-side mirror for unmarshalling.
 type MineResult struct {
 	Window int        `json:"window"`
+	Total  int        `json:"total"`
+	Offset int        `json:"offset"`
 	Count  int        `json:"count"`
 	Rules  []RuleJSON `json:"rules"`
 }
@@ -53,6 +57,8 @@ type TrajectoryRule struct {
 // TrajectoryResult answers trajectory requests.
 type TrajectoryResult struct {
 	Window int              `json:"window"`
+	Total  int              `json:"total"`
+	Offset int              `json:"offset"`
 	Count  int              `json:"count"`
 	Rules  []TrajectoryRule `json:"rules"`
 }
@@ -104,10 +110,12 @@ type RollUpRow struct {
 
 // RollUpResult answers rollup requests (Q4 up).
 type RollUpResult struct {
-	From  int         `json:"from"`
-	To    int         `json:"to"`
-	Count int         `json:"count"`
-	Rules []RollUpRow `json:"rules"`
+	From   int         `json:"from"`
+	To     int         `json:"to"`
+	Total  int         `json:"total"`
+	Offset int         `json:"offset"`
+	Count  int         `json:"count"`
+	Rules  []RollUpRow `json:"rules"`
 }
 
 // DrillRow is one window of a drill-down answer.
@@ -196,11 +204,10 @@ func AnswerTraced(f *tara.Framework, q Query, tr *obs.Trace) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := MineResult{Window: q.Window, Count: len(views)}
-		sp := tr.Start(obs.StageMaterialize)
-		res.Rules = AppendRuleJSON(make([]RuleJSON, 0, len(views)), f, views)
-		sp.End()
-		return res, nil
+		// Materialization is deferred to encode time: the stream converts
+		// one reused row per rule, so the paged answer never pins a
+		// whole-ruleset []RuleJSON.
+		return NewMineStream(f, q, views), nil
 
 	case Count:
 		n, err := f.CountTraced(tr, q.Window, q.MinSupp, q.MinConf)
@@ -214,17 +221,16 @@ func AnswerTraced(f *tara.Framework, q Query, tr *obs.Trace) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := MineResult{Window: q.Window, Count: len(views)}
-		res.Rules = AppendRuleJSON(make([]RuleJSON, 0, len(views)), f, views)
-		return res, nil
+		return NewMineStream(f, q, views), nil
 
 	case Trajectory:
 		trs, err := f.RuleTrajectories(q.Window, q.MinSupp, q.MinConf, q.Windows)
 		if err != nil {
 			return nil, err
 		}
-		res := TrajectoryResult{Window: q.Window, Count: len(trs), Rules: make([]TrajectoryRule, len(trs))}
-		for i, tr := range trs {
+		lo, hi := q.Page(len(trs))
+		res := TrajectoryResult{Window: q.Window, Total: len(trs), Offset: lo, Count: hi - lo, Rules: make([]TrajectoryRule, hi-lo)}
+		for i, tr := range trs[lo:hi] {
 			row := TrajectoryRule{
 				ID:         uint32(tr.ID),
 				Antecedent: itemNames(f, tr.Rule.Ant),
@@ -301,8 +307,9 @@ func AnswerTraced(f *tara.Framework, q Query, tr *obs.Trace) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := RollUpResult{From: q.From, To: q.To, Count: len(out), Rules: make([]RollUpRow, len(out))}
-		for i, r := range out {
+		lo, hi := q.Page(len(out))
+		res := RollUpResult{From: q.From, To: q.To, Total: len(out), Offset: lo, Count: hi - lo, Rules: make([]RollUpRow, hi-lo)}
+		for i, r := range out[lo:hi] {
 			res.Rules[i] = RollUpRow{
 				RuleJSON: RuleJSON{
 					ID:         uint32(r.ID),

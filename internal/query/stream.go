@@ -1,0 +1,104 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"tara/internal/tara"
+)
+
+// StreamChunkSize is the flush granularity of StreamJSON: encoded rows
+// accumulate in a pooled buffer and are written through once the buffer
+// crosses this size, so a large ruleset costs one ~32KB buffer instead of a
+// whole-body allocation proportional to the answer.
+const StreamChunkSize = 32 << 10
+
+// Streamer is implemented by answers that can encode themselves
+// incrementally. The server prefers StreamJSON over json.Marshal when a
+// result supports it; the stream is the exact bytes json.Marshal would have
+// produced, plus a trailing newline (matching json.Encoder's framing).
+type Streamer interface {
+	StreamJSON(w io.Writer) error
+}
+
+// MineStream is the mine/about answer: a lazily-encoded page of rule rows.
+// It carries the framework and the raw views instead of materialized
+// RuleJSON rows, so encoding converts one reused row at a time rather than
+// pinning the whole materialized slice. Total is the unpaginated qualifying
+// count; views holds only the [Offset, Offset+len(views)) page.
+type MineStream struct {
+	Window int
+	Total  int
+	Offset int
+
+	f     *tara.Framework
+	views []tara.RuleView
+}
+
+// NewMineStream pages views with q and wraps the page for encoding.
+func NewMineStream(f *tara.Framework, q Query, views []tara.RuleView) *MineStream {
+	lo, hi := q.Page(len(views))
+	return &MineStream{Window: q.Window, Total: len(views), Offset: lo, f: f, views: views[lo:hi]}
+}
+
+// Count reports the number of rows on this page.
+func (m *MineStream) Count() int { return len(m.views) }
+
+var streamBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// encode writes the envelope and rows, flushing buf to w whenever it exceeds
+// chunk bytes. One RuleJSON row is reused across iterations (name slices
+// included), and each row goes through json.Encoder so floats and strings
+// are byte-identical to a json.Marshal of the equivalent materialized
+// result. The trailing newline is the caller's business.
+func (m *MineStream) encode(w io.Writer, buf *bytes.Buffer, chunk int) error {
+	fmt.Fprintf(buf, `{"window":%d,"total":%d,"offset":%d,"count":%d,"rules":[`,
+		m.Window, m.Total, m.Offset, len(m.views))
+	enc := json.NewEncoder(buf)
+	var row RuleJSON
+	for i := range m.views {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		row.fill(m.f, m.views[i])
+		if err := enc.Encode(&row); err != nil {
+			return err
+		}
+		buf.Truncate(buf.Len() - 1) // drop Encode's newline
+		if buf.Len() >= chunk {
+			if _, err := w.Write(buf.Bytes()); err != nil {
+				return err
+			}
+			buf.Reset()
+		}
+	}
+	buf.WriteString("]}\n")
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// StreamJSON encodes the answer to w in StreamChunkSize flushes using a
+// pooled scratch buffer, so steady-state serving allocates no per-request
+// body buffer.
+func (m *MineStream) StreamJSON(w io.Writer) error {
+	buf := streamBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	err := m.encode(w, buf, StreamChunkSize)
+	streamBufPool.Put(buf)
+	return err
+}
+
+// MarshalJSON keeps MineStream a drop-in for json.Marshal callers (the
+// traced-response envelope, tests): one buffer, no chunk flushes, newline
+// stripped since Marshal output carries no framing.
+func (m *MineStream) MarshalJSON() ([]byte, error) {
+	var body bytes.Buffer
+	if err := m.encode(&body, new(bytes.Buffer), math.MaxInt); err != nil {
+		return nil, err
+	}
+	return bytes.TrimSuffix(body.Bytes(), []byte("\n")), nil
+}

@@ -1,0 +1,148 @@
+package query
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestPage(t *testing.T) {
+	cases := []struct {
+		n, limit, offset, lo, hi int
+	}{
+		{n: 10, limit: 0, offset: 0, lo: 0, hi: 10},   // no pagination
+		{n: 10, limit: 3, offset: 0, lo: 0, hi: 3},    // first page
+		{n: 10, limit: 3, offset: 3, lo: 3, hi: 6},    // middle page
+		{n: 10, limit: 3, offset: 9, lo: 9, hi: 10},   // short last page
+		{n: 10, limit: 0, offset: 4, lo: 4, hi: 10},   // offset to the end
+		{n: 10, limit: 3, offset: 10, lo: 10, hi: 10}, // offset at the end
+		{n: 10, limit: 3, offset: 99, lo: 10, hi: 10}, // offset past the end
+		{n: 0, limit: 5, offset: 0, lo: 0, hi: 0},     // empty result
+		{n: 10, limit: 99, offset: 8, lo: 8, hi: 10},  // limit past the end
+	}
+	for _, c := range cases {
+		q := Query{Limit: c.limit, Offset: c.offset}
+		if lo, hi := q.Page(c.n); lo != c.lo || hi != c.hi {
+			t.Errorf("Page(n=%d, limit=%d, offset=%d) = [%d,%d), want [%d,%d)",
+				c.n, c.limit, c.offset, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestParsePagination(t *testing.T) {
+	q, err := Parse("mine w=0 supp=0.01 conf=0.2 limit=5 offset=12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Limit != 5 || q.Offset != 12 {
+		t.Fatalf("parsed limit=%d offset=%d", q.Limit, q.Offset)
+	}
+	// Every paginated query class accepts the keys.
+	for _, line := range []string{
+		"about w=0 supp=0.01 conf=0.2 items=milk limit=1",
+		"traj w=2 supp=0.01 conf=0.2 in=0,1 offset=1",
+		"rollup from=0 to=3 supp=0.01 conf=0.2 limit=2 offset=2",
+		"export w=0 supp=0.01 conf=0.2 file=x.json limit=3",
+	} {
+		if _, err := Parse(line); err != nil {
+			t.Errorf("Parse(%q): %v", line, err)
+		}
+	}
+
+	bad := []string{
+		"mine w=0 supp=0.01 conf=0.2 limit=-1",
+		"mine w=0 supp=0.01 conf=0.2 offset=-7",
+		"mine w=0 supp=0.01 conf=0.2 limit=abc",
+		"mine w=0 supp=0.01 conf=0.2 limit=1.5",
+		"mine w=0 supp=0.01 conf=0.2 offset=0x10",
+		"mine w=0 supp=0.01 conf=0.2 limit=2147483648",            // > int32
+		"mine w=0 supp=0.01 conf=0.2 offset=99999999999999999999", // > int64
+	}
+	for _, line := range bad {
+		if _, err := Parse(line); err == nil {
+			t.Errorf("Parse(%q) accepted", line)
+		} else if !strings.Contains(err.Error(), "must be an integer in [0,") {
+			t.Errorf("Parse(%q): unexpected error %v", line, err)
+		}
+	}
+
+	// The int32 boundary itself is valid.
+	if _, err := Parse("mine w=0 supp=0.01 conf=0.2 limit=2147483647"); err != nil {
+		t.Errorf("limit=MaxInt32 rejected: %v", err)
+	}
+}
+
+// TestMineStreamDifferential pins the streaming encoder to the materialized
+// encoding: a MineStream marshals to the exact bytes json.Marshal produces
+// for the equivalent MineResult, StreamJSON is MarshalJSON plus json.Encoder
+// framing, and chunked flushing cannot change the bytes.
+func TestMineStreamDifferential(t *testing.T) {
+	f := buildFramework(t)
+	q := Query{Kind: Mine, Window: 1, MinSupp: 0.02, MinConf: 0.1}
+	views, err := f.MineFilteredTraced(nil, q.Window, q.MinSupp, q.MinConf, q.MinLift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(views) < 4 {
+		t.Fatalf("need >= 4 rules for a meaningful differential, have %d", len(views))
+	}
+
+	for _, page := range []Query{
+		q,
+		{Kind: Mine, Window: 1, Limit: 2},
+		{Kind: Mine, Window: 1, Limit: 2, Offset: 3},
+		{Kind: Mine, Window: 1, Offset: len(views) + 5},
+	} {
+		page.MinSupp, page.MinConf = q.MinSupp, q.MinConf
+		ms := NewMineStream(f, page, views)
+
+		// Reference: the fully materialized result.
+		lo, hi := page.Page(len(views))
+		ref := MineResult{Window: page.Window, Total: len(views), Offset: lo, Count: hi - lo,
+			Rules: make([]RuleJSON, 0, hi-lo)} // non-nil: empty pages serve [], not null
+		for _, v := range views[lo:hi] {
+			ref.Rules = append(ref.Rules, toRuleJSON(f, v))
+		}
+		want, err := json.Marshal(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		got, err := json.Marshal(ms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("limit=%d offset=%d: Marshal diverges:\n got %s\nwant %s",
+				page.Limit, page.Offset, got, want)
+		}
+
+		var streamed bytes.Buffer
+		if err := ms.StreamJSON(&streamed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(streamed.Bytes(), append(want, '\n')) {
+			t.Fatalf("limit=%d offset=%d: StreamJSON diverges from Marshal+newline", page.Limit, page.Offset)
+		}
+
+		// A pathological chunk size (flush after every row) must not change
+		// the bytes, only the write pattern.
+		var chunked bytes.Buffer
+		if err := ms.encode(&chunked, new(bytes.Buffer), 1); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(chunked.Bytes(), streamed.Bytes()) {
+			t.Fatalf("limit=%d offset=%d: chunked encode diverges", page.Limit, page.Offset)
+		}
+
+		// Round trip: the stream is valid JSON with coherent bookkeeping.
+		var rt MineResult
+		if err := json.Unmarshal(got, &rt); err != nil {
+			t.Fatal(err)
+		}
+		if rt.Total != len(views) || rt.Offset != lo || rt.Count != hi-lo || len(rt.Rules) != hi-lo {
+			t.Fatalf("limit=%d offset=%d: round-trip envelope %+v", page.Limit, page.Offset, rt)
+		}
+	}
+}

@@ -30,10 +30,16 @@ import (
 // locally checkable.
 //
 // Cacheable classes are the single-window, cut-determined ones: mine (the
-// lift filter rides along in the key as raw float bits), count, and
-// recommend without a lift bound (the ND recommend path depends on more than
-// the 2-D cut). Diff spans multiple windows with per-window cuts and stays
-// on the query cache only.
+// lift filter rides along in the key as raw float bits, the limit/offset
+// page in the page field), count, and recommend without a lift bound (the
+// ND recommend path depends on more than the 2-D cut). Diff spans multiple
+// windows with per-window cuts and stays on the query cache only.
+//
+// Bodies are stored per content coding: the identity entry is canonical and
+// a gzip-compressed variant (same key, enc=encGzip, "-gz"-suffixed ETag) is
+// derived from it on the first gzip-accepting request. Per-window
+// invalidation drops every coding of a window's entries alike, since enc is
+// part of the key but not of the window match.
 
 // byteClass enumerates the byte-cached response classes.
 type byteClass uint8
@@ -45,15 +51,33 @@ const (
 	numByteClasses
 )
 
+// Content codings a cached body may be stored under. Identity is the
+// canonical entry written by the encode path; the gzip variant is derived
+// lazily from it on the first gzip-accepting request (see gzipVariant).
+const (
+	encIdentity uint8 = iota
+	encGzip
+)
+
 // byteCacheKey identifies one encoded response. cut packs the canonical
 // cut-grid indexes (cutKey layout: support index high 32 bits, confidence
 // low 32); lift carries math.Float64bits of the mine lift filter (zero for
-// the other classes) so distinct filters never share bytes.
+// the other classes) so distinct filters never share bytes; page packs the
+// limit/offset pagination (pageKey layout) so each page caches
+// independently; enc is the content coding of the stored body.
 type byteCacheKey struct {
 	class  byteClass
+	enc    uint8
 	window int32
 	cut    uint64
 	lift   uint64
+	page   uint64
+}
+
+// pageKey packs the pagination parameters: offset in the high 32 bits,
+// limit in the low 32. Both are validated to fit int32 at decode time.
+func pageKey(limit, offset int) uint64 {
+	return uint64(uint32(offset))<<32 | uint64(uint32(limit))
 }
 
 // DefaultByteCacheSize bounds the cache when Config.ByteCacheSize is zero.
@@ -89,6 +113,9 @@ type byteCache struct {
 	notModified   atomic.Uint64
 	evictions     atomic.Uint64
 	invalidations atomic.Uint64
+	// coalesced counts requests that joined another request's in-progress
+	// encode through the singleflight layer instead of encoding themselves.
+	coalesced atomic.Uint64
 }
 
 func newByteCache(size int) *byteCache {
@@ -111,6 +138,7 @@ func (c *byteCache) shardFor(k byteCacheKey) *byteCacheShard {
 	h := uint64(k.window)*0x9E3779B97F4A7C15 + uint64(k.class)*0xBF58476D1CE4E5B9
 	h ^= k.cut * 0x94D049BB133111EB
 	h ^= k.lift*0xD6E8FEB86659FD93 + (h >> 29)
+	h ^= k.page*0xC2B2AE3D27D4EB4F + uint64(k.enc)*0xFF51AFD7ED558CCD
 	return &c.shards[h%byteCacheShards]
 }
 
@@ -132,6 +160,24 @@ func (c *byteCache) get(k byteCacheKey) (*byteCacheEntry, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
+	return el.Value.(*byteCacheEntry), true
+}
+
+// peek is get without the request/outcome accounting: a non-counting lookup
+// for re-checks whose original probe was already counted (the singleflight
+// leader's double-check, gzip-variant derivation). A hit still refreshes
+// recency.
+func (c *byteCache) peek(k byteCacheKey) (*byteCacheEntry, bool) {
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	el, ok := sh.byKey[k]
+	if ok {
+		sh.lru.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
 	return el.Value.(*byteCacheEntry), true
 }
 
@@ -208,6 +254,7 @@ type ByteCacheStats struct {
 	NotModified   uint64  `json:"notModified"`
 	Evictions     uint64  `json:"evictions"`
 	Invalidations uint64  `json:"invalidations"`
+	Coalesced     uint64  `json:"coalesced"`
 }
 
 // ByteCacheStats reports the encoded-response cache's counters; the zero
@@ -232,6 +279,7 @@ func (c *byteCache) stats() ByteCacheStats {
 		NotModified:   c.notModified.Load(),
 		Evictions:     c.evictions.Load(),
 		Invalidations: c.invalidations.Load(),
+		Coalesced:     c.coalesced.Load(),
 	}
 	s.Requests = c.requests.Load()
 	s.Entries = c.entries()
@@ -249,10 +297,12 @@ func (c *byteCache) stats() ByteCacheStats {
 func (s *Server) byteCacheKeyFor(q query.Query) (byteCacheKey, bool) {
 	var class byteClass
 	lift := uint64(0)
+	page := uint64(0)
 	switch q.Kind {
 	case query.Mine:
 		class = byteMine
 		lift = math.Float64bits(q.MinLift)
+		page = pageKey(q.Limit, q.Offset)
 	case query.Count:
 		class = byteCount
 	case query.Recommend:
@@ -269,7 +319,7 @@ func (s *Server) byteCacheKeyFor(q query.Query) (byteCacheKey, bool) {
 		// error response (errors are not cached).
 		return byteCacheKey{}, false
 	}
-	return byteCacheKey{class: class, window: int32(q.Window), cut: cutKey(si, ci), lift: lift}, true
+	return byteCacheKey{class: class, window: int32(q.Window), cut: cutKey(si, ci), lift: lift, page: page}, true
 }
 
 // cutKey packs the canonical cut-grid index pair, mirroring the query
@@ -295,21 +345,56 @@ func etagFor(generation uint64, k byteCacheKey) string {
 	put(uint64(uint32(k.window)))
 	put(k.cut)
 	put(k.lift)
+	put(k.page)
 	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
 }
 
-// etagMatches implements If-None-Match comparison: a comma-separated list of
-// entity tags, or "*" matching anything. Strong comparison only — our tags
-// are never weak.
+// gzipTag derives the gzip representation's entity tag from the identity
+// tag: the same opaque hash with a "-gz" suffix inside the quotes. RFC 9110
+// wants distinct representations of a resource to carry distinct tags, so
+// the two codings never validate against each other.
+func gzipTag(identity string) string {
+	return identity[:len(identity)-1] + `-gz"`
+}
+
+// etagMatches evaluates If-None-Match per RFC 9110 §13.1.2: weak comparison
+// (a W/ prefix on either side is ignored; the opaque tags must be
+// identical) over a properly parsed entity-tag list — commas are legal
+// inside a quoted opaque tag, so the header cannot be split blindly on
+// commas. "*" matches any current representation. Weak comparison matters in
+// practice: intermediaries legitimately downgrade tags to weak (nginx does
+// whenever it re-compresses a body), and a strong-only comparison makes
+// revalidation behind such a proxy permanently miss.
 func etagMatches(headerVal, etag string) bool {
-	if headerVal == "" {
-		return false
-	}
-	for _, cand := range strings.Split(headerVal, ",") {
-		cand = strings.TrimSpace(cand)
-		if cand == "*" || cand == etag {
+	ours := strings.TrimPrefix(etag, "W/")
+	rest := headerVal
+	for rest != "" {
+		rest = strings.TrimLeft(rest, " \t,")
+		if rest == "" {
+			return false
+		}
+		if rest[0] == '*' {
 			return true
 		}
+		cand := strings.TrimPrefix(rest, "W/")
+		if len(cand) < 2 || cand[0] != '"' {
+			// Malformed member: skip to the next comma and keep parsing.
+			i := strings.IndexByte(rest, ',')
+			if i < 0 {
+				return false
+			}
+			rest = rest[i+1:]
+			continue
+		}
+		end := strings.IndexByte(cand[1:], '"')
+		if end < 0 {
+			// Unterminated tag: nothing further to parse.
+			return false
+		}
+		if cand[:end+2] == ours {
+			return true
+		}
+		rest = cand[end+2:]
 	}
 	return false
 }

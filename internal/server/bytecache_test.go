@@ -460,20 +460,53 @@ func TestByteCacheLRUAndSameKeyPut(t *testing.T) {
 func TestEtagMatches(t *testing.T) {
 	const tag = `"00c0ffee00c0ffee"`
 	cases := []struct {
+		name   string
 		header string
+		etag   string
 		want   bool
 	}{
-		{"", false},
-		{tag, true},
-		{"*", true},
-		{`"other"`, false},
-		{`"other", ` + tag, true},
-		{` ` + tag + ` `, true},
-		{`"other", "another"`, false},
+		{"empty header", "", tag, false},
+		{"exact", tag, tag, true},
+		{"star", "*", tag, true},
+		{"other tag", `"other"`, tag, false},
+		{"list containing tag", `"other", ` + tag, tag, true},
+		{"surrounding space", ` ` + tag + ` `, tag, true},
+		{"list without tag", `"other", "another"`, tag, false},
+
+		// RFC 9110 §13.1.2: If-None-Match uses WEAK comparison — a W/
+		// prefix on either side is ignored; only the opaque tags must match.
+		// This is what an origin sees behind a proxy (e.g. nginx) that
+		// downgrades tags to weak when it re-compresses bodies.
+		{"weak candidate vs strong tag", `W/` + tag, tag, true},
+		{"weak candidate in list", `"other", W/` + tag, tag, true},
+		{"strong candidate vs weak tag", tag, `W/` + tag, true},
+		{"weak vs weak", `W/` + tag, `W/` + tag, true},
+		{"weak candidate, different opaque", `W/"other"`, tag, false},
+
+		// Entity-tag list parsing: commas are legal inside a quoted opaque
+		// tag, so the header must be parsed as quoted strings, not split
+		// blindly on commas.
+		{"comma inside tag, match", `"a,b"`, `"a,b"`, true},
+		{"comma inside tag, no match", `"a,b"`, `"c"`, false},
+		{"comma-tag then match", `"a,b", ` + tag, tag, true},
+		{"weak comma-tag then match", `W/"x,y", ` + tag, tag, true},
+		{"tag is a list member prefix", `"00c0ffee"`, tag, false},
+
+		// Malformed members are skipped, not matched.
+		{"unquoted garbage", `00c0ffee00c0ffee`, tag, false},
+		{"unquoted garbage then match", `garbage, ` + tag, tag, true},
+		{"unterminated tag", `"unterminated`, tag, false},
+		{"bare W/", `W/`, tag, false},
+		{"empty members", `,, ` + tag + ` ,`, tag, true},
+
+		// Per-encoding tags: the gzip variant's "-gz" tag never validates
+		// against the identity tag, and vice versa.
+		{"identity tag vs gzip tag", tag, gzipTag(tag), false},
+		{"gzip tag vs gzip tag", gzipTag(tag), gzipTag(tag), true},
 	}
 	for _, c := range cases {
-		if got := etagMatches(c.header, tag); got != c.want {
-			t.Errorf("etagMatches(%q) = %v, want %v", c.header, got, c.want)
+		if got := etagMatches(c.header, c.etag); got != c.want {
+			t.Errorf("%s: etagMatches(%q, %q) = %v, want %v", c.name, c.header, c.etag, got, c.want)
 		}
 	}
 }

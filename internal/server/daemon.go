@@ -49,6 +49,8 @@ func Run(args []string, stderr io.Writer) error {
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowN    = fs.Int("slowtraces", 32, "slowest request traces retained for /debug/slow")
 		bcache   = fs.Int("bytecache", 0, "encoded-response byte cache entries (0 = default, -1 = disabled)")
+		gzipOn   = fs.Bool("gzip", true, "store and serve gzip-precompressed variants of cached responses")
+		gzipMin  = fs.Int("gzipmin", 0, "smallest response body (bytes) to gzip (0 = default 1024)")
 		drain    = fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -85,6 +87,10 @@ func Run(args []string, stderr io.Writer) error {
 		)
 	}
 
+	gzMin := *gzipMin
+	if !*gzipOn {
+		gzMin = -1
+	}
 	s, err := New(Config{
 		Framework:      fw,
 		Logger:         log,
@@ -93,6 +99,7 @@ func Run(args []string, stderr io.Writer) error {
 		EnablePprof:    *pprofOn,
 		SlowTraces:     *slowN,
 		ByteCacheSize:  *bcache,
+		GzipMinBytes:   gzMin,
 	})
 	if err != nil {
 		return err

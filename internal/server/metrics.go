@@ -20,7 +20,21 @@ import (
 type endpointStats struct {
 	requests atomic.Uint64
 	errors   atomic.Uint64
-	latency  obs.Hist
+	// writeFailures counts responses whose body encode or wire write failed
+	// after the status line was committed — the client saw a truncated
+	// body. These are invisible to the status-code error counter (the
+	// status was already 200), so they get their own series.
+	writeFailures atomic.Uint64
+	latency       obs.Hist
+}
+
+// countWrite folds a response-write error into the endpoint's
+// truncated-write counter; nil errors and a nil receiver (handlers without
+// an endpoint slot) are no-ops.
+func (st *endpointStats) countWrite(err error) {
+	if err != nil && st != nil {
+		st.writeFailures.Add(1)
+	}
 }
 
 // registry holds every endpoint's stats. The endpoint set is fixed at
@@ -105,9 +119,10 @@ func latencySnapshot(h *obs.Hist) LatencySnapshot {
 
 // EndpointSnapshot reports one endpoint's counters and latency quantiles.
 type EndpointSnapshot struct {
-	Requests uint64          `json:"requests"`
-	Errors   uint64          `json:"errors"`
-	Latency  LatencySnapshot `json:"latency"`
+	Requests      uint64          `json:"requests"`
+	Errors        uint64          `json:"errors"`
+	WriteFailures uint64          `json:"writeFailures"`
+	Latency       LatencySnapshot `json:"latency"`
 }
 
 // MetricsSnapshot is the /metrics response body.
@@ -144,9 +159,10 @@ func (r *registry) snapshot() MetricsSnapshot {
 		// requests land mid-snapshot.
 		lat := latencySnapshot(&st.latency)
 		snap.Endpoints[name] = EndpointSnapshot{
-			Requests: st.requests.Load(),
-			Errors:   st.errors.Load(),
-			Latency:  lat,
+			Requests:      st.requests.Load(),
+			Errors:        st.errors.Load(),
+			WriteFailures: st.writeFailures.Load(),
+			Latency:       lat,
 		}
 	}
 	for _, s := range obs.Stages() {

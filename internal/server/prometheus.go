@@ -39,6 +39,7 @@ func (r *registry) writePrometheus(w http.ResponseWriter) {
 		writeCounter(w, "tarad_response_cache_not_modified_total", "Conditional requests answered 304 via ETag match.", float64(bs.NotModified))
 		writeCounter(w, "tarad_response_cache_evictions_total", "Encoded-response cache evictions.", float64(bs.Evictions))
 		writeCounter(w, "tarad_response_cache_invalidations_total", "Encoded responses dropped by per-window invalidation.", float64(bs.Invalidations))
+		writeCounter(w, "tarad_response_cache_coalesced_total", "Requests that joined another request's in-progress encode instead of encoding themselves.", float64(bs.Coalesced))
 		writeGauge(w, "tarad_response_cache_entries", "Encoded-response cache resident entries.", float64(bs.Entries))
 	}
 
@@ -57,6 +58,11 @@ func (r *registry) writePrometheus(w http.ResponseWriter) {
 	fmt.Fprintln(w, "# TYPE tarad_request_errors_total counter")
 	for _, name := range names {
 		fmt.Fprintf(w, "tarad_request_errors_total{endpoint=%q} %d\n", name, r.endpoints[name].errors.Load())
+	}
+	fmt.Fprintln(w, "# HELP tarad_response_write_failures_total Responses whose body encode or wire write failed after the status line, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_response_write_failures_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "tarad_response_write_failures_total{endpoint=%q} %d\n", name, r.endpoints[name].writeFailures.Load())
 	}
 
 	fmt.Fprintln(w, "# HELP tarad_request_duration_seconds Request latency, by endpoint.")

@@ -22,12 +22,26 @@
 // and the encoded-response byte cache's counters. /metrics?format=prometheus
 // renders the same data in Prometheus text exposition format.
 //
+// The rule-list classes (mine, content, trajectory, rollup) accept
+// limit/offset pagination; their envelopes report the unpaginated total and
+// the served offset alongside count. Rule-list bodies are encoded by a
+// streaming row encoder (query.MineStream) that converts one reused row at a
+// time in ~32KB chunks instead of materializing the whole answer.
+//
 // The single-window query classes whose answer is a pure function of the
 // canonical cut — mine, count, recommend without a lift bound — are served
 // through an encoded-response byte cache (bytecache.go): warm repeats write
-// pre-encoded JSON straight to the wire and carry a strong ETag, so clients
-// sending If-None-Match get 304 Not Modified without any body. The cache is
-// invalidated per window when the knowledge base grows.
+// pre-encoded JSON straight to the wire (on a fast path ahead of the timeout
+// wrapper, which would otherwise copy every body through its own buffer) and
+// carry a strong ETag, so clients sending If-None-Match get 304 Not Modified
+// without any body. If-None-Match is evaluated with RFC 9110 weak
+// comparison, so proxies that downgrade tags to W/"..." still revalidate.
+// Concurrent cold misses on one key are coalesced: a single materialize+
+// encode answers the whole herd. When gzip is enabled (Config.GzipMinBytes
+// >= 0), bodies at least that large get a gzip-precompressed cache variant
+// negotiated via Accept-Encoding, served with Content-Encoding: gzip, a
+// distinct "-gz" ETag and Vary: Accept-Encoding. The cache is invalidated
+// per window when the knowledge base grows.
 //
 // Every request carries a trace (ID from an inbound X-Request-ID header when
 // present, echoed on the response) whose named stages — decode,
@@ -45,11 +59,17 @@
 package server
 
 import (
+	"bytes"
+	"compress/gzip"
+	"context"
 	"encoding/json"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"tara/internal/obs"
@@ -81,7 +101,17 @@ type Config struct {
 	// cacheable query classes. Zero selects DefaultByteCacheSize; negative
 	// disables the cache (every response is encoded per request).
 	ByteCacheSize int
+	// GzipMinBytes sets the smallest cached body that gets a
+	// gzip-precompressed variant negotiated via Accept-Encoding. Zero
+	// selects DefaultGzipMinBytes; negative disables gzip variants
+	// entirely (identity bodies only, no Vary header).
+	GzipMinBytes int
 }
+
+// DefaultGzipMinBytes is the gzip threshold when Config.GzipMinBytes is
+// zero: bodies below 1KB rarely repay the compression and the extra cache
+// entry.
+const DefaultGzipMinBytes = 1024
 
 // Server answers TARA exploration queries over HTTP. Create with New; it is
 // safe for concurrent use by any number of connections.
@@ -95,10 +125,21 @@ type Server struct {
 	// bcache serves pre-encoded response bytes for the cacheable query
 	// classes; nil when Config.ByteCacheSize is negative.
 	bcache *byteCache
+	// flights coalesces concurrent encodes (and gzip derivations) of one
+	// byte-cache key.
+	flights flightGroup
+	// gzipMin is the resolved Config.GzipMinBytes; negative = disabled.
+	gzipMin int
+	// encodes counts materialize+encode executions on the byte-cacheable
+	// path — the denominator the singleflight layer shrinks.
+	encodes atomic.Uint64
 
 	// delay, when set (tests only), runs inside each query handler after
 	// the limiter slot is taken and before the query executes.
 	delay func(endpoint string)
+	// encodeHook, when set (tests only), runs inside the singleflight
+	// leader before it re-checks the cache and encodes.
+	encodeHook func()
 }
 
 // endpoints maps each HTTP route to the query operation it decodes as (the
@@ -140,6 +181,10 @@ func New(cfg Config) (*Server, error) {
 		timeout: timeout,
 		mux:     http.NewServeMux(),
 		metrics: newRegistry(slowTraces),
+		gzipMin: cfg.GzipMinBytes,
+	}
+	if s.gzipMin == 0 {
+		s.gzipMin = DefaultGzipMinBytes
 	}
 	s.metrics.cacheStats = s.fw.CacheStats
 	if cfg.ByteCacheSize >= 0 {
@@ -159,12 +204,13 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	for _, e := range endpoints {
-		st := s.metrics.endpoint(e.path[1:])
+		name, op := e.path[1:], e.op
+		st := s.metrics.endpoint(name)
 		inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-			s.answer(e.path[1:], e.op, w, r)
+			s.answer(name, op, st, w, r)
 		})
 		h := http.TimeoutHandler(inner, timeout, `{"error":"request timed out"}`+"\n")
-		s.mux.Handle(e.path, s.instrument(e.path[1:], st, h))
+		s.mux.Handle(e.path, s.instrument(name, st, s.cacheFirst(op, st, h)))
 	}
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -236,8 +282,53 @@ func (s *Server) instrument(name string, st *endpointStats, h http.Handler) http
 	})
 }
 
+// probedKey marks a request context whose byte-cache probe already ran (and
+// was counted) on the cacheFirst fast path, so the inner handler doesn't
+// probe — and count — the same request twice.
+type probedKey struct{}
+
+// cacheFirst answers warm byte-cache hits before the request enters the
+// timeout wrapper. http.TimeoutHandler copies every response body through
+// its own buffer, so a warm hit served inside it pays a body-sized
+// allocation per request; here the cached bytes go straight to the wire.
+// Misses mark the context with their key and fall through to the normal
+// pipeline. Only plain GETs take the fast path — POST forms and
+// ?debug=trace keep their existing route.
+func (s *Server) cacheFirst(op string, st *endpointStats, h http.Handler) http.Handler {
+	if s.bcache == nil {
+		return h
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet || r.URL.Query().Get("debug") == "trace" {
+			h.ServeHTTP(w, r)
+			return
+		}
+		tr := obs.FromContext(r.Context())
+		sp := tr.Start(obs.StageDecode)
+		q, err := query.FromValues(op, r.URL.Query())
+		sp.End()
+		if err != nil {
+			// Let the inner handler produce the canonical error response.
+			h.ServeHTTP(w, r)
+			return
+		}
+		key, ok := s.byteCacheKeyFor(q)
+		if !ok {
+			h.ServeHTTP(w, r)
+			return
+		}
+		if e, hit := s.bcache.get(key); hit {
+			sp := tr.Start(obs.StageEncodeCached)
+			s.writeEntry(st, w, r, e)
+			sp.End()
+			return
+		}
+		h.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), probedKey{}, key)))
+	})
+}
+
 // answer decodes, executes and encodes one query request.
-func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request) {
+func (s *Server) answer(name, op string, st *endpointStats, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet && r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		return
@@ -269,12 +360,12 @@ func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request)
 	q, err := query.FromValues(op, values)
 	sp.End()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		st.countWrite(writeError(w, http.StatusBadRequest, err.Error()))
 		return
 	}
 	if s.bcache != nil && values.Get("debug") != "trace" {
 		if key, ok := s.byteCacheKeyFor(q); ok {
-			s.answerCached(key, w, r, tr, q)
+			s.answerCached(key, st, w, r, tr, q)
 			return
 		}
 	}
@@ -283,68 +374,192 @@ func (s *Server) answer(name, op string, w http.ResponseWriter, r *http.Request)
 		// The knowledge base is read-only: a failing query is a bad
 		// request (window out of range, unknown rule, ...), not a
 		// server fault.
-		writeError(w, http.StatusBadRequest, err.Error())
+		st.countWrite(writeError(w, http.StatusBadRequest, err.Error()))
 		return
 	}
 	if values.Get("debug") == "trace" {
-		s.writeTraced(w, tr, res)
+		s.writeTraced(st, w, tr, res)
 		return
 	}
 	sp = tr.Start(obs.StageEncode)
-	writeJSON(w, http.StatusOK, res)
+	st.countWrite(writeResult(w, res))
 	sp.End()
 }
 
-// answerCached serves a byte-cacheable query. A warm hit writes the cached
-// immutable body (or answers 304 on an If-None-Match match) under the
-// encode-cached span without touching the knowledge base; a miss runs the
-// normal pipeline, encodes once via json.Marshal plus the trailing newline —
-// byte-identical to writeJSON's json.Encoder output — and stores the bytes
-// for the next request.
-func (s *Server) answerCached(key byteCacheKey, w http.ResponseWriter, r *http.Request, tr *obs.Trace, q query.Query) {
-	if e, ok := s.bcache.get(key); ok {
-		sp := tr.Start(obs.StageEncodeCached)
-		w.Header().Set("ETag", e.etag)
-		if etagMatches(r.Header.Get("If-None-Match"), e.etag) {
-			s.bcache.notModified.Add(1)
-			w.WriteHeader(http.StatusNotModified)
+// answerCached serves a byte-cacheable query. A warm hit (probed here for
+// POST requests; the cacheFirst fast path already probed — and context-
+// marked — GETs) writes the cached immutable body under the encode-cached
+// span without touching the knowledge base. A miss enters the singleflight
+// group: one leader runs the query, encodes once (streamed when the result
+// supports it, byte-identical to writeJSON either way) and stores the
+// bytes, while every concurrent duplicate waits for that entry instead of
+// repeating the work.
+func (s *Server) answerCached(key byteCacheKey, st *endpointStats, w http.ResponseWriter, r *http.Request, tr *obs.Trace, q query.Query) {
+	if probed, _ := r.Context().Value(probedKey{}).(byteCacheKey); probed != key {
+		if e, ok := s.bcache.get(key); ok {
+			sp := tr.Start(obs.StageEncodeCached)
+			s.writeEntry(st, w, r, e)
 			sp.End()
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.WriteHeader(http.StatusOK)
-		w.Write(e.body)
+	}
+	e, errMsg, status, joined, ok := s.flights.do(r.Context(), key, func() (*byteCacheEntry, string, int) {
+		if s.encodeHook != nil {
+			s.encodeHook()
+		}
+		// A just-departed leader may have stored the entry between this
+		// request's miss and winning the flight: re-check without counting
+		// a second probe.
+		if e, ok := s.bcache.peek(key); ok {
+			return e, "", 0
+		}
+		// The generation is read before the query executes: a window
+		// committing in between can only make the stored tag
+		// over-discriminating (a fresh tag for identical bytes), never make
+		// two different bodies share one.
+		gen := s.fw.Generation()
+		res, err := query.AnswerTraced(s.fw, q, tr)
+		if err != nil {
+			return nil, err.Error(), http.StatusBadRequest
+		}
+		sp := tr.Start(obs.StageEncode)
+		body, err := encodeBody(res)
 		sp.End()
+		if err != nil {
+			return nil, err.Error(), http.StatusInternalServerError
+		}
+		s.encodes.Add(1)
+		e := &byteCacheEntry{key: key, etag: etagFor(gen, key), body: body}
+		s.bcache.put(e)
+		return e, "", 0
+	})
+	if !ok {
+		// Context cancelled while waiting on another request's encode; the
+		// timeout wrapper owns the response now.
 		return
 	}
-	// The generation is read before the query executes: a window committing
-	// in between can only make the stored tag over-discriminating (a fresh
-	// tag for identical bytes), never make two different bodies share one.
-	gen := s.fw.Generation()
-	res, err := query.AnswerTraced(s.fw, q, tr)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if joined {
+		s.bcache.coalesced.Add(1)
+	}
+	if errMsg != "" {
+		st.countWrite(writeError(w, status, errMsg))
 		return
 	}
-	sp := tr.Start(obs.StageEncode)
-	body, err := json.Marshal(res)
+	if e == nil {
+		st.countWrite(writeError(w, http.StatusInternalServerError, "encode failed"))
+		return
+	}
+	sp := tr.Start(obs.StageEncodeCached)
+	s.writeEntry(st, w, r, e)
 	sp.End()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+}
+
+// writeEntry writes one cached encoded response: negotiate the content
+// coding, answer 304 when If-None-Match matches the selected
+// representation's tag, otherwise write the immutable body with its exact
+// length. Failed wire writes land in the endpoint's writeFailures counter.
+func (s *Server) writeEntry(st *endpointStats, w http.ResponseWriter, r *http.Request, e *byteCacheEntry) {
+	if s.gzipMin > 0 {
+		w.Header().Set("Vary", "Accept-Encoding")
+		if e.key.enc == encIdentity && len(e.body) >= s.gzipMin && acceptsGzip(r.Header.Get("Accept-Encoding")) {
+			if gz, ok := s.gzipVariant(r.Context(), e); ok {
+				e = gz
+			}
+		}
 	}
-	body = append(body, '\n')
-	etag := etagFor(gen, key)
-	s.bcache.put(&byteCacheEntry{key: key, etag: etag, body: body})
-	w.Header().Set("ETag", etag)
-	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+	w.Header().Set("ETag", e.etag)
+	if etagMatches(r.Header.Get("If-None-Match"), e.etag) {
 		s.bcache.notModified.Add(1)
 		w.WriteHeader(http.StatusNotModified)
 		return
 	}
+	if e.key.enc == encGzip {
+		w.Header().Set("Content-Encoding", "gzip")
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(len(e.body)))
 	w.WriteHeader(http.StatusOK)
-	w.Write(body)
+	_, err := w.Write(e.body)
+	st.countWrite(err)
+}
+
+// gzipVariant returns the gzip-coded twin of identity entry e, deriving and
+// caching it on first use. Compression of one key is coalesced through the
+// flight group, and the variant is only stored while the identity entry is
+// still resident with the same tag — an invalidation racing the derivation
+// can therefore never resurrect stale bytes under a fresh window.
+func (s *Server) gzipVariant(ctx context.Context, e *byteCacheEntry) (*byteCacheEntry, bool) {
+	gzKey := e.key
+	gzKey.enc = encGzip
+	want := gzipTag(e.etag)
+	if gz, ok := s.bcache.peek(gzKey); ok && gz.etag == want {
+		return gz, true
+	}
+	gz, _, _, _, ok := s.flights.do(ctx, gzKey, func() (*byteCacheEntry, string, int) {
+		if gz, ok := s.bcache.peek(gzKey); ok && gz.etag == want {
+			return gz, "", 0
+		}
+		var buf bytes.Buffer
+		zw, err := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+		if err == nil {
+			_, err = zw.Write(e.body)
+		}
+		if cerr := zw.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, err.Error(), 0
+		}
+		gz := &byteCacheEntry{key: gzKey, etag: want, body: buf.Bytes()}
+		if id, resident := s.bcache.peek(e.key); resident && id.etag == e.etag {
+			s.bcache.put(gz)
+		}
+		return gz, "", 0
+	})
+	if !ok || gz == nil {
+		return nil, false
+	}
+	return gz, true
+}
+
+// acceptsGzip reports whether an Accept-Encoding header value admits the
+// gzip coding: a gzip, x-gzip or * member whose q parameter (if any) is not
+// zero. An absent or empty header keeps the identity coding.
+func acceptsGzip(hdr string) bool {
+	for _, part := range strings.Split(hdr, ",") {
+		coding, params, _ := strings.Cut(part, ";")
+		switch strings.ToLower(strings.TrimSpace(coding)) {
+		case "gzip", "x-gzip", "*":
+		default:
+			continue
+		}
+		params = strings.ReplaceAll(params, " ", "")
+		if q, ok := strings.CutPrefix(params, "q="); ok {
+			if v, err := strconv.ParseFloat(q, 64); err == nil && v == 0 {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// encodeBody renders res exactly as writeResult would put it on the wire:
+// streamed when the result supports it, one json.Marshal plus the trailing
+// newline otherwise.
+func encodeBody(res any) ([]byte, error) {
+	if sr, ok := res.(query.Streamer); ok {
+		var buf bytes.Buffer
+		if err := sr.StreamJSON(&buf); err != nil {
+			return nil, err
+		}
+		return buf.Bytes(), nil
+	}
+	body, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return append(body, '\n'), nil
 }
 
 // tracedBody is the ?debug=trace response envelope: the normal result plus
@@ -364,23 +579,23 @@ type traceBody struct {
 // result is pre-marshaled inside the encode span so the reported encode stage
 // covers the real serialization work; only the small envelope is written
 // outside it.
-func (s *Server) writeTraced(w http.ResponseWriter, tr *obs.Trace, res any) {
+func (s *Server) writeTraced(st *endpointStats, w http.ResponseWriter, tr *obs.Trace, res any) {
 	sp := tr.Start(obs.StageEncode)
 	raw, err := json.Marshal(res)
 	sp.End()
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		st.countWrite(writeError(w, http.StatusInternalServerError, err.Error()))
 		return
 	}
 	tr.Finish()
-	writeJSON(w, http.StatusOK, tracedBody{
+	st.countWrite(writeJSON(w, http.StatusOK, tracedBody{
 		Result: raw,
 		Trace: traceBody{
 			ID:          tr.ID(),
 			TotalMicros: float64(tr.Total()) / float64(time.Microsecond),
 			Stages:      tr.Stages(),
 		},
-	})
+	}))
 }
 
 // statusRecorder captures the status code written by the wrapped handler.
@@ -394,21 +609,34 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// writeResult writes res as a 200 response body: streamed in chunks when
+// the result implements query.Streamer, one json.Encoder pass otherwise.
+// The returned error covers both encode and wire failures — too late for a
+// status change either way (the client sees a truncated body), but callers
+// fold it into the endpoint's writeFailures counter so truncation is
+// observable instead of silent.
+func writeResult(w http.ResponseWriter, res any) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if sr, ok := res.(query.Streamer); ok {
+		return sr.StreamJSON(w)
+	}
+	return json.NewEncoder(w).Encode(res)
+}
+
+// writeJSON encodes v as the response body. A non-nil return means the
+// body is truncated or failed mid-write; the status line is already gone,
+// so the caller's only recourse is to count it (see endpointStats.countWrite).
+func writeJSON(w http.ResponseWriter, code int, v any) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	if err := enc.Encode(v); err != nil {
-		// Too late for a status change; the connection will show the
-		// truncated body.
-		return
-	}
+	return json.NewEncoder(w).Encode(v)
 }
 
 type errorBody struct {
 	Error string `json:"error"`
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorBody{Error: msg})
+func writeError(w http.ResponseWriter, code int, msg string) error {
+	return writeJSON(w, code, errorBody{Error: msg})
 }

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup coalesces concurrent work on one byte-cache key: the first
+// caller (the leader) runs fn while every concurrent duplicate waits for the
+// leader's result instead of repeating the materialize+encode. A thundering
+// herd of N cold misses on one canonical key therefore costs one encode.
+// Flights are keyed by the full byteCacheKey, so identity encodes and gzip
+// derivations (which use the enc-variant key) coalesce independently.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[byteCacheKey]*flight
+}
+
+// flight is one in-progress computation; done is closed once the result
+// fields are final. A failed computation carries errMsg and the HTTP status
+// to answer with, mirroring how the leader itself would have responded.
+type flight struct {
+	done   chan struct{}
+	entry  *byteCacheEntry
+	errMsg string
+	status int
+}
+
+// do runs fn once per key among concurrent callers. joined reports that this
+// call waited on another caller's fn; ok is false only when ctx was
+// cancelled while waiting (the caller's response is owned by whatever
+// cancelled it — typically the timeout wrapper). The leader's flight is
+// always resolved and removed, even if fn panics, so waiters cannot hang on
+// a dead leader; a panic surfaces as a nil entry with no error message.
+func (g *flightGroup) do(ctx context.Context, k byteCacheKey, fn func() (*byteCacheEntry, string, int)) (e *byteCacheEntry, errMsg string, status int, joined, ok bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[byteCacheKey]*flight)
+	}
+	if f, dup := g.m[k]; dup {
+		g.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.entry, f.errMsg, f.status, true, true
+		case <-ctx.Done():
+			return nil, "", 0, true, false
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[k] = f
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		delete(g.m, k)
+		g.mu.Unlock()
+		close(f.done)
+	}()
+	f.entry, f.errMsg, f.status = fn()
+	return f.entry, f.errMsg, f.status, false, true
+}
