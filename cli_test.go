@@ -68,6 +68,35 @@ func TestCLITaraSaveLoad(t *testing.T) {
 	}
 }
 
+func TestCLITaraSaveMappedMmap(t *testing.T) {
+	bin := buildTool(t, "./cmd/tara")
+	kb := filepath.Join(t.TempDir(), "kb.mapped")
+	first := run(t, bin, "-tx", "2000", "-batches", "4",
+		"-save", kb, "-saveformat", "mapped", "-q", "mine w=0 supp=0.02 conf=0.4")
+	if _, err := os.Stat(kb); err != nil {
+		t.Fatalf("mapped knowledge base not written: %v", err)
+	}
+	// Reopen it both ways: memory-mapped and via the auto-detecting heap
+	// loader. All three answers must agree.
+	mapped := run(t, bin, "-kb", kb, "-mmap", "-q", "mine w=0 supp=0.02 conf=0.4")
+	if !strings.Contains(mapped, "(mmap)") && !strings.Contains(mapped, "(readerat)") {
+		t.Errorf("-mmap did not report a mapped load mode:\n%s", mapped)
+	}
+	loaded := run(t, bin, "-kb", kb, "-q", "mine w=0 supp=0.02 conf=0.4")
+	extract := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.Contains(line, "rules in window 0") {
+				return line
+			}
+		}
+		return ""
+	}
+	a, m, l := extract(first), extract(mapped), extract(loaded)
+	if a == "" || a != m || a != l {
+		t.Errorf("answers diverge across load modes:\n%q\n%q\n%q", a, m, l)
+	}
+}
+
 func TestCLITaraREPL(t *testing.T) {
 	bin := buildTool(t, "./cmd/tara")
 	cmd := exec.Command(bin, "-tx", "1500", "-batches", "3")

@@ -65,23 +65,31 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "windows preprocessed concurrently during build (0 or 1 = serial; output is byte-identical either way)")
 		oneshot  = flag.String("q", "", "run a single query and exit")
 		kbFile   = flag.String("kb", "", "load a previously saved knowledge base instead of building")
+		mmapOn   = flag.Bool("mmap", false, "memory-map the -kb file (mapped container format) instead of deserializing it into the heap")
 		saveFile = flag.String("save", "", "save the knowledge base to this file after building")
+		saveFmt  = flag.String("saveformat", "legacy", "on-disk format for -save: legacy (streaming) or mapped (mmap-ready container)")
 	)
 	flag.Parse()
 
 	var fw *tara.Framework
 	start := time.Now()
 	if *kbFile != "" {
-		f, err := os.Open(*kbFile)
+		var err error
+		if *mmapOn {
+			fw, err = tara.Open(*kbFile)
+		} else {
+			var f *os.File
+			if f, err = os.Open(*kbFile); err != nil {
+				fatal(err)
+			}
+			fw, err = tara.Load(f)
+			f.Close()
+		}
 		if err != nil {
 			fatal(err)
 		}
-		fw, err = tara.Load(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintf(os.Stderr, "loaded knowledge base %s in %v\n", *kbFile, time.Since(start).Round(time.Millisecond))
+		defer fw.Close()
+		fmt.Fprintf(os.Stderr, "loaded knowledge base %s (%s) in %v\n", *kbFile, fw.LoadMode(), time.Since(start).Round(time.Millisecond))
 	} else {
 		db, err := loadOrGenerate(*load, *fimi, *maxTx, *generate, *tx, *items, *avgLen, *seed)
 		if err != nil {
@@ -112,13 +120,21 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := fw.Save(f); err != nil {
+		switch *saveFmt {
+		case "legacy":
+			err = fw.Save(f)
+		case "mapped":
+			err = fw.SaveMapped(f)
+		default:
+			err = fmt.Errorf("unknown -saveformat %q (want legacy or mapped)", *saveFmt)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		if err := f.Close(); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "saved knowledge base to %s\n", *saveFile)
+		fmt.Fprintf(os.Stderr, "saved knowledge base to %s (%s format)\n", *saveFile, *saveFmt)
 	}
 
 	if *oneshot != "" {

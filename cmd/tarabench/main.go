@@ -34,12 +34,14 @@ func main() {
 	start := time.Now()
 	var err error
 	switch {
-	case *jsonPath != "" && *exp != "online" && *exp != "build":
-		err = fmt.Errorf("-json is only meaningful with -exp online or build (got %q)", *exp)
+	case *jsonPath != "" && *exp != "online" && *exp != "build" && *exp != "coldstart":
+		err = fmt.Errorf("-json is only meaningful with -exp online, build or coldstart (got %q)", *exp)
 	case *trace && *exp != "online":
 		err = fmt.Errorf("-trace is only meaningful with -exp online (got %q)", *exp)
 	case *jsonPath != "" && *exp == "build":
 		err = runBuildJSON(*jsonPath, *scale, *parallel)
+	case *jsonPath != "" && *exp == "coldstart":
+		err = runColdStartJSON(*jsonPath, *scale)
 	case *jsonPath != "":
 		// One measured report feeds both the table and the JSON artifact.
 		err = runOnlineJSON(*jsonPath, *scale)
@@ -87,6 +89,24 @@ func runBuildJSON(path string, scale float64, maxPar int) error {
 		return err
 	}
 	if err := harness.PrintBuild(os.Stdout, rep); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// runColdStartJSON runs the cold-start experiment once, printing its table
+// and storing the measurements as a structured report (the checked-in
+// BENCH_coldstart.json is produced this way).
+func runColdStartJSON(path string, scale float64) error {
+	rep, err := harness.ColdStartBench(scale)
+	if err != nil {
+		return err
+	}
+	if err := harness.PrintColdStart(os.Stdout, rep); err != nil {
 		return err
 	}
 	b, err := json.MarshalIndent(rep, "", "  ")

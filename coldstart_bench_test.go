@@ -1,0 +1,116 @@
+package tara_bench
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"tara/internal/harness"
+	"tara/internal/tara"
+)
+
+// The BenchmarkColdStart* family measures the mapped knowledge-base
+// container: time from an on-disk file to a ready framework (heap legacy
+// load versus mapped open), and the first cold query on a freshly mapped
+// knowledge base. CI runs these with -benchtime=1x as a smoke test and
+// gates them with benchstat.
+
+var (
+	coldOnce   sync.Once
+	coldLegacy []byte
+	coldMapped []byte
+	coldErr    error
+)
+
+// coldImages builds the cold-start knowledge base once per process and
+// returns it serialized in both formats.
+func coldImages(b *testing.B) (legacy, mapped []byte) {
+	b.Helper()
+	// Scale 1 is the daemon's default knowledge base; smaller scales make
+	// the retail generator denser (fewer transactions per window at fixed
+	// thresholds), not cheaper.
+	coldOnce.Do(func() {
+		coldLegacy, coldMapped, coldErr = harness.ColdStartImages(1)
+	})
+	if coldErr != nil {
+		b.Fatal(coldErr)
+	}
+	return coldLegacy, coldMapped
+}
+
+// coldFile writes one serialized image under the benchmark's temp dir so
+// every mode starts from a real file path.
+func coldFile(b *testing.B, name string, img []byte) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), name)
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// BenchmarkColdStartHeap is the legacy path: stream-deserialize the whole
+// knowledge base onto the heap.
+func BenchmarkColdStartHeap(b *testing.B) {
+	legacy, _ := coldImages(b)
+	path := coldFile(b, "kb.legacy", legacy)
+	b.SetBytes(int64(len(legacy)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fh, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f, err := tara.Load(fh)
+		fh.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdStartMapped maps the container file: open cost is the header
+// and section-table walk plus eager layout validation, not data movement.
+func BenchmarkColdStartMapped(b *testing.B) {
+	_, mapped := coldImages(b)
+	path := coldFile(b, "kb.mapped", mapped)
+	b.SetBytes(int64(len(mapped)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := tara.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkColdMineMapped is time-to-first-answer: map the container and
+// run one Mine, paying the lazy per-region materialization for that answer.
+func BenchmarkColdMineMapped(b *testing.B) {
+	_, mapped := coldImages(b)
+	path := coldFile(b, "kb.mapped", mapped)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := tara.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		views, err := f.Mine(0, 0.01, 0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(views) == 0 {
+			b.Fatal("cold mine answered nothing")
+		}
+		if err := f.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

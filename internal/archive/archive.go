@@ -41,10 +41,16 @@ type series struct {
 
 // Archive is the TAR Archive. Build it window by window with BeginWindow +
 // Append; afterwards it is safe for concurrent readers.
+//
+// An archive restored with OpenMapped serves every read path directly from
+// the mapped block (see mapped.go) instead of the entries map; the first
+// Append promotes the mapped block to heap copies so mutation never touches
+// file-backed memory.
 type Archive struct {
 	windowN []uint32
 	entries map[rules.ID]*series
 	total   int
+	mapped  *mappedSeries // non-nil while reads are served from a mapped block
 }
 
 // New returns an empty archive.
@@ -75,6 +81,9 @@ func (a *Archive) WindowN(w int) (uint32, error) {
 func (a *Archive) Append(id rules.ID, countXY, countX, countY uint32) error {
 	if len(a.windowN) == 0 {
 		return fmt.Errorf("archive: Append before BeginWindow")
+	}
+	if err := a.Promote(); err != nil {
+		return err
 	}
 	w := len(a.windowN) - 1
 	s := a.entries[id]
@@ -168,12 +177,12 @@ func decodePayload(buf []byte, fn func(Entry) error) error {
 // Append are always well-formed; should the backing buffer be corrupted
 // anyway, decoding stops at the corruption instead of panicking.
 func (a *Archive) Series(id rules.ID) []Entry {
-	s := a.entries[id]
-	if s == nil {
+	buf, n, ok := a.seriesPayload(id)
+	if !ok {
 		return nil
 	}
-	out := make([]Entry, 0, s.n)
-	_ = decodePayload(s.buf, func(e Entry) error {
+	out := make([]Entry, 0, n)
+	_ = decodePayload(buf, func(e Entry) error {
 		out = append(out, e)
 		return nil
 	})
@@ -230,13 +239,29 @@ func (a *Archive) RollUp(id rules.ID, from, to int) (s rules.Stats, present int,
 	return s, present, nil
 }
 
-// Rules returns the ids of all archived rules in unspecified order.
+// Rules returns the ids of all archived rules in unspecified order (mapped
+// archives happen to yield ascending ids).
 func (a *Archive) Rules() []rules.ID {
+	if a.mapped != nil {
+		out := make([]rules.ID, a.mapped.count())
+		for i := range out {
+			out[i], _, _, _ = a.mapped.entry(i)
+		}
+		return out
+	}
 	out := make([]rules.ID, 0, len(a.entries))
 	for id := range a.entries {
 		out = append(out, id)
 	}
 	return out
+}
+
+// NumRules returns the number of distinct archived rules.
+func (a *Archive) NumRules() int {
+	if a.mapped != nil {
+		return a.mapped.count()
+	}
+	return len(a.entries)
 }
 
 // NumEntries returns the total number of (rule, window) records.
@@ -247,6 +272,9 @@ func (a *Archive) NumEntries() int { return a.total }
 // excluded; they are O(rules) regardless of encoding.
 func (a *Archive) SizeBytes() int {
 	n := 4 * len(a.windowN)
+	if a.mapped != nil {
+		return n + len(a.mapped.payload)
+	}
 	for _, s := range a.entries {
 		n += len(s.buf)
 	}
@@ -281,7 +309,7 @@ type Telemetry struct {
 func (a *Archive) Telemetry() Telemetry {
 	t := Telemetry{
 		Entries:           a.total,
-		Rules:             len(a.entries),
+		Rules:             a.NumRules(),
 		Windows:           len(a.windowN),
 		Bytes:             a.SizeBytes(),
 		UncompressedBytes: a.UncompressedBytes(),

@@ -1,0 +1,210 @@
+package archive
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"tara/internal/rules"
+)
+
+func openMappedCopy(t *testing.T, a *Archive) *Archive {
+	t.Helper()
+	m, err := OpenMapped(a.AppendMapped(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// sameArchive compares two archives through their full query surface.
+func sameArchive(t *testing.T, want, got *Archive) {
+	t.Helper()
+	if want.Windows() != got.Windows() {
+		t.Fatalf("windows: %d vs %d", got.Windows(), want.Windows())
+	}
+	if want.NumEntries() != got.NumEntries() {
+		t.Fatalf("entries: %d vs %d", got.NumEntries(), want.NumEntries())
+	}
+	if want.NumRules() != got.NumRules() {
+		t.Fatalf("rules: %d vs %d", got.NumRules(), want.NumRules())
+	}
+	wr, gr := want.Rules(), got.Rules()
+	if len(wr) != len(gr) {
+		t.Fatalf("rule lists: %d vs %d", len(gr), len(wr))
+	}
+	sortIDs(wr)
+	sortIDs(gr)
+	for i := range wr {
+		if wr[i] != gr[i] {
+			t.Fatalf("rule %d: %d vs %d", i, gr[i], wr[i])
+		}
+		ws, gs := want.Series(wr[i]), got.Series(gr[i])
+		if len(ws) != len(gs) {
+			t.Fatalf("rule %d series: %d vs %d entries", wr[i], len(gs), len(ws))
+		}
+		for j := range ws {
+			if ws[j] != gs[j] {
+				t.Fatalf("rule %d entry %d: %+v vs %+v", wr[i], j, gs[j], ws[j])
+			}
+		}
+	}
+}
+
+func TestOpenMappedRoundTrip(t *testing.T) {
+	a := buildRandomArchive(7, 10, 50)
+	m := openMappedCopy(t, a)
+	if !m.Mapped() {
+		t.Fatal("opened archive not mapped")
+	}
+	sameArchive(t, a, m)
+}
+
+func TestMappedWriteToByteIdentical(t *testing.T) {
+	a := buildRandomArchive(3, 8, 30)
+	m := openMappedCopy(t, a)
+	var wantBuf, gotBuf bytes.Buffer
+	if _, err := a.WriteTo(&wantBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteTo(&gotBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("legacy stream from mapped archive differs from heap original")
+	}
+}
+
+func TestMappedAppendPromotes(t *testing.T) {
+	a := buildRandomArchive(5, 6, 25)
+	m := openMappedCopy(t, a)
+
+	// Appending a window transparently promotes the mapped payloads to heap
+	// copies; both archives must then agree entry for entry and byte for
+	// byte on the legacy stream.
+	for _, ar := range []*Archive{a, m} {
+		ar.BeginWindow(123)
+		if err := ar.Append(2, 9, 18, 27); err != nil {
+			t.Fatal(err)
+		}
+		if err := ar.Append(100, 1, 2, 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Mapped() {
+		t.Fatal("archive still mapped after append")
+	}
+	sameArchive(t, a, m)
+	var wantBuf, gotBuf bytes.Buffer
+	a.WriteTo(&wantBuf)
+	m.WriteTo(&gotBuf)
+	if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+		t.Fatal("legacy stream differs after promote")
+	}
+}
+
+func TestMappedAppendMappedStable(t *testing.T) {
+	// Re-emitting the mapped layout from a mapped archive is byte-identical:
+	// table and payload pass through verbatim.
+	a := buildRandomArchive(11, 5, 20)
+	img := a.AppendMapped(nil)
+	m, err := OpenMapped(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, m.AppendMapped(nil)) {
+		t.Fatal("mapped layout not stable across reopen")
+	}
+}
+
+func TestOpenMappedRejects(t *testing.T) {
+	a := buildRandomArchive(9, 4, 12)
+	img := a.AppendMapped(nil)
+
+	// Any truncation fails.
+	for n := 0; n < len(img); n += 3 {
+		if _, err := OpenMapped(img[:n:n]); err == nil {
+			t.Fatalf("truncation to %d of %d accepted", n, len(img))
+		}
+	}
+
+	corrupt := func(name string, mutate func([]byte)) {
+		b := append([]byte(nil), img...)
+		mutate(b)
+		if _, err := OpenMapped(b); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	corrupt("huge window count", func(b []byte) {
+		binary.LittleEndian.PutUint32(b, 1<<31)
+	})
+	wc := binary.LittleEndian.Uint32(img)
+	seriesCountOff := 4 + 4*int(wc)
+	corrupt("huge series count", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[seriesCountOff:], 1<<31)
+	})
+	corrupt("descending ids", func(b []byte) {
+		// First table entry id above the second's.
+		binary.LittleEndian.PutUint32(b[seriesCountOff+4:], 1<<30)
+	})
+	corrupt("entry count zero", func(b []byte) {
+		binary.LittleEndian.PutUint32(b[seriesCountOff+4+4:], 0)
+	})
+	corrupt("offset gap", func(b []byte) {
+		// Second entry's offset bumped: payloads must be contiguous.
+		binary.LittleEndian.PutUint64(b[seriesCountOff+4+mappedEntrySize+8:], 1<<40)
+	})
+	corrupt("payload bytes flipped", func(b []byte) {
+		// Flip the final payload byte: the strict decode walk must notice
+		// (entry count, window bounds or append-state recovery breaks).
+		b[len(b)-1] ^= 0xFF
+	})
+	b := append(append([]byte(nil), img...), 0xEE)
+	if _, err := OpenMapped(b); err == nil {
+		t.Error("trailing garbage accepted")
+	}
+}
+
+func TestOpenMappedEmptyArchive(t *testing.T) {
+	a := New()
+	m := openMappedCopy(t, a)
+	if m.Windows() != 0 || m.NumRules() != 0 {
+		t.Fatalf("empty archive reopened as %d windows, %d rules", m.Windows(), m.NumRules())
+	}
+	// An empty mapped archive accepts its first window.
+	m.BeginWindow(10)
+	if err := m.Append(1, 1, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRules() != 1 {
+		t.Fatalf("rules after first append = %d", m.NumRules())
+	}
+}
+
+func TestMappedTrajectoryAndRollUp(t *testing.T) {
+	a := buildRandomArchive(13, 6, 10)
+	m := openMappedCopy(t, a)
+	for id := 0; id < 10; id++ {
+		wt, werr := a.Trajectory(rules.ID(id), 0, a.Windows()-1)
+		gt, gerr := m.Trajectory(rules.ID(id), 0, m.Windows()-1)
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("rule %d: trajectory errors diverge: %v vs %v", id, gerr, werr)
+		}
+		if werr != nil {
+			continue
+		}
+		if len(wt.Entries) != len(gt.Entries) {
+			t.Fatalf("rule %d: %d vs %d entries", id, len(gt.Entries), len(wt.Entries))
+		}
+		for i := range wt.Entries {
+			if wt.Entries[i] != gt.Entries[i] {
+				t.Fatalf("rule %d entry %d differs", id, i)
+			}
+		}
+		ws, wn, werr := a.RollUp(rules.ID(id), 0, a.Windows()-1)
+		gs, gn, gerr := m.RollUp(rules.ID(id), 0, m.Windows()-1)
+		if (werr == nil) != (gerr == nil) || ws != gs || wn != gn {
+			t.Fatalf("rule %d: roll-up differs: %+v/%d vs %+v/%d", id, gs, gn, ws, wn)
+		}
+	}
+}

@@ -49,6 +49,14 @@ func (a *Archive) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 	}
+	if a.mapped != nil {
+		// Mapped archives emit the same legacy stream byte for byte; the
+		// append state the header wants is recovered from each payload.
+		if err := a.writeToMapped(write, writeUvarint); err != nil {
+			return n, err
+		}
+		return n, bw.Flush()
+	}
 	if err := writeUvarint(uint64(len(a.entries))); err != nil {
 		return n, err
 	}

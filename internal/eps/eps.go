@@ -104,6 +104,12 @@ type Slice struct {
 	// these streams, shared zero-copy along the domination graph.
 	rowPost    [][]byte
 	rowPostOff [][]int32
+
+	// lazy is non-nil for slices restored from a mapped knowledge base
+	// (persist.go): per-location rule lists and the content index are
+	// materialized on first touch instead of at load. Built slices leave it
+	// nil and behave exactly as before.
+	lazy *lazySlice
 }
 
 // BuildSlice organizes the window's rules into a parameter-space slice.
@@ -225,18 +231,23 @@ func (s *Slice) NumLocations() int { return len(s.locs) }
 
 // NumRuleRefs returns the total number of rule references across locations,
 // which equals the number of rules in the slice (each rule is stored once,
-// per Lemma 3).
+// per Lemma 3). The suffix count table answers it without touching the
+// (possibly unmaterialized) rule lists.
 func (s *Slice) NumRuleRefs() int {
 	n := 0
-	for i := range s.locs {
-		n += len(s.locs[i].Rules)
+	for i := range s.rowCum {
+		n += int(s.rowCum[i][0])
 	}
 	return n
 }
 
 // Locations exposes the locations in (supp, conf) order, for inspection and
-// tests. Callers must not mutate the returned slice.
-func (s *Slice) Locations() []Location { return s.locs }
+// tests; every rule list is materialized first so callers can read Rules
+// directly. Callers must not mutate the returned slice.
+func (s *Slice) Locations() []Location {
+	s.materializeRules()
+	return s.locs
+}
 
 // GridDims reports the cut-grid axis sizes: the number of distinct support
 // values and distinct confidence values (Definition 12's candidate cut
@@ -282,7 +293,7 @@ func (s *Slice) CutIndex(minSupp, minConf float64) (si, ci int) {
 // minConf are jumped over via the dominance-ordered skip chain, so only rows
 // that contribute at least one qualifying location pay a per-row search
 // (plus the strictly-increasing-max chain rows crossed while skipping).
-func (s *Slice) forEachQualifying(minSupp, minConf float64, fn func(*Location)) {
+func (s *Slice) forEachQualifying(minSupp, minConf float64, fn func(li int32)) {
 	for row := sort.SearchFloat64s(s.supports, minSupp); row < len(s.rows); {
 		if s.rowMaxConf[row] < minConf {
 			row = int(s.rowSkip[row])
@@ -292,7 +303,7 @@ func (s *Slice) forEachQualifying(minSupp, minConf float64, fn func(*Location)) 
 		// Locations in a row are sorted by confidence.
 		lo := sort.Search(len(idx), func(i int) bool { return s.locs[idx[i]].Conf >= minConf })
 		for _, li := range idx[lo:] {
-			fn(&s.locs[li])
+			fn(li)
 		}
 		row++
 	}
@@ -302,13 +313,13 @@ func (s *Slice) forEachQualifying(minSupp, minConf float64, fn func(*Location)) 
 // every row at or above minSupp, whether or not the row contributes. It is
 // retained for differential tests and as the benchmark baseline the skip
 // structure is measured against.
-func (s *Slice) scanQualifying(minSupp, minConf float64, fn func(*Location)) {
+func (s *Slice) scanQualifying(minSupp, minConf float64, fn func(li int32)) {
 	start := sort.SearchFloat64s(s.supports, minSupp)
 	for row := start; row < len(s.rows); row++ {
 		idx := s.rows[row]
 		lo := sort.Search(len(idx), func(i int) bool { return s.locs[idx[i]].Conf >= minConf })
 		for _, li := range idx[lo:] {
-			fn(&s.locs[li])
+			fn(li)
 		}
 	}
 }
@@ -317,8 +328,8 @@ func (s *Slice) scanQualifying(minSupp, minConf float64, fn func(*Location)) {
 // preallocation). Exported for differential tests and benchmarks only.
 func (s *Slice) ScanRules(minSupp, minConf float64) []rules.ID {
 	var out []rules.ID
-	s.scanQualifying(minSupp, minConf, func(l *Location) {
-		out = append(out, l.Rules...)
+	s.scanQualifying(minSupp, minConf, func(li int32) {
+		out = append(out, s.locRules(li)...)
 	})
 	return out
 }
@@ -327,7 +338,7 @@ func (s *Slice) ScanRules(minSupp, minConf float64) []rules.ID {
 // differential tests and benchmarks only.
 func (s *Slice) ScanCount(minSupp, minConf float64) int {
 	n := 0
-	s.scanQualifying(minSupp, minConf, func(l *Location) { n += len(l.Rules) })
+	s.scanQualifying(minSupp, minConf, func(li int32) { n += len(s.locRules(li)) })
 	return n
 }
 
@@ -376,18 +387,19 @@ func (s *Slice) RulesWithItems(minSupp, minConf float64, items itemset.Set) ([]r
 		return s.Rules(minSupp, minConf), nil
 	}
 	var out []rules.ID
-	s.forEachQualifying(minSupp, minConf, func(l *Location) {
+	s.forEachQualifying(minSupp, minConf, func(li int32) {
+		idx := s.locItemIdx(li)
 		// Probe the rarest posting list first, then verify the rest.
-		first := l.itemIdx[items[0]]
+		first := idx[items[0]]
 		for _, it := range items[1:] {
-			if cand := l.itemIdx[it]; len(cand) < len(first) {
+			if cand := idx[it]; len(cand) < len(first) {
 				first = cand
 			}
 		}
 	cand:
 		for _, id := range first {
 			for _, it := range items {
-				if !containsID(l.itemIdx[it], id) {
+				if !containsID(idx[it], id) {
 					continue cand
 				}
 			}
@@ -412,8 +424,8 @@ func (s *Slice) RulesMerged(minSupp, minConf float64) ([]rules.ID, error) {
 	// one hash probe per posting-list entry, linear in the total posting
 	// volume of the qualifying locations.
 	seen := make(map[rules.ID]struct{}, s.Count(minSupp, minConf))
-	s.forEachQualifying(minSupp, minConf, func(l *Location) {
-		for _, ids := range l.itemIdx {
+	s.forEachQualifying(minSupp, minConf, func(li int32) {
+		for _, ids := range s.locItemIdx(li) {
 			for _, id := range ids {
 				seen[id] = struct{}{}
 			}
@@ -561,9 +573,9 @@ func (s *Slice) Diff(suppA, confA, suppB, confB float64) (onlyA, onlyB []rules.I
 		inB := l.Supp >= suppB && l.Conf >= confB
 		switch {
 		case inA && !inB:
-			onlyA = append(onlyA, l.Rules...)
+			onlyA = append(onlyA, s.locRules(int32(i))...)
 		case inB && !inA:
-			onlyB = append(onlyB, l.Rules...)
+			onlyB = append(onlyB, s.locRules(int32(i))...)
 		}
 	}
 	sort.Slice(onlyA, func(i, j int) bool { return onlyA[i] < onlyA[j] })

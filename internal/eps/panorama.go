@@ -55,7 +55,7 @@ func (s *Slice) Panorama(width, height int, markSupp, markConf float64) string {
 	for i := range s.locs {
 		l := &s.locs[i]
 		row, col, _ := cellOf(l.Supp, l.Conf)
-		grid[row][col] += len(l.Rules)
+		grid[row][col] += s.locNumRules(int32(i))
 		if grid[row][col] > maxCount {
 			maxCount = grid[row][col]
 		}

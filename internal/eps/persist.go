@@ -1,0 +1,517 @@
+// Mapped slice layout — the query-ready on-disk form of one window's EPS
+// slice, stored inside the TARAKB2 container's EPS section. The grid
+// metadata (locations, axes, skip/count acceleration) is tiny and decoded
+// eagerly at restore; the region posting streams — the bulk of the bytes —
+// are aliased zero-copy, so a stable region's ruleset remains what it is in
+// memory: offset/length pairs into the (mapped) file. Per-location rule
+// lists and the content index are materialized lazily, per support row and
+// per location respectively, the first time a query touches them.
+//
+// Layout (little-endian float64s, uvarints elsewhere):
+//
+//	N                      window cardinality
+//	L                      location count
+//	L × locations:         supp f64, conf f64, countXY, countX, numRules
+//	C                      confidence column count
+//	C × columns:           length, then loc indexes (first absolute, then
+//	                       strictly positive deltas — indexes ascend within
+//	                       a column)
+//	per support row:       len(row) segment lengths (the posting fence)
+//	blobLen, blob          concatenated per-row posting streams
+//
+// Support rows are not stored: locations are (supp, conf)-sorted, so rows
+// are the runs of equal support. Restore validates everything it will later
+// trust without error checks: strict ordering of locations and columns, the
+// column permutation, fence/stream agreement, and a full strict walk of
+// every posting segment (counts, id bounds, ascending ids). After that walk
+// the streams are exactly as trusted as build-time streams, so the shared
+// query paths stay panic-free-by-validation on both.
+package eps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"tara/internal/itemset"
+	"tara/internal/rules"
+)
+
+// lazySlice is the deferred-materialization state of a restored slice.
+// locs[i].Rules is filled one support row at a time under rowOnce (decoding
+// a row stream yields every location in the row); itemIdx is built one
+// location at a time under idxOnce. sync.Once gives lock-free readers the
+// happens-before edge the Framework's immutable-slice contract relies on.
+type lazySlice struct {
+	dict    *rules.Dict
+	locRow  []int32 // location index -> its support row
+	rowOnce []sync.Once
+	idxOnce []sync.Once
+}
+
+// AppendMapped appends the slice's mapped-layout block to dst. The output
+// is deterministic and identical for a built slice and its restored twin
+// (nothing lazy needs materializing — rule counts come from the suffix
+// count table, the streams are re-emitted verbatim).
+func (s *Slice) AppendMapped(dst []byte) []byte {
+	var f8 [8]byte
+	putF := func(v float64) {
+		binary.LittleEndian.PutUint64(f8[:], math.Float64bits(v))
+		dst = append(dst, f8[:]...)
+	}
+	dst = binary.AppendUvarint(dst, uint64(s.N))
+	dst = binary.AppendUvarint(dst, uint64(len(s.locs)))
+	for i := range s.locs {
+		l := &s.locs[i]
+		putF(l.Supp)
+		putF(l.Conf)
+		dst = binary.AppendUvarint(dst, uint64(l.CountXY))
+		dst = binary.AppendUvarint(dst, uint64(l.CountX))
+		dst = binary.AppendUvarint(dst, uint64(s.locNumRules(int32(i))))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(s.cols)))
+	for _, col := range s.cols {
+		dst = binary.AppendUvarint(dst, uint64(len(col)))
+		prev := int32(0)
+		for j, li := range col {
+			if j == 0 {
+				dst = binary.AppendUvarint(dst, uint64(li))
+			} else {
+				dst = binary.AppendUvarint(dst, uint64(li-prev))
+			}
+			prev = li
+		}
+	}
+	var blobLen uint64
+	for i := range s.rows {
+		off := s.rowPostOff[i]
+		for j := 0; j+1 < len(off); j++ {
+			dst = binary.AppendUvarint(dst, uint64(off[j+1]-off[j]))
+		}
+		blobLen += uint64(len(s.rowPost[i]))
+	}
+	dst = binary.AppendUvarint(dst, blobLen)
+	for i := range s.rows {
+		dst = append(dst, s.rowPost[i]...)
+	}
+	return dst
+}
+
+// RestoreSlice reconstructs a slice from a mapped-layout block produced by
+// AppendMapped. numRules bounds the rule ids the postings may reference
+// (the dictionary size). The posting streams alias b — typically a
+// memory-mapped file that must outlive the slice; everything else is decoded
+// into O(locations) heap memory. Rule lists and the content index stay
+// unmaterialized until first use.
+func RestoreSlice(window int, b []byte, numRules int, opts Options) (*Slice, error) {
+	if opts.ContentIndex && opts.Dict == nil {
+		return nil, fmt.Errorf("eps: ContentIndex requires a rule dictionary")
+	}
+	r := sliceReader{b: b, window: window}
+	n, err := r.uvarint("window cardinality")
+	if err != nil {
+		return nil, err
+	}
+	if n > math.MaxUint32 {
+		return nil, r.corrupt("window cardinality %d exceeds uint32", n)
+	}
+	s := &Slice{Window: window, N: uint32(n), contentIndexed: opts.ContentIndex}
+	locCount, err := r.uvarint("location count")
+	if err != nil {
+		return nil, err
+	}
+	// Each location occupies at least 16 fixed bytes, so a count the block
+	// cannot hold is rejected before any allocation sized from it.
+	if locCount > uint64(len(r.b))/16 {
+		return nil, r.corrupt("%d locations cannot fit in %d bytes", locCount, len(r.b))
+	}
+	s.locs = make([]Location, locCount)
+	nRules := make([]int32, locCount)
+	for i := range s.locs {
+		l := &s.locs[i]
+		if l.Supp, err = r.float64("location support"); err != nil {
+			return nil, err
+		}
+		if l.Conf, err = r.float64("location confidence"); err != nil {
+			return nil, err
+		}
+		if l.CountXY, err = r.uint32("location countXY"); err != nil {
+			return nil, err
+		}
+		if l.CountX, err = r.uint32("location countX"); err != nil {
+			return nil, err
+		}
+		nr, err := r.uint32("location rule count")
+		if err != nil {
+			return nil, err
+		}
+		if nr == 0 || nr > uint32(math.MaxInt32) {
+			return nil, r.corrupt("location %d has invalid rule count %d", i, nr)
+		}
+		nRules[i] = int32(nr)
+		if i > 0 {
+			p := &s.locs[i-1]
+			if l.Supp < p.Supp || (l.Supp == p.Supp && l.Conf <= p.Conf) {
+				return nil, r.corrupt("locations not strictly (supp, conf)-sorted at %d", i)
+			}
+		}
+		if !(l.Supp >= 0 && l.Supp <= 1) || !(l.Conf >= 0 && l.Conf <= 1) {
+			return nil, r.corrupt("location %d coordinates (%g, %g) outside [0,1]", i, l.Supp, l.Conf)
+		}
+	}
+	// Support rows are the runs of equal support (locations are sorted).
+	for i := range s.locs {
+		if len(s.supports) == 0 || s.supports[len(s.supports)-1] != s.locs[i].Supp {
+			s.supports = append(s.supports, s.locs[i].Supp)
+			s.rows = append(s.rows, nil)
+		}
+		row := len(s.rows) - 1
+		s.rows[row] = append(s.rows[row], int32(i))
+	}
+	if err := r.readCols(s, int(locCount)); err != nil {
+		return nil, err
+	}
+	// Acceleration structures, from the persisted per-location rule counts.
+	s.rowMaxConf = make([]float64, len(s.rows))
+	s.rowSkip = make([]int32, len(s.rows))
+	s.rowCum = make([][]int32, len(s.rows))
+	for i, idx := range s.rows {
+		s.rowMaxConf[i] = s.locs[idx[len(idx)-1]].Conf
+		cum := make([]int32, len(idx)+1)
+		for j := len(idx) - 1; j >= 0; j-- {
+			cum[j] = cum[j+1] + nRules[idx[j]]
+		}
+		s.rowCum[i] = cum
+	}
+	for i := len(s.rows) - 1; i >= 0; i-- {
+		j := int32(i + 1)
+		for j < int32(len(s.rows)) && s.rowMaxConf[j] <= s.rowMaxConf[i] {
+			j = s.rowSkip[j]
+		}
+		s.rowSkip[i] = j
+	}
+	if err := r.readPostings(s, nRules, numRules); err != nil {
+		return nil, err
+	}
+	if len(r.b) != 0 {
+		return nil, r.corrupt("%d trailing bytes after slice block", len(r.b))
+	}
+	lz := &lazySlice{
+		dict:    opts.Dict,
+		locRow:  make([]int32, locCount),
+		rowOnce: make([]sync.Once, len(s.rows)),
+	}
+	if opts.ContentIndex {
+		lz.idxOnce = make([]sync.Once, locCount)
+	}
+	for row, idx := range s.rows {
+		for _, li := range idx {
+			lz.locRow[li] = int32(row)
+		}
+	}
+	s.lazy = lz
+	return s, nil
+}
+
+// readCols decodes and validates the confidence columns: together they must
+// be a permutation of the locations, each column holding ascending location
+// indexes of a single confidence value, with column confidences strictly
+// ascending (the order BuildSlice produces).
+func (r *sliceReader) readCols(s *Slice, locCount int) error {
+	colCount, err := r.uvarint("column count")
+	if err != nil {
+		return err
+	}
+	if colCount > uint64(locCount) || (locCount > 0 && colCount == 0) {
+		return r.corrupt("implausible column count %d for %d locations", colCount, locCount)
+	}
+	seen := make([]bool, locCount)
+	s.cols = make([][]int32, colCount)
+	s.confs = make([]float64, colCount)
+	total := 0
+	for j := range s.cols {
+		clen, err := r.uvarint("column length")
+		if err != nil {
+			return err
+		}
+		if clen == 0 || clen > uint64(locCount-total) {
+			return r.corrupt("column %d length %d out of bounds", j, clen)
+		}
+		col := make([]int32, clen)
+		prev := int64(-1)
+		for k := range col {
+			v, err := r.uvarint("column entry")
+			if err != nil {
+				return err
+			}
+			var li int64
+			if k == 0 {
+				li = int64(v)
+			} else {
+				if v == 0 {
+					return r.corrupt("column %d entries not strictly ascending", j)
+				}
+				li = prev + int64(v)
+			}
+			if li >= int64(locCount) {
+				return r.corrupt("column %d references location %d beyond %d", j, li, locCount)
+			}
+			if seen[li] {
+				return r.corrupt("location %d appears in two columns", li)
+			}
+			seen[li] = true
+			col[k] = int32(li)
+			prev = li
+		}
+		conf := s.locs[col[0]].Conf
+		for _, li := range col {
+			if s.locs[li].Conf != conf {
+				return r.corrupt("column %d mixes confidences", j)
+			}
+		}
+		if j > 0 && conf <= s.confs[j-1] {
+			return r.corrupt("column confidences not strictly ascending at %d", j)
+		}
+		s.confs[j] = conf
+		s.cols[j] = col
+		total += int(clen)
+	}
+	if total != locCount {
+		return r.corrupt("columns cover %d of %d locations", total, locCount)
+	}
+	return nil
+}
+
+// readPostings decodes the per-row posting fences, aliases the stream blob,
+// and walks every segment with the strict decoder so the streams earn the
+// same trust as build-time ones: per-segment byte ranges and rule counts
+// must match the fences and the suffix count table, ids must ascend and stay
+// below numRules.
+func (r *sliceReader) readPostings(s *Slice, nRules []int32, numRules int) error {
+	segLens := make([][]uint64, len(s.rows))
+	var blobNeed uint64
+	for i, idx := range s.rows {
+		lens := make([]uint64, len(idx))
+		for j := range lens {
+			v, err := r.uvarint("posting segment length")
+			if err != nil {
+				return err
+			}
+			if v < 2 { // a segment is at least a count byte and one id byte
+				return r.corrupt("row %d segment %d implausibly short (%d bytes)", i, j, v)
+			}
+			lens[j] = v
+			blobNeed += v
+			if blobNeed > uint64(len(r.b)) {
+				return r.corrupt("posting fences exceed block size")
+			}
+		}
+		segLens[i] = lens
+	}
+	blobLen, err := r.uvarint("posting blob length")
+	if err != nil {
+		return err
+	}
+	if blobLen != blobNeed {
+		return r.corrupt("posting blob length %d disagrees with fences (%d)", blobLen, blobNeed)
+	}
+	if blobLen > uint64(len(r.b)) {
+		return r.corrupt("posting blob truncated (%d of %d bytes)", len(r.b), blobLen)
+	}
+	blob := r.b[:blobLen:blobLen]
+	r.b = r.b[blobLen:]
+	s.rowPost = make([][]byte, len(s.rows))
+	s.rowPostOff = make([][]int32, len(s.rows))
+	var streamOff uint64
+	for i, idx := range s.rows {
+		off := make([]int32, len(idx)+1)
+		var rowLen uint64
+		for j, l := range segLens[i] {
+			off[j] = int32(rowLen)
+			rowLen += l
+			if rowLen > uint64(math.MaxInt32) {
+				return r.corrupt("row %d stream exceeds 2 GiB", i)
+			}
+			off[j+1] = int32(rowLen)
+		}
+		stream := blob[streamOff : streamOff+rowLen : streamOff+rowLen]
+		streamOff += rowLen
+		for j, li := range idx {
+			seg := stream[off[j]:off[j+1]]
+			if err := validateSegment(seg, int(nRules[li]), numRules); err != nil {
+				return r.corrupt("row %d location %d: %v", i, li, err)
+			}
+		}
+		s.rowPost[i] = stream
+		s.rowPostOff[i] = off
+	}
+	return nil
+}
+
+// validateSegment strictly walks one posting segment: it must decode to
+// exactly wantCount ascending ids below numRules and consume every byte.
+func validateSegment(seg []byte, wantCount, numRules int) error {
+	count, n := binary.Uvarint(seg)
+	if n <= 0 {
+		return fmt.Errorf("segment count truncated")
+	}
+	if count != uint64(wantCount) {
+		return fmt.Errorf("segment holds %d ids, location table says %d", count, wantCount)
+	}
+	off := n
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		v, n := binary.Uvarint(seg[off:])
+		if n <= 0 {
+			return fmt.Errorf("id %d/%d truncated", i, count)
+		}
+		off += n
+		if i == 0 {
+			prev = v
+		} else {
+			if v == 0 || v > math.MaxUint32-prev {
+				return fmt.Errorf("delta %d invalid after id %d", v, prev)
+			}
+			prev += v
+		}
+		if prev >= uint64(numRules) {
+			return fmt.Errorf("id %d beyond dictionary (%d rules)", prev, numRules)
+		}
+	}
+	if off != len(seg) {
+		return fmt.Errorf("segment has %d trailing bytes", len(seg)-off)
+	}
+	return nil
+}
+
+// sliceReader is a bounds-checked cursor over a slice block.
+type sliceReader struct {
+	b      []byte
+	window int
+}
+
+func (r *sliceReader) corrupt(format string, args ...any) error {
+	return fmt.Errorf("eps: window %d: %s", r.window, fmt.Sprintf(format, args...))
+}
+
+func (r *sliceReader) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(r.b)
+	if n <= 0 {
+		return 0, r.corrupt("%s truncated", what)
+	}
+	r.b = r.b[n:]
+	return v, nil
+}
+
+func (r *sliceReader) uint32(what string) (uint32, error) {
+	v, err := r.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > math.MaxUint32 {
+		return 0, r.corrupt("%s %d exceeds uint32", what, v)
+	}
+	return uint32(v), nil
+}
+
+func (r *sliceReader) float64(what string) (float64, error) {
+	if len(r.b) < 8 {
+		return 0, r.corrupt("%s truncated", what)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(r.b))
+	r.b = r.b[8:]
+	return v, nil
+}
+
+// locNumRules returns the number of rules at location li without touching
+// (possibly unmaterialized) rule lists: a row's locations are consecutive
+// indexes, so the count is a difference of adjacent suffix counts.
+func (s *Slice) locNumRules(li int32) int {
+	row := s.rowOf(li)
+	j := li - s.rows[row][0]
+	return int(s.rowCum[row][j] - s.rowCum[row][j+1])
+}
+
+// rowOf returns the support row holding location li.
+func (s *Slice) rowOf(li int32) int32 {
+	if s.lazy != nil {
+		return s.lazy.locRow[li]
+	}
+	// Built slices rarely need this; derive by binary search on the row
+	// starts (rows hold consecutive location indexes).
+	lo, hi := 0, len(s.rows)
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if s.rows[mid][0] <= li {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return int32(lo)
+}
+
+// locRules returns location li's rule ids, materializing the owning row's
+// lists on first touch for restored slices. The returned slice must not be
+// mutated.
+func (s *Slice) locRules(li int32) []rules.ID {
+	if s.lazy == nil {
+		return s.locs[li].Rules
+	}
+	row := s.lazy.locRow[li]
+	s.lazy.rowOnce[row].Do(func() { s.fillRowRules(int(row)) })
+	return s.locs[li].Rules
+}
+
+// fillRowRules decodes row's posting stream into its locations' Rules
+// fields. Streams were fully validated at restore, so a decode failure here
+// means memory corruption — same contract as appendDecodedStream.
+func (s *Slice) fillRowRules(row int) {
+	idx := s.rows[row]
+	off := s.rowPostOff[row]
+	stream := s.rowPost[row]
+	for j, li := range idx {
+		seg := stream[off[j]:off[j+1]]
+		ids, _, err := decodeSegment(make([]rules.ID, 0, s.locNumRules(li)), seg)
+		if err != nil {
+			panic(fmt.Sprintf("eps: corrupt posting stream after validation: %v", err))
+		}
+		s.locs[li].Rules = ids
+	}
+}
+
+// locItemIdx returns location li's item → rules content index, building it
+// on first touch for restored slices. Rules whose ids no longer resolve in
+// the dictionary are skipped (only possible with a corrupt rule-key blob;
+// the materialization paths report those ids properly).
+func (s *Slice) locItemIdx(li int32) map[itemset.Item][]rules.ID {
+	if s.lazy == nil || s.lazy.idxOnce == nil {
+		return s.locs[li].itemIdx
+	}
+	s.lazy.idxOnce[li].Do(func() {
+		idx := map[itemset.Item][]rules.ID{}
+		for _, id := range s.locRules(li) {
+			rl, ok := s.lazy.dict.Rule(id)
+			if !ok {
+				continue
+			}
+			for _, it := range rl.Items() {
+				idx[it] = append(idx[it], id)
+			}
+		}
+		s.locs[li].itemIdx = idx
+	})
+	return s.locs[li].itemIdx
+}
+
+// materializeRules forces every location's rule list (Locations exposes
+// them to callers that read Rules directly).
+func (s *Slice) materializeRules() {
+	if s.lazy == nil {
+		return
+	}
+	for row := range s.rows {
+		s.lazy.rowOnce[row].Do(func() { s.fillRowRules(row) })
+	}
+}

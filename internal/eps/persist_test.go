@@ -1,0 +1,224 @@
+package eps
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tara/internal/itemset"
+	"tara/internal/rules"
+)
+
+func restore(t *testing.T, s *Slice, numRules int, opts Options) *Slice {
+	t.Helper()
+	r, err := RestoreSlice(s.Window, s.AppendMapped(nil), numRules, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// sameIDs fails unless two id lists are identical element for element.
+func sameIDs(t *testing.T, what string, want, got []rules.ID) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: %d vs %d ids", what, len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("%s: id %d is %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+func TestRestoreSliceFixedExample(t *testing.T) {
+	built, d := fixedSlice(t, Options{ContentIndex: true})
+	rest := restore(t, built, d.Len(), Options{ContentIndex: true, Dict: d})
+
+	if rest.Window != built.Window || rest.N != built.N {
+		t.Fatalf("identity: window %d N %d, want %d %d", rest.Window, rest.N, built.Window, built.N)
+	}
+	if rest.NumLocations() != built.NumLocations() || rest.NumRuleRefs() != built.NumRuleRefs() {
+		t.Fatalf("shape differs")
+	}
+	bs, bc := built.GridDims()
+	rs, rc := rest.GridDims()
+	if bs != rs || bc != rc {
+		t.Fatalf("grid: %dx%d vs %dx%d", rs, rc, bs, bc)
+	}
+	probes := []struct{ supp, conf float64 }{
+		{0, 0}, {0.2, 0}, {0, 0.4}, {0.2, 0.6}, {0.5, 0}, {0, 0.8}, {0.33, 0.75},
+	}
+	for _, p := range probes {
+		sameIDs(t, "Rules", built.Rules(p.supp, p.conf), rest.Rules(p.supp, p.conf))
+		if built.Count(p.supp, p.conf) != rest.Count(p.supp, p.conf) {
+			t.Fatalf("Count(%g,%g) differs", p.supp, p.conf)
+		}
+		if built.ScanCount(p.supp, p.conf) != rest.ScanCount(p.supp, p.conf) {
+			t.Fatalf("ScanCount(%g,%g) differs", p.supp, p.conf)
+		}
+		br, rr := built.Region(p.supp, p.conf), rest.Region(p.supp, p.conf)
+		if br != rr {
+			t.Fatalf("Region(%g,%g): %+v vs %+v", p.supp, p.conf, rr, br)
+		}
+		bi, bj := built.CutIndex(p.supp, p.conf)
+		ri, rj := rest.CutIndex(p.supp, p.conf)
+		if bi != ri || bj != rj {
+			t.Fatalf("CutIndex(%g,%g) differs", p.supp, p.conf)
+		}
+		sameIDs(t, "Postings", built.Postings(p.supp, p.conf).AppendTo(nil), rest.Postings(p.supp, p.conf).AppendTo(nil))
+	}
+
+	// Content-based paths through the lazily built per-location item index.
+	got, err := rest.RulesWithItems(0, 0, itemset.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := built.RulesWithItems(0, 0, itemset.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIDs(t, "RulesWithItems", want, got)
+
+	gm, err := rest.RulesMerged(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := built.RulesMerged(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameIDs(t, "RulesMerged", wm, gm)
+
+	// Diff both ways.
+	wa, wb := built.Diff(0, 0, 0.2, 0.6)
+	ga, gb := rest.Diff(0, 0, 0.2, 0.6)
+	sameIDs(t, "Diff onlyA", wa, ga)
+	sameIDs(t, "Diff onlyB", wb, gb)
+
+	// Domination graph is coordinate-only but must survive restore.
+	we, ge := built.DominationGraph(), rest.DominationGraph()
+	if len(we) != len(ge) {
+		t.Fatalf("DominationGraph: %d vs %d edges", len(ge), len(we))
+	}
+	for i := range we {
+		if we[i] != ge[i] {
+			t.Fatalf("edge %d differs", i)
+		}
+	}
+
+	// Panorama exercises locNumRules over every location.
+	if built.Panorama(30, 10, 0.2, 0.6) != rest.Panorama(30, 10, 0.2, 0.6) {
+		t.Fatal("Panorama differs")
+	}
+
+	// Locations materializes everything; the views must agree.
+	bl, rl := built.Locations(), rest.Locations()
+	if len(bl) != len(rl) {
+		t.Fatalf("Locations: %d vs %d", len(rl), len(bl))
+	}
+	for i := range bl {
+		if bl[i].Supp != rl[i].Supp || bl[i].Conf != rl[i].Conf ||
+			bl[i].CountXY != rl[i].CountXY || bl[i].CountX != rl[i].CountX {
+			t.Fatalf("location %d header differs", i)
+		}
+		sameIDs(t, "location rules", bl[i].Rules, rl[i].Rules)
+	}
+}
+
+func TestRestoreSliceProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		n := uint32(20 + r.Intn(100))
+		rs := randomIDStats(r, n, 1+r.Intn(80))
+		built, err := BuildSlice(trial, n, rs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rest := restore(t, built, len(rs), Options{})
+		for probe := 0; probe < 25; probe++ {
+			ms, mc := r.Float64(), r.Float64()
+			sameIDs(t, "Rules", built.Rules(ms, mc), rest.Rules(ms, mc))
+			if built.Count(ms, mc) != rest.Count(ms, mc) {
+				t.Fatalf("trial %d: Count(%g,%g) differs", trial, ms, mc)
+			}
+			sameIDs(t, "AppendRules", built.AppendRules(nil, ms, mc), rest.AppendRules(nil, ms, mc))
+		}
+	}
+}
+
+func TestAppendMappedStableAcrossRestore(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	rs := randomIDStats(r, 100, 60)
+	built, err := BuildSlice(0, 100, rs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img := built.AppendMapped(nil)
+	rest, err := RestoreSlice(0, img, len(rs), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(img, rest.AppendMapped(nil)) {
+		t.Fatal("mapped block not stable across restore")
+	}
+}
+
+func TestRestoreSliceConcurrentLazyAccess(t *testing.T) {
+	// Many goroutines race the lazy materialization paths; under -race this
+	// proves the sync.Once publication is sound.
+	built, d := fixedSlice(t, Options{ContentIndex: true})
+	rest := restore(t, built, d.Len(), Options{ContentIndex: true, Dict: d})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				rest.Rules(0, 0)
+				rest.Count(0.2, 0.6)
+				rest.RulesWithItems(0, 0, itemset.New(itemset.Item(g%3)))
+				rest.Postings(0, 0.4)
+			}
+		}(g)
+	}
+	wg.Wait()
+	sameIDs(t, "after race", built.Rules(0, 0), rest.Rules(0, 0))
+}
+
+func TestRestoreSliceRejectsCorrupt(t *testing.T) {
+	built, d := fixedSlice(t, Options{ContentIndex: true})
+	img := built.AppendMapped(nil)
+	numRules := d.Len()
+
+	for n := 0; n < len(img); n++ {
+		if _, err := RestoreSlice(0, img[:n:n], numRules, Options{}); err == nil {
+			t.Fatalf("truncation to %d of %d accepted", n, len(img))
+		}
+	}
+	// Every single-byte corruption either fails at restore or yields a slice
+	// whose reads do not panic (values may legitimately differ: flipped
+	// float bytes that stay sorted are still a valid slice).
+	for i := 0; i < len(img); i++ {
+		b := append([]byte(nil), img...)
+		b[i] ^= 0xFF
+		s, err := RestoreSlice(0, b, numRules, Options{})
+		if err != nil {
+			continue
+		}
+		s.Rules(0, 0)
+		s.Count(0.2, 0.6)
+		s.Postings(0, 0).AppendTo(nil)
+		s.Locations()
+	}
+	// numRules below the ids actually referenced must be rejected — it is
+	// the bound that keeps every decoded posting in range.
+	if _, err := RestoreSlice(0, img, 1, Options{}); err == nil {
+		t.Fatal("postings referencing out-of-range rules accepted")
+	}
+	// ContentIndex without a dictionary cannot restore.
+	if _, err := RestoreSlice(0, img, numRules, Options{ContentIndex: true}); err == nil {
+		t.Fatal("ContentIndex restore without dict accepted")
+	}
+}

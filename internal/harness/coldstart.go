@@ -1,0 +1,253 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"tara/internal/gen"
+	"tara/internal/mining"
+	"tara/internal/tara"
+)
+
+// The cold-start experiment measures the mapped knowledge-base container:
+// time-to-first-query of tara.Open over the mapped layout versus the legacy
+// streaming Load, on the daemon's default retail knowledge base. Both modes
+// open the same logical knowledge base from disk and then answer the same
+// cold query sweep (Mine + Count over every window), so the report separates
+// time-to-ready from the lazy-materialization cost the mapped path defers
+// into the first queries.
+
+const (
+	// coldStartReps is how many times each mode reopens the knowledge base;
+	// the report keeps medians.
+	coldStartReps = 7
+	// coldMineSupp/Conf are the cold-sweep thresholds: above the generation
+	// thresholds, so answers are a realistic subset that still forces rule
+	// materialization.
+	coldMineSupp = 0.01
+	coldMineConf = 0.2
+)
+
+// ColdStartReport is the JSON document the cold-start experiment emits
+// (BENCH_coldstart.json).
+type ColdStartReport struct {
+	Transactions int `json:"transactions"`
+	Windows      int `json:"windows"`
+	Rules        int `json:"rules"`
+	LegacyBytes  int `json:"legacyBytes"`
+	MappedBytes  int `json:"mappedBytes"`
+	Reps         int `json:"reps"`
+	// Median time from file path to a ready *Framework.
+	HeapLoadMillis   float64 `json:"heapLoadMillis"`
+	MappedOpenMillis float64 `json:"mappedOpenMillis"`
+	// OpenSpeedup is heap load over mapped open (higher is better).
+	OpenSpeedup float64 `json:"openSpeedup"`
+	// Median time for the cold query sweep (Mine + Count over every window)
+	// on a freshly opened framework.
+	HeapColdSweepMicros   float64 `json:"heapColdSweepMicros"`
+	MappedColdSweepMicros float64 `json:"mappedColdSweepMicros"`
+	// ColdSweepRatio is mapped over heap (lower is better; 1.0 = parity).
+	ColdSweepRatio float64 `json:"coldSweepRatio"`
+	// MappedLoadMode is what tara.Open reported: "mmap" where the platform
+	// maps, "readerat" on the portable fallback.
+	MappedLoadMode string `json:"mappedLoadMode"`
+	// Acceptance gates: mapped open at least 10x faster than the legacy
+	// load, cold mapped queries within 2x of heap.
+	OpenSpeedupPass bool `json:"openSpeedupPass"`
+	ColdSweepPass   bool `json:"coldSweepPass"`
+}
+
+// coldStartFramework builds the daemon's default knowledge base (retail
+// generator, ten windows, the Table 4 retail thresholds) at the given scale.
+func coldStartFramework(scale float64) (*tara.Framework, error) {
+	tx := int(20000 * scale)
+	if tx < 500 {
+		tx = 500
+	}
+	db, err := gen.Retail(gen.RetailParams{Transactions: tx, NumItems: 2000, AvgLen: 10, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	m, err := mining.ByName("eclat")
+	if err != nil {
+		return nil, err
+	}
+	return tara.Build(db, 0, 10, tara.Config{
+		GenMinSupport: 0.005,
+		GenMinConf:    0.1,
+		MaxItemsetLen: 4,
+		Miner:         m,
+		ContentIndex:  true,
+	})
+}
+
+// ColdStartImages builds the experiment's knowledge base once and returns it
+// serialized in both on-disk formats, for the root cold-start benchmarks.
+func ColdStartImages(scale float64) (legacy, mapped []byte, err error) {
+	f, err := coldStartFramework(scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	var lbuf, mbuf bytes.Buffer
+	if err := f.Save(&lbuf); err != nil {
+		return nil, nil, err
+	}
+	if err := f.SaveMapped(&mbuf); err != nil {
+		return nil, nil, err
+	}
+	return lbuf.Bytes(), mbuf.Bytes(), nil
+}
+
+// coldSweep runs the cold query sweep on a freshly opened framework and
+// returns its duration plus the total answer size (the modes must agree).
+func coldSweep(f *tara.Framework) (time.Duration, int, error) {
+	start := time.Now()
+	total := 0
+	for w := 0; w < f.Windows(); w++ {
+		views, err := f.Mine(w, coldMineSupp, coldMineConf)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += len(views)
+		n, err := f.Count(w, coldMineSupp, coldMineConf)
+		if err != nil {
+			return 0, 0, err
+		}
+		total += n
+	}
+	return time.Since(start), total, nil
+}
+
+func medianMillis(ds []time.Duration) float64 {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return float64(ds[len(ds)/2].Nanoseconds()) / 1e6
+}
+
+// ColdStartBench runs the cold-start experiment and returns its report.
+func ColdStartBench(scale float64) (*ColdStartReport, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	f, err := coldStartFramework(scale)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ColdStartReport{
+		Transactions: int(20000 * scale),
+		Windows:      f.Windows(),
+		Rules:        f.RuleDict().Len(),
+		Reps:         coldStartReps,
+	}
+
+	dir, err := os.MkdirTemp("", "tara-coldstart")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	legacyPath := filepath.Join(dir, "kb.legacy")
+	mappedPath := filepath.Join(dir, "kb.mapped")
+	var lbuf, mbuf bytes.Buffer
+	if err := f.Save(&lbuf); err != nil {
+		return nil, err
+	}
+	if err := f.SaveMapped(&mbuf); err != nil {
+		return nil, err
+	}
+	rep.LegacyBytes, rep.MappedBytes = lbuf.Len(), mbuf.Len()
+	if err := os.WriteFile(legacyPath, lbuf.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(mappedPath, mbuf.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+
+	var heapLoad, mappedOpen, heapSweep, mappedSweep []time.Duration
+	heapTotal, mappedTotal := -1, -1
+	for i := 0; i < coldStartReps; i++ {
+		// Settle the heap before each timed open so garbage from the
+		// previous rep's sweep is not collected inside the timed region.
+		runtime.GC()
+		start := time.Now()
+		fh, err := os.Open(legacyPath)
+		if err != nil {
+			return nil, err
+		}
+		hf, err := tara.Load(fh)
+		fh.Close()
+		if err != nil {
+			return nil, err
+		}
+		heapLoad = append(heapLoad, time.Since(start))
+		d, total, err := coldSweep(hf)
+		if err != nil {
+			return nil, err
+		}
+		heapSweep = append(heapSweep, d)
+		heapTotal = total
+
+		runtime.GC()
+		start = time.Now()
+		mf, err := tara.Open(mappedPath)
+		if err != nil {
+			return nil, err
+		}
+		mappedOpen = append(mappedOpen, time.Since(start))
+		d, total, err = coldSweep(mf)
+		if err != nil {
+			mf.Close()
+			return nil, err
+		}
+		mappedSweep = append(mappedSweep, d)
+		mappedTotal = total
+		if heapTotal != mappedTotal {
+			mf.Close()
+			return nil, fmt.Errorf("harness: cold sweep diverged: heap answered %d, mapped %d", heapTotal, mappedTotal)
+		}
+		rep.MappedLoadMode = mf.LoadMode()
+		if err := mf.Close(); err != nil {
+			return nil, err
+		}
+	}
+
+	rep.HeapLoadMillis = medianMillis(heapLoad)
+	rep.MappedOpenMillis = medianMillis(mappedOpen)
+	rep.HeapColdSweepMicros = medianMillis(heapSweep) * 1e3
+	rep.MappedColdSweepMicros = medianMillis(mappedSweep) * 1e3
+	if rep.MappedOpenMillis > 0 {
+		rep.OpenSpeedup = rep.HeapLoadMillis / rep.MappedOpenMillis
+	}
+	if rep.HeapColdSweepMicros > 0 {
+		rep.ColdSweepRatio = rep.MappedColdSweepMicros / rep.HeapColdSweepMicros
+	}
+	rep.OpenSpeedupPass = rep.OpenSpeedup >= 10
+	rep.ColdSweepPass = rep.ColdSweepRatio <= 2
+	return rep, nil
+}
+
+// RunColdStart prints the cold-start experiment as a table.
+func RunColdStart(w io.Writer, scale float64) error {
+	rep, err := ColdStartBench(scale)
+	if err != nil {
+		return err
+	}
+	return PrintColdStart(w, rep)
+}
+
+// PrintColdStart renders an already-measured report (so one run can feed
+// both the table and the JSON artifact).
+func PrintColdStart(w io.Writer, rep *ColdStartReport) error {
+	fmt.Fprintf(w, "Cold start — %d windows, %d rules; legacy %d bytes, mapped %d bytes, %d reps (medians)\n",
+		rep.Windows, rep.Rules, rep.LegacyBytes, rep.MappedBytes, rep.Reps)
+	fmt.Fprintf(w, "%-22s %14s %16s\n", "mode", "open-ms", "cold-sweep-µs")
+	fmt.Fprintf(w, "%-22s %14.3f %16.1f\n", "heap (legacy load)", rep.HeapLoadMillis, rep.HeapColdSweepMicros)
+	fmt.Fprintf(w, "%-22s %14.3f %16.1f\n", "mapped ("+rep.MappedLoadMode+")", rep.MappedOpenMillis, rep.MappedColdSweepMicros)
+	fmt.Fprintf(w, "open speedup %.1fx (gate >= 10x: %v); cold sweep ratio %.2fx of heap (gate <= 2x: %v)\n",
+		rep.OpenSpeedup, rep.OpenSpeedupPass, rep.ColdSweepRatio, rep.ColdSweepPass)
+	return nil
+}

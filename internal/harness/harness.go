@@ -46,20 +46,21 @@ func RunTab4(w io.Writer, _ float64) error {
 
 // Experiments maps experiment ids to their runners.
 var Experiments = map[string]func(io.Writer, float64) error{
-	"tab1":   RunTab1,
-	"fig6":   RunFig6,
-	"fig7":   RunFig7,
-	"fig8":   RunFig8,
-	"fig9":   RunFig9,
-	"fig10":  RunFig10,
-	"fig11":  RunFig11,
-	"fig12":  RunFig12,
-	"tab2":   RunTab2,
-	"tab3":   RunTab3,
-	"tab4":   RunTab4,
-	"rollup": RunRollUp,
-	"online": RunOnline,
-	"build":  RunBuild,
+	"tab1":      RunTab1,
+	"fig6":      RunFig6,
+	"fig7":      RunFig7,
+	"fig8":      RunFig8,
+	"fig9":      RunFig9,
+	"fig10":     RunFig10,
+	"fig11":     RunFig11,
+	"fig12":     RunFig12,
+	"tab2":      RunTab2,
+	"tab3":      RunTab3,
+	"tab4":      RunTab4,
+	"rollup":    RunRollUp,
+	"online":    RunOnline,
+	"build":     RunBuild,
+	"coldstart": RunColdStart,
 }
 
 // ExperimentIDs lists the experiment ids in run order.

@@ -1,0 +1,202 @@
+package kb
+
+import (
+	"bytes"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildImage(t *testing.T, sections map[SectionID][]byte, order []SectionID) []byte {
+	t.Helper()
+	b := &Builder{}
+	for _, id := range order {
+		b.Add(id, sections[id])
+	}
+	var buf bytes.Buffer
+	if _, err := b.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTripAllModes(t *testing.T) {
+	sections := map[SectionID][]byte{
+		1: []byte("hello"),
+		2: {},
+		7: bytes.Repeat([]byte{0xAB}, 1000),
+		3: []byte("x"),
+	}
+	order := []SectionID{1, 2, 7, 3}
+	img := buildImage(t, sections, order)
+
+	path := filepath.Join(t.TempDir(), "test.kb")
+	if err := os.WriteFile(path, img, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	open := map[string]func() (*File, error){
+		"bytes":    func() (*File, error) { return OpenBytes(img) },
+		"file":     func() (*File, error) { return Open(path) },
+		"readerat": func() (*File, error) { fh, _ := os.Open(path); return OpenReaderAt(fh, int64(len(img))) },
+	}
+	for name, fn := range open {
+		t.Run(name, func(t *testing.T) {
+			f, err := fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if f.Size() != int64(len(img)) {
+				t.Errorf("Size = %d, want %d", f.Size(), len(img))
+			}
+			for id, want := range sections {
+				if !f.Has(id) {
+					t.Fatalf("section %d missing", id)
+				}
+				got, err := f.Section(id)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Errorf("section %d: got %d bytes, want %d", id, len(got), len(want))
+				}
+				// Cached second read agrees.
+				again, err := f.Section(id)
+				if err != nil || !bytes.Equal(again, want) {
+					t.Errorf("section %d: second read differs", id)
+				}
+			}
+			if f.Has(99) {
+				t.Error("phantom section reported present")
+			}
+			if _, err := f.Section(99); err == nil {
+				t.Error("phantom section read succeeded")
+			}
+		})
+	}
+}
+
+func TestSectionAlignment(t *testing.T) {
+	img := buildImage(t, map[SectionID][]byte{1: []byte("abc"), 2: []byte("defgh")}, []SectionID{1, 2})
+	f, err := OpenBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// The section table records 8-aligned offsets.
+	for i := 0; i < 2; i++ {
+		off := binary.LittleEndian.Uint64(img[headerFixed+entrySize*i+8:])
+		if off%8 != 0 {
+			t.Errorf("section %d offset %d not 8-aligned", i, off)
+		}
+	}
+}
+
+func TestBuilderRejectsDuplicateID(t *testing.T) {
+	b := &Builder{}
+	b.Add(1, []byte("a"))
+	b.Add(1, []byte("b"))
+	if _, err := b.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Fatal("duplicate section id accepted")
+	}
+}
+
+func TestOpenBytesRejects(t *testing.T) {
+	img := buildImage(t, map[SectionID][]byte{1: []byte("payload")}, []SectionID{1})
+
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short magic", func(b []byte) []byte { return b[:4] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[8] = 0xFF; return b }},
+		{"huge section count", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 1<<30)
+			return b
+		}},
+		{"table past end", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[12:], 1000)
+			return b
+		}},
+		{"offset before header", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[headerFixed+8:], 0)
+			return b
+		}},
+		{"offset past end", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[headerFixed+8:], uint64(len(b)))
+			return b
+		}},
+		{"length past end", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[headerFixed+16:], uint64(len(b)))
+			return b
+		}},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := tc.corrupt(append([]byte(nil), img...))
+			if f, err := OpenBytes(b); err == nil {
+				f.Close()
+				t.Fatalf("corrupt image accepted")
+			}
+		})
+	}
+}
+
+func TestOpenBytesRejectsDuplicateTableID(t *testing.T) {
+	img := buildImage(t, map[SectionID][]byte{1: []byte("aaaa"), 2: []byte("bbbb")}, []SectionID{1, 2})
+	// Rewrite section 2's table id to 1.
+	binary.LittleEndian.PutUint32(img[headerFixed+entrySize:], 1)
+	if f, err := OpenBytes(img); err == nil {
+		f.Close()
+		t.Fatal("duplicate table id accepted")
+	}
+}
+
+func TestReaderAtPartialFailure(t *testing.T) {
+	// A reader that fails past the header: Open succeeds (the header parses),
+	// the section read reports the error instead of corrupt bytes.
+	img := buildImage(t, map[SectionID][]byte{1: bytes.Repeat([]byte{1}, 64)}, []SectionID{1})
+	r := truncatedReaderAt{data: img, limit: headerFixed + entrySize}
+	f, err := OpenReaderAt(r, int64(len(img)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Section(1); err == nil {
+		t.Fatal("section read past reader limit succeeded")
+	}
+}
+
+type truncatedReaderAt struct {
+	data  []byte
+	limit int
+}
+
+func (r truncatedReaderAt) ReadAt(p []byte, off int64) (int, error) {
+	if off >= int64(r.limit) {
+		return 0, os.ErrDeadlineExceeded
+	}
+	end := off + int64(len(p))
+	if end > int64(r.limit) {
+		n := copy(p, r.data[off:r.limit])
+		return n, os.ErrDeadlineExceeded
+	}
+	return copy(p, r.data[off:end]), nil
+}
+
+func TestEmptyContainer(t *testing.T) {
+	img := buildImage(t, nil, nil)
+	f, err := OpenBytes(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if f.Has(1) {
+		t.Error("empty container has sections")
+	}
+}

@@ -1,0 +1,13 @@
+//go:build !unix
+
+package kb
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapFile is unavailable off unix; Open falls back to io.ReaderAt mode.
+func mmapFile(*os.File, int64) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package kb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps the whole file read-only. The returned func unmaps it.
+func mmapFile(f *os.File, size int64) ([]byte, func() error, error) {
+	if size <= 0 {
+		return nil, nil, fmt.Errorf("kb: cannot map %d-byte file", size)
+	}
+	if int64(int(size)) != size {
+		return nil, nil, fmt.Errorf("kb: file size %d exceeds address space", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

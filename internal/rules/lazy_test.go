@@ -1,0 +1,119 @@
+package rules
+
+import (
+	"sync"
+	"testing"
+
+	"tara/internal/itemset"
+)
+
+func lazyFixture(t *testing.T) (*Dict, []Rule) {
+	t.Helper()
+	base := []Rule{
+		{Ant: itemset.New(0), Cons: itemset.New(1)},
+		{Ant: itemset.New(1), Cons: itemset.New(0)},
+		{Ant: itemset.New(0, 1), Cons: itemset.New(2)},
+		{Ant: itemset.New(2), Cons: itemset.New(0, 1)},
+	}
+	keys := make([][]byte, len(base))
+	for i, r := range base {
+		keys[i] = []byte(r.Key())
+	}
+	return NewLazyDict(len(base), func(i int) []byte { return keys[i] }), base
+}
+
+func TestLazyDictRule(t *testing.T) {
+	d, base := lazyFixture(t)
+	if d.Len() != len(base) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(base))
+	}
+	// Out of order, repeatedly: each id parses once and caches.
+	for _, i := range []int{3, 0, 3, 2, 1, 0} {
+		r, ok := d.Rule(ID(i))
+		if !ok || !r.Equal(base[i]) {
+			t.Fatalf("Rule(%d) = %v, %v; want %v", i, r, ok, base[i])
+		}
+	}
+	if _, ok := d.Rule(ID(len(base))); ok {
+		t.Error("out-of-range id resolved")
+	}
+}
+
+func TestLazyDictLookupForces(t *testing.T) {
+	d, base := lazyFixture(t)
+	for i, r := range base {
+		id, ok := d.Lookup(r)
+		if !ok || id != ID(i) {
+			t.Fatalf("Lookup(%v) = %d, %v; want %d", r, id, ok, i)
+		}
+	}
+	if _, ok := d.Lookup(Rule{Ant: itemset.New(7), Cons: itemset.New(8)}); ok {
+		t.Error("unknown rule found")
+	}
+}
+
+func TestLazyDictAddExtends(t *testing.T) {
+	d, base := lazyFixture(t)
+	novel := Rule{Ant: itemset.New(5), Cons: itemset.New(6)}
+	id := d.Add(novel)
+	if id != ID(len(base)) {
+		t.Fatalf("Add of novel rule = %d, want %d", id, len(base))
+	}
+	// Re-adding a base rule returns its base id, not a new one.
+	if got := d.Add(base[2]); got != 2 {
+		t.Fatalf("Add of base rule = %d, want 2", got)
+	}
+	if d.Len() != len(base)+1 {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(base)+1)
+	}
+	r, ok := d.Rule(id)
+	if !ok || !r.Equal(novel) {
+		t.Fatalf("Rule(%d) after Add = %v, %v", id, r, ok)
+	}
+}
+
+func TestLazyDictBadKey(t *testing.T) {
+	keys := [][]byte{[]byte("\x05garbage"), nil}
+	d := NewLazyDict(2, func(i int) []byte { return keys[i] })
+	if _, ok := d.Rule(0); ok {
+		t.Error("corrupt key parsed")
+	}
+	if _, ok := d.Rule(1); ok {
+		t.Error("empty key parsed")
+	}
+	// Forcing tolerates the bad keys: they are simply unresolvable.
+	if _, ok := d.Lookup(Rule{Ant: itemset.New(1), Cons: itemset.New(2)}); ok {
+		t.Error("unknown rule found in corrupt dict")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestLazyDictConcurrent(t *testing.T) {
+	d, base := lazyFixture(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				id := ID((g + i) % len(base))
+				r, ok := d.Rule(id)
+				if !ok || !r.Equal(base[id]) {
+					t.Errorf("Rule(%d) wrong under concurrency", id)
+					return
+				}
+				if i == 100 {
+					// Mix in forcing and appending.
+					d.Lookup(base[0])
+					d.Add(Rule{Ant: itemset.New(itemset.Item(40 + g)), Cons: itemset.New(50)})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if d.Len() != len(base)+8 {
+		t.Fatalf("Len after concurrent adds = %d, want %d", d.Len(), len(base)+8)
+	}
+}

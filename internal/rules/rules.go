@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"tara/internal/itemset"
 	"tara/internal/mining"
@@ -228,16 +229,72 @@ type ID uint32
 type Dict struct {
 	mu    sync.RWMutex
 	ids   map[string]ID
-	rules []Rule
+	rules []Rule // rules added after the lazy base (all rules for heap dicts)
+
+	// Lazy base (see NewLazyDict): ids [0, lazyN) resolve by parsing keyAt(i)
+	// on demand, cached in lazy. The key→id map and every parsed rule are
+	// forced only when Add or Lookup needs the full map. forced flags that
+	// the map covers the base; guarded by mu.
+	lazyN  int
+	keyAt  func(i int) []byte
+	lazy   []atomic.Pointer[lazyRule]
+	forced bool
+}
+
+// lazyRule caches one on-demand parse, including failures (a corrupt
+// persisted key stays unresolvable rather than being re-parsed every call).
+type lazyRule struct {
+	r  Rule
+	ok bool
 }
 
 // NewDict returns an empty rule dictionary.
 func NewDict() *Dict { return &Dict{ids: map[string]ID{}} }
 
+// NewLazyDict returns a dictionary pre-populated with n interned rules whose
+// serialized keys are provided by keyAt (ids 0..n-1, in id order). Keys are
+// parsed on first Rule lookup and cached — opening a persisted knowledge
+// base pays nothing per rule until a query materializes it. Add and Lookup
+// force the full key→id map (and thus every parse) on first use.
+func NewLazyDict(n int, keyAt func(i int) []byte) *Dict {
+	return &Dict{lazyN: n, keyAt: keyAt, lazy: make([]atomic.Pointer[lazyRule], n)}
+}
+
+// forceLocked parses every unparsed base key and builds the key→id map.
+// Caller holds mu for writing. Unparseable keys (corrupt persisted data) are
+// left unresolvable; their ids simply never match a Lookup.
+func (d *Dict) forceLocked() {
+	if d.forced || d.lazyN == 0 {
+		d.forced = true
+		if d.ids == nil {
+			d.ids = map[string]ID{}
+		}
+		return
+	}
+	if d.ids == nil {
+		d.ids = make(map[string]ID, d.lazyN)
+	}
+	for i := 0; i < d.lazyN; i++ {
+		lr := d.lazy[i].Load()
+		if lr == nil {
+			r, err := FromKey(string(d.keyAt(i)))
+			lr = &lazyRule{r: r, ok: err == nil}
+			d.lazy[i].Store(lr)
+		}
+		if lr.ok {
+			d.ids[lr.r.Key()] = ID(i)
+		}
+	}
+	d.forced = true
+}
+
 // Add returns the ID for r, allocating one on first sight.
 func (d *Dict) Add(r Rule) ID {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if !d.forced && d.lazyN > 0 {
+		d.forceLocked()
+	}
 	if d.ids == nil {
 		d.ids = map[string]ID{}
 	}
@@ -245,7 +302,7 @@ func (d *Dict) Add(r Rule) ID {
 	if id, ok := d.ids[k]; ok {
 		return id
 	}
-	id := ID(len(d.rules))
+	id := ID(d.lazyN + len(d.rules))
 	d.ids[k] = id
 	d.rules = append(d.rules, r)
 	return id
@@ -253,25 +310,45 @@ func (d *Dict) Add(r Rule) ID {
 
 // Lookup returns the ID for r if it has been added.
 func (d *Dict) Lookup(r Rule) (ID, bool) {
+	if d.lazyN > 0 {
+		d.mu.Lock()
+		d.forceLocked()
+		d.mu.Unlock()
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
 	id, ok := d.ids[r.Key()]
 	return id, ok
 }
 
-// Rule returns the rule for id. ok is false for out-of-range ids.
+// Rule returns the rule for id. ok is false for out-of-range ids (and for
+// lazy-base ids whose persisted key does not parse). Lazy-base resolution is
+// lock-free: the parse result is published with an atomic pointer, so
+// concurrent readers never contend with each other or with Add.
 func (d *Dict) Rule(id ID) (Rule, bool) {
+	if int(id) < d.lazyN {
+		if lr := d.lazy[id].Load(); lr != nil {
+			return lr.r, lr.ok
+		}
+		r, err := FromKey(string(d.keyAt(int(id))))
+		lr := &lazyRule{r: r, ok: err == nil}
+		// A racing parse of the same key wins or loses immaterially — both
+		// compute identical values from the same immutable bytes.
+		d.lazy[id].CompareAndSwap(nil, lr)
+		lr = d.lazy[id].Load()
+		return lr.r, lr.ok
+	}
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	if int(id) >= len(d.rules) {
+	if int(id)-d.lazyN >= len(d.rules) {
 		return Rule{}, false
 	}
-	return d.rules[id], true
+	return d.rules[int(id)-d.lazyN], true
 }
 
 // Len returns the number of interned rules.
 func (d *Dict) Len() int {
 	d.mu.RLock()
 	defer d.mu.RUnlock()
-	return len(d.rules)
+	return d.lazyN + len(d.rules)
 }

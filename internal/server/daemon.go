@@ -29,6 +29,7 @@ func Run(args []string, stderr io.Writer) error {
 	var (
 		addr     = fs.String("addr", "127.0.0.1:8775", "listen address")
 		kbFile   = fs.String("kb", "", "load a previously saved knowledge base instead of building")
+		mmapOn   = fs.Bool("mmap", false, "memory-map the -kb file (mapped container format) instead of deserializing it into the heap")
 		load     = fs.String("load", "", "build from transactions in a TSV file (timestamp<TAB>item item ...)")
 		fimi     = fs.String("fimi", "", "build from transactions in a FIMI-format file")
 		maxTx    = fs.Int("maxtx", 0, "cap transactions read from -fimi (0 = all)")
@@ -59,15 +60,19 @@ func Run(args []string, stderr io.Writer) error {
 	log := slog.New(slog.NewTextHandler(stderr, nil))
 
 	start := time.Now()
-	fw, err := loadOrBuild(log, *kbFile, *load, *fimi, *maxTx, *generate, *tx, *items, *avgLen,
+	fw, err := loadOrBuild(log, *kbFile, *mmapOn, *load, *fimi, *maxTx, *generate, *tx, *items, *avgLen,
 		*seed, *batches, *winSize, *genSupp, *genConf, *maxLen, *miner, *parallel)
 	if err != nil {
 		return err
 	}
+	defer fw.Close()
+	kbLoadMillis := time.Since(start).Milliseconds()
 	log.Info("knowledge base ready",
 		"windows", fw.Windows(),
 		"rules", fw.RuleDict().Len(),
 		"archiveBytes", fw.Archive().SizeBytes(),
+		"loadMode", fw.LoadMode(),
+		"loadMillis", kbLoadMillis,
 		"elapsed", time.Since(start).Round(time.Millisecond),
 	)
 	// Loaded knowledge bases carry no per-window timings; only a fresh build
@@ -100,6 +105,8 @@ func Run(args []string, stderr io.Writer) error {
 		SlowTraces:     *slowN,
 		ByteCacheSize:  *bcache,
 		GzipMinBytes:   gzMin,
+		KBLoadMode:     fw.LoadMode(),
+		KBLoadMillis:   kbLoadMillis,
 	})
 	if err != nil {
 		return err
@@ -143,10 +150,14 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener, drainTimeout time.D
 
 // loadOrBuild either restores a persisted knowledge base or builds one from
 // loaded/generated transactions, mirroring the cmd/tara startup path.
-func loadOrBuild(log *slog.Logger, kbFile, load, fimi string, maxTx int, generate string,
+func loadOrBuild(log *slog.Logger, kbFile string, mmapOn bool, load, fimi string, maxTx int, generate string,
 	tx, items, avgLen int, seed int64, batches int, winSize int64,
 	genSupp, genConf float64, maxLen int, miner string, parallel int) (*tara.Framework, error) {
 	if kbFile != "" {
+		if mmapOn {
+			log.Info("mapping knowledge base", "file", kbFile)
+			return tara.Open(kbFile)
+		}
 		f, err := os.Open(kbFile)
 		if err != nil {
 			return nil, err

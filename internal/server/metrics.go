@@ -54,6 +54,10 @@ type registry struct {
 	// byteStats, when set, contributes the encoded-response byte cache's
 	// counters the same way.
 	byteStats func() ByteCacheStats
+	// kbLoadMode and kbLoadMillis describe how the knowledge base reached
+	// memory at startup; set once in New, read-only afterwards.
+	kbLoadMode   string
+	kbLoadMillis int64
 }
 
 func newRegistry(slowTraces int) *registry {
@@ -127,8 +131,14 @@ type EndpointSnapshot struct {
 
 // MetricsSnapshot is the /metrics response body.
 type MetricsSnapshot struct {
-	UptimeSeconds float64                     `json:"uptimeSeconds"`
-	Goroutines    int                         `json:"goroutines"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Goroutines    int     `json:"goroutines"`
+	// KBLoadMode is how the knowledge base reached memory at startup:
+	// "heap" (legacy deserialization or fresh build), "mmap", "readerat"
+	// or "bytes" (mapped container without a live mapping).
+	KBLoadMode string `json:"kbLoadMode"`
+	// KBLoadMillis is the startup load (or build) duration in milliseconds.
+	KBLoadMillis  int64                       `json:"kbLoadMillis"`
 	Shed          uint64                      `json:"shed"`
 	QueryCache    tara.CacheStats             `json:"queryCache"`
 	ResponseCache ByteCacheStats              `json:"responseCache"`
@@ -143,6 +153,8 @@ func (r *registry) snapshot() MetricsSnapshot {
 	snap := MetricsSnapshot{
 		UptimeSeconds: time.Since(r.start).Seconds(),
 		Goroutines:    runtime.NumGoroutine(),
+		KBLoadMode:    r.kbLoadMode,
+		KBLoadMillis:  r.kbLoadMillis,
 		Shed:          r.shed.Load(),
 		Endpoints:     make(map[string]EndpointSnapshot, len(r.endpoints)),
 		Stages:        make(map[string]LatencySnapshot, obs.NumStages),

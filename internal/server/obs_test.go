@@ -289,6 +289,8 @@ func TestPrometheusExposition(t *testing.T) {
 		`tarad_stage_duration_seconds_bucket{stage="decode",`,
 		"tarad_query_cache_hits_total",
 		"tarad_uptime_seconds",
+		"tarad_kb_load_millis",
+		`tarad_kb_load_info{mode="` + s.fw.LoadMode() + `"} 1`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)

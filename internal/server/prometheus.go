@@ -21,6 +21,10 @@ func (r *registry) writePrometheus(w http.ResponseWriter) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	writeGauge(w, "tarad_uptime_seconds", "Seconds since the server registry was created.", time.Since(r.start).Seconds())
 	writeGauge(w, "tarad_goroutines", "Number of live goroutines.", float64(runtime.NumGoroutine()))
+	if r.kbLoadMode != "" {
+		writeGauge(w, "tarad_kb_load_millis", "Startup knowledge-base load (or build) duration in milliseconds.", float64(r.kbLoadMillis))
+		fmt.Fprintf(w, "# HELP tarad_kb_load_info Knowledge-base load mode at startup; the value is always 1.\n# TYPE tarad_kb_load_info gauge\ntarad_kb_load_info{mode=%q} 1\n", r.kbLoadMode)
+	}
 	writeCounter(w, "tarad_shed_requests_total", "Requests shed with 429 by the in-flight limiter.", float64(r.shed.Load()))
 
 	if r.cacheStats != nil {

@@ -106,6 +106,13 @@ type Config struct {
 	// selects DefaultGzipMinBytes; negative disables gzip variants
 	// entirely (identity bodies only, no Vary header).
 	GzipMinBytes int
+	// KBLoadMode records how the knowledge base reached memory ("heap",
+	// "mmap", "readerat" or "bytes"); surfaced on /metrics. Empty selects
+	// the framework's own load mode.
+	KBLoadMode string
+	// KBLoadMillis records how long the startup load (or build) took, in
+	// milliseconds; surfaced on /metrics.
+	KBLoadMillis int64
 }
 
 // DefaultGzipMinBytes is the gzip threshold when Config.GzipMinBytes is
@@ -187,6 +194,11 @@ func New(cfg Config) (*Server, error) {
 		s.gzipMin = DefaultGzipMinBytes
 	}
 	s.metrics.cacheStats = s.fw.CacheStats
+	s.metrics.kbLoadMode = cfg.KBLoadMode
+	if s.metrics.kbLoadMode == "" {
+		s.metrics.kbLoadMode = s.fw.LoadMode()
+	}
+	s.metrics.kbLoadMillis = cfg.KBLoadMillis
 	if cfg.ByteCacheSize >= 0 {
 		s.bcache = newByteCache(cfg.ByteCacheSize)
 		// Invalidate encoded bytes for a window the moment it commits, the

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -44,6 +45,28 @@ func testFramework(t *testing.T) *tara.Framework {
 			ContentIndex:  true,
 			Parallelism:   2,
 		})
+		if fwErr != nil || os.Getenv("TARA_SERVER_LOADMODE") != "mmap" {
+			return
+		}
+		// CI runs the whole server suite a second time against a mapped
+		// knowledge base: save the built framework in the mapped container
+		// format and reopen it via mmap, so every endpoint test exercises
+		// the lazily materialized serving path. The temp file must outlive
+		// the process-shared fixture, so it is not tied to a testing.T.
+		f, err := os.CreateTemp("", "tara-server-*.kb")
+		if err != nil {
+			fwErr = err
+			return
+		}
+		defer os.Remove(f.Name())
+		if fwErr = fwVal.SaveMapped(f); fwErr != nil {
+			f.Close()
+			return
+		}
+		if fwErr = f.Close(); fwErr != nil {
+			return
+		}
+		fwVal, fwErr = tara.Open(f.Name())
 	})
 	if fwErr != nil {
 		t.Fatalf("building test framework: %v", fwErr)
@@ -353,6 +376,15 @@ func TestMetrics(t *testing.T) {
 	}
 	if idle, ok := snap.Endpoints["rollup"]; !ok || idle.Requests != 0 {
 		t.Errorf("idle endpoint rollup: %+v, ok=%v", idle, ok)
+	}
+	// Config{} left KBLoadMode empty, so New fell back to the framework's
+	// own load mode ("heap" built in-process, "mmap" when the suite runs
+	// against a mapped knowledge base).
+	if snap.KBLoadMode != s.fw.LoadMode() {
+		t.Errorf("kbLoadMode = %q, want %q", snap.KBLoadMode, s.fw.LoadMode())
+	}
+	if snap.KBLoadMillis < 0 {
+		t.Errorf("kbLoadMillis = %d, want >= 0", snap.KBLoadMillis)
 	}
 }
 

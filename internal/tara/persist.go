@@ -2,6 +2,7 @@ package tara
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -10,6 +11,7 @@ import (
 	"tara/internal/archive"
 	"tara/internal/eps"
 	"tara/internal/mining"
+	"tara/internal/obs"
 	"tara/internal/rules"
 	"tara/internal/txdb"
 )
@@ -31,13 +33,25 @@ import (
 
 const kbMagic = "TARAKB1\n"
 
-// Save serializes the framework's knowledge base. It holds the read lock for
-// the duration, so a snapshot taken while appends are in flight is a
-// consistent whole-window state.
+// Save serializes the framework's knowledge base in the legacy TARAKB1
+// stream format (see SaveMapped for the mapped container). The snapshot is
+// encoded under the read lock — so a save taken while appends are in flight
+// is a consistent whole-window state — and written to w after the lock is
+// released, so a slow destination (disk, network) never blocks appends.
 func (f *Framework) Save(w io.Writer) error {
+	var buf bytes.Buffer
+	if err := f.encodeLegacy(&buf); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// encodeLegacy writes the legacy stream into buf under the read lock.
+func (f *Framework) encodeLegacy(buf *bytes.Buffer) error {
 	f.mu.RLock()
 	defer f.mu.RUnlock()
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriter(buf)
 	var tmp [binary.MaxVarintLen64]byte
 	writeUvarint := func(u uint64) error {
 		n := binary.PutUvarint(tmp[:], u)
@@ -117,16 +131,26 @@ func (f *Framework) Save(w io.Writer) error {
 	if err := bw.Flush(); err != nil {
 		return err
 	}
-	if _, err := f.arch.WriteTo(w); err != nil {
+	if _, err := f.arch.WriteTo(buf); err != nil {
 		return err
 	}
 	return nil
 }
 
 // Load reconstructs a framework from a stream produced by Save. The EPS
-// index is rebuilt from the archive.
+// index is rebuilt from the archive. Mapped-container (TARAKB2) streams are
+// detected and routed to the container reader: the bytes are read fully into
+// memory, so such a framework reports load mode "bytes" — use Open to map
+// the file instead of copying it.
 func Load(r io.Reader) (*Framework, error) {
 	br := bufio.NewReader(r)
+	if sniffMapped(br) {
+		data, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("tara: reading container: %w", err)
+		}
+		return OpenBytes(data)
+	}
 	magic := make([]byte, len(kbMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("tara: reading magic: %w", err)
@@ -268,6 +292,7 @@ func Load(r io.Reader) (*Framework, error) {
 		arch:     arch,
 		index:    eps.NewIndex(),
 		windows:  windows,
+		buildCtr: obs.NewCounterSet(buildCounterNames...),
 	}
 	if cfg.QueryCacheSize >= 0 {
 		f.qcache = newQueryCache(cfg.QueryCacheSize)
@@ -275,6 +300,7 @@ func Load(r io.Reader) (*Framework, error) {
 	if err := f.rebuildIndex(); err != nil {
 		return nil, err
 	}
+	f.genCtr.Store(uint64(len(windows)))
 	return f, nil
 }
 

@@ -17,6 +17,7 @@ import (
 
 	"tara/internal/archive"
 	"tara/internal/eps"
+	"tara/internal/kb"
 	"tara/internal/mining"
 	"tara/internal/obs"
 	"tara/internal/rules"
@@ -172,6 +173,15 @@ type Framework struct {
 	// the daemon uses this to invalidate its encoded-response cache.
 	hooksMu     sync.Mutex
 	appendHooks []func(window int)
+
+	// kbf is the mapped knowledge-base container behind a framework returned
+	// by Open / OpenBytes, nil otherwise; loadMode records how it entered
+	// memory (see LoadMode). Both are set once at open and never change, so
+	// they need no lock. The mapping must stay open for the framework's
+	// lifetime — archive payloads, posting streams and rule keys are served
+	// as views of the mapped bytes until an append promotes them.
+	kbf      *kb.File
+	loadMode string
 }
 
 // New returns an empty framework sharing the given item dictionary. Windows
