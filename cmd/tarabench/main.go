@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -29,19 +30,24 @@ func main() {
 	jsonPath := flag.String("json", "", "also write the experiment's JSON report to this file (online and build experiments)")
 	trace := flag.Bool("trace", false, "with -exp online: also print the mean per-stage Mine breakdown (cold and warm)")
 	parallel := flag.Int("parallel", 0, "with -exp build: top parallelism measured (0 = GOMAXPROCS)")
+	loadSec := flag.Float64("loadsec", 0, "with -exp load: seconds per phase (0 = default 3s)")
+	loadRates := flag.String("loadrates", "", "with -exp load: comma-separated offered QPS rates replacing calibration (e.g. 500,4000)")
+	loadProfile := flag.Bool("loadprofile", false, "with -exp load: capture a CPU profile during the peak phase and report hot functions")
 	flag.Parse()
 
 	start := time.Now()
 	var err error
 	switch {
-	case *jsonPath != "" && *exp != "online" && *exp != "build" && *exp != "coldstart":
-		err = fmt.Errorf("-json is only meaningful with -exp online, build or coldstart (got %q)", *exp)
+	case *jsonPath != "" && *exp != "online" && *exp != "build" && *exp != "coldstart" && *exp != "load":
+		err = fmt.Errorf("-json is only meaningful with -exp online, build, coldstart or load (got %q)", *exp)
 	case *trace && *exp != "online":
 		err = fmt.Errorf("-trace is only meaningful with -exp online (got %q)", *exp)
 	case *jsonPath != "" && *exp == "build":
 		err = runBuildJSON(*jsonPath, *scale, *parallel)
 	case *jsonPath != "" && *exp == "coldstart":
 		err = runColdStartJSON(*jsonPath, *scale)
+	case *exp == "load":
+		err = runLoad(*jsonPath, *scale, *loadSec, *loadRates, *loadProfile)
 	case *jsonPath != "":
 		// One measured report feeds both the table and the JSON artifact.
 		err = runOnlineJSON(*jsonPath, *scale)
@@ -114,6 +120,40 @@ func runColdStartJSON(path string, scale float64) error {
 		return err
 	}
 	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// runLoad runs the open-loop load experiment, printing its phase tables and
+// optionally storing the structured report (the checked-in BENCH_load.json
+// is produced this way, with -loadprofile).
+func runLoad(jsonPath string, scale, loadSec float64, ratesCSV string, profile bool) error {
+	opts := harness.LoadOptions{Profile: profile}
+	if loadSec > 0 {
+		opts.PhaseDuration = time.Duration(loadSec * float64(time.Second))
+	}
+	if ratesCSV != "" {
+		for _, f := range strings.Split(ratesCSV, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return fmt.Errorf("-loadrates: %w", err)
+			}
+			opts.Rates = append(opts.Rates, v)
+		}
+	}
+	rep, err := harness.LoadBench(scale, opts)
+	if err != nil {
+		return err
+	}
+	if err := harness.PrintLoad(os.Stdout, rep); err != nil {
+		return err
+	}
+	if jsonPath == "" {
+		return nil
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(jsonPath, append(b, '\n'), 0o644)
 }
 
 // runOnlineTrace prints the per-stage Mine breakdown (-trace).

@@ -61,6 +61,7 @@ var Experiments = map[string]func(io.Writer, float64) error{
 	"online":    RunOnline,
 	"build":     RunBuild,
 	"coldstart": RunColdStart,
+	"load":      RunLoad,
 }
 
 // ExperimentIDs lists the experiment ids in run order.

@@ -1,0 +1,216 @@
+package harness
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestLoadBenchSmall runs the open-loop experiment at toy scale with explicit
+// rates (no calibration) and checks the report's structural invariants: the
+// cold + warm-below + warm-above phase shape, rate accounting, per-class
+// bookkeeping that sums to the phase totals, and ordered latency quantiles.
+func TestLoadBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a knowledge base and offers ~1s of load")
+	}
+	rep, err := LoadBench(0.05, LoadOptions{
+		PhaseDuration: 250 * time.Millisecond,
+		Rates:         []float64{100, 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CapacityQPS != 0 {
+		t.Errorf("CapacityQPS = %g with explicit rates, want 0 (no calibration)", rep.CapacityQPS)
+	}
+	wantNames := []string{"cold", "warm-below", "warm-above"}
+	if len(rep.Phases) != len(wantNames) {
+		t.Fatalf("got %d phases, want %d", len(rep.Phases), len(wantNames))
+	}
+	wantRates := []float64{100, 100, 400}
+	for i, ph := range rep.Phases {
+		if ph.Name != wantNames[i] {
+			t.Errorf("phase %d name = %q, want %q", i, ph.Name, wantNames[i])
+		}
+		if ph.OfferedQPS != wantRates[i] {
+			t.Errorf("phase %q offeredQPS = %g, want %g", ph.Name, ph.OfferedQPS, wantRates[i])
+		}
+		if ph.Seconds <= 0 {
+			t.Errorf("phase %q seconds = %g, want > 0", ph.Name, ph.Seconds)
+		}
+		if ph.Requests == 0 {
+			t.Errorf("phase %q generated no requests", ph.Name)
+		}
+		if ph.GeneratedQPS <= 0 {
+			t.Errorf("phase %q generatedQPS = %g, want > 0", ph.Name, ph.GeneratedQPS)
+		}
+		if ph.ShedRate < 0 || ph.ShedRate > 1 {
+			t.Errorf("phase %q shedRate = %g outside [0,1]", ph.Name, ph.ShedRate)
+		}
+		var sum int
+		for _, c := range ph.Classes {
+			sum += c.Requests
+			if got := c.OK + c.Shed + c.Timeouts + c.Errors; got != c.Requests {
+				t.Errorf("phase %q class %q: ok+shed+timeouts+errors=%d != requests=%d",
+					ph.Name, c.Class, got, c.Requests)
+			}
+			if c.OK > 0 {
+				if c.P50Micros > c.P95Micros || c.P95Micros > c.P99Micros || c.P99Micros > c.P999Micros {
+					t.Errorf("phase %q class %q: quantiles out of order: p50=%g p95=%g p99=%g p999=%g",
+						ph.Name, c.Class, c.P50Micros, c.P95Micros, c.P99Micros, c.P999Micros)
+				}
+				if c.P999Micros > c.MaxMicros {
+					t.Errorf("phase %q class %q: p999=%g > max=%g", ph.Name, c.Class, c.P999Micros, c.MaxMicros)
+				}
+			}
+		}
+		if sum != ph.Requests {
+			t.Errorf("phase %q: class requests sum to %d, phase total %d", ph.Name, sum, ph.Requests)
+		}
+		if r := ph.ByteCache.HitRatio; r < 0 || r > 1 {
+			t.Errorf("phase %q byteCache hitRatio = %g outside [0,1]", ph.Name, r)
+		}
+	}
+	// Warm phases on the same server must see a byte cache at least as warm
+	// as the cold phase's.
+	if cold, warm := rep.Phases[0].ByteCache.HitRatio, rep.Phases[1].ByteCache.HitRatio; warm < cold {
+		t.Errorf("warm-below byte-cache hit ratio %g below cold phase's %g", warm, cold)
+	}
+
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if len(back.Phases) != len(rep.Phases) {
+		t.Errorf("round-trip lost phases: %d != %d", len(back.Phases), len(rep.Phases))
+	}
+}
+
+// Minimal protobuf encoders for building a synthetic pprof profile: varints,
+// wire-type-0 fields and length-delimited fields.
+func pbVarint(v uint64) []byte {
+	var b []byte
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func pbVint(field int, v uint64) []byte {
+	return append(pbVarint(uint64(field)<<3|0), pbVarint(v)...)
+}
+
+func pbBytes(field int, payload []byte) []byte {
+	b := append(pbVarint(uint64(field)<<3|2), pbVarint(uint64(len(payload)))...)
+	return append(b, payload...)
+}
+
+// TestParseProfile decodes a hand-encoded CPU profile: two functions, one
+// with 900ns flat and one with 100ns, mixing packed and unpacked repeated
+// fields to cover both decode paths.
+func TestParseProfile(t *testing.T) {
+	// Sample 1: leaf location 1, values [5, 900] (count, nanos) — unpacked.
+	sample1 := append(pbVint(1, 1), pbVint(2, 5)...)
+	sample1 = append(sample1, pbVint(2, 900)...)
+	// Sample 2: locations [2, 1] and values [1, 100] — packed.
+	locs := append(pbVarint(2), pbVarint(1)...)
+	vals := append(pbVarint(1), pbVarint(100)...)
+	sample2 := append(pbBytes(1, locs), pbBytes(2, vals)...)
+
+	line1 := pbVint(1, 1) // Line{function_id: 1}
+	line2 := pbVint(1, 2)
+	loc1 := append(pbVint(1, 1), pbBytes(4, line1)...) // Location{id: 1, line}
+	loc2 := append(pbVint(1, 2), pbBytes(4, line2)...)
+	fn1 := append(pbVint(1, 1), pbVint(2, 1)...) // Function{id: 1, name: strtab[1]}
+	fn2 := append(pbVint(1, 2), pbVint(2, 2)...)
+
+	var profile []byte
+	profile = append(profile, pbBytes(2, sample1)...)
+	profile = append(profile, pbBytes(2, sample2)...)
+	profile = append(profile, pbBytes(4, loc1)...)
+	profile = append(profile, pbBytes(4, loc2)...)
+	profile = append(profile, pbBytes(5, fn1)...)
+	profile = append(profile, pbBytes(5, fn2)...)
+	profile = append(profile, pbBytes(6, []byte(""))...) // strtab[0] is always ""
+	profile = append(profile, pbBytes(6, []byte("hotFunc"))...)
+	profile = append(profile, pbBytes(6, []byte("coldFunc"))...)
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(profile); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := ParseProfile(gz.Bytes(), 10)
+	if rep.Err != "" {
+		t.Fatalf("ParseProfile: %s", rep.Err)
+	}
+	if rep.Samples != 2 {
+		t.Errorf("Samples = %d, want 2", rep.Samples)
+	}
+	if rep.TotalNanos != 1000 {
+		t.Errorf("TotalNanos = %d, want 1000", rep.TotalNanos)
+	}
+	if len(rep.Top) != 2 {
+		t.Fatalf("Top = %+v, want 2 functions", rep.Top)
+	}
+	if rep.Top[0].Name != "hotFunc" || rep.Top[0].FlatNanos != 900 || rep.Top[0].Percent != 90 {
+		t.Errorf("Top[0] = %+v, want hotFunc 900ns 90%%", rep.Top[0])
+	}
+	if rep.Top[1].Name != "coldFunc" || rep.Top[1].FlatNanos != 100 || rep.Top[1].Percent != 10 {
+		t.Errorf("Top[1] = %+v, want coldFunc 100ns 10%%", rep.Top[1])
+	}
+}
+
+// TestParseProfileTopN checks truncation to topN.
+func TestParseProfileTopN(t *testing.T) {
+	sample := append(pbVint(1, 1), pbVint(2, 10)...)
+	var profile []byte
+	profile = append(profile, pbBytes(2, sample)...)
+	profile = append(profile, pbBytes(6, []byte(""))...)
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write(profile)
+	zw.Close()
+	rep := ParseProfile(gz.Bytes(), 0)
+	if rep.Err != "" {
+		t.Fatalf("ParseProfile: %s", rep.Err)
+	}
+	// Location 1 has no Location message, so it attributes to "(unknown)";
+	// topN=0 truncates the table away while keeping the totals.
+	if len(rep.Top) != 0 || rep.TotalNanos != 10 {
+		t.Errorf("topN=0: Top=%+v TotalNanos=%d, want empty table with total 10", rep.Top, rep.TotalNanos)
+	}
+}
+
+// TestParseProfileErrors checks malformed inputs surface as Err, never panic.
+func TestParseProfileErrors(t *testing.T) {
+	for name, data := range map[string][]byte{
+		"not gzip":  []byte("definitely not a gzip stream"),
+		"empty":     nil,
+		"truncated": {0x1f, 0x8b, 0x08},
+	} {
+		if rep := ParseProfile(data, 5); rep.Err == "" {
+			t.Errorf("%s: ParseProfile returned no error: %+v", name, rep)
+		}
+	}
+	// A gzip stream wrapping garbage protobuf must also fail gracefully.
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write([]byte{0xff, 0xff, 0xff})
+	zw.Close()
+	if rep := ParseProfile(gz.Bytes(), 5); rep.Err == "" {
+		t.Errorf("garbage protobuf: ParseProfile returned no error: %+v", rep)
+	}
+}

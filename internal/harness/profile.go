@@ -1,0 +1,289 @@
+package harness
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Hot-function attribution from a CPU profile, without importing a profile
+// library: runtime/pprof emits the gzip-compressed profile.proto wire
+// format, and the handful of fields needed for FLAT attribution (sample
+// values, each sample's leaf location, location -> function -> name) decode
+// with a plain protobuf walk. Fields outside that set are skipped by wire
+// type, so richer profiles (labels, mappings, comments) parse fine.
+
+// HotFunc is one function's flat share of the profile.
+type HotFunc struct {
+	Name string `json:"name"`
+	// FlatNanos is CPU time attributed to samples whose leaf frame is this
+	// function (the last sample value, which for CPU profiles is
+	// nanoseconds).
+	FlatNanos int64   `json:"flatNanos"`
+	Percent   float64 `json:"percent"`
+}
+
+// ProfileReport is the parsed hot-function view of one CPU profile.
+type ProfileReport struct {
+	Samples    int       `json:"samples"`
+	TotalNanos int64     `json:"totalNanos"`
+	Top        []HotFunc `json:"top"`
+	// Err records a capture or parse failure; the rest of the report is
+	// empty when set.
+	Err string `json:"err,omitempty"`
+}
+
+// ParseProfile decodes a pprof CPU profile (gzip + profile.proto) and
+// returns the topN functions by flat time. Parse failures are reported in
+// the Err field, never as a panic — the profile rides along with a load
+// report and must not sink it.
+func ParseProfile(data []byte, topN int) *ProfileReport {
+	rep, err := parseProfile(data, topN)
+	if err != nil {
+		return &ProfileReport{Err: err.Error()}
+	}
+	return rep
+}
+
+// profSample is one decoded Sample message: its leaf location and last
+// value.
+type profSample struct {
+	leafLoc uint64
+	value   int64
+}
+
+func parseProfile(data []byte, topN int) (*ProfileReport, error) {
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("profile: not gzip: %w", err)
+	}
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("profile: decompress: %w", err)
+	}
+
+	var (
+		samples  []profSample
+		locFunc  = map[uint64]uint64{} // location id -> leaf-line function id
+		funcName = map[uint64]uint64{} // function id -> string table index
+		strtab   []string
+	)
+	// Top-level Profile message: 2=sample, 4=location, 5=function,
+	// 6=string_table.
+	err = walkMessage(raw, func(field int, wire int, v uint64, msg []byte) error {
+		switch field {
+		case 2: // Sample{1: location_id repeated, 2: value repeated}
+			var locs []uint64
+			var vals []int64
+			if err := walkMessage(msg, func(f, w int, u uint64, m []byte) error {
+				switch f {
+				case 1:
+					if w == 2 { // packed
+						us, err := unpackVarints(m)
+						if err != nil {
+							return err
+						}
+						locs = append(locs, us...)
+					} else {
+						locs = append(locs, u)
+					}
+				case 2:
+					if w == 2 {
+						us, err := unpackVarints(m)
+						if err != nil {
+							return err
+						}
+						for _, x := range us {
+							vals = append(vals, int64(x))
+						}
+					} else {
+						vals = append(vals, int64(u))
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if len(locs) > 0 && len(vals) > 0 {
+				// The last value type of a CPU profile is cpu/nanoseconds;
+				// location_id[0] is the leaf frame.
+				samples = append(samples, profSample{leafLoc: locs[0], value: vals[len(vals)-1]})
+			}
+		case 4: // Location{1: id, 4: line repeated}
+			var id, fn uint64
+			if err := walkMessage(msg, func(f, w int, u uint64, m []byte) error {
+				switch f {
+				case 1:
+					id = u
+				case 4: // Line{1: function_id}; first line is the leaf
+					if fn == 0 {
+						if err := walkMessage(m, func(lf, lw int, lu uint64, _ []byte) error {
+							if lf == 1 {
+								fn = lu
+							}
+							return nil
+						}); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if id != 0 {
+				locFunc[id] = fn
+			}
+		case 5: // Function{1: id, 2: name string-index}
+			var id, name uint64
+			if err := walkMessage(msg, func(f, w int, u uint64, _ []byte) error {
+				switch f {
+				case 1:
+					id = u
+				case 2:
+					name = u
+				}
+				return nil
+			}); err != nil {
+				return err
+			}
+			if id != 0 {
+				funcName[id] = name
+			}
+		case 6: // string_table
+			strtab = append(strtab, string(msg))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nameOf := func(loc uint64) string {
+		fn, ok := locFunc[loc]
+		if !ok || fn == 0 {
+			return "(unknown)"
+		}
+		idx, ok := funcName[fn]
+		if !ok || idx >= uint64(len(strtab)) {
+			return "(unknown)"
+		}
+		return strtab[idx]
+	}
+
+	flat := map[string]int64{}
+	var total int64
+	for _, s := range samples {
+		flat[nameOf(s.leafLoc)] += s.value
+		total += s.value
+	}
+	rep := &ProfileReport{Samples: len(samples), TotalNanos: total}
+	for name, v := range flat {
+		rep.Top = append(rep.Top, HotFunc{Name: name, FlatNanos: v})
+	}
+	sort.Slice(rep.Top, func(i, j int) bool {
+		if rep.Top[i].FlatNanos != rep.Top[j].FlatNanos {
+			return rep.Top[i].FlatNanos > rep.Top[j].FlatNanos
+		}
+		return rep.Top[i].Name < rep.Top[j].Name
+	})
+	if len(rep.Top) > topN {
+		rep.Top = rep.Top[:topN]
+	}
+	if total > 0 {
+		for i := range rep.Top {
+			rep.Top[i].Percent = 100 * float64(rep.Top[i].FlatNanos) / float64(total)
+		}
+	}
+	return rep, nil
+}
+
+// walkMessage decodes one protobuf message, calling fn per field with the
+// field number, wire type, the varint value (wire type 0) and the
+// length-delimited payload (wire type 2). Fixed32/fixed64 fields are skipped.
+func walkMessage(b []byte, fn func(field, wire int, v uint64, msg []byte) error) error {
+	for len(b) > 0 {
+		key, n, err := readVarint(b)
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		field, wire := int(key>>3), int(key&7)
+		switch wire {
+		case 0: // varint
+			v, n, err := readVarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if err := fn(field, wire, v, nil); err != nil {
+				return err
+			}
+		case 1: // fixed64
+			if len(b) < 8 {
+				return fmt.Errorf("profile: truncated fixed64")
+			}
+			b = b[8:]
+		case 2: // length-delimited
+			l, n, err := readVarint(b)
+			if err != nil {
+				return err
+			}
+			b = b[n:]
+			if uint64(len(b)) < l {
+				return fmt.Errorf("profile: truncated field %d", field)
+			}
+			if err := fn(field, wire, 0, b[:l]); err != nil {
+				return err
+			}
+			b = b[l:]
+		case 5: // fixed32
+			if len(b) < 4 {
+				return fmt.Errorf("profile: truncated fixed32")
+			}
+			b = b[4:]
+		default:
+			return fmt.Errorf("profile: unsupported wire type %d", wire)
+		}
+	}
+	return nil
+}
+
+// unpackVarints decodes a packed repeated-varint payload.
+func unpackVarints(b []byte) ([]uint64, error) {
+	var out []uint64
+	for len(b) > 0 {
+		v, n, err := readVarint(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+		b = b[n:]
+	}
+	return out, nil
+}
+
+func readVarint(b []byte) (uint64, int, error) {
+	var v uint64
+	for i := 0; i < len(b) && i < 10; i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i]&0x80 == 0 {
+			return v, i + 1, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("profile: truncated varint")
+}
+
+// PrintProfile renders the hot-function table.
+func PrintProfile(w io.Writer, p *ProfileReport) {
+	if p.Err != "" {
+		fmt.Fprintf(w, "cpu profile: %s\n", p.Err)
+		return
+	}
+	fmt.Fprintf(w, "cpu profile at peak load — %d samples, %.0fms total\n", p.Samples, float64(p.TotalNanos)/1e6)
+	for _, f := range p.Top {
+		fmt.Fprintf(w, "  %6.2f%% %12d ns  %s\n", f.Percent, f.FlatNanos, f.Name)
+	}
+}

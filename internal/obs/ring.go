@@ -6,10 +6,14 @@ import (
 	"time"
 )
 
-// SlowTrace is one captured slow request, as served by /debug/slow.
+// SlowTrace is one captured slow request, as served by /debug/slow. Endpoint
+// is the HTTP route the request arrived on; Class is the query class it
+// decoded as (the textual-syntax op name, e.g. "about" for /content), so
+// consumers filtering by workload class don't have to know the route table.
 type SlowTrace struct {
 	ID          string        `json:"id"`
 	Endpoint    string        `json:"endpoint"`
+	Class       string        `json:"class"`
 	Status      int           `json:"status"`
 	Start       time.Time     `json:"start"`
 	TotalMicros float64       `json:"totalMicros"`

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+)
+
+// Runtime observability: a point-in-time view of the Go runtime's resource
+// state, read through runtime/metrics so the serving path never pays for a
+// stop-the-world ReadMemStats. The SLO evidence layer cares about exactly the
+// series that explain tail latency under load — GC pauses (the classic p99.9
+// villain), scheduler latency (the saturation signal: how long runnable
+// goroutines wait for a thread), live heap (the GC pressure input) — so those
+// are what RuntimeSnapshot carries, alongside the goroutine and GC-cycle
+// gauges that bound them.
+
+// runtimeMetricNames are the runtime/metrics samples one ReadRuntime reads.
+// Order matters: it pairs with the indexing in ReadRuntime.
+var runtimeMetricNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/gc/pauses:seconds",
+	"/sched/latencies:seconds",
+}
+
+// RuntimeHist summarizes one runtime/metrics duration distribution (GC
+// pauses, scheduler latencies). Quantiles are inclusive upper bounds at the
+// runtime's own bucket resolution. Bounds/Counts carry the raw bucket view
+// for exposition formats that want the full distribution: Bounds[i] is the
+// exclusive upper edge (in seconds) of the bucket counted by Counts[i], with
+// a final +Inf bucket when the runtime reports one.
+type RuntimeHist struct {
+	Count     uint64    `json:"count"`
+	P50Micros float64   `json:"p50Micros"`
+	P99Micros float64   `json:"p99Micros"`
+	MaxMicros float64   `json:"maxMicros"`
+	Bounds    []float64 `json:"-"`
+	Counts    []uint64  `json:"-"`
+}
+
+// RuntimeSnapshot is the /metrics view of the Go runtime.
+type RuntimeSnapshot struct {
+	// Goroutines counts live goroutines (the runtime's own gauge, which can
+	// differ slightly from runtime.NumGoroutine under churn).
+	Goroutines uint64 `json:"goroutines"`
+	// HeapLiveBytes is the bytes of live heap objects — the GC's input.
+	HeapLiveBytes uint64 `json:"heapLiveBytes"`
+	// HeapGoalBytes is the size the GC is currently aiming to keep the heap
+	// under; live bytes approaching the goal means a collection is imminent.
+	HeapGoalBytes uint64 `json:"heapGoalBytes"`
+	// GCCycles counts completed GC cycles since process start.
+	GCCycles uint64 `json:"gcCycles"`
+	// GCPause is the distribution of stop-the-world pause latencies.
+	GCPause RuntimeHist `json:"gcPause"`
+	// SchedLatency is the distribution of time goroutines spent runnable
+	// before running — the direct measure of CPU saturation.
+	SchedLatency RuntimeHist `json:"schedLatency"`
+}
+
+// ReadRuntime samples the runtime's resource state. It is safe to call
+// concurrently and costs a few microseconds; callers snapshotting /metrics
+// call it per scrape, not per request.
+func ReadRuntime() RuntimeSnapshot {
+	samples := make([]metrics.Sample, len(runtimeMetricNames))
+	for i, name := range runtimeMetricNames {
+		samples[i].Name = name
+	}
+	metrics.Read(samples)
+
+	u64 := func(i int) uint64 {
+		if samples[i].Value.Kind() == metrics.KindUint64 {
+			return samples[i].Value.Uint64()
+		}
+		return 0
+	}
+	hist := func(i int) RuntimeHist {
+		if samples[i].Value.Kind() != metrics.KindFloat64Histogram {
+			return RuntimeHist{}
+		}
+		return summarizeFloat64Hist(samples[i].Value.Float64Histogram())
+	}
+	snap := RuntimeSnapshot{
+		Goroutines:    u64(0),
+		HeapLiveBytes: u64(1),
+		HeapGoalBytes: u64(2),
+		GCCycles:      u64(3),
+		GCPause:       hist(4),
+		SchedLatency:  hist(5),
+	}
+	if snap.Goroutines == 0 {
+		// A runtime that doesn't export the gauge (KindBad on some future
+		// toolchain) still reports something useful.
+		snap.Goroutines = uint64(runtime.NumGoroutine())
+	}
+	return snap
+}
+
+// summarizeFloat64Hist reduces a runtime Float64Histogram (bucket boundaries
+// in seconds) to the snapshot's quantile view, keeping the raw buckets for
+// Prometheus exposition. The runtime's first boundary may be -Inf and the
+// last +Inf; quantile answers use each bucket's finite upper edge, falling
+// back to the lower edge for the +Inf bucket.
+func summarizeFloat64Hist(h *metrics.Float64Histogram) RuntimeHist {
+	if h == nil || len(h.Counts) == 0 {
+		return RuntimeHist{}
+	}
+	out := RuntimeHist{Counts: h.Counts}
+	// Buckets has len(Counts)+1 boundaries; bucket i spans
+	// [Buckets[i], Buckets[i+1]). Record the upper edges.
+	out.Bounds = h.Buckets[1:]
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	out.Count = total
+	if total == 0 {
+		return out
+	}
+	upper := func(i int) float64 {
+		b := out.Bounds[i]
+		if isInf(b) && i > 0 {
+			return h.Buckets[i] // +Inf bucket: report its finite lower edge
+		}
+		return b
+	}
+	quantile := func(q float64) float64 {
+		target := uint64(math.Ceil(q * float64(total)))
+		if target == 0 {
+			target = 1
+		}
+		var cum uint64
+		for i, c := range h.Counts {
+			cum += c
+			if cum >= target {
+				return upper(i) * 1e6
+			}
+		}
+		return upper(len(h.Counts)-1) * 1e6
+	}
+	out.P50Micros = quantile(0.50)
+	out.P99Micros = quantile(0.99)
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			out.MaxMicros = upper(i) * 1e6
+			break
+		}
+	}
+	return out
+}
+
+func isInf(f float64) bool { return f > 1e300 || f < -1e300 }

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	"runtime/metrics"
+	"testing"
+)
+
+// TestReadRuntimeSanity forces a GC so every series has data, then checks the
+// snapshot is internally consistent: live heap below (or at) the goal's order
+// of magnitude, nonzero gauges, and histograms whose quantiles are ordered.
+func TestReadRuntimeSanity(t *testing.T) {
+	runtime.GC()
+	snap := ReadRuntime()
+
+	if snap.Goroutines == 0 {
+		t.Error("Goroutines = 0, want > 0")
+	}
+	if snap.HeapLiveBytes == 0 {
+		t.Error("HeapLiveBytes = 0, want > 0")
+	}
+	if snap.HeapGoalBytes == 0 {
+		t.Error("HeapGoalBytes = 0, want > 0")
+	}
+	if snap.GCCycles == 0 {
+		t.Error("GCCycles = 0 after an explicit runtime.GC()")
+	}
+	if snap.GCPause.Count == 0 {
+		t.Error("GCPause.Count = 0 after an explicit runtime.GC()")
+	}
+	for name, h := range map[string]RuntimeHist{"GCPause": snap.GCPause, "SchedLatency": snap.SchedLatency} {
+		if h.Count == 0 {
+			continue
+		}
+		if h.P50Micros > h.P99Micros {
+			t.Errorf("%s: p50 %g > p99 %g", name, h.P50Micros, h.P99Micros)
+		}
+		if h.P99Micros > h.MaxMicros {
+			t.Errorf("%s: p99 %g > max %g", name, h.P99Micros, h.MaxMicros)
+		}
+		if len(h.Bounds) != len(h.Counts) {
+			t.Errorf("%s: %d bounds for %d counts", name, len(h.Bounds), len(h.Counts))
+		}
+	}
+}
+
+// TestSummarizeFloat64Hist pins the quantile arithmetic on a hand-built
+// histogram: 10 observations over three buckets with known upper edges.
+func TestSummarizeFloat64Hist(t *testing.T) {
+	h := &metrics.Float64Histogram{
+		// Buckets i spans [Buckets[i], Buckets[i+1]); runtime histograms open
+		// with -Inf and close with +Inf.
+		Counts:  []uint64{6, 3, 1},
+		Buckets: []float64{math.Inf(-1), 0.001, 0.002, math.Inf(1)},
+	}
+	got := summarizeFloat64Hist(h)
+	if got.Count != 10 {
+		t.Fatalf("Count = %d, want 10", got.Count)
+	}
+	// p50 target = ceil(0.5*10) = 5th observation -> first bucket, upper edge
+	// 1ms = 1000us.
+	if got.P50Micros != 1000 {
+		t.Errorf("P50Micros = %g, want 1000", got.P50Micros)
+	}
+	// p99 target = ceil(0.99*10) = 10th observation -> +Inf bucket, which
+	// reports its finite lower edge 2ms.
+	if got.P99Micros != 2000 {
+		t.Errorf("P99Micros = %g, want 2000", got.P99Micros)
+	}
+	if got.MaxMicros != 2000 {
+		t.Errorf("MaxMicros = %g, want 2000", got.MaxMicros)
+	}
+	if len(got.Bounds) != 3 || got.Bounds[0] != 0.001 || !isInf(got.Bounds[2]) {
+		t.Errorf("Bounds = %v, want [0.001 0.002 +Inf]", got.Bounds)
+	}
+}
+
+// TestSummarizeFloat64HistEmpty checks the degenerate shapes: nil histogram
+// and all-zero counts.
+func TestSummarizeFloat64HistEmpty(t *testing.T) {
+	if got := summarizeFloat64Hist(nil); got.Count != 0 {
+		t.Errorf("nil histogram Count = %d, want 0", got.Count)
+	}
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 0.001, 0.002},
+	}
+	got := summarizeFloat64Hist(h)
+	if got.Count != 0 || got.P50Micros != 0 || got.MaxMicros != 0 {
+		t.Errorf("empty histogram = %+v, want zero summary", got)
+	}
+	if len(got.Bounds) != 2 {
+		t.Errorf("empty histogram kept %d bounds, want 2", len(got.Bounds))
+	}
+}

@@ -47,6 +47,7 @@ func Run(args []string, stderr io.Writer) error {
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "windows preprocessed concurrently during build (0 or 1 = serial)")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
 		inflight = fs.Int("maxinflight", 256, "max concurrently executing queries (-1 = unlimited)")
+		qwait    = fs.Duration("queuewait", 0, "max time a request may queue for an in-flight slot before 429 (0 = shed immediately)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowN    = fs.Int("slowtraces", 32, "slowest request traces retained for /debug/slow")
 		bcache   = fs.Int("bytecache", 0, "encoded-response byte cache entries (0 = default, -1 = disabled)")
@@ -54,6 +55,9 @@ func Run(args []string, stderr io.Writer) error {
 		gzipMin  = fs.Int("gzipmin", 0, "smallest response body (bytes) to gzip (0 = default 1024)")
 		drain    = fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	)
+	// -slowring is the documented name for the slow-trace ring size;
+	// -slowtraces remains as the original spelling. Both set the same value.
+	fs.IntVar(slowN, "slowring", 32, "alias for -slowtraces")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -101,6 +105,7 @@ func Run(args []string, stderr io.Writer) error {
 		Logger:         log,
 		RequestTimeout: *timeout,
 		MaxInFlight:    *inflight,
+		QueueWait:      *qwait,
 		EnablePprof:    *pprofOn,
 		SlowTraces:     *slowN,
 		ByteCacheSize:  *bcache,

@@ -18,6 +18,9 @@ import (
 // traffic are approximate but internally safe.
 
 type endpointStats struct {
+	// class is the query class served at this endpoint (the textual-syntax
+	// op name, e.g. "about" for /content); set at registration, read-only.
+	class    string
 	requests atomic.Uint64
 	errors   atomic.Uint64
 	// writeFailures counts responses whose body encode or wire write failed
@@ -25,7 +28,22 @@ type endpointStats struct {
 	// body. These are invisible to the status-code error counter (the
 	// status was already 200), so they get their own series.
 	writeFailures atomic.Uint64
-	latency       obs.Hist
+	// inFlight gauges requests currently inside the endpoint's handler
+	// (including any time spent queued for an in-flight slot).
+	inFlight atomic.Int64
+	// shed counts requests this endpoint answered 429 because no in-flight
+	// slot freed up in time; timeouts counts requests the timeout wrapper
+	// cut off with 503. Both are incremented strictly AFTER the endpoint's
+	// requests counter (the middleware bumps requests on entry), and
+	// snapshots read them BEFORE requests, so shed <= requests and
+	// timeouts <= requests hold in every observable snapshot.
+	shed     atomic.Uint64
+	timeouts atomic.Uint64
+	latency  obs.Hist
+	// queueWait is the time from request arrival to the query starting to
+	// decode — admission queueing plus router/middleware overhead. Shed
+	// requests never observe it (they were not admitted).
+	queueWait obs.Hist
 }
 
 // countWrite folds a response-write error into the endpoint's
@@ -54,6 +72,10 @@ type registry struct {
 	// byteStats, when set, contributes the encoded-response byte cache's
 	// counters the same way.
 	byteStats func() ByteCacheStats
+	// kbResidency, when set, reports the archive's byte footprint and
+	// whether its payloads are still mmap-aliased (versus promoted to the
+	// heap) — the residency half of the kb load-mode story.
+	kbResidency func() (bytes int, mapped bool)
 	// kbLoadMode and kbLoadMillis describe how the knowledge base reached
 	// memory at startup; set once in New, read-only afterwards.
 	kbLoadMode   string
@@ -68,12 +90,12 @@ func newRegistry(slowTraces int) *registry {
 	}
 }
 
-// endpoint registers (or returns) the stats slot for name. Only called while
-// building the mux, before any traffic.
-func (r *registry) endpoint(name string) *endpointStats {
+// endpoint registers (or returns) the stats slot for name, serving query
+// class class. Only called while building the mux, before any traffic.
+func (r *registry) endpoint(name, class string) *endpointStats {
 	st, ok := r.endpoints[name]
 	if !ok {
-		st = &endpointStats{}
+		st = &endpointStats{class: class}
 		r.endpoints[name] = st
 	}
 	return st
@@ -83,7 +105,7 @@ func (r *registry) endpoint(name string) *endpointStats {
 // and offers it to the slow-trace ring. Stages the request never entered
 // (zero duration) are not observed, so stage counts reflect executions, not
 // requests.
-func (r *registry) recordTrace(endpoint string, status int, start time.Time, tr *obs.Trace) {
+func (r *registry) recordTrace(endpoint, class string, status int, start time.Time, tr *obs.Trace) {
 	if tr == nil {
 		return
 	}
@@ -95,6 +117,7 @@ func (r *registry) recordTrace(endpoint string, status int, start time.Time, tr 
 	r.slow.Offer(&obs.SlowTrace{
 		ID:          tr.ID(),
 		Endpoint:    endpoint,
+		Class:       class,
 		Status:      status,
 		Start:       start,
 		TotalMicros: float64(tr.Total()) / float64(time.Microsecond),
@@ -123,10 +146,23 @@ func latencySnapshot(h *obs.Hist) LatencySnapshot {
 
 // EndpointSnapshot reports one endpoint's counters and latency quantiles.
 type EndpointSnapshot struct {
-	Requests      uint64          `json:"requests"`
-	Errors        uint64          `json:"errors"`
-	WriteFailures uint64          `json:"writeFailures"`
-	Latency       LatencySnapshot `json:"latency"`
+	// Class is the query class the endpoint serves (e.g. "about" for the
+	// /content endpoint).
+	Class         string `json:"class"`
+	Requests      uint64 `json:"requests"`
+	Errors        uint64 `json:"errors"`
+	WriteFailures uint64 `json:"writeFailures"`
+	// InFlight gauges requests currently executing (or queued for an
+	// in-flight slot) at this endpoint.
+	InFlight int64 `json:"inFlight"`
+	// Shed counts requests answered 429 by the admission limiter; Timeouts
+	// counts requests cut off with 503 by the per-request timeout.
+	Shed     uint64          `json:"shed"`
+	Timeouts uint64          `json:"timeouts"`
+	Latency  LatencySnapshot `json:"latency"`
+	// QueueWait is the admission-queueing delay distribution of admitted
+	// requests (arrival to query decode).
+	QueueWait LatencySnapshot `json:"queueWait"`
 }
 
 // MetricsSnapshot is the /metrics response body.
@@ -138,8 +174,16 @@ type MetricsSnapshot struct {
 	// or "bytes" (mapped container without a live mapping).
 	KBLoadMode string `json:"kbLoadMode"`
 	// KBLoadMillis is the startup load (or build) duration in milliseconds.
-	KBLoadMillis  int64                       `json:"kbLoadMillis"`
-	Shed          uint64                      `json:"shed"`
+	KBLoadMillis int64 `json:"kbLoadMillis"`
+	// KBArchiveBytes is the TAR Archive's encoded footprint;
+	// KBArchiveMapped reports whether those bytes are still mmap-aliased
+	// (true until a write promotes them to the heap).
+	KBArchiveBytes  int    `json:"kbArchiveBytes"`
+	KBArchiveMapped bool   `json:"kbArchiveMapped"`
+	Shed            uint64 `json:"shed"`
+	// Runtime is the Go runtime's resource view: heap, GC cycles, and the
+	// GC-pause and scheduler-latency distributions.
+	Runtime       obs.RuntimeSnapshot         `json:"runtime"`
 	QueryCache    tara.CacheStats             `json:"queryCache"`
 	ResponseCache ByteCacheStats              `json:"responseCache"`
 	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
@@ -159,22 +203,36 @@ func (r *registry) snapshot() MetricsSnapshot {
 		Endpoints:     make(map[string]EndpointSnapshot, len(r.endpoints)),
 		Stages:        make(map[string]LatencySnapshot, obs.NumStages),
 	}
+	snap.Runtime = obs.ReadRuntime()
 	if r.cacheStats != nil {
 		snap.QueryCache = r.cacheStats()
 	}
 	if r.byteStats != nil {
 		snap.ResponseCache = r.byteStats()
 	}
+	if r.kbResidency != nil {
+		snap.KBArchiveBytes, snap.KBArchiveMapped = r.kbResidency()
+	}
 	for name, st := range r.endpoints {
-		// The middleware bumps requests before observing latency, so reading
-		// the histogram first keeps Latency.Count <= Requests even while
-		// requests land mid-snapshot.
+		// The middleware bumps requests on entry, before any outcome counter
+		// or histogram observation, so reading every outcome (latency,
+		// queue wait, shed, timeouts, errors) BEFORE requests keeps each of
+		// them <= Requests even while requests land mid-snapshot.
 		lat := latencySnapshot(&st.latency)
+		qw := latencySnapshot(&st.queueWait)
+		shed := st.shed.Load()
+		timeouts := st.timeouts.Load()
+		errors := st.errors.Load()
 		snap.Endpoints[name] = EndpointSnapshot{
+			Class:         st.class,
 			Requests:      st.requests.Load(),
-			Errors:        st.errors.Load(),
+			Errors:        errors,
 			WriteFailures: st.writeFailures.Load(),
+			InFlight:      st.inFlight.Load(),
+			Shed:          shed,
+			Timeouts:      timeouts,
 			Latency:       lat,
+			QueueWait:     qw,
 		}
 	}
 	for _, s := range obs.Stages() {

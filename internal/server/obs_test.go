@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -147,15 +148,89 @@ func TestUntracedResponseUnchanged(t *testing.T) {
 	}
 }
 
-// checkPromExposition is a minimal Prometheus text-format checker: every
-// sample line parses as `name{labels} value` or `name value`, every series
-// has HELP and TYPE metadata, histogram buckets are cumulative and their
-// +Inf bucket equals the series _count.
+// Prometheus text-format (version 0.0.4) conformance checking, applied to
+// every exported series: metric and label names match the spec's character
+// sets, label values use only the legal escapes (\\, \", \n), every sample's
+// metric family carries HELP and TYPE metadata, no two sample lines repeat
+// the same (name, label set) series, histogram buckets are cumulative and
+// close with a +Inf bucket equal to the series _count.
+
+var (
+	promMetricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// parsePromLabels parses the inside of a {...} label block, validating label
+// names and value escaping. Returns the labels as sorted `name=value` pairs
+// (values unescaped) for series identity.
+func parsePromLabels(s string) ([]string, error) {
+	var out []string
+	for len(s) > 0 {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("no '=' in label segment %q", s)
+		}
+		name := s[:eq]
+		if !promLabelNameRe.MatchString(name) {
+			return nil, fmt.Errorf("bad label name %q", name)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %s: value not quoted", name)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("label %s: dangling backslash", name)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("label %s: illegal escape \\%c", name, s[i+1])
+				}
+				i++
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			if c == '\n' {
+				return nil, fmt.Errorf("label %s: raw newline in value", name)
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("label %s: unterminated value", name)
+		}
+		out = append(out, name+"="+val.String())
+		if len(s) > 0 {
+			if s[0] != ',' {
+				return nil, fmt.Errorf("expected ',' between labels, got %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// checkPromExposition validates a full exposition body against the rules
+// above.
 func checkPromExposition(t *testing.T, text string) {
 	t.Helper()
 	helped := map[string]bool{}
 	typed := map[string]string{}
-	bucketCum := map[string]uint64{} // series key -> last cumulative value
+	seen := map[string]int{}         // series identity -> first line
+	bucketCum := map[string]uint64{} // histogram key -> last cumulative value
 	infSeen := map[string]uint64{}
 	counts := map[string]uint64{}
 
@@ -176,6 +251,9 @@ func checkPromExposition(t *testing.T, text string) {
 			if len(f) != 4 {
 				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
 			}
+			if typed[f[2]] != "" {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln+1, f[2])
+			}
 			typed[f[2]] = f[3]
 			continue
 		}
@@ -193,13 +271,25 @@ func checkPromExposition(t *testing.T, text string) {
 			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
 		}
 		name := series
-		labels := ""
+		var labels []string
 		if i := strings.IndexByte(series, '{'); i >= 0 {
 			if !strings.HasSuffix(series, "}") {
 				t.Fatalf("line %d: unterminated labels: %q", ln+1, line)
 			}
-			name, labels = series[:i], series[i+1:len(series)-1]
+			name = series[:i]
+			labels, err = parsePromLabels(series[i+1 : len(series)-1])
+			if err != nil {
+				t.Fatalf("line %d: %v: %q", ln+1, err, line)
+			}
 		}
+		if !promMetricNameRe.MatchString(name) {
+			t.Fatalf("line %d: illegal metric name %q", ln+1, name)
+		}
+		id := name + "{" + strings.Join(labels, ",") + "}"
+		if first, dup := seen[id]; dup {
+			t.Fatalf("line %d: duplicate series %s (first at line %d)", ln+1, id, first)
+		}
+		seen[id] = ln + 1
 		base := name
 		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
 			if b, ok := strings.CutSuffix(name, suffix); ok && typed[b] == "histogram" {
@@ -214,14 +304,13 @@ func checkPromExposition(t *testing.T, text string) {
 			// checked per labeled histogram.
 			var le string
 			var rest []string
-			for _, kv := range strings.Split(labels, ",") {
+			for _, kv := range labels {
 				if v, ok := strings.CutPrefix(kv, "le="); ok {
 					le = v
-				} else if kv != "" {
+				} else {
 					rest = append(rest, kv)
 				}
 			}
-			sort.Strings(rest)
 			key := base + "|" + strings.Join(rest, ",")
 			switch {
 			case strings.HasSuffix(name, "_bucket"):
@@ -229,7 +318,7 @@ func checkPromExposition(t *testing.T, text string) {
 					t.Fatalf("line %d: bucket not cumulative (%d < %d): %q", ln+1, uint64(val), bucketCum[key], line)
 				}
 				bucketCum[key] = uint64(val)
-				if le == `"+Inf"` {
+				if le == "+Inf" {
 					infSeen[key] = uint64(val)
 				}
 			case strings.HasSuffix(name, "_count"):
@@ -246,6 +335,20 @@ func checkPromExposition(t *testing.T, text string) {
 			t.Errorf("histogram %s has no +Inf bucket", key)
 		} else if inf != c {
 			t.Errorf("histogram %s: +Inf bucket %d != count %d", key, inf, c)
+		}
+	}
+}
+
+// TestPromLabelParser pins the checker's own label grammar: legal escapes
+// round-trip, illegal ones are rejected — so a conformance pass over the
+// real exposition means the escaping rules were actually exercised.
+func TestPromLabelParser(t *testing.T) {
+	if got, err := parsePromLabels(`a="x\\y\"z\n",b="w"`); err != nil || strings.Join(got, "|") != "a=x\\y\"z\n|b=w" {
+		t.Fatalf("legal labels: got %q, err %v", got, err)
+	}
+	for _, bad := range []string{`a="x\t"`, `a=x`, `1a="x"`, `a="x`} {
+		if _, err := parsePromLabels(bad); err == nil {
+			t.Errorf("parsePromLabels(%q) accepted, want error", bad)
 		}
 	}
 }
@@ -291,6 +394,20 @@ func TestPrometheusExposition(t *testing.T) {
 		"tarad_uptime_seconds",
 		"tarad_kb_load_millis",
 		`tarad_kb_load_info{mode="` + s.fw.LoadMode() + `"} 1`,
+		`tarad_request_shed_total{endpoint="mine"} 0`,
+		`tarad_request_timeouts_total{endpoint="mine"} 0`,
+		`tarad_in_flight_requests{endpoint="mine"} 0`,
+		// Queue wait is observed only on admission inside the handler; byte-cache
+		// hits answer upstream of the limiter, so only the cold miss and the
+		// w=999 error request pass through admission.
+		`tarad_queue_wait_seconds_count{endpoint="mine"} 2`,
+		"tarad_go_heap_live_bytes",
+		"tarad_go_heap_goal_bytes",
+		"tarad_go_gc_cycles_total",
+		`tarad_go_gc_pause_seconds_bucket{le="+Inf"}`,
+		`tarad_go_sched_latency_seconds_count`,
+		"tarad_kb_archive_bytes",
+		"tarad_kb_archive_mapped",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition missing %q:\n%s", want, text)

@@ -25,6 +25,16 @@ func (r *registry) writePrometheus(w http.ResponseWriter) {
 		writeGauge(w, "tarad_kb_load_millis", "Startup knowledge-base load (or build) duration in milliseconds.", float64(r.kbLoadMillis))
 		fmt.Fprintf(w, "# HELP tarad_kb_load_info Knowledge-base load mode at startup; the value is always 1.\n# TYPE tarad_kb_load_info gauge\ntarad_kb_load_info{mode=%q} 1\n", r.kbLoadMode)
 	}
+	if r.kbResidency != nil {
+		bytes, mapped := r.kbResidency()
+		writeGauge(w, "tarad_kb_archive_bytes", "TAR Archive encoded footprint in bytes.", float64(bytes))
+		var m float64
+		if mapped {
+			m = 1
+		}
+		writeGauge(w, "tarad_kb_archive_mapped", "1 when the archive payload is still mmap-aliased, 0 once promoted to the heap.", m)
+	}
+	writeRuntime(w)
 	writeCounter(w, "tarad_shed_requests_total", "Requests shed with 429 by the in-flight limiter.", float64(r.shed.Load()))
 
 	if r.cacheStats != nil {
@@ -68,11 +78,32 @@ func (r *registry) writePrometheus(w http.ResponseWriter) {
 	for _, name := range names {
 		fmt.Fprintf(w, "tarad_response_write_failures_total{endpoint=%q} %d\n", name, r.endpoints[name].writeFailures.Load())
 	}
+	fmt.Fprintln(w, "# HELP tarad_request_shed_total Requests shed with 429 by the admission limiter, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_request_shed_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "tarad_request_shed_total{endpoint=%q} %d\n", name, r.endpoints[name].shed.Load())
+	}
+	fmt.Fprintln(w, "# HELP tarad_request_timeouts_total Requests cut off with 503 by the per-request timeout, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_request_timeouts_total counter")
+	for _, name := range names {
+		fmt.Fprintf(w, "tarad_request_timeouts_total{endpoint=%q} %d\n", name, r.endpoints[name].timeouts.Load())
+	}
+	fmt.Fprintln(w, "# HELP tarad_in_flight_requests Requests currently executing or queued for an in-flight slot, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_in_flight_requests gauge")
+	for _, name := range names {
+		fmt.Fprintf(w, "tarad_in_flight_requests{endpoint=%q} %d\n", name, r.endpoints[name].inFlight.Load())
+	}
 
 	fmt.Fprintln(w, "# HELP tarad_request_duration_seconds Request latency, by endpoint.")
 	fmt.Fprintln(w, "# TYPE tarad_request_duration_seconds histogram")
 	for _, name := range names {
 		writeHistSeries(w, "tarad_request_duration_seconds", "endpoint", name, r.endpoints[name].latency.Snapshot())
+	}
+
+	fmt.Fprintln(w, "# HELP tarad_queue_wait_seconds Admission-queue wait of admitted requests, by endpoint.")
+	fmt.Fprintln(w, "# TYPE tarad_queue_wait_seconds histogram")
+	for _, name := range names {
+		writeHistSeries(w, "tarad_queue_wait_seconds", "endpoint", name, r.endpoints[name].queueWait.Snapshot())
 	}
 
 	fmt.Fprintln(w, "# HELP tarad_stage_duration_seconds Per-stage query latency, aggregated over traced requests.")
@@ -90,6 +121,43 @@ func writeGauge(w io.Writer, name, help string, v float64) {
 
 func writeCounter(w io.Writer, name, help string, v float64) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+}
+
+// writeRuntime emits the Go runtime resource series: heap gauges, GC cycle
+// counter, and the GC-pause / scheduler-latency distributions re-bucketed
+// from runtime/metrics. These are the series that explain tail latency —
+// pauses for p99.9 spikes, scheduler latency for CPU saturation.
+func writeRuntime(w io.Writer) {
+	rt := obs.ReadRuntime()
+	writeGauge(w, "tarad_go_heap_live_bytes", "Bytes of live heap objects.", float64(rt.HeapLiveBytes))
+	writeGauge(w, "tarad_go_heap_goal_bytes", "Heap size the garbage collector is aiming to keep under.", float64(rt.HeapGoalBytes))
+	writeCounter(w, "tarad_go_gc_cycles_total", "Completed GC cycles since process start.", float64(rt.GCCycles))
+	writeRuntimeHist(w, "tarad_go_gc_pause_seconds", "Distribution of stop-the-world GC pause latencies.", rt.GCPause)
+	writeRuntimeHist(w, "tarad_go_sched_latency_seconds", "Distribution of time goroutines spent runnable before running.", rt.SchedLatency)
+}
+
+// writeRuntimeHist renders a RuntimeHist as an unlabeled Prometheus
+// histogram. Zero-count buckets are elided (the runtime exports hundreds of
+// fine-grained buckets, nearly all empty); cumulative counts stay exact
+// because elision only skips repeat values. runtime/metrics does not track a
+// duration sum, so the _sum sample is omitted — scrapers derive rates from
+// _count and the bucket distribution.
+func writeRuntimeHist(w io.Writer, name, help string, h obs.RuntimeHist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if c == 0 || i >= len(h.Bounds) {
+			continue
+		}
+		b := h.Bounds[i]
+		if b > 1e300 { // +Inf terminal bucket: the explicit +Inf line covers it
+			continue
+		}
+		fmt.Fprintf(w, "%s_bucket{le=\"%g\"} %d\n", name, b, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_count %d\n", name, cum)
 }
 
 // writeHistSeries emits one labeled histogram series: cumulative _bucket

@@ -88,9 +88,16 @@ type Config struct {
 	// exceed it answer 503. Defaults to 10s.
 	RequestTimeout time.Duration
 	// MaxInFlight caps concurrently executing query requests; excess
-	// requests are shed immediately with 429. Defaults to 256. Negative
-	// disables the limiter.
+	// requests are shed with 429. Defaults to 256. Negative disables the
+	// limiter.
 	MaxInFlight int
+	// QueueWait bounds how long a request may wait for an in-flight slot
+	// before being shed with 429. Zero (the default) sheds the moment no
+	// slot is free — the pre-queue behavior. A small bound (a few ms)
+	// absorbs Poisson arrival bursts at high load without letting queue
+	// delay grow unbounded; the wait is observed per endpoint as the
+	// queueWait histogram on /metrics.
+	QueueWait time.Duration
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
 	// SlowTraces sizes the ring of slowest request traces kept for
@@ -123,12 +130,13 @@ const DefaultGzipMinBytes = 1024
 // Server answers TARA exploration queries over HTTP. Create with New; it is
 // safe for concurrent use by any number of connections.
 type Server struct {
-	fw      *tara.Framework
-	log     *slog.Logger
-	timeout time.Duration
-	limiter chan struct{} // nil = unlimited; buffered to MaxInFlight
-	mux     *http.ServeMux
-	metrics *registry
+	fw        *tara.Framework
+	log       *slog.Logger
+	timeout   time.Duration
+	limiter   chan struct{} // nil = unlimited; buffered to MaxInFlight
+	queueWait time.Duration // max wait for a limiter slot; 0 = shed immediately
+	mux       *http.ServeMux
+	metrics   *registry
 	// bcache serves pre-encoded response bytes for the cacheable query
 	// classes; nil when Config.ByteCacheSize is negative.
 	bcache *byteCache
@@ -183,17 +191,22 @@ func New(cfg Config) (*Server, error) {
 		slowTraces = 32
 	}
 	s := &Server{
-		fw:      cfg.Framework,
-		log:     log,
-		timeout: timeout,
-		mux:     http.NewServeMux(),
-		metrics: newRegistry(slowTraces),
-		gzipMin: cfg.GzipMinBytes,
+		fw:        cfg.Framework,
+		log:       log,
+		timeout:   timeout,
+		queueWait: cfg.QueueWait,
+		mux:       http.NewServeMux(),
+		metrics:   newRegistry(slowTraces),
+		gzipMin:   cfg.GzipMinBytes,
 	}
 	if s.gzipMin == 0 {
 		s.gzipMin = DefaultGzipMinBytes
 	}
 	s.metrics.cacheStats = s.fw.CacheStats
+	s.metrics.kbResidency = func() (int, bool) {
+		a := s.fw.Archive()
+		return a.SizeBytes(), a.Mapped()
+	}
 	s.metrics.kbLoadMode = cfg.KBLoadMode
 	if s.metrics.kbLoadMode == "" {
 		s.metrics.kbLoadMode = s.fw.LoadMode()
@@ -217,7 +230,7 @@ func New(cfg Config) (*Server, error) {
 
 	for _, e := range endpoints {
 		name, op := e.path[1:], e.op
-		st := s.metrics.endpoint(name)
+		st := s.metrics.endpoint(name, op)
 		inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 			s.answer(name, op, st, w, r)
 		})
@@ -239,9 +252,22 @@ func New(cfg Config) (*Server, error) {
 		writeJSON(w, http.StatusOK, s.metrics.snapshot())
 	})
 	s.mux.HandleFunc("/debug/slow", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.metrics.slow.Snapshot())
+		traces := s.metrics.slow.Snapshot()
+		if class := r.URL.Query().Get("class"); class != "" {
+			filtered := make([]obs.SlowTrace, 0, len(traces))
+			for _, t := range traces {
+				if t.Class == class {
+					filtered = append(filtered, t)
+				}
+			}
+			traces = filtered
+		}
+		writeJSON(w, http.StatusOK, traces)
 	})
 	if cfg.EnablePprof {
+		// Profiling endpoints expose stacks, heap contents and CPU samples;
+		// they are opt-in and must never face an untrusted network.
+		log.Warn("pprof enabled: /debug/pprof/ exposes profiling data (stacks, heap, CPU); do not expose this listener to untrusted networks")
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -263,6 +289,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // is echoed back on the response. Stage durations are atomics, so a handler
 // goroutine abandoned by the timeout wrapper can keep writing spans while
 // this records the trace — the record is a safe point-in-time view.
+//
+// Counter ordering discipline: requests is bumped on ENTRY, before the
+// handler can record any outcome (shed, timeout, error, latency), and
+// snapshot readers load outcomes before requests — so every snapshot
+// satisfies shed <= requests, timeouts <= requests, errors <= requests and
+// latency.count <= requests, even mid-traffic.
 func (s *Server) instrument(name string, st *endpointStats, h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		id := r.Header.Get("X-Request-ID")
@@ -273,17 +305,23 @@ func (s *Server) instrument(name string, st *endpointStats, h http.Handler) http
 		w.Header().Set("X-Request-ID", id)
 		r = r.WithContext(obs.WithTrace(r.Context(), tr))
 
+		st.requests.Add(1)
+		st.inFlight.Add(1)
+		defer st.inFlight.Add(-1)
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(rec, r)
 		d := time.Since(start)
 		tr.Finish()
-		st.requests.Add(1)
 		if rec.status >= 400 {
 			st.errors.Add(1)
 		}
+		if rec.status == http.StatusServiceUnavailable {
+			// Only the timeout wrapper answers 503 on these routes.
+			st.timeouts.Add(1)
+		}
 		st.latency.Observe(d)
-		s.metrics.recordTrace(name, rec.status, start, tr)
+		s.metrics.recordTrace(name, st.class, rec.status, start, tr)
 		s.log.Info("request",
 			"endpoint", name,
 			"trace", id,
@@ -345,20 +383,23 @@ func (s *Server) answer(name, op string, st *endpointStats, w http.ResponseWrite
 		writeError(w, http.StatusMethodNotAllowed, "use GET or POST")
 		return
 	}
+	tr := obs.FromContext(r.Context())
 	if s.limiter != nil {
-		select {
-		case s.limiter <- struct{}{}:
-			defer func() { <-s.limiter }()
-		default:
+		if !s.admit(r) {
 			s.metrics.shed.Add(1)
-			writeError(w, http.StatusTooManyRequests, "server at capacity, retry later")
+			st.shed.Add(1)
+			st.countWrite(writeError(w, http.StatusTooManyRequests, "server at capacity, retry later"))
 			return
 		}
+		defer func() { <-s.limiter }()
 	}
+	// Queue wait: elapsed time from request arrival (trace creation in the
+	// instrument middleware) to here — admission queueing plus router and
+	// timeout-wrapper overhead. Shed requests never observe it.
+	st.queueWait.Observe(tr.Total())
 	if s.delay != nil {
 		s.delay(name)
 	}
-	tr := obs.FromContext(r.Context())
 	sp := tr.Start(obs.StageDecode)
 	values := r.URL.Query()
 	if r.Method == http.MethodPost {
@@ -396,6 +437,32 @@ func (s *Server) answer(name, op string, st *endpointStats, w http.ResponseWrite
 	sp = tr.Start(obs.StageEncode)
 	st.countWrite(writeResult(w, res))
 	sp.End()
+}
+
+// admit takes an in-flight limiter slot, waiting up to queueWait for one to
+// free. It reports false when the request must be shed. The caller releases
+// the slot. Only called with a non-nil limiter.
+func (s *Server) admit(r *http.Request) bool {
+	select {
+	case s.limiter <- struct{}{}:
+		return true
+	default:
+	}
+	if s.queueWait <= 0 {
+		return false
+	}
+	t := time.NewTimer(s.queueWait)
+	defer t.Stop()
+	select {
+	case s.limiter <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-r.Context().Done():
+		// The client gave up (or the timeout wrapper fired) while queued;
+		// shedding is the honest answer — the work never started.
+		return false
+	}
 }
 
 // answerCached serves a byte-cacheable query. A warm hit (probed here for
