@@ -117,6 +117,24 @@ func TestCLITaraREPL(t *testing.T) {
 	}
 }
 
+// TestCLITaraServeUsage checks that `tara serve` exposes the daemon's flag
+// set (internal/server.Run is the single flag source shared with cmd/tarad),
+// including the admission flags, via -h.
+func TestCLITaraServeUsage(t *testing.T) {
+	bin := buildTool(t, "./cmd/tara")
+	cmd := exec.Command(bin, "serve", "-h")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Errorf("serve -h exited 0; want the help-requested error path:\n%s", out)
+	}
+	text := string(out)
+	for _, flagName := range []string{"-addr", "-admission", "-minlimit", "-maxinflight", "-queuewait", "-kb", "-mmap"} {
+		if !strings.Contains(text, "\n  "+flagName+" ") && !strings.Contains(text, "\n  "+flagName+"\n") {
+			t.Errorf("serve -h output missing %s:\n%s", flagName, text)
+		}
+	}
+}
+
 func TestCLIMaras(t *testing.T) {
 	bin := buildTool(t, "./cmd/maras")
 	out := run(t, bin, "-reports", "2500", "-topk", "10")

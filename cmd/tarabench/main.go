@@ -33,6 +33,7 @@ func main() {
 	loadSec := flag.Float64("loadsec", 0, "with -exp load: seconds per phase (0 = default 3s)")
 	loadRates := flag.String("loadrates", "", "with -exp load: comma-separated offered QPS rates replacing calibration (e.g. 500,4000)")
 	loadProfile := flag.Bool("loadprofile", false, "with -exp load: capture a CPU profile during the peak phase and report hot functions")
+	loadAdm := flag.String("loadadmission", "adaptive", "with -exp load: admission modes to measure — adaptive (static phases plus the adaptive-admission section) or static (legacy phases only)")
 	flag.Parse()
 
 	start := time.Now()
@@ -47,7 +48,7 @@ func main() {
 	case *jsonPath != "" && *exp == "coldstart":
 		err = runColdStartJSON(*jsonPath, *scale)
 	case *exp == "load":
-		err = runLoad(*jsonPath, *scale, *loadSec, *loadRates, *loadProfile)
+		err = runLoad(*jsonPath, *scale, *loadSec, *loadRates, *loadProfile, *loadAdm)
 	case *jsonPath != "":
 		// One measured report feeds both the table and the JSON artifact.
 		err = runOnlineJSON(*jsonPath, *scale)
@@ -125,8 +126,8 @@ func runColdStartJSON(path string, scale float64) error {
 // runLoad runs the open-loop load experiment, printing its phase tables and
 // optionally storing the structured report (the checked-in BENCH_load.json
 // is produced this way, with -loadprofile).
-func runLoad(jsonPath string, scale, loadSec float64, ratesCSV string, profile bool) error {
-	opts := harness.LoadOptions{Profile: profile}
+func runLoad(jsonPath string, scale, loadSec float64, ratesCSV string, profile bool, admission string) error {
+	opts := harness.LoadOptions{Profile: profile, Admission: admission}
 	if loadSec > 0 {
 		opts.PhaseDuration = time.Duration(loadSec * float64(time.Second))
 	}

@@ -145,6 +145,12 @@ type LoadOptions struct {
 	Profile bool
 	// Seed fixes the workload; 0 selects the default.
 	Seed int64
+	// Admission selects the experiment's scope: "" or "adaptive" (the
+	// default) appends the adaptive-admission section — a second cold server
+	// under the AIMD controller, driven through a load ramp and a steady
+	// above-saturation phase — while "static" runs only the legacy
+	// fixed-cap phases.
+	Admission string
 }
 
 func (o *LoadOptions) defaults() {
@@ -228,9 +234,53 @@ type LoadReport struct {
 	// are derived from (0 when explicit rates were given).
 	CapacityQPS float64     `json:"capacityQPS"`
 	Phases      []LoadPhase `json:"phases"`
+	// Adaptive is the adaptive-admission section: the same workload against
+	// a cold server under the AIMD controller (nil when Admission:"static"
+	// skipped it).
+	Adaptive *AdaptiveLoadReport `json:"adaptive,omitempty"`
 	// Profile is the overload-phase CPU profile's hot-function attribution
 	// (nil unless profiling was requested).
 	Profile *ProfileReport `json:"profile,omitempty"`
+}
+
+// LimitSample is one point of the adaptive controller's limit trajectory,
+// sampled on a fixed cadence across the ramp and steady phases.
+type LimitSample struct {
+	OffsetMillis float64 `json:"offsetMillis"`
+	OfferedQPS   float64 `json:"offeredQPS"`
+	Limit        int     `json:"limit"`
+	InFlight     int     `json:"inFlight"`
+}
+
+// ClassP99 compares one query class's admitted p99 between the tuned static
+// cap and the adaptive controller at the same above-saturation offered rate.
+type ClassP99 struct {
+	Class          string  `json:"class"`
+	StaticMicros   float64 `json:"staticP99Micros"`
+	AdaptiveMicros float64 `json:"adaptiveP99Micros"`
+}
+
+// AdaptiveLoadReport is the adaptive-admission evidence: the controller's
+// limit trajectory while the offered load ramps across the capacity knee,
+// the limit it converged to, and the admitted tail latency next to the
+// tuned static cap's at the same overload rate.
+type AdaptiveLoadReport struct {
+	MinLimit int `json:"minLimit"`
+	MaxLimit int `json:"maxLimit"`
+	// ConvergedLimit is the median limit over the steady (post-ramp) phase's
+	// trajectory samples.
+	ConvergedLimit int    `json:"convergedLimit"`
+	Increases      uint64 `json:"increases"`
+	Decreases      uint64 `json:"decreases"`
+	// Trajectory is the sampled (offered rate, limit, in-flight) path; the
+	// ramp covers its first two thirds, the steady phase the rest.
+	Trajectory []LimitSample `json:"trajectory"`
+	// Phases are adaptive-ramp and adaptive-above, in the same shape as the
+	// top-level static phases (per-class sheds included).
+	Phases []LoadPhase `json:"phases"`
+	// P99VsStatic pairs each class's admitted p99 in adaptive-above with the
+	// static warm-above phase's, per class.
+	P99VsStatic []ClassP99 `json:"p99VsStatic"`
 }
 
 // loadOutcome is one completed request.
@@ -354,6 +404,16 @@ func calibrate(h http.Handler, g *loadGen, workers int, d time.Duration) float64
 // arrivals dropped by the cap are counted, not hidden.
 func runPhase(h http.Handler, g *loadGen, name string, rate float64, d time.Duration,
 	qc func() tara.CacheStats, bc func() server.ByteCacheStats) LoadPhase {
+	return runPhaseRate(h, g, name, func(time.Duration) float64 { return rate }, rate, d, qc, bc)
+}
+
+// runPhaseRate is runPhase with a time-varying offered rate: rateAt maps
+// elapsed phase time to the instantaneous arrival rate, which is what the
+// adaptive experiment's ramp uses to sweep the offered load across the
+// capacity knee within one phase. offered is the rate recorded in the report
+// (the peak for a ramp).
+func runPhaseRate(h http.Handler, g *loadGen, name string, rateAt func(time.Duration) float64,
+	offered float64, d time.Duration, qc func() tara.CacheStats, bc func() server.ByteCacheStats) LoadPhase {
 	const maxOutstanding = 2048
 	qc0, bc0 := qc(), bc()
 	col := &loadCollector{}
@@ -397,7 +457,7 @@ func runPhase(h http.Handler, g *loadGen, name string, rate float64, d time.Dura
 			default:
 				dropped++
 			}
-			next = next.Add(time.Duration(g.r.ExpFloat64() / rate * float64(time.Second)))
+			next = next.Add(time.Duration(g.r.ExpFloat64() / rateAt(next.Sub(start)) * float64(time.Second)))
 		}
 	}
 	wg.Wait()
@@ -407,7 +467,7 @@ func runPhase(h http.Handler, g *loadGen, name string, rate float64, d time.Dura
 	ph := LoadPhase{
 		Name:          name,
 		Seconds:       elapsed.Seconds(),
-		OfferedQPS:    rate,
+		OfferedQPS:    offered,
 		GeneratedQPS:  float64(generated) / d.Seconds(),
 		Requests:      len(col.out),
 		ClientDropped: dropped,
@@ -574,7 +634,138 @@ func LoadBench(scale float64, opts LoadOptions) (*LoadReport, error) {
 		}
 		rep.Phases = append(rep.Phases, runPhase(h, g, name, rate, opts.PhaseDuration, qc, bc))
 	}
+
+	if opts.Admission != "static" {
+		ad, err := runAdaptive(points, locations, windows, rates[0], rates[len(rates)-1],
+			&rep.Phases[len(rep.Phases)-1], opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Adaptive = ad
+	}
 	return rep, nil
+}
+
+// runAdaptive reruns the workload against a second cold server in adaptive
+// admission mode: a ramp phase sweeps the offered rate from below to above
+// the capacity knee (twice the usual phase length, so the controller sees
+// both regimes) while a sampler records the limit trajectory, then a steady
+// phase holds the static run's above-saturation rate so the admitted tail is
+// directly comparable to the tuned static cap's warm-above phase. The
+// controller starts from its cold default (MinLimit), with headroom well
+// above the tuned static cap so convergence is earned, not clamped.
+func runAdaptive(points [][2]float64, locations, windows int, low, high float64,
+	staticAbove *LoadPhase, opts LoadOptions) (*AdaptiveLoadReport, error) {
+	f, err := loadFramework(locations, windows, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	maxLimit := 4 * opts.MaxInFlight
+	if maxLimit < 8 {
+		maxLimit = 8
+	}
+	srv, err := server.New(server.Config{
+		Framework:      f,
+		Logger:         slog.New(slog.NewTextHandler(io.Discard, nil)),
+		RequestTimeout: opts.Timeout,
+		MaxInFlight:    maxLimit,
+		AdmissionMode:  "adaptive",
+		QueueWait:      opts.QueueWait,
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := srv.Handler()
+	qc, bc := f.CacheStats, srv.ByteCacheStats
+	g := newLoadGen(points, windows, opts.Seed+2)
+
+	rampDur := 2 * opts.PhaseDuration
+	rateAt := func(t time.Duration) float64 {
+		frac := float64(t) / float64(rampDur)
+		if frac > 1 {
+			frac = 1
+		}
+		return low + (high-low)*frac
+	}
+
+	a0 := srv.Admission()
+	ad := &AdaptiveLoadReport{MinLimit: a0.MinLimit, MaxLimit: a0.MaxLimit}
+
+	// The trajectory sampler spans both phases; its offsets are from the
+	// ramp's start, so rateAt doubles as the schedule of offered rates.
+	interval := opts.PhaseDuration / 20
+	if interval > 100*time.Millisecond {
+		interval = 100 * time.Millisecond
+	}
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	t0 := time.Now()
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				off := now.Sub(t0)
+				snap := srv.Admission()
+				ad.Trajectory = append(ad.Trajectory, LimitSample{
+					OffsetMillis: float64(off) / float64(time.Millisecond),
+					OfferedQPS:   rateAt(off),
+					Limit:        snap.Limit,
+					InFlight:     snap.InFlight,
+				})
+			}
+		}
+	}()
+	ad.Phases = append(ad.Phases, runPhaseRate(h, g, "adaptive-ramp", rateAt, high, rampDur, qc, bc))
+	ad.Phases = append(ad.Phases, runPhase(h, g, "adaptive-above", high, opts.PhaseDuration, qc, bc))
+	close(stop)
+	<-done
+
+	final := srv.Admission()
+	ad.Increases, ad.Decreases = final.Increases, final.Decreases
+	ad.ConvergedLimit = convergedLimit(ad.Trajectory, float64(rampDur)/float64(time.Millisecond))
+	above := ad.Phases[len(ad.Phases)-1]
+	for _, sc := range staticAbove.Classes {
+		for _, ac := range above.Classes {
+			if ac.Class == sc.Class && (sc.OK > 0 || ac.OK > 0) {
+				ad.P99VsStatic = append(ad.P99VsStatic, ClassP99{
+					Class:          sc.Class,
+					StaticMicros:   sc.P99Micros,
+					AdaptiveMicros: ac.P99Micros,
+				})
+			}
+		}
+	}
+	return ad, nil
+}
+
+// convergedLimit is the median limit over the post-ramp (steady-phase)
+// trajectory samples; a run too short to have any falls back to the last
+// quarter of all samples.
+func convergedLimit(traj []LimitSample, rampMillis float64) int {
+	var tail []int
+	for _, s := range traj {
+		if s.OffsetMillis >= rampMillis {
+			tail = append(tail, s.Limit)
+		}
+	}
+	if len(tail) == 0 && len(traj) > 0 {
+		for _, s := range traj[len(traj)-(len(traj)+3)/4:] {
+			tail = append(tail, s.Limit)
+		}
+	}
+	if len(tail) == 0 {
+		return 0
+	}
+	sort.Ints(tail)
+	return tail[len(tail)/2]
 }
 
 // RunLoad prints the load experiment with default options.
@@ -594,19 +785,17 @@ func PrintLoad(w io.Writer, rep *LoadReport) error {
 		fmt.Fprintf(w, "calibrated capacity: %.0f QPS (closed loop)\n", rep.CapacityQPS)
 	}
 	for _, ph := range rep.Phases {
-		fmt.Fprintf(w, "\nphase %-11s offered %.0f QPS, achieved %.0f QPS (completed %.0f), shed %.1f%%, timeout %.1f%%, clientDropped %d\n",
-			ph.Name, ph.OfferedQPS, ph.AchievedQPS, ph.CompletedQPS, 100*ph.ShedRate, 100*ph.TimeoutRate, ph.ClientDropped)
-		fmt.Fprintf(w, "  caches: query %.3f hit ratio (%d/%d), byte %.3f (%d/%d)\n",
-			ph.QueryCache.HitRatio, ph.QueryCache.Hits, ph.QueryCache.Hits+ph.QueryCache.Misses,
-			ph.ByteCache.HitRatio, ph.ByteCache.Hits, ph.ByteCache.Hits+ph.ByteCache.Misses)
-		fmt.Fprintf(w, "  %-10s %9s %8s %6s %8s %10s %10s %10s %10s\n",
-			"class", "requests", "ok", "shed", "timeout", "p50µs", "p95µs", "p99µs", "p99.9µs")
-		for _, c := range ph.Classes {
-			if c.Requests == 0 {
-				continue
-			}
-			fmt.Fprintf(w, "  %-10s %9d %8d %6d %8d %10.1f %10.1f %10.1f %10.1f\n",
-				c.Class, c.Requests, c.OK, c.Shed, c.Timeouts, c.P50Micros, c.P95Micros, c.P99Micros, c.P999Micros)
+		printLoadPhase(w, ph)
+	}
+	if ad := rep.Adaptive; ad != nil {
+		fmt.Fprintf(w, "\nadaptive admission — limit bounds [%d,%d], converged %d, %d raises / %d backoffs, %d trajectory samples\n",
+			ad.MinLimit, ad.MaxLimit, ad.ConvergedLimit, ad.Increases, ad.Decreases, len(ad.Trajectory))
+		for _, ph := range ad.Phases {
+			printLoadPhase(w, ph)
+		}
+		for _, c := range ad.P99VsStatic {
+			fmt.Fprintf(w, "  p99 %-10s static %10.1fµs   adaptive %10.1fµs\n",
+				c.Class, c.StaticMicros, c.AdaptiveMicros)
 		}
 	}
 	if rep.Profile != nil {
@@ -614,4 +803,21 @@ func PrintLoad(w io.Writer, rep *LoadReport) error {
 		PrintProfile(w, rep.Profile)
 	}
 	return nil
+}
+
+func printLoadPhase(w io.Writer, ph LoadPhase) {
+	fmt.Fprintf(w, "\nphase %-14s offered %.0f QPS, achieved %.0f QPS (completed %.0f), shed %.1f%%, timeout %.1f%%, clientDropped %d\n",
+		ph.Name, ph.OfferedQPS, ph.AchievedQPS, ph.CompletedQPS, 100*ph.ShedRate, 100*ph.TimeoutRate, ph.ClientDropped)
+	fmt.Fprintf(w, "  caches: query %.3f hit ratio (%d/%d), byte %.3f (%d/%d)\n",
+		ph.QueryCache.HitRatio, ph.QueryCache.Hits, ph.QueryCache.Hits+ph.QueryCache.Misses,
+		ph.ByteCache.HitRatio, ph.ByteCache.Hits, ph.ByteCache.Hits+ph.ByteCache.Misses)
+	fmt.Fprintf(w, "  %-10s %9s %8s %6s %8s %10s %10s %10s %10s\n",
+		"class", "requests", "ok", "shed", "timeout", "p50µs", "p95µs", "p99µs", "p99.9µs")
+	for _, c := range ph.Classes {
+		if c.Requests == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %9d %8d %6d %8d %10.1f %10.1f %10.1f %10.1f\n",
+			c.Class, c.Requests, c.OK, c.Shed, c.Timeouts, c.P50Micros, c.P95Micros, c.P99Micros, c.P999Micros)
+	}
 }

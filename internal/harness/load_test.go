@@ -19,12 +19,16 @@ func TestLoadBenchSmall(t *testing.T) {
 	rep, err := LoadBench(0.05, LoadOptions{
 		PhaseDuration: 250 * time.Millisecond,
 		Rates:         []float64{100, 400},
+		Admission:     "static",
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.CapacityQPS != 0 {
 		t.Errorf("CapacityQPS = %g with explicit rates, want 0 (no calibration)", rep.CapacityQPS)
+	}
+	if rep.Adaptive != nil {
+		t.Errorf("Admission:static still produced an adaptive section")
 	}
 	wantNames := []string{"cold", "warm-below", "warm-above"}
 	if len(rep.Phases) != len(wantNames) {
@@ -90,6 +94,96 @@ func TestLoadBenchSmall(t *testing.T) {
 	}
 	if len(back.Phases) != len(rep.Phases) {
 		t.Errorf("round-trip lost phases: %d != %d", len(back.Phases), len(rep.Phases))
+	}
+}
+
+// TestLoadBenchAdaptiveSmall runs the default (adaptive) experiment at toy
+// scale and checks the adaptive section's shape: the ramp + steady phases, a
+// non-empty limit trajectory that stays within the controller's bounds, a
+// converged limit inside [min,max], and the per-class p99 comparison against
+// the static warm-above phase.
+func TestLoadBenchAdaptiveSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two knowledge bases and offers ~2s of load")
+	}
+	rep, err := LoadBench(0.05, LoadOptions{
+		PhaseDuration: 250 * time.Millisecond,
+		Rates:         []float64{100, 400},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ad := rep.Adaptive
+	if ad == nil {
+		t.Fatal("default options produced no adaptive section")
+	}
+	if ad.MinLimit <= 0 || ad.MaxLimit < ad.MinLimit {
+		t.Fatalf("bounds [%d,%d] malformed", ad.MinLimit, ad.MaxLimit)
+	}
+	if len(ad.Trajectory) == 0 {
+		t.Fatal("empty limit trajectory")
+	}
+	lastOff := -1.0
+	for i, s := range ad.Trajectory {
+		if s.Limit < ad.MinLimit || s.Limit > ad.MaxLimit {
+			t.Errorf("trajectory[%d]: limit %d outside [%d,%d]", i, s.Limit, ad.MinLimit, ad.MaxLimit)
+		}
+		if s.OffsetMillis <= lastOff {
+			t.Errorf("trajectory[%d]: offset %g not increasing (prev %g)", i, s.OffsetMillis, lastOff)
+		}
+		lastOff = s.OffsetMillis
+		if s.OfferedQPS < 100 || s.OfferedQPS > 400 {
+			t.Errorf("trajectory[%d]: offeredQPS %g outside the [100,400] schedule", i, s.OfferedQPS)
+		}
+		if s.InFlight < 0 {
+			t.Errorf("trajectory[%d]: inFlight %d < 0", i, s.InFlight)
+		}
+	}
+	if ad.ConvergedLimit < ad.MinLimit || ad.ConvergedLimit > ad.MaxLimit {
+		t.Errorf("convergedLimit %d outside [%d,%d]", ad.ConvergedLimit, ad.MinLimit, ad.MaxLimit)
+	}
+	wantNames := []string{"adaptive-ramp", "adaptive-above"}
+	if len(ad.Phases) != len(wantNames) {
+		t.Fatalf("adaptive section has %d phases, want %d", len(ad.Phases), len(wantNames))
+	}
+	for i, ph := range ad.Phases {
+		if ph.Name != wantNames[i] {
+			t.Errorf("adaptive phase %d = %q, want %q", i, ph.Name, wantNames[i])
+		}
+		if ph.Requests == 0 {
+			t.Errorf("adaptive phase %q generated no requests", ph.Name)
+		}
+		var sum int
+		for _, c := range ph.Classes {
+			sum += c.Requests
+			if got := c.OK + c.Shed + c.Timeouts + c.Errors; got != c.Requests {
+				t.Errorf("adaptive phase %q class %q: ok+shed+timeouts+errors=%d != requests=%d",
+					ph.Name, c.Class, got, c.Requests)
+			}
+		}
+		if sum != ph.Requests {
+			t.Errorf("adaptive phase %q: class requests sum to %d, phase total %d", ph.Name, sum, ph.Requests)
+		}
+	}
+	if len(ad.P99VsStatic) == 0 {
+		t.Error("no per-class p99 comparison against the static warm-above phase")
+	}
+	for _, c := range ad.P99VsStatic {
+		if c.Class == "" {
+			t.Errorf("p99VsStatic entry with empty class: %+v", c)
+		}
+	}
+
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report does not marshal: %v", err)
+	}
+	var back LoadReport
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Adaptive == nil || len(back.Adaptive.Trajectory) != len(ad.Trajectory) {
+		t.Error("round-trip lost the adaptive section")
 	}
 }
 

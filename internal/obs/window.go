@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"math"
+	"sort"
+)
+
+// SampleWindow is a fixed-capacity window of float64 observations with exact
+// quantiles, built for feedback controllers that decide once per short window
+// (hundreds of samples) rather than per observation: Hist's power-of-two
+// buckets quantize quantiles in 2x steps, far too coarse to compare a
+// windowed p99 against a tolerance band a few tens of percent wide.
+//
+// The window is a ring: once full, new samples overwrite the oldest, so a
+// quantile always describes the most recent cap observations. Not safe for
+// concurrent use — the owner (the admission controller, which already holds
+// its own mutex per observation) serializes access.
+type SampleWindow struct {
+	buf   []float64
+	next  int // ring write position
+	total int // samples added since the last Reset
+	// scratch holds the sort copy so steady-state quantile calls do not
+	// allocate.
+	scratch []float64
+}
+
+// NewSampleWindow returns a window retaining the last cap samples.
+// Non-positive caps select 1024.
+func NewSampleWindow(cap int) *SampleWindow {
+	if cap <= 0 {
+		cap = 1024
+	}
+	return &SampleWindow{buf: make([]float64, 0, cap)}
+}
+
+// Add records one observation, evicting the oldest when the window is full.
+// NaN observations are dropped — a poisoned sample must not be able to pin a
+// quantile forever.
+func (w *SampleWindow) Add(v float64) {
+	if math.IsNaN(v) {
+		return
+	}
+	if len(w.buf) < cap(w.buf) {
+		w.buf = append(w.buf, v)
+	} else {
+		w.buf[w.next] = v
+		w.next = (w.next + 1) % len(w.buf)
+	}
+	w.total++
+}
+
+// Len reports the samples currently held (at most the window capacity).
+func (w *SampleWindow) Len() int { return len(w.buf) }
+
+// Total reports the samples added since the last Reset, including ones the
+// ring has already overwritten.
+func (w *SampleWindow) Total() int { return w.total }
+
+// Quantile returns the q-quantile (nearest-rank on the sorted window) of the
+// retained samples; 0 when the window is empty. q is clamped to [0, 1].
+func (w *SampleWindow) Quantile(q float64) float64 {
+	n := len(w.buf)
+	if n == 0 {
+		return 0
+	}
+	w.scratch = append(w.scratch[:0], w.buf...)
+	sort.Float64s(w.scratch)
+	i := int(math.Ceil(q*float64(n))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return w.scratch[i]
+}
+
+// Max returns the largest retained sample, 0 when empty.
+func (w *SampleWindow) Max() float64 {
+	var m float64
+	for i, v := range w.buf {
+		if i == 0 || v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Reset empties the window.
+func (w *SampleWindow) Reset() {
+	w.buf = w.buf[:0]
+	w.next = 0
+	w.total = 0
+}

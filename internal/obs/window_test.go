@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestSampleWindowQuantiles(t *testing.T) {
+	w := NewSampleWindow(100)
+	if got := w.Quantile(0.99); got != 0 {
+		t.Errorf("empty window quantile = %g, want 0", got)
+	}
+	for i := 1; i <= 100; i++ {
+		w.Add(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := w.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+	if got := w.Max(); got != 100 {
+		t.Errorf("Max = %g, want 100", got)
+	}
+}
+
+// TestSampleWindowRing checks that a full window retains exactly the most
+// recent cap samples: after overwriting with a higher regime, the old regime
+// must be invisible.
+func TestSampleWindowRing(t *testing.T) {
+	w := NewSampleWindow(8)
+	for i := 0; i < 8; i++ {
+		w.Add(1)
+	}
+	for i := 0; i < 8; i++ {
+		w.Add(1000)
+	}
+	if got := w.Len(); got != 8 {
+		t.Fatalf("Len = %d, want 8", got)
+	}
+	if got := w.Total(); got != 16 {
+		t.Errorf("Total = %d, want 16", got)
+	}
+	if got := w.Quantile(0); got != 1000 {
+		t.Errorf("min after overwrite = %g, want 1000 (old regime must be evicted)", got)
+	}
+	w.Reset()
+	if w.Len() != 0 || w.Total() != 0 {
+		t.Errorf("after Reset: Len=%d Total=%d, want 0,0", w.Len(), w.Total())
+	}
+	w.Add(7)
+	if got := w.Quantile(0.5); got != 7 {
+		t.Errorf("quantile after reset+add = %g, want 7", got)
+	}
+}
+
+// TestSampleWindowAgainstSort cross-checks nearest-rank quantiles against a
+// direct sort on random data, including a partially filled window.
+func TestSampleWindowAgainstSort(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 3, 17, 64} {
+		w := NewSampleWindow(64)
+		vals := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := r.Float64() * 1e4
+			w.Add(v)
+			vals = append(vals, v)
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.01, 0.5, 0.9, 0.99} {
+			i := int(math.Ceil(q*float64(n))) - 1
+			if i < 0 {
+				i = 0
+			}
+			if got, want := w.Quantile(q), vals[i]; got != want {
+				t.Errorf("n=%d Quantile(%g) = %g, want %g", n, q, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleWindowDropsNaN(t *testing.T) {
+	w := NewSampleWindow(4)
+	w.Add(math.NaN())
+	w.Add(2)
+	if w.Len() != 1 || w.Total() != 1 {
+		t.Errorf("NaN counted: Len=%d Total=%d, want 1,1", w.Len(), w.Total())
+	}
+	if got := w.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %g, want 2", got)
+	}
+}

@@ -46,7 +46,9 @@ func Run(args []string, stderr io.Writer) error {
 		miner    = fs.String("miner", "eclat", "mining algorithm: apriori, eclat, fpgrowth, hmine")
 		parallel = fs.Int("parallel", runtime.GOMAXPROCS(0), "windows preprocessed concurrently during build (0 or 1 = serial)")
 		timeout  = fs.Duration("timeout", 10*time.Second, "per-request timeout")
-		inflight = fs.Int("maxinflight", 256, "max concurrently executing queries (-1 = unlimited)")
+		inflight = fs.Int("maxinflight", 256, "max concurrently executing queries (-1 = unlimited; in adaptive mode, the controller's upper bound)")
+		adm      = fs.String("admission", "adaptive", "in-flight admission policy: adaptive (AIMD latency-feedback limit with per-class QoS guarantees) or static (fixed -maxinflight cap, the legacy behavior)")
+		minLimit = fs.Int("minlimit", 2, "adaptive admission's lowest (and cold-start) in-flight limit")
 		qwait    = fs.Duration("queuewait", 0, "max time a request may queue for an in-flight slot before 429 (0 = shed immediately)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowN    = fs.Int("slowtraces", 32, "slowest request traces retained for /debug/slow")
@@ -100,11 +102,20 @@ func Run(args []string, stderr io.Writer) error {
 	if !*gzipOn {
 		gzMin = -1
 	}
+	admMode := *adm
+	if *inflight < 0 && admMode == "adaptive" {
+		// -maxinflight -1 asks for no limiter at all; honor it rather than
+		// erroring out of the adaptive default.
+		log.Info("admission disabled: -maxinflight -1 overrides -admission adaptive")
+		admMode = "static"
+	}
 	s, err := New(Config{
 		Framework:      fw,
 		Logger:         log,
 		RequestTimeout: *timeout,
 		MaxInFlight:    *inflight,
+		AdmissionMode:  admMode,
+		MinLimit:       *minLimit,
 		QueueWait:      *qwait,
 		EnablePprof:    *pprofOn,
 		SlowTraces:     *slowN,

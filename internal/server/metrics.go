@@ -80,6 +80,9 @@ type registry struct {
 	// memory at startup; set once in New, read-only afterwards.
 	kbLoadMode   string
 	kbLoadMillis int64
+	// admission, when set, contributes the admission layer's snapshot
+	// (mode, limit in force, per-QoS-class counters) to /metrics.
+	admission func() AdmissionSnapshot
 }
 
 func newRegistry(slowTraces int) *registry {
@@ -181,6 +184,11 @@ type MetricsSnapshot struct {
 	KBArchiveBytes  int    `json:"kbArchiveBytes"`
 	KBArchiveMapped bool   `json:"kbArchiveMapped"`
 	Shed            uint64 `json:"shed"`
+	// Admission is the in-flight admission layer's view: the mode in force,
+	// the current (possibly controller-moved) limit, and in adaptive mode
+	// the AIMD decision counters plus per-QoS-class limit/shed/borrow
+	// counters.
+	Admission AdmissionSnapshot `json:"admission"`
 	// Runtime is the Go runtime's resource view: heap, GC cycles, and the
 	// GC-pause and scheduler-latency distributions.
 	Runtime       obs.RuntimeSnapshot         `json:"runtime"`
@@ -204,6 +212,9 @@ func (r *registry) snapshot() MetricsSnapshot {
 		Stages:        make(map[string]LatencySnapshot, obs.NumStages),
 	}
 	snap.Runtime = obs.ReadRuntime()
+	if r.admission != nil {
+		snap.Admission = r.admission()
+	}
 	if r.cacheStats != nil {
 		snap.QueryCache = r.cacheStats()
 	}

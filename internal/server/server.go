@@ -89,8 +89,18 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxInFlight caps concurrently executing query requests; excess
 	// requests are shed with 429. Defaults to 256. Negative disables the
-	// limiter.
+	// limiter. In adaptive mode this is the controller's hard upper bound.
 	MaxInFlight int
+	// AdmissionMode selects the in-flight admission policy: "static" (the
+	// default, and the legacy behavior: a fixed MaxInFlight cap) or
+	// "adaptive" (an AIMD latency-feedback controller moves the limit
+	// within [MinLimit, MaxInFlight] and weighted per-QoS-class guarantees
+	// keep cheap query classes schedulable during shed episodes; see
+	// admission.go).
+	AdmissionMode string
+	// MinLimit is the adaptive controller's lower bound (and cold-start
+	// limit). Zero selects 2; ignored in static mode.
+	MinLimit int
 	// QueueWait bounds how long a request may wait for an in-flight slot
 	// before being shed with 429. Zero (the default) sheds the moment no
 	// slot is free — the pre-queue behavior. A small bound (a few ms)
@@ -133,10 +143,15 @@ type Server struct {
 	fw        *tara.Framework
 	log       *slog.Logger
 	timeout   time.Duration
-	limiter   chan struct{} // nil = unlimited; buffered to MaxInFlight
+	limiter   chan struct{} // static mode: nil = unlimited; buffered to MaxInFlight
 	queueWait time.Duration // max wait for a limiter slot; 0 = shed immediately
-	mux       *http.ServeMux
-	metrics   *registry
+	// adm and ctrl are the adaptive admission layer (nil in static mode):
+	// a dynamic-limit semaphore with per-QoS-class guarantees, and the AIMD
+	// controller that owns its limit.
+	adm     *qosSem
+	ctrl    *aimdController
+	mux     *http.ServeMux
+	metrics *registry
 	// bcache serves pre-encoded response bytes for the cacheable query
 	// classes; nil when Config.ByteCacheSize is negative.
 	bcache *byteCache
@@ -219,14 +234,33 @@ func New(cfg Config) (*Server, error) {
 		s.fw.OnAppend(s.bcache.invalidateWindow)
 		s.metrics.byteStats = s.bcache.stats
 	}
-	switch {
-	case cfg.MaxInFlight < 0:
-		// unlimited
-	case cfg.MaxInFlight == 0:
-		s.limiter = make(chan struct{}, 256)
-	default:
-		s.limiter = make(chan struct{}, cfg.MaxInFlight)
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight == 0 {
+		maxInFlight = 256
 	}
+	switch cfg.AdmissionMode {
+	case "", "static":
+		if maxInFlight > 0 {
+			s.limiter = make(chan struct{}, maxInFlight)
+		}
+		// maxInFlight < 0: unlimited, no limiter at all.
+	case "adaptive":
+		if maxInFlight < 0 {
+			return nil, fmt.Errorf("server: adaptive admission needs a finite MaxInFlight (got %d)", cfg.MaxInFlight)
+		}
+		minLimit := cfg.MinLimit
+		if minLimit <= 0 {
+			minLimit = 2
+		}
+		if minLimit > maxInFlight {
+			minLimit = maxInFlight
+		}
+		s.adm = newQoSSem(minLimit)
+		s.ctrl = newAIMDController(defaultAIMDConfig(minLimit, maxInFlight), s.adm, nil)
+	default:
+		return nil, fmt.Errorf("server: unknown AdmissionMode %q (want static or adaptive)", cfg.AdmissionMode)
+	}
+	s.metrics.admission = s.admissionSnapshot
 
 	for _, e := range endpoints {
 		name, op := e.path[1:], e.op
@@ -384,7 +418,23 @@ func (s *Server) answer(name, op string, st *endpointStats, w http.ResponseWrite
 		return
 	}
 	tr := obs.FromContext(r.Context())
-	if s.limiter != nil {
+	switch {
+	case s.adm != nil:
+		qc := qosClassOf(op)
+		if !s.adm.acquire(r.Context(), qc, s.queueWait) {
+			s.metrics.shed.Add(1)
+			st.shed.Add(1)
+			st.countWrite(writeError(w, http.StatusTooManyRequests, "server at capacity, retry later"))
+			return
+		}
+		admitted := time.Now()
+		defer func() {
+			// Feed the controller before freeing the slot, so the observed
+			// occupancy includes this request.
+			s.ctrl.observe(time.Since(admitted))
+			s.adm.release(qc)
+		}()
+	case s.limiter != nil:
 		if !s.admit(r) {
 			s.metrics.shed.Add(1)
 			st.shed.Add(1)
@@ -437,6 +487,26 @@ func (s *Server) answer(name, op string, st *endpointStats, w http.ResponseWrite
 	sp = tr.Start(obs.StageEncode)
 	st.countWrite(writeResult(w, res))
 	sp.End()
+}
+
+// Admission returns the admission layer's current view: mode, limit in
+// force, occupancy, and (in adaptive mode) the controller's baseline and
+// per-QoS-class counters. The load harness samples this to record the limit
+// trajectory.
+func (s *Server) Admission() AdmissionSnapshot { return s.admissionSnapshot() }
+
+func (s *Server) admissionSnapshot() AdmissionSnapshot {
+	if s.ctrl != nil {
+		return s.ctrl.snapshot()
+	}
+	if s.limiter != nil {
+		return AdmissionSnapshot{
+			Mode:     "static",
+			Limit:    cap(s.limiter),
+			InFlight: len(s.limiter),
+		}
+	}
+	return AdmissionSnapshot{Mode: "unlimited", Limit: -1}
 }
 
 // admit takes an in-flight limiter slot, waiting up to queueWait for one to
