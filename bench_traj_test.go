@@ -1,0 +1,81 @@
+package tara_bench
+
+import (
+	"sync"
+	"testing"
+
+	"tara/internal/harness"
+	"tara/internal/tara"
+	"tara/internal/traj"
+)
+
+// The BenchmarkTraj* family measures the columnar trajectory engine: the
+// full-archive aggregate scan through the window-major snapshot versus the
+// naive per-rule decode, and the bounded-heap top-K ranking. CI runs these
+// with -benchtime=1x as a smoke test and gates them with benchstat.
+
+var (
+	trajOnce sync.Once
+	trajFW   *tara.Framework
+	trajSnap *traj.Snapshot
+	trajErr  error
+)
+
+// trajFixture builds the trajectory experiment's knowledge base and its
+// columnar snapshot once per process.
+func trajFixture(b *testing.B) (*tara.Framework, *traj.Snapshot) {
+	b.Helper()
+	trajOnce.Do(func() {
+		trajFW, trajErr = harness.TrajFramework(1)
+		if trajErr != nil {
+			return
+		}
+		trajSnap, trajErr = traj.Build(trajFW.Archive())
+	})
+	if trajErr != nil {
+		b.Fatal(trajErr)
+	}
+	return trajFW, trajSnap
+}
+
+// BenchmarkTrajColumnarScan: every rule's coverage/mean/stddev/stability/
+// drift over the full archive, streamed through the columnar snapshot.
+func BenchmarkTrajColumnarScan(b *testing.B) {
+	_, snap := trajFixture(b)
+	last := snap.Windows() - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := snap.AggregateRange(0, last, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrajNaiveScan: the same aggregates through per-rule varint
+// decodes — the path the columnar engine replaces.
+func BenchmarkTrajNaiveScan(b *testing.B) {
+	fw, snap := trajFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.TrajNaiveScan(fw, snap, 0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopK: the full framework-level ranking query (snapshot reuse,
+// aggregate memoization, bounded heap, rule materialization).
+func BenchmarkTopK(b *testing.B) {
+	fw, snap := trajFixture(b)
+	last := snap.Windows() - 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := fw.TopKTrajectories(0, last, 0.005, 0.1, traj.ByDrift, 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(out) == 0 {
+			b.Fatal("empty top-K answer")
+		}
+	}
+}

@@ -128,7 +128,7 @@ func TestCLITaraServeUsage(t *testing.T) {
 		t.Errorf("serve -h exited 0; want the help-requested error path:\n%s", out)
 	}
 	text := string(out)
-	for _, flagName := range []string{"-addr", "-admission", "-minlimit", "-maxinflight", "-queuewait", "-kb", "-mmap"} {
+	for _, flagName := range []string{"-addr", "-admission", "-minlimit", "-maxinflight", "-queuewait", "-kb", "-mmap", "-admissionwindow", "-admissiontolerance"} {
 		if !strings.Contains(text, "\n  "+flagName+" ") && !strings.Contains(text, "\n  "+flagName+"\n") {
 			t.Errorf("serve -h output missing %s:\n%s", flagName, text)
 		}

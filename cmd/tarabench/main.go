@@ -39,14 +39,16 @@ func main() {
 	start := time.Now()
 	var err error
 	switch {
-	case *jsonPath != "" && *exp != "online" && *exp != "build" && *exp != "coldstart" && *exp != "load":
-		err = fmt.Errorf("-json is only meaningful with -exp online, build, coldstart or load (got %q)", *exp)
+	case *jsonPath != "" && *exp != "online" && *exp != "build" && *exp != "coldstart" && *exp != "load" && *exp != "traj":
+		err = fmt.Errorf("-json is only meaningful with -exp online, build, coldstart, load or traj (got %q)", *exp)
 	case *trace && *exp != "online":
 		err = fmt.Errorf("-trace is only meaningful with -exp online (got %q)", *exp)
 	case *jsonPath != "" && *exp == "build":
 		err = runBuildJSON(*jsonPath, *scale, *parallel)
 	case *jsonPath != "" && *exp == "coldstart":
 		err = runColdStartJSON(*jsonPath, *scale)
+	case *jsonPath != "" && *exp == "traj":
+		err = runTrajJSON(*jsonPath, *scale)
 	case *exp == "load":
 		err = runLoad(*jsonPath, *scale, *loadSec, *loadRates, *loadProfile, *loadAdm)
 	case *jsonPath != "":
@@ -165,4 +167,22 @@ func runOnlineTrace(scale float64) error {
 	}
 	fmt.Println()
 	return harness.PrintOnlineTrace(os.Stdout, rep)
+}
+
+// runTrajJSON runs the trajectory experiment once, printing its table and
+// storing the measurements as a structured report (the checked-in
+// BENCH_trajectory.json is produced this way).
+func runTrajJSON(path string, scale float64) error {
+	rep, err := harness.TrajBench(scale)
+	if err != nil {
+		return err
+	}
+	if err := harness.PrintTraj(os.Stdout, rep); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

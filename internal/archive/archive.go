@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sort"
 
 	"tara/internal/rules"
 	"tara/internal/stats"
@@ -239,6 +240,78 @@ func (a *Archive) RollUp(id rules.ID, from, to int) (s rules.Stats, present int,
 	return s, present, nil
 }
 
+// WindowCardinalities returns a copy of the per-window transaction counts
+// |D_w|, indexed by window. Columnar consumers take this once per snapshot
+// instead of calling WindowN per (rule, window) probe.
+func (a *Archive) WindowCardinalities() []uint32 {
+	out := make([]uint32, len(a.windowN))
+	copy(out, a.windowN)
+	return out
+}
+
+// DecodeAll walks every archived series in ascending rule-id order, calling
+// fn once per decoded (rule, window) record. Each payload is decoded exactly
+// once, directly off its backing bytes — for a mapped archive that is the
+// file-backed block, with no heap promotion and no []Entry materialization.
+// This is the batch path the columnar trajectory snapshot is built from; a
+// structurally corrupt payload stops the walk with the decoder's error.
+func (a *Archive) DecodeAll(fn func(id rules.ID, e Entry) error) error {
+	if a.mapped != nil {
+		for i := 0; i < a.mapped.count(); i++ {
+			id, _, _, _ := a.mapped.entry(i)
+			buf, _ := a.mapped.seriesAt(i)
+			if err := decodePayload(buf, func(e Entry) error {
+				return fn(id, e)
+			}); err != nil {
+				return fmt.Errorf("archive: rule %d: %w", id, err)
+			}
+		}
+		return nil
+	}
+	ids := make([]rules.ID, 0, len(a.entries))
+	for id := range a.entries {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := decodePayload(a.entries[id].buf, func(e Entry) error {
+			return fn(id, e)
+		}); err != nil {
+			return fmt.Errorf("archive: rule %d: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// StatsIn fills the rule's statistics for each requested window in a single
+// decode pass over the series payload, writing into the caller's slices
+// (both len(windows) long): out[j] and present[j] describe windows[j].
+// Unlike per-window StatsAt probes — which re-decode the full series once
+// per window — the payload is walked exactly once, as a view over the
+// backing bytes (mapped or heap) with no intermediate []Entry allocation.
+// Out-of-range windows are reported absent.
+func (a *Archive) StatsIn(id rules.ID, windows []int, out []rules.Stats, present []bool) {
+	for j := range present {
+		present[j] = false
+	}
+	buf, _, ok := a.seriesPayload(id)
+	if !ok {
+		return
+	}
+	_ = decodePayload(buf, func(e Entry) error {
+		if e.Window >= len(a.windowN) {
+			return fmt.Errorf("archive: window %d beyond cardinality table", e.Window)
+		}
+		for j, w := range windows {
+			if w == e.Window {
+				out[j] = rules.Stats{CountXY: e.CountXY, CountX: e.CountX, CountY: e.CountY, N: a.windowN[w]}
+				present[j] = true
+			}
+		}
+		return nil
+	})
+}
+
 // Rules returns the ids of all archived rules in unspecified order (mapped
 // archives happen to yield ascending ids).
 func (a *Archive) Rules() []rules.ID {
@@ -392,4 +465,37 @@ func (t Trajectory) Stability(eps float64) float64 {
 // of how much the rule's prominence fluctuates over the range.
 func (t Trajectory) SupportStdDev() float64 {
 	return stats.StdDev(t.SupportSeries())
+}
+
+// Evolution computes coverage, stability and support standard deviation in
+// one pass over a single materialized support series. Calling Coverage,
+// Stability and SupportStdDev separately rebuilds the series (and re-derives
+// its mean) per measure; ranking loops that need all three per rule use this
+// instead, so the shared moments are computed exactly once.
+func (t Trajectory) Evolution(eps float64) (coverage, stability, stddev float64) {
+	s := t.SupportSeries()
+	coverage = float64(len(t.Entries)) / float64(len(s))
+	var sum float64
+	stable := 0
+	for i, v := range s {
+		sum += v
+		if i > 0 && math.Abs(v-s[i-1]) <= eps {
+			stable++
+		}
+	}
+	if len(s) < 2 {
+		stability = 1
+	} else {
+		stability = float64(stable) / float64(len(s)-1)
+	}
+	// Centered second pass over the already-materialized series, matching
+	// stats.StdDev bit for bit (sums accumulate in the same order).
+	mean := sum / float64(len(s))
+	var sq float64
+	for _, v := range s {
+		d := v - mean
+		sq += d * d
+	}
+	stddev = math.Sqrt(sq / float64(len(s)))
+	return coverage, stability, stddev
 }

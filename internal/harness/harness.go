@@ -62,6 +62,7 @@ var Experiments = map[string]func(io.Writer, float64) error{
 	"build":     RunBuild,
 	"coldstart": RunColdStart,
 	"load":      RunLoad,
+	"traj":      RunTraj,
 }
 
 // ExperimentIDs lists the experiment ids in run order.

@@ -1,0 +1,337 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"tara/internal/itemset"
+	"tara/internal/rules"
+	"tara/internal/server"
+	"tara/internal/tara"
+	"tara/internal/traj"
+	"tara/internal/txdb"
+)
+
+// The trajectory experiment measures the columnar trajectory engine: a
+// full-archive aggregate scan (coverage, mean, stddev, stability, drift for
+// every rule) through the window-major columnar snapshot versus the naive
+// per-rule Series() decode, plus warm endpoint latency for the three
+// trajectory query classes (/topk, /similar, /emerging). The knowledge base
+// is premined with controlled evolution: drifting, oscillating, vanishing
+// and late-emerging rules, so every query class has a non-trivial answer.
+
+const (
+	// trajWindows is the archive depth; deep enough that per-rule varint
+	// decode dominates the naive scan.
+	trajWindows = 12
+	// trajReps is how many times each scan is repeated; medians are kept.
+	trajReps = 9
+	// trajWarmRequests is the per-endpoint request count for the warm
+	// latency distribution.
+	trajWarmRequests = 200
+	// trajSupp/trajConf are the query thresholds (at the generation
+	// thresholds, so every archived rule qualifies somewhere).
+	trajSupp = 0.005
+	trajConf = 0.1
+)
+
+// TrajReport is the JSON document the trajectory experiment emits
+// (BENCH_trajectory.json).
+type TrajReport struct {
+	Windows int `json:"windows"`
+	Rules   int `json:"rules"`
+	Entries int `json:"entries"`
+	Reps    int `json:"reps"`
+	// SnapshotBuildMillis is the median one-off columnar transpose cost
+	// (paid once per KB generation, amortized over every trajectory query).
+	SnapshotBuildMillis float64 `json:"snapshotBuildMillis"`
+	SnapshotBytes       int     `json:"snapshotBytes"`
+	// ColumnarScanMicros is the median full-archive aggregate scan through
+	// the columnar snapshot; NaiveScanMicros the same scan through per-rule
+	// Trajectory decodes.
+	ColumnarScanMicros float64 `json:"columnarScanMicros"`
+	NaiveScanMicros    float64 `json:"naiveScanMicros"`
+	// ScanSpeedup is naive over columnar (higher is better; gate >= 5x).
+	ScanSpeedup     float64 `json:"scanSpeedup"`
+	ScanSpeedupPass bool    `json:"scanSpeedupPass"`
+	// DifferentialPass records that every aggregate of the columnar scan was
+	// bit-identical to the per-rule decode oracle.
+	DifferentialPass bool `json:"differentialPass"`
+	// Warm endpoint latency (µs): p50/p99 over trajWarmRequests sequential
+	// in-process requests per endpoint, after one warming request.
+	TopKP50Micros     float64 `json:"topkP50Micros"`
+	TopKP99Micros     float64 `json:"topkP99Micros"`
+	SimilarP50Micros  float64 `json:"similarP50Micros"`
+	SimilarP99Micros  float64 `json:"similarP99Micros"`
+	EmergingP50Micros float64 `json:"emergingP50Micros"`
+	EmergingP99Micros float64 `json:"emergingP99Micros"`
+	// WarmP50Pass gates every endpoint's p50 under 1ms.
+	WarmP50Pass bool `json:"warmP50Pass"`
+	// EmergingRows sanity-checks that the emergence class has a non-empty
+	// answer on the synthetic evolution.
+	EmergingRows int `json:"emergingRows"`
+	// PrunedFraction is the share of similarity candidates skipped by the
+	// envelope lower bound on the measured /similar query shape.
+	PrunedFraction float64 `json:"prunedFraction"`
+}
+
+// TrajFramework premines a knowledge base with controlled rule evolution:
+// stable, drifting, oscillating, vanishing and late-emerging populations.
+// The root trajectory benchmarks build on it too.
+func TrajFramework(scale float64) (*tara.Framework, error) {
+	nRules := int(4000 * scale)
+	if nRules < 200 {
+		nRules = 200
+	}
+	const n = 20000 // |D_w| per window
+	f := tara.New(txdb.NewDict(), tara.Config{GenMinSupport: trajSupp, GenMinConf: trajConf})
+	for w := 0; w < trajWindows; w++ {
+		recs := make([]rules.WithStats, 0, nRules)
+		for i := 0; i < nRules; i++ {
+			// Base support in [0.01, 0.06), evolved per population.
+			base := 0.01 + 0.05*float64(i%997)/997
+			sup := base
+			switch i % 5 {
+			case 1: // rising drift
+				sup = base * (1 + float64(w)/float64(trajWindows))
+			case 2: // oscillating
+				sup = base * (1 + 0.5*math.Sin(float64(w)+float64(i)))
+			case 3: // vanishing: absent from the midpoint on
+				if w >= trajWindows/2 {
+					continue
+				}
+			case 4: // late-emerging: absent until the newest window
+				if w < trajWindows-1 {
+					continue
+				}
+			}
+			xy := uint32(sup * n)
+			if xy == 0 {
+				xy = 1
+			}
+			x := xy + uint32(i%7)*xy/4
+			recs = append(recs, rules.WithStats{
+				Rule: rules.Rule{
+					Ant:  itemset.New(uint32(10 + 2*i)),
+					Cons: itemset.New(uint32(11 + 2*i)),
+				},
+				Stats: rules.Stats{CountXY: xy, CountX: x, CountY: x, N: n},
+			})
+		}
+		win := txdb.Window{
+			Index:  w,
+			Period: txdb.Period{Start: int64(w) * 1000, End: int64(w)*1000 + 999},
+			Tx:     make([]txdb.Transaction, n),
+		}
+		if err := f.AppendRules(win, recs); err != nil {
+			return nil, err
+		}
+	}
+	return f, nil
+}
+
+// TrajNaiveScan computes every rule's aggregates through the per-rule
+// decode path (Trajectory -> zero-filled series), the oracle the columnar
+// engine replaces. Results are indexed like the snapshot's rows.
+func TrajNaiveScan(f *tara.Framework, s *traj.Snapshot, eps float64) ([]traj.Aggregates, error) {
+	arch := f.Archive()
+	last := s.Windows() - 1
+	out := make([]traj.Aggregates, s.Rules())
+	for r := 0; r < s.Rules(); r++ {
+		tr, err := arch.Trajectory(s.ID(r), 0, last)
+		if err != nil {
+			return nil, err
+		}
+		cov, stab, sd := tr.Evolution(eps)
+		series := tr.SupportSeries()
+		sum := 0.0
+		for _, v := range series {
+			sum += v
+		}
+		out[r] = traj.Aggregates{
+			Coverage:  cov,
+			Mean:      sum / float64(len(series)),
+			StdDev:    sd,
+			Stability: stab,
+			Drift:     series[len(series)-1] - series[0],
+		}
+	}
+	return out, nil
+}
+
+func medianMicros(ds []time.Duration) float64 {
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return float64(ds[len(ds)/2].Nanoseconds()) / 1e3
+}
+
+// measureEndpoint drives one endpoint with sequential in-process requests
+// after a warming request and returns the p50/p99 latency in microseconds.
+func measureEndpoint(h http.Handler, url string) (p50, p99 float64, err error) {
+	lat := make([]time.Duration, 0, trajWarmRequests)
+	for i := -1; i < trajWarmRequests; i++ {
+		req, err := http.NewRequest(http.MethodGet, url, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		rec := &statusRecorder{}
+		t0 := time.Now()
+		h.ServeHTTP(rec, req)
+		d := time.Since(t0)
+		if rec.status != 0 && rec.status != http.StatusOK {
+			return 0, 0, fmt.Errorf("harness: GET %s: status %d", url, rec.status)
+		}
+		if i >= 0 { // the warming request is not part of the distribution
+			lat = append(lat, d)
+		}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p50 = float64(lat[len(lat)/2].Nanoseconds()) / 1e3
+	p99 = float64(lat[len(lat)*99/100].Nanoseconds()) / 1e3
+	return p50, p99, nil
+}
+
+// TrajBench runs the trajectory experiment and returns its report.
+func TrajBench(scale float64) (*TrajReport, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	f, err := TrajFramework(scale)
+	if err != nil {
+		return nil, err
+	}
+	const eps = 0.01
+
+	// Median snapshot build (the once-per-generation transpose).
+	var builds []time.Duration
+	var snap *traj.Snapshot
+	for i := 0; i < trajReps; i++ {
+		start := time.Now()
+		s, err := traj.Build(f.Archive())
+		if err != nil {
+			return nil, err
+		}
+		builds = append(builds, time.Since(start))
+		snap = s
+	}
+	last := snap.Windows() - 1
+
+	rep := &TrajReport{
+		Windows:             snap.Windows(),
+		Rules:               snap.Rules(),
+		Entries:             snap.Entries(),
+		Reps:                trajReps,
+		SnapshotBuildMillis: medianMicros(builds) / 1e3,
+		SnapshotBytes:       snap.MemBytes(),
+	}
+
+	// Columnar vs naive full-archive aggregate scan, with the differential
+	// check on every rep: each aggregate must be bit-identical.
+	var colScan, naiScan []time.Duration
+	rep.DifferentialPass = true
+	for i := 0; i < trajReps; i++ {
+		start := time.Now()
+		cols, err := snap.AggregateRange(0, last, eps)
+		if err != nil {
+			return nil, err
+		}
+		colScan = append(colScan, time.Since(start))
+
+		start = time.Now()
+		naive, err := TrajNaiveScan(f, snap, eps)
+		if err != nil {
+			return nil, err
+		}
+		naiScan = append(naiScan, time.Since(start))
+
+		for r := range cols {
+			if cols[r] != naive[r] {
+				rep.DifferentialPass = false
+				return nil, fmt.Errorf("harness: columnar aggregates diverge from per-rule decode at rule %d: %+v vs %+v",
+					snap.ID(r), cols[r], naive[r])
+			}
+		}
+	}
+	rep.ColumnarScanMicros = medianMicros(colScan)
+	rep.NaiveScanMicros = medianMicros(naiScan)
+	if rep.ColumnarScanMicros > 0 {
+		rep.ScanSpeedup = rep.NaiveScanMicros / rep.ColumnarScanMicros
+	}
+	rep.ScanSpeedupPass = rep.ScanSpeedup >= 5
+
+	// Prune effectiveness on the measured /similar shape.
+	ref := make([]float64, last+1)
+	for i := range ref {
+		ref[i] = 0.03
+	}
+	if _, pruned, err := snap.Similar(0, last, ref, traj.Euclidean, 0, 0, 10); err != nil {
+		return nil, err
+	} else if snap.Rules() > 0 {
+		rep.PrunedFraction = float64(pruned) / float64(snap.Rules())
+	}
+
+	// Emergence sanity: the late-emerging population must surface.
+	em, err := f.EmergingRules(0, -1, trajSupp, trajConf)
+	if err != nil {
+		return nil, err
+	}
+	rep.EmergingRows = len(em)
+
+	// Warm endpoint latency through the full daemon stack.
+	srv, err := server.New(server.Config{
+		Framework: f,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	h := srv.Handler()
+	refCSV := strings.TrimSuffix(strings.Repeat("0.03,", last+1), ",")
+	if rep.TopKP50Micros, rep.TopKP99Micros, err = measureEndpoint(h,
+		fmt.Sprintf("/topk?from=0&to=%d&supp=%g&conf=%g&by=drift&k=10", last, trajSupp, trajConf)); err != nil {
+		return nil, err
+	}
+	if rep.SimilarP50Micros, rep.SimilarP99Micros, err = measureEndpoint(h,
+		fmt.Sprintf("/similar?from=0&to=%d&ref=%s&k=10", last, refCSV)); err != nil {
+		return nil, err
+	}
+	if rep.EmergingP50Micros, rep.EmergingP99Micros, err = measureEndpoint(h,
+		fmt.Sprintf("/emerging?from=0&supp=%g&conf=%g", trajSupp, trajConf)); err != nil {
+		return nil, err
+	}
+	rep.WarmP50Pass = rep.TopKP50Micros < 1000 && rep.SimilarP50Micros < 1000 && rep.EmergingP50Micros < 1000
+	return rep, nil
+}
+
+// RunTraj prints the trajectory experiment as a table.
+func RunTraj(w io.Writer, scale float64) error {
+	rep, err := TrajBench(scale)
+	if err != nil {
+		return err
+	}
+	return PrintTraj(w, rep)
+}
+
+// PrintTraj renders an already-measured report (so one run can feed both
+// the table and the JSON artifact).
+func PrintTraj(w io.Writer, rep *TrajReport) error {
+	fmt.Fprintf(w, "Columnar trajectory engine — %d windows, %d rules, %d entries; snapshot %d bytes, built in %.2f ms (median of %d)\n",
+		rep.Windows, rep.Rules, rep.Entries, rep.SnapshotBytes, rep.SnapshotBuildMillis, rep.Reps)
+	fmt.Fprintf(w, "%-34s %14s\n", "full-archive aggregate scan", "micros")
+	fmt.Fprintf(w, "%-34s %14.1f\n", "columnar (window-major floats)", rep.ColumnarScanMicros)
+	fmt.Fprintf(w, "%-34s %14.1f\n", "naive (per-rule varint decode)", rep.NaiveScanMicros)
+	fmt.Fprintf(w, "speedup %.1fx (gate >= 5x: %v); aggregates bit-identical: %v\n",
+		rep.ScanSpeedup, rep.ScanSpeedupPass, rep.DifferentialPass)
+	fmt.Fprintf(w, "%-12s %12s %12s\n", "endpoint", "warm-p50-µs", "warm-p99-µs")
+	fmt.Fprintf(w, "%-12s %12.1f %12.1f\n", "/topk", rep.TopKP50Micros, rep.TopKP99Micros)
+	fmt.Fprintf(w, "%-12s %12.1f %12.1f\n", "/similar", rep.SimilarP50Micros, rep.SimilarP99Micros)
+	fmt.Fprintf(w, "%-12s %12.1f %12.1f\n", "/emerging", rep.EmergingP50Micros, rep.EmergingP99Micros)
+	fmt.Fprintf(w, "warm p50 < 1ms on all three: %v; emerging rows %d; similar candidates pruned %.0f%%\n",
+		rep.WarmP50Pass, rep.EmergingRows, rep.PrunedFraction*100)
+	return nil
+}

@@ -41,6 +41,14 @@ const (
 	// byte cache: the only work is the cache probe and the wire write, so
 	// this span replaces eps-lookup/materialize/encode on a warm hit.
 	StageEncodeCached
+	// StageSnapshot is the columnar trajectory snapshot (re)build: one batch
+	// decode pass over every archive payload. Only the first trajectory
+	// query after a KB generation change pays it.
+	StageSnapshot
+	// StageColumnarScan is the columnar work of the trajectory query
+	// classes: aggregate streaming, top-K ranking, similarity search or
+	// emergence detection over the snapshot's window-major columns.
+	StageColumnarScan
 
 	// NumStages bounds the per-trace stage array.
 	NumStages
@@ -54,6 +62,8 @@ var stageNames = [NumStages]string{
 	"materialize",
 	"encode",
 	"encode-cached",
+	"snapshot-build",
+	"columnar-scan",
 }
 
 // String returns the stage's wire name (used in JSON, logs and /metrics).

@@ -7,6 +7,7 @@ import (
 
 	"tara/internal/rules"
 	"tara/internal/tara"
+	"tara/internal/traj"
 )
 
 // Execute runs a parsed query against a framework, writing a human-readable
@@ -39,6 +40,12 @@ func Execute(w io.Writer, f *tara.Framework, q Query) error {
 		err = execPlot(w, f, q)
 	case Export:
 		err = execExport(w, f, q)
+	case TopK:
+		err = execTopK(w, f, q)
+	case Similar:
+		err = execSimilar(w, f, q)
+	case Emerging:
+		err = execEmerging(w, f, q)
 	default:
 		err = fmt.Errorf("query: unsupported kind %d", q.Kind)
 	}
@@ -223,6 +230,60 @@ func execRank(w io.Writer, f *tara.Framework, q Query) error {
 	for _, s := range out {
 		fmt.Fprintf(w, "  #%-6d %-50s coverage=%.2f stability=%.2f stddev=%.5f\n",
 			s.ID, s.Rule.Format(f.ItemDict()), s.Coverage, s.Stability, s.StdDev)
+	}
+	return nil
+}
+
+func execTopK(w io.Writer, f *tara.Framework, q Query) error {
+	m, err := traj.MeasureByName(q.Measure)
+	if err != nil {
+		return err
+	}
+	out, err := f.TopKTrajectories(q.From, q.To, q.MinSupp, q.MinConf, m, q.TopK)
+	if err != nil {
+		return err
+	}
+	rows, note := pageOf(q, out)
+	fmt.Fprintf(w, "top %d trajectories over windows [%d,%d] by %s%s\n", len(out), q.From, q.To, m, note)
+	for _, s := range rows {
+		fmt.Fprintf(w, "  #%-6d %-50s score=%.4f coverage=%.2f stability=%.2f stddev=%.5f drift=%+.5f\n",
+			s.ID, s.Rule.Format(f.ItemDict()), s.Score, s.Agg.Coverage, s.Agg.Stability, s.Agg.StdDev, s.Agg.Drift)
+	}
+	return nil
+}
+
+func execSimilar(w io.Writer, f *tara.Framework, q Query) error {
+	m, err := traj.MetricByName(q.Metric)
+	if err != nil {
+		return err
+	}
+	out, pruned, err := f.SimilarTrajectories(q.From, q.To, q.Ref, m, q.MinSupp, q.MinConf, q.TopK)
+	if err != nil {
+		return err
+	}
+	rows, note := pageOf(q, out)
+	fmt.Fprintf(w, "%d nearest trajectories over windows [%d,%d] by %s (%d pruned)%s\n",
+		len(out), q.From, q.To, m, pruned, note)
+	for _, s := range rows {
+		fmt.Fprintf(w, "  #%-6d %-50s distance=%.6f\n", s.ID, s.Rule.Format(f.ItemDict()), s.Distance)
+	}
+	return nil
+}
+
+func execEmerging(w io.Writer, f *tara.Framework, q Query) error {
+	out, err := f.EmergingRules(q.From, q.To, q.MinSupp, q.MinConf)
+	if err != nil {
+		return err
+	}
+	to := q.To
+	if to == -1 {
+		to = f.Windows() - 1
+	}
+	rows, note := pageOf(q, out)
+	fmt.Fprintf(w, "%d rules newly qualifying in window %d (none in [%d,%d))%s\n", len(out), to, q.From, to, note)
+	for _, s := range rows {
+		fmt.Fprintf(w, "  #%-6d %-50s supp=%.4f conf=%.2f\n",
+			s.ID, s.Rule.Format(f.ItemDict()), s.Support, s.Confidence)
 	}
 	return nil
 }

@@ -15,6 +15,12 @@
 //	periodic  from=0 to=8 supp=0.01 conf=0.2 period=7 k=10
 //	plot      w=0 [supp=0.01 conf=0.2]
 //	export    w=0 supp=0.01 conf=0.2 file=rules.csv [format=csv|json]
+//	topk      from=0 to=3 supp=0.01 conf=0.2 [by=stability|drift|volatility|coverage] [k=10]
+//	similar   from=0 to=3 ref=0.1,0.2,0.15,0.2 [metric=euclid|max] [supp=0 conf=0] [k=10]
+//	emerging  from=0 supp=0.01 conf=0.2 [to=5]
+//
+// The last three are the columnar trajectory query classes, answered from
+// the window-major snapshot (internal/traj) rather than per-rule decodes.
 package query
 
 import (
@@ -23,6 +29,8 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+
+	"tara/internal/traj"
 )
 
 // Kind enumerates the supported exploration operations.
@@ -54,6 +62,13 @@ const (
 	Plot
 	// Export writes a window's qualifying ruleset to a file.
 	Export
+	// TopK ranks trajectories over a window range by a columnar measure.
+	TopK
+	// Similar searches for the trajectories nearest a reference profile.
+	Similar
+	// Emerging reports the rules newly crossing the threshold in the
+	// range's last window.
+	Emerging
 )
 
 // Query is one parsed exploration request.
@@ -74,6 +89,11 @@ type Query struct {
 	MinLift  float64
 	File     string
 	Format   string
+	// Ref is the similarity query's reference support profile, one value
+	// per window of [From, To].
+	Ref []float64
+	// Metric names the similarity distance ("euclid" or "max").
+	Metric string
 	// Limit and Offset paginate the rule-list answers (mine, about,
 	// trajectory, rollup, export): the answer covers rows
 	// [Offset, Offset+Limit) of the full qualifying set, and the envelope
@@ -155,6 +175,12 @@ func build(op string, kv map[string]string) (Query, error) {
 		q.Kind = Plot
 	case "export":
 		q.Kind = Export
+	case "topk":
+		q.Kind = TopK
+	case "similar":
+		q.Kind = Similar
+	case "emerging":
+		q.Kind = Emerging
 	default:
 		return Query{}, fmt.Errorf("query: unknown operation %q", op)
 	}
@@ -233,6 +259,26 @@ func build(op string, kv map[string]string) (Query, error) {
 		}
 		parse("limit", &q.Limit)
 		parse("offset", &q.Offset)
+	}
+	getFs := func(key string, dst *[]float64, required bool) {
+		if err != nil {
+			return
+		}
+		v, ok := kv[key]
+		if !ok {
+			if required {
+				err = fmt.Errorf("query: missing %s=", key)
+			}
+			return
+		}
+		for _, part := range strings.Split(v, ",") {
+			f, e := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if e != nil {
+				err = fmt.Errorf("query: bad %s: %v", key, e)
+				return
+			}
+			*dst = append(*dst, f)
+		}
 	}
 	getPair := func(key string, s, c *float64) {
 		if err != nil {
@@ -343,6 +389,38 @@ func build(op string, kv map[string]string) (Query, error) {
 			err = fmt.Errorf("query: unknown format %q (want csv or json)", q.Format)
 		}
 		getPage()
+	case TopK:
+		getI("from", &q.From, true)
+		getI("to", &q.To, true)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		q.Measure = kv["by"]
+		if q.Measure == "" {
+			q.Measure = "stability"
+		}
+		q.TopK = 10
+		getI("k", &q.TopK, false)
+		getPage()
+	case Similar:
+		getI("from", &q.From, true)
+		getI("to", &q.To, true)
+		getFs("ref", &q.Ref, true)
+		q.Metric = kv["metric"]
+		getF("supp", &q.MinSupp, false)
+		getF("conf", &q.MinConf, false)
+		q.TopK = 10
+		getI("k", &q.TopK, false)
+		getPage()
+	case Emerging:
+		getI("from", &q.From, true)
+		// to defaults to the latest committed window; -1 is the sentinel the
+		// framework resolves at answer time, so "what just emerged" needs no
+		// window arithmetic on the client.
+		q.To = -1
+		getI("to", &q.To, false)
+		getF("supp", &q.MinSupp, true)
+		getF("conf", &q.MinConf, true)
+		getPage()
 	}
 	if err != nil {
 		return Query{}, err
@@ -384,6 +462,24 @@ func (q Query) validate() error {
 	}
 	if math.IsNaN(q.MinLift) || math.IsInf(q.MinLift, 0) || q.MinLift < 0 {
 		return fmt.Errorf("query: lift %g must be a finite non-negative number", q.MinLift)
+	}
+	// The trajectory classes resolve their measure/metric/profile strings at
+	// answer time; rejecting bad values here keeps them client errors rather
+	// than execution failures.
+	if q.Kind == TopK {
+		if _, err := traj.MeasureByName(q.Measure); err != nil {
+			return fmt.Errorf("query: %v", err)
+		}
+	}
+	if q.Kind == Similar {
+		if _, err := traj.MetricByName(q.Metric); err != nil {
+			return fmt.Errorf("query: %v", err)
+		}
+		for _, v := range q.Ref {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 1 {
+				return fmt.Errorf("query: ref value %g outside [0,1]", v)
+			}
+		}
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"tara/internal/obs"
 	"tara/internal/rules"
 	"tara/internal/tara"
+	"tara/internal/traj"
 )
 
 // Structured, JSON-serializable answers for every query class, used by the
@@ -176,6 +177,74 @@ type PeriodicResult struct {
 type PlotResult struct {
 	Window   int    `json:"window"`
 	Panorama string `json:"panorama"`
+}
+
+// TopKRow is one ranked trajectory of a /topk answer, carrying the full
+// aggregate vector so clients need no follow-up query per rule.
+type TopKRow struct {
+	ID         uint32   `json:"id"`
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Score      float64  `json:"score"`
+	Coverage   float64  `json:"coverage"`
+	Mean       float64  `json:"mean"`
+	StdDev     float64  `json:"stdDev"`
+	Stability  float64  `json:"stability"`
+	Drift      float64  `json:"drift"`
+}
+
+// TopKResult answers topk requests.
+type TopKResult struct {
+	From   int       `json:"from"`
+	To     int       `json:"to"`
+	By     string    `json:"by"`
+	K      int       `json:"k"`
+	Total  int       `json:"total"`
+	Offset int       `json:"offset"`
+	Count  int       `json:"count"`
+	Rules  []TopKRow `json:"rules"`
+}
+
+// SimilarRow is one neighbor of a /similar answer.
+type SimilarRow struct {
+	ID         uint32   `json:"id"`
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Distance   float64  `json:"distance"`
+}
+
+// SimilarResult answers similar requests. Pruned reports how many candidate
+// rules the envelope lower bound eliminated without a distance computation.
+type SimilarResult struct {
+	From   int          `json:"from"`
+	To     int          `json:"to"`
+	Metric string       `json:"metric"`
+	K      int          `json:"k"`
+	Pruned int          `json:"pruned"`
+	Total  int          `json:"total"`
+	Offset int          `json:"offset"`
+	Count  int          `json:"count"`
+	Rules  []SimilarRow `json:"rules"`
+}
+
+// EmergingRow is one newly qualifying rule of an /emerging answer.
+type EmergingRow struct {
+	ID         uint32   `json:"id"`
+	Antecedent []string `json:"antecedent"`
+	Consequent []string `json:"consequent"`
+	Support    float64  `json:"support"`
+	Confidence float64  `json:"confidence"`
+}
+
+// EmergingResult answers emerging requests. To is the resolved last window
+// (the latest committed window when the request used the -1 default).
+type EmergingResult struct {
+	From   int           `json:"from"`
+	To     int           `json:"to"`
+	Total  int           `json:"total"`
+	Offset int           `json:"offset"`
+	Count  int           `json:"count"`
+	Rules  []EmergingRow `json:"rules"`
 }
 
 // itemNames resolves an itemset to dictionary names.
@@ -400,6 +469,78 @@ func AnswerTraced(f *tara.Framework, q Query, tr *obs.Trace) (any, error) {
 			return nil, err
 		}
 		return PlotResult{Window: q.Window, Panorama: slice.Panorama(60, 16, q.MinSupp, q.MinConf)}, nil
+
+	case TopK:
+		m, err := traj.MeasureByName(q.Measure)
+		if err != nil {
+			return nil, err
+		}
+		out, err := f.TopKTrajectoriesTraced(tr, q.From, q.To, q.MinSupp, q.MinConf, m, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := q.Page(len(out))
+		res := TopKResult{From: q.From, To: q.To, By: m.String(), K: q.TopK,
+			Total: len(out), Offset: lo, Count: hi - lo, Rules: make([]TopKRow, hi-lo)}
+		for i, s := range out[lo:hi] {
+			res.Rules[i] = TopKRow{
+				ID:         uint32(s.ID),
+				Antecedent: itemNames(f, s.Rule.Ant),
+				Consequent: itemNames(f, s.Rule.Cons),
+				Score:      s.Score,
+				Coverage:   s.Agg.Coverage,
+				Mean:       s.Agg.Mean,
+				StdDev:     s.Agg.StdDev,
+				Stability:  s.Agg.Stability,
+				Drift:      s.Agg.Drift,
+			}
+		}
+		return res, nil
+
+	case Similar:
+		m, err := traj.MetricByName(q.Metric)
+		if err != nil {
+			return nil, err
+		}
+		out, pruned, err := f.SimilarTrajectoriesTraced(tr, q.From, q.To, q.Ref, m, q.MinSupp, q.MinConf, q.TopK)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := q.Page(len(out))
+		res := SimilarResult{From: q.From, To: q.To, Metric: m.String(), K: q.TopK, Pruned: pruned,
+			Total: len(out), Offset: lo, Count: hi - lo, Rules: make([]SimilarRow, hi-lo)}
+		for i, s := range out[lo:hi] {
+			res.Rules[i] = SimilarRow{
+				ID:         uint32(s.ID),
+				Antecedent: itemNames(f, s.Rule.Ant),
+				Consequent: itemNames(f, s.Rule.Cons),
+				Distance:   s.Distance,
+			}
+		}
+		return res, nil
+
+	case Emerging:
+		out, err := f.EmergingRulesTraced(tr, q.From, q.To, q.MinSupp, q.MinConf)
+		if err != nil {
+			return nil, err
+		}
+		to := q.To
+		if to == -1 {
+			to = f.Windows() - 1
+		}
+		lo, hi := q.Page(len(out))
+		res := EmergingResult{From: q.From, To: to,
+			Total: len(out), Offset: lo, Count: hi - lo, Rules: make([]EmergingRow, hi-lo)}
+		for i, s := range out[lo:hi] {
+			res.Rules[i] = EmergingRow{
+				ID:         uint32(s.ID),
+				Antecedent: itemNames(f, s.Rule.Ant),
+				Consequent: itemNames(f, s.Rule.Cons),
+				Support:    s.Support,
+				Confidence: s.Confidence,
+			}
+		}
+		return res, nil
 
 	case Export:
 		return nil, fmt.Errorf("query: export is a CLI-only operation")

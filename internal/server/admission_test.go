@@ -391,6 +391,37 @@ func TestAdaptiveModeValidation(t *testing.T) {
 	}
 }
 
+// TestAdmissionConfigOverrides checks the -admissionwindow and
+// -admissiontolerance plumbing: Config values reach the AIMD controller,
+// and zero values keep the defaults.
+func TestAdmissionConfigOverrides(t *testing.T) {
+	fw := testFramework(t)
+	s, err := New(Config{
+		Framework: fw, Logger: quietLogger(), AdmissionMode: "adaptive", MaxInFlight: 8,
+		AdmissionWindow:    50 * time.Millisecond,
+		AdmissionTolerance: 3.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ctrl.cfg.Window; got != 50*time.Millisecond {
+		t.Errorf("Window = %v, want 50ms", got)
+	}
+	if got := s.ctrl.cfg.Tolerance; got != 3.5 {
+		t.Errorf("Tolerance = %v, want 3.5", got)
+	}
+	s, err = New(Config{Framework: fw, Logger: quietLogger(), AdmissionMode: "adaptive", MaxInFlight: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ctrl.cfg.Window; got != 200*time.Millisecond {
+		t.Errorf("default Window = %v, want 200ms", got)
+	}
+	if got := s.ctrl.cfg.Tolerance; got != 2.0 {
+		t.Errorf("default Tolerance = %v, want 2.0", got)
+	}
+}
+
 // TestAdaptiveShedOrderingConsistency is the adaptive twin of
 // TestShedOrderingConsistency, extended to the per-QoS-class admission
 // counters: under mixed-class shed traffic with the controller moving the
@@ -477,6 +508,7 @@ func TestDaemonUsageListsAdmissionFlags(t *testing.T) {
 	usage := buf.String()
 	for _, flagName := range []string{
 		"-addr", "-maxinflight", "-queuewait", "-admission", "-minlimit",
+		"-admissionwindow", "-admissiontolerance",
 		"-timeout", "-bytecache", "-gzip", "-slowtraces", "-mmap",
 	} {
 		if !strings.Contains(usage, fmt.Sprintf("\n  %s ", flagName)) &&
@@ -484,7 +516,7 @@ func TestDaemonUsageListsAdmissionFlags(t *testing.T) {
 			t.Errorf("usage output missing %s:\n%s", flagName, usage)
 		}
 	}
-	for _, def := range []string{"(default 256)", "(default \"adaptive\")", "(default 2)"} {
+	for _, def := range []string{"(default 256)", "(default \"adaptive\")", "(default 2)", "(default 200ms)"} {
 		if !strings.Contains(usage, def) {
 			t.Errorf("usage output missing default %q", def)
 		}

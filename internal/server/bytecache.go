@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 
 	"tara/internal/query"
+	"tara/internal/traj"
 )
 
 // The encoded-response byte cache: the last hop of the zero-copy pipeline.
@@ -35,6 +37,16 @@ import (
 // ND recommend path depends on more than the 2-D cut). Diff spans multiple
 // windows with per-window cuts and stays on the query cache only.
 //
+// The trajectory classes (topk, similar, emerging) cache too, under their
+// raw parameters instead of a canonical cut: their answers range over
+// committed windows only, and committed windows are immutable, so an answer
+// over an explicit [from, to] is a pure function of the request for all
+// time. Emerging's open-ended to=-1 form is canonicalized to the latest
+// committed window before keying, which both pins the answer and lets the
+// per-window invalidation discipline stand unchanged (a key's window field
+// is its range's last window; a window being committed right now can never
+// equal the resolved `to` of an already-cached entry).
+//
 // Bodies are stored per content coding: the identity entry is canonical and
 // a gzip-compressed variant (same key, enc=encGzip, "-gz"-suffixed ETag) is
 // derived from it on the first gzip-accepting request. Per-window
@@ -48,6 +60,9 @@ const (
 	byteMine byteClass = iota
 	byteCount
 	byteRecommend
+	byteTopK
+	byteSimilar
+	byteEmerging
 	numByteClasses
 )
 
@@ -61,10 +76,14 @@ const (
 
 // byteCacheKey identifies one encoded response. cut packs the canonical
 // cut-grid indexes (cutKey layout: support index high 32 bits, confidence
-// low 32); lift carries math.Float64bits of the mine lift filter (zero for
-// the other classes) so distinct filters never share bytes; page packs the
-// limit/offset pagination (pageKey layout) so each page caches
-// independently; enc is the content coding of the stored body.
+// low 32) — or, for the trajectory classes, the raw [from, to] window range;
+// lift carries math.Float64bits of the mine lift filter (trajectory: the
+// minSupp threshold bits) so distinct filters never share bytes; page packs
+// the limit/offset pagination (pageKey layout) so each page caches
+// independently; enc is the content coding of the stored body. x and ref
+// are the trajectory classes' extra parameters (zero/empty elsewhere): x
+// packs minConf bits plus the measure-or-metric and k pair, ref is the
+// similarity reference profile in lossless shortest round-trip text.
 type byteCacheKey struct {
 	class  byteClass
 	enc    uint8
@@ -72,6 +91,9 @@ type byteCacheKey struct {
 	cut    uint64
 	lift   uint64
 	page   uint64
+	x      uint64
+	x2     uint64
+	ref    string
 }
 
 // pageKey packs the pagination parameters: offset in the high 32 bits,
@@ -139,6 +161,7 @@ func (c *byteCache) shardFor(k byteCacheKey) *byteCacheShard {
 	h ^= k.cut * 0x94D049BB133111EB
 	h ^= k.lift*0xD6E8FEB86659FD93 + (h >> 29)
 	h ^= k.page*0xC2B2AE3D27D4EB4F + uint64(k.enc)*0xFF51AFD7ED558CCD
+	h ^= k.x*0xA24BAED4963EE407 + k.x2*0x9FB21C651E98DF25 + uint64(len(k.ref))*0x8EBC6AF09C88C6E3
 	return &c.shards[h%byteCacheShards]
 }
 
@@ -290,11 +313,13 @@ func (c *byteCache) stats() ByteCacheStats {
 }
 
 // byteCacheKeyFor canonicalizes a decoded query to its byte-cache key, or
-// reports the request not byte-cacheable. Only single-window classes whose
-// answer is a function of the canonical cut (plus the lift filter bits)
-// qualify; a recommend with a lift bound answers from the ND region path
-// and is excluded.
-func (s *Server) byteCacheKeyFor(q query.Query) (byteCacheKey, bool) {
+// reports the request not byte-cacheable; the returned query is the one to
+// execute on a miss (identical to the input except for emerging's resolved
+// to, which must match the key). Single-window classes key on the canonical
+// cut (plus the lift filter bits); a recommend with a lift bound answers
+// from the ND region path and is excluded. Trajectory classes key on their
+// raw parameters over an already-committed window range.
+func (s *Server) byteCacheKeyFor(q query.Query) (byteCacheKey, query.Query, bool) {
 	var class byteClass
 	lift := uint64(0)
 	page := uint64(0)
@@ -307,19 +332,69 @@ func (s *Server) byteCacheKeyFor(q query.Query) (byteCacheKey, bool) {
 		class = byteCount
 	case query.Recommend:
 		if q.MinLift > 0 {
-			return byteCacheKey{}, false
+			return byteCacheKey{}, q, false
 		}
 		class = byteRecommend
+	case query.TopK, query.Similar, query.Emerging:
+		return s.trajByteCacheKey(q)
 	default:
-		return byteCacheKey{}, false
+		return byteCacheKey{}, q, false
 	}
 	si, ci, err := s.fw.CanonicalCut(q.Window, q.MinSupp, q.MinConf)
 	if err != nil {
 		// Out-of-range window and friends: let the normal path produce the
 		// error response (errors are not cached).
-		return byteCacheKey{}, false
+		return byteCacheKey{}, q, false
 	}
-	return byteCacheKey{class: class, window: int32(q.Window), cut: cutKey(si, ci), lift: lift, page: page}, true
+	return byteCacheKey{class: class, window: int32(q.Window), cut: cutKey(si, ci), lift: lift, page: page}, q, true
+}
+
+// trajByteCacheKey keys a trajectory query. The key is a lossless function
+// of every answer-shaping parameter: range (cut), thresholds (lift, x low
+// bits... see field docs), measure/metric and k (x2), pagination (page) and
+// the similarity profile (ref). Emerging's to=-1 is resolved here so the
+// executed query and the key always agree on the range.
+func (s *Server) trajByteCacheKey(q query.Query) (byteCacheKey, query.Query, bool) {
+	if q.Kind == query.Emerging && q.To == -1 {
+		q.To = s.fw.Windows() - 1
+	}
+	if q.From < 0 || q.To < q.From || q.To >= s.fw.Windows() {
+		// Out-of-range: let the normal path produce the error response.
+		return byteCacheKey{}, q, false
+	}
+	k := byteCacheKey{
+		window: int32(q.To),
+		cut:    cutKey(q.From, q.To),
+		lift:   math.Float64bits(q.MinSupp),
+		x:      math.Float64bits(q.MinConf),
+		page:   pageKey(q.Limit, q.Offset),
+	}
+	switch q.Kind {
+	case query.TopK:
+		m, err := traj.MeasureByName(q.Measure)
+		if err != nil {
+			return byteCacheKey{}, q, false
+		}
+		k.class = byteTopK
+		k.x2 = uint64(uint32(m))<<32 | uint64(uint32(q.TopK))
+	case query.Similar:
+		m, err := traj.MetricByName(q.Metric)
+		if err != nil {
+			return byteCacheKey{}, q, false
+		}
+		k.class = byteSimilar
+		k.x2 = uint64(uint32(m))<<32 | uint64(uint32(q.TopK))
+		parts := make([]string, len(q.Ref))
+		for i, v := range q.Ref {
+			// Shortest round-trip formatting is injective on float64, so two
+			// different profiles can never share a key.
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		k.ref = strings.Join(parts, ",")
+	case query.Emerging:
+		k.class = byteEmerging
+	}
+	return k, q, true
 }
 
 // cutKey packs the canonical cut-grid index pair, mirroring the query
@@ -346,6 +421,9 @@ func etagFor(generation uint64, k byteCacheKey) string {
 	put(k.cut)
 	put(k.lift)
 	put(k.page)
+	put(k.x)
+	put(k.x2)
+	h.Write([]byte(k.ref))
 	return fmt.Sprintf("%q", fmt.Sprintf("%016x", h.Sum64()))
 }
 

@@ -49,6 +49,8 @@ func Run(args []string, stderr io.Writer) error {
 		inflight = fs.Int("maxinflight", 256, "max concurrently executing queries (-1 = unlimited; in adaptive mode, the controller's upper bound)")
 		adm      = fs.String("admission", "adaptive", "in-flight admission policy: adaptive (AIMD latency-feedback limit with per-class QoS guarantees) or static (fixed -maxinflight cap, the legacy behavior)")
 		minLimit = fs.Int("minlimit", 2, "adaptive admission's lowest (and cold-start) in-flight limit")
+		admWin   = fs.Duration("admissionwindow", 200*time.Millisecond, "adaptive admission's AIMD decision cadence")
+		admTol   = fs.Float64("admissiontolerance", 2.0, "adaptive admission's p99 breach tolerance over the baseline")
 		qwait    = fs.Duration("queuewait", 0, "max time a request may queue for an in-flight slot before 429 (0 = shed immediately)")
 		pprofOn  = fs.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 		slowN    = fs.Int("slowtraces", 32, "slowest request traces retained for /debug/slow")
@@ -110,19 +112,21 @@ func Run(args []string, stderr io.Writer) error {
 		admMode = "static"
 	}
 	s, err := New(Config{
-		Framework:      fw,
-		Logger:         log,
-		RequestTimeout: *timeout,
-		MaxInFlight:    *inflight,
-		AdmissionMode:  admMode,
-		MinLimit:       *minLimit,
-		QueueWait:      *qwait,
-		EnablePprof:    *pprofOn,
-		SlowTraces:     *slowN,
-		ByteCacheSize:  *bcache,
-		GzipMinBytes:   gzMin,
-		KBLoadMode:     fw.LoadMode(),
-		KBLoadMillis:   kbLoadMillis,
+		Framework:          fw,
+		Logger:             log,
+		RequestTimeout:     *timeout,
+		MaxInFlight:        *inflight,
+		AdmissionMode:      admMode,
+		MinLimit:           *minLimit,
+		AdmissionWindow:    *admWin,
+		AdmissionTolerance: *admTol,
+		QueueWait:          *qwait,
+		EnablePprof:        *pprofOn,
+		SlowTraces:         *slowN,
+		ByteCacheSize:      *bcache,
+		GzipMinBytes:       gzMin,
+		KBLoadMode:         fw.LoadMode(),
+		KBLoadMillis:       kbLoadMillis,
 	})
 	if err != nil {
 		return err

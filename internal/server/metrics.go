@@ -83,6 +83,9 @@ type registry struct {
 	// admission, when set, contributes the admission layer's snapshot
 	// (mode, limit in force, per-QoS-class counters) to /metrics.
 	admission func() AdmissionSnapshot
+	// trajStats, when set, contributes the columnar trajectory snapshot's
+	// state (generation, dimensions, resident bytes, rebuild count).
+	trajStats func() tara.TrajStats
 }
 
 func newRegistry(slowTraces int) *registry {
@@ -191,10 +194,14 @@ type MetricsSnapshot struct {
 	Admission AdmissionSnapshot `json:"admission"`
 	// Runtime is the Go runtime's resource view: heap, GC cycles, and the
 	// GC-pause and scheduler-latency distributions.
-	Runtime       obs.RuntimeSnapshot         `json:"runtime"`
-	QueryCache    tara.CacheStats             `json:"queryCache"`
-	ResponseCache ByteCacheStats              `json:"responseCache"`
-	Endpoints     map[string]EndpointSnapshot `json:"endpoints"`
+	Runtime       obs.RuntimeSnapshot `json:"runtime"`
+	QueryCache    tara.CacheStats     `json:"queryCache"`
+	ResponseCache ByteCacheStats      `json:"responseCache"`
+	// Trajectory is the columnar trajectory engine's snapshot state: whether
+	// one is resident, its generation and dimensions, and how many rebuilds
+	// the framework has paid.
+	Trajectory tara.TrajStats              `json:"trajectory"`
+	Endpoints  map[string]EndpointSnapshot `json:"endpoints"`
 	// Stages reports the per-stage latency distributions aggregated across
 	// all traced query requests, keyed by stage name (decode, canonical-cut,
 	// cache-probe, eps-lookup, materialize, encode, encode-cached).
@@ -223,6 +230,9 @@ func (r *registry) snapshot() MetricsSnapshot {
 	}
 	if r.kbResidency != nil {
 		snap.KBArchiveBytes, snap.KBArchiveMapped = r.kbResidency()
+	}
+	if r.trajStats != nil {
+		snap.Trajectory = r.trajStats()
 	}
 	for name, st := range r.endpoints {
 		// The middleware bumps requests on entry, before any outcome counter

@@ -60,6 +60,20 @@ func (r *registry) writePrometheus(w http.ResponseWriter) {
 		writeGauge(w, "tarad_response_cache_entries", "Encoded-response cache resident entries.", float64(bs.Entries))
 	}
 
+	if r.trajStats != nil {
+		ts := r.trajStats()
+		var built float64
+		if ts.Built {
+			built = 1
+		}
+		writeGauge(w, "tarad_traj_snapshot_built", "1 when a columnar trajectory snapshot is resident, 0 before the first trajectory query.", built)
+		writeGauge(w, "tarad_traj_snapshot_generation", "KB generation the resident trajectory snapshot was built from.", float64(ts.Generation))
+		writeGauge(w, "tarad_traj_snapshot_rules", "Rule rows in the resident trajectory snapshot.", float64(ts.Rules))
+		writeGauge(w, "tarad_traj_snapshot_windows", "Windows in the resident trajectory snapshot.", float64(ts.Windows))
+		writeGauge(w, "tarad_traj_snapshot_bytes", "Estimated resident size of the trajectory snapshot's columns.", float64(ts.MemBytes))
+		writeCounter(w, "tarad_traj_snapshot_rebuilds_total", "Columnar trajectory snapshot builds since process start.", float64(ts.Rebuilds))
+	}
+
 	names := make([]string, 0, len(r.endpoints))
 	for name := range r.endpoints {
 		names = append(names, name)

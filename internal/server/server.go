@@ -15,6 +15,18 @@
 //	/rank        from=0 to=3 supp=… conf=… by=… k=10   evolution ranking
 //	/periodic    from=0 to=8 supp=… conf=… period=7    cyclic qualification
 //	/plot        w=0 [supp=0.01 conf=0.2]              parameter-space panorama
+//	/topk        from=0 to=3 supp=… conf=… by=… k=10   columnar trajectory ranking
+//	/similar     from=0 to=3 ref=0.1,0.2,… metric=…    trajectory similarity search
+//	/emerging    from=0 supp=… conf=… [to=5]           newly qualifying rules
+//
+// The last three answer from the columnar trajectory engine (internal/traj):
+// a window-major snapshot of the whole archive, rebuilt lazily per KB
+// generation, whose aggregate scans, bounded-heap ranking, envelope-pruned
+// similarity search and emergence detection run over contiguous float64
+// columns instead of per-rule payload decodes. Their answers range over
+// committed (immutable) windows only, so they byte-cache under their raw
+// parameters; /emerging without to= follows the newest window and is keyed
+// against the resolved index.
 //
 // plus /stats (knowledge-base summary), /healthz, and /metrics with
 // per-endpoint request counters, latency quantiles (p50/p95/p99), per-stage
@@ -101,6 +113,15 @@ type Config struct {
 	// MinLimit is the adaptive controller's lower bound (and cold-start
 	// limit). Zero selects 2; ignored in static mode.
 	MinLimit int
+	// AdmissionWindow is the adaptive controller's decision cadence — how
+	// often the AIMD loop inspects the windowed latency and moves the limit.
+	// Zero selects the 200ms default; ignored in static mode.
+	AdmissionWindow time.Duration
+	// AdmissionTolerance is how far the windowed p99 may run above the
+	// controller's baseline before the window counts as a breach (a
+	// multiplicative factor). Zero selects the 2.0 default; ignored in
+	// static mode.
+	AdmissionTolerance float64
 	// QueueWait bounds how long a request may wait for an in-flight slot
 	// before being shed with 429. Zero (the default) sheds the moment no
 	// slot is free — the pre-queue behavior. A small bound (a few ms)
@@ -186,6 +207,9 @@ var endpoints = []struct{ path, op string }{
 	{"/rank", "rank"},
 	{"/periodic", "periodic"},
 	{"/plot", "plot"},
+	{"/topk", "topk"},
+	{"/similar", "similar"},
+	{"/emerging", "emerging"},
 }
 
 // New builds a Server from cfg.
@@ -226,6 +250,7 @@ func New(cfg Config) (*Server, error) {
 	if s.metrics.kbLoadMode == "" {
 		s.metrics.kbLoadMode = s.fw.LoadMode()
 	}
+	s.metrics.trajStats = s.fw.TrajStats
 	s.metrics.kbLoadMillis = cfg.KBLoadMillis
 	if cfg.ByteCacheSize >= 0 {
 		s.bcache = newByteCache(cfg.ByteCacheSize)
@@ -255,8 +280,15 @@ func New(cfg Config) (*Server, error) {
 		if minLimit > maxInFlight {
 			minLimit = maxInFlight
 		}
+		acfg := defaultAIMDConfig(minLimit, maxInFlight)
+		if cfg.AdmissionWindow > 0 {
+			acfg.Window = cfg.AdmissionWindow
+		}
+		if cfg.AdmissionTolerance > 0 {
+			acfg.Tolerance = cfg.AdmissionTolerance
+		}
 		s.adm = newQoSSem(minLimit)
-		s.ctrl = newAIMDController(defaultAIMDConfig(minLimit, maxInFlight), s.adm, nil)
+		s.ctrl = newAIMDController(acfg, s.adm, nil)
 	default:
 		return nil, fmt.Errorf("server: unknown AdmissionMode %q (want static or adaptive)", cfg.AdmissionMode)
 	}
@@ -396,7 +428,10 @@ func (s *Server) cacheFirst(op string, st *endpointStats, h http.Handler) http.H
 			h.ServeHTTP(w, r)
 			return
 		}
-		key, ok := s.byteCacheKeyFor(q)
+		// The canonicalized query is discarded here: on a miss the inner
+		// handler re-decodes and re-keys, and the singleflight leader
+		// executes that canonicalized form.
+		key, _, ok := s.byteCacheKeyFor(q)
 		if !ok {
 			h.ServeHTTP(w, r)
 			return
@@ -467,8 +502,8 @@ func (s *Server) answer(name, op string, st *endpointStats, w http.ResponseWrite
 		return
 	}
 	if s.bcache != nil && values.Get("debug") != "trace" {
-		if key, ok := s.byteCacheKeyFor(q); ok {
-			s.answerCached(key, st, w, r, tr, q)
+		if key, cq, ok := s.byteCacheKeyFor(q); ok {
+			s.answerCached(key, st, w, r, tr, cq)
 			return
 		}
 	}

@@ -1,0 +1,345 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"tara/internal/gen"
+	"tara/internal/mining"
+	"tara/internal/query"
+	"tara/internal/tara"
+	"tara/internal/traj"
+)
+
+// TestTrajEndpointsAnswer drives /topk, /similar and /emerging end to end
+// and cross-checks each payload against the framework's direct answer.
+func TestTrajEndpointsAnswer(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	fw := s.fw
+	last := fw.Windows() - 1
+	rebuilds0 := fw.TrajStats().Rebuilds
+
+	code, body := get(t, ts.URL, fmt.Sprintf("/topk?from=0&to=%d&supp=0.01&conf=0.1&by=drift&k=5", last))
+	if code != http.StatusOK {
+		t.Fatalf("/topk: status %d: %s", code, body)
+	}
+	var tk query.TopKResult
+	if err := json.Unmarshal(body, &tk); err != nil {
+		t.Fatalf("/topk: decoding: %v", err)
+	}
+	if tk.By != "drift" || tk.K != 5 || tk.Count == 0 || tk.Count > 5 {
+		t.Fatalf("/topk envelope: %+v", tk)
+	}
+	want, err := fw.TopKTrajectories(0, last, 0.01, 0.1, traj.ByDrift, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != tk.Count {
+		t.Fatalf("/topk returned %d rules, framework %d", tk.Count, len(want))
+	}
+	for i, row := range tk.Rules {
+		if row.ID != uint32(want[i].ID) || row.Score != want[i].Score {
+			t.Fatalf("/topk row %d: (%d, %v) vs framework (%d, %v)", i, row.ID, row.Score, want[i].ID, want[i].Score)
+		}
+		if row.Stability != want[i].Agg.Stability || row.Coverage != want[i].Agg.Coverage {
+			t.Fatalf("/topk row %d aggregates diverge: %+v vs %+v", i, row, want[i].Agg)
+		}
+	}
+
+	ref := make([]string, last+1)
+	for i := range ref {
+		ref[i] = "0.02"
+	}
+	code, body = get(t, ts.URL, fmt.Sprintf("/similar?from=0&to=%d&ref=%s&metric=max&k=5", last, strings.Join(ref, ",")))
+	if code != http.StatusOK {
+		t.Fatalf("/similar: status %d: %s", code, body)
+	}
+	var sm query.SimilarResult
+	if err := json.Unmarshal(body, &sm); err != nil {
+		t.Fatalf("/similar: decoding: %v", err)
+	}
+	if sm.Metric != "max" || sm.Count == 0 || sm.Count > 5 {
+		t.Fatalf("/similar envelope: %+v", sm)
+	}
+	refF := make([]float64, last+1)
+	for i := range refF {
+		refF[i] = 0.02
+	}
+	neigh, _, err := fw.SimilarTrajectories(0, last, refF, traj.MaxNorm, 0, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(neigh) != sm.Count {
+		t.Fatalf("/similar returned %d rules, framework %d", sm.Count, len(neigh))
+	}
+	for i, row := range sm.Rules {
+		if row.ID != uint32(neigh[i].ID) || row.Distance != neigh[i].Distance {
+			t.Fatalf("/similar row %d: (%d, %v) vs framework (%d, %v)", i, row.ID, row.Distance, neigh[i].ID, neigh[i].Distance)
+		}
+	}
+
+	code, body = get(t, ts.URL, "/emerging?from=0&supp=0.01&conf=0.1")
+	if code != http.StatusOK {
+		t.Fatalf("/emerging: status %d: %s", code, body)
+	}
+	var em query.EmergingResult
+	if err := json.Unmarshal(body, &em); err != nil {
+		t.Fatalf("/emerging: decoding: %v", err)
+	}
+	if em.To != last {
+		t.Fatalf("/emerging resolved to window %d, want latest %d", em.To, last)
+	}
+	eWant, err := fw.EmergingRules(0, -1, 0.01, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Total != len(eWant) {
+		t.Fatalf("/emerging total %d, framework %d", em.Total, len(eWant))
+	}
+	for i, row := range em.Rules {
+		if row.ID != uint32(eWant[i].ID) || row.Support != eWant[i].Support {
+			t.Fatalf("/emerging row %d: (%d, %v) vs framework (%d, %v)", i, row.ID, row.Support, eWant[i].ID, eWant[i].Support)
+		}
+	}
+
+	// One generation: at most one build serves all of the above.
+	if st := fw.TrajStats(); !st.Built || st.Rebuilds-rebuilds0 > 1 {
+		t.Fatalf("snapshot stats after three endpoint hits: %+v (started at %d rebuilds)", st, rebuilds0)
+	}
+}
+
+// TestTrajEndpointsByteCacheAndETag: trajectory answers over committed
+// windows are cacheable; a repeat GET must hit the encoded-response cache
+// and a conditional GET must answer 304.
+func TestTrajEndpointsByteCacheAndETag(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	last := s.fw.Windows() - 1
+
+	paths := []string{
+		fmt.Sprintf("/topk?from=0&to=%d&supp=0.01&conf=0.1&k=7", last),
+		fmt.Sprintf("/similar?from=0&to=%d&ref=%s", last, strings.TrimSuffix(strings.Repeat("0.01,", last+1), ",")),
+		"/emerging?from=0&supp=0.01&conf=0.1",
+	}
+	for _, p := range paths {
+		code, body, hdr := getWithHeaders(t, ts.URL, p, nil)
+		if code != http.StatusOK {
+			t.Fatalf("GET %s: status %d: %s", p, code, body)
+		}
+		etag := hdr.Get("ETag")
+		if etag == "" {
+			t.Fatalf("GET %s: no ETag on a cacheable trajectory answer", p)
+		}
+		before := s.bcache.stats().Hits
+		code2, body2, hdr2 := getWithHeaders(t, ts.URL, p, nil)
+		if code2 != http.StatusOK || string(body2) != string(body) {
+			t.Fatalf("repeat GET %s: status %d, body stable=%v", p, code2, string(body2) == string(body))
+		}
+		if hdr2.Get("ETag") != etag {
+			t.Fatalf("repeat GET %s: tag moved %q -> %q", p, etag, hdr2.Get("ETag"))
+		}
+		if after := s.bcache.stats().Hits; after <= before {
+			t.Fatalf("repeat GET %s did not hit the byte cache (hits %d -> %d)", p, before, after)
+		}
+		code3, b304, _ := getWithHeaders(t, ts.URL, p, map[string]string{"If-None-Match": etag})
+		if code3 != http.StatusNotModified || len(b304) != 0 {
+			t.Fatalf("conditional GET %s: status %d, %d body bytes, want 304 empty", p, code3, len(b304))
+		}
+	}
+
+	// Distinct parameters must key distinct entries: a different k, metric
+	// or reference profile cannot collide.
+	_, _, h1 := getWithHeaders(t, ts.URL, paths[0], nil)
+	_, _, h2 := getWithHeaders(t, ts.URL, strings.Replace(paths[0], "k=7", "k=3", 1), nil)
+	if h1.Get("ETag") == h2.Get("ETag") {
+		t.Fatal("different k shares an ETag")
+	}
+	_, _, h3 := getWithHeaders(t, ts.URL, paths[1], nil)
+	_, _, h4 := getWithHeaders(t, ts.URL, strings.Replace(paths[1], "0.01", "0.02", 1), nil)
+	if h3.Get("ETag") == h4.Get("ETag") {
+		t.Fatal("different reference profile shares an ETag")
+	}
+}
+
+// TestTrajEmergingFreshAfterAppend: /emerging without to= follows the newest
+// window, so an append must produce a fresh answer — new resolved window,
+// new ETag — while explicit-range answers stay stable.
+func TestTrajEmergingFreshAfterAppend(t *testing.T) {
+	db, err := gen.Retail(gen.RetailParams{Transactions: 400, NumItems: 40, AvgLen: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	windows, err := db.PartitionByCount(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tara.Config{GenMinSupport: 0.01, GenMinConf: 0.1, MaxItemsetLen: 3, Miner: mining.Eclat{}}
+	fw := tara.New(db.Dict, cfg)
+	for _, w := range windows[:3] {
+		if err := fw.AppendWindow(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := newTestServer(t, Config{Framework: fw})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const emergingPath = "/emerging?from=0&supp=0.01&conf=0.1"
+	code, body1, hdr1 := getWithHeaders(t, ts.URL, emergingPath, nil)
+	if code != http.StatusOK {
+		t.Fatalf("emerging before append: status %d: %s", code, body1)
+	}
+	var before query.EmergingResult
+	if err := json.Unmarshal(body1, &before); err != nil {
+		t.Fatal(err)
+	}
+	if before.To != 2 {
+		t.Fatalf("resolved window %d before append, want 2", before.To)
+	}
+	fixedPath := "/topk?from=0&to=2&supp=0.01&conf=0.1"
+	_, bodyFixed1, hdrFixed1 := getWithHeaders(t, ts.URL, fixedPath, nil)
+
+	if err := fw.AppendWindow(windows[3]); err != nil {
+		t.Fatal(err)
+	}
+
+	code, body2, hdr2 := getWithHeaders(t, ts.URL, emergingPath, nil)
+	if code != http.StatusOK {
+		t.Fatalf("emerging after append: status %d: %s", code, body2)
+	}
+	var after query.EmergingResult
+	if err := json.Unmarshal(body2, &after); err != nil {
+		t.Fatal(err)
+	}
+	if after.To != 3 {
+		t.Fatalf("resolved window %d after append, want 3 (stale cached answer?)", after.To)
+	}
+	if hdr1.Get("ETag") == hdr2.Get("ETag") {
+		t.Fatal("emerging ETag did not move with the newest window")
+	}
+	// A conditional GET with the stale tag must get the fresh body.
+	code, body3, _ := getWithHeaders(t, ts.URL, emergingPath, map[string]string{"If-None-Match": hdr1.Get("ETag")})
+	if code != http.StatusOK || string(body3) != string(body2) {
+		t.Fatalf("stale conditional: status %d, fresh body=%v", code, string(body3) == string(body2))
+	}
+
+	// The explicit-range answer is a pure function of committed windows:
+	// identical body and tag across the append.
+	_, bodyFixed2, hdrFixed2 := getWithHeaders(t, ts.URL, fixedPath, nil)
+	if string(bodyFixed1) != string(bodyFixed2) || hdrFixed1.Get("ETag") != hdrFixed2.Get("ETag") {
+		t.Fatal("explicit-range /topk answer changed across an append")
+	}
+}
+
+// TestTrajEndpointsBadRequests: malformed or unanswerable trajectory
+// queries must answer 400 with a JSON error.
+func TestTrajEndpointsBadRequests(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	last := s.fw.Windows() - 1
+	for _, p := range []string{
+		"/topk?from=0&to=3",                                            // missing thresholds
+		"/topk?from=0&to=3&supp=0.01&conf=0.1&by=bogus",                // unknown measure
+		"/topk?from=0&to=99&supp=0.01&conf=0.1",                        // range beyond windows
+		"/topk?from=0&to=3&supp=0.001&conf=0.1",                        // below generation threshold
+		"/similar?from=0&to=3",                                         // missing ref
+		"/similar?from=0&to=3&ref=0.1,nope",                            // malformed ref value
+		"/similar?from=0&to=3&ref=0.1,2.5,0.1,0.1",                     // ref outside [0,1]
+		fmt.Sprintf("/similar?from=0&to=%d&ref=0.1", last),             // ref length mismatch
+		"/similar?from=0&to=3&ref=0.1,0.1,0.1,0.1&metric=l7",           // unknown metric
+		"/emerging?supp=0.01&conf=0.1",                                 // missing from
+		fmt.Sprintf("/emerging?from=%d&to=0&supp=0.01&conf=0.1", last), // inverted range
+	} {
+		code, body := get(t, ts.URL, p)
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s: status %d, want 400 (%s)", p, code, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("GET %s: error payload %q", p, body)
+		}
+	}
+}
+
+// TestTrajEndpointsPagination: limit/offset page through the ranked rows
+// with a stable total.
+func TestTrajEndpointsPagination(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	last := s.fw.Windows() - 1
+
+	full := fmt.Sprintf("/topk?from=0&to=%d&supp=0.01&conf=0.1&k=50", last)
+	code, body := get(t, ts.URL, full)
+	if code != http.StatusOK {
+		t.Fatalf("full page: status %d", code)
+	}
+	var all query.TopKResult
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	if all.Count < 3 {
+		t.Skipf("only %d qualifying rules; pagination needs at least 3", all.Count)
+	}
+	code, body = get(t, ts.URL, full+"&limit=2&offset=1")
+	if code != http.StatusOK {
+		t.Fatalf("paged: status %d", code)
+	}
+	var page query.TopKResult
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatal(err)
+	}
+	if page.Total != all.Total || page.Offset != 1 || page.Count != 2 {
+		t.Fatalf("page envelope: %+v (full total %d)", page, all.Total)
+	}
+	for i := 0; i < 2; i++ {
+		if page.Rules[i].ID != all.Rules[i+1].ID {
+			t.Fatalf("page row %d is rule %d, want %d", i, page.Rules[i].ID, all.Rules[i+1].ID)
+		}
+	}
+}
+
+// TestTrajMetricsSurface: after trajectory traffic, /metrics carries the
+// snapshot block and the Prometheus rendering exposes the gauges.
+func TestTrajMetricsSurface(t *testing.T) {
+	s := newTestServer(t, Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	last := s.fw.Windows() - 1
+	if code, _ := get(t, ts.URL, fmt.Sprintf("/topk?from=0&to=%d&supp=0.01&conf=0.1", last)); code != http.StatusOK {
+		t.Fatalf("warming topk: status %d", code)
+	}
+	code, body := get(t, ts.URL, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	var snap struct {
+		Trajectory tara.TrajStats `json:"trajectory"`
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Trajectory.Built || snap.Trajectory.Rules == 0 || snap.Trajectory.MemBytes == 0 {
+		t.Fatalf("trajectory metrics block: %+v", snap.Trajectory)
+	}
+	code, body = get(t, ts.URL, "/metrics?format=prometheus")
+	if code != http.StatusOK {
+		t.Fatalf("prometheus metrics: status %d", code)
+	}
+	text := string(body)
+	for _, m := range []string{"tarad_traj_snapshot_built 1", "tarad_traj_snapshot_rebuilds_total", "tarad_traj_snapshot_bytes"} {
+		if !strings.Contains(text, m) {
+			t.Errorf("prometheus output missing %q", m)
+		}
+	}
+}

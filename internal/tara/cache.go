@@ -35,11 +35,15 @@ const (
 	classCount
 	classRegion
 	classDiff
+	// classTraj memoizes trajectory aggregate matrices (traj.go). Its keys
+	// use window -1 — outside any committed index, so invalidateWindow never
+	// touches them; entries expire by snapshot-pointer comparison instead.
+	classTraj
 	numQueryClasses
 )
 
 // queryClassNames are the /metrics labels, indexed by queryClass.
-var queryClassNames = [numQueryClasses]string{"mine", "count", "region", "diff"}
+var queryClassNames = [numQueryClasses]string{"mine", "count", "region", "diff", "traj"}
 
 // cacheKey identifies one canonicalized query. a packs the request's cut
 // grid indexes (support index high 32 bits, confidence index low 32); for

@@ -334,9 +334,10 @@ func (f *Framework) RuleTrajectories(w int, minSupp, minConf float64, others []i
 			Stats:   make([]rules.Stats, len(others)),
 			Present: make([]bool, len(others)),
 		}
-		for i, o := range others {
-			tr.Stats[i], tr.Present[i] = f.arch.StatsAt(id, o)
-		}
+		// One decode pass per rule over the examined windows, served as a
+		// view off the payload bytes (mapped KBs stay mapped) — not a
+		// StatsAt probe per window, which re-decodes the series each time.
+		f.arch.StatsIn(id, others, tr.Stats, tr.Present)
 		out = append(out, tr)
 	}
 	return out, nil
@@ -736,12 +737,17 @@ func (f *Framework) RankEvolution(from, to int, minSupp, minConf float64, m Evol
 			return nil, err
 		}
 		r, _ := f.ruleDict.Rule(id)
+		// Evolution materializes the support series once and derives all
+		// three measures from shared moments; calling Coverage, Stability
+		// and SupportStdDev separately would rebuild the series (and its
+		// mean) per measure for every ranked rule.
+		cov, stab, sd := tr.Evolution(stabilityEps)
 		out = append(out, EvolutionSummary{
 			ID:        id,
 			Rule:      r,
-			Coverage:  tr.Coverage(),
-			Stability: tr.Stability(stabilityEps),
-			StdDev:    tr.SupportStdDev(),
+			Coverage:  cov,
+			Stability: stab,
+			StdDev:    sd,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

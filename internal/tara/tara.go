@@ -21,6 +21,7 @@ import (
 	"tara/internal/mining"
 	"tara/internal/obs"
 	"tara/internal/rules"
+	"tara/internal/traj"
 	"tara/internal/txdb"
 )
 
@@ -167,6 +168,13 @@ type Framework struct {
 	// generation observed together with a query answer is never newer than
 	// the knowledge base that produced the answer.
 	genCtr atomic.Uint64
+
+	// trajMu guards the lazily built columnar trajectory snapshot (traj.go).
+	// Always acquired after mu; appends never take it, so snapshot builds
+	// only contend with other trajectory queries.
+	trajMu       sync.Mutex
+	trajSnap     *traj.Snapshot
+	trajRebuilds atomic.Uint64
 
 	// appendHooks are run after every committed window, outside the
 	// framework lock (a hook may issue queries). Registered via OnAppend;

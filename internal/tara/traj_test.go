@@ -1,0 +1,301 @@
+package tara
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"tara/internal/itemset"
+	"tara/internal/rules"
+	"tara/internal/traj"
+)
+
+// trajCfg qualifies every generated rule for the trajectory classes.
+func trajCfg() Config {
+	return Config{GenMinSupport: 0.01, GenMinConf: 0.05, MaxItemsetLen: 3}
+}
+
+// disjointRules fabricates rules over item ids far above any mined
+// vocabulary, so appending them never touches a pre-existing rule id.
+func disjointRules(numRules int, n uint32, seed int64) []rules.WithStats {
+	out := syntheticRules(numRules, n, seed)
+	for i := range out {
+		out[i].Rule.Ant = itemset.New(uint32(100000 + 2*i))
+		out[i].Rule.Cons = itemset.New(uint32(100001 + 2*i))
+	}
+	return out
+}
+
+// TestTrajSnapshotReuseAndRebuild pins the snapshot lifecycle: one build
+// serves every trajectory query of a generation, and an append discards it
+// wholesale on the next query.
+func TestTrajSnapshotReuseAndRebuild(t *testing.T) {
+	f := build(t, trajCfg())
+	if st := f.TrajStats(); st.Built || st.Rebuilds != 0 {
+		t.Fatalf("snapshot exists before any trajectory query: %+v", st)
+	}
+	last := f.Windows() - 1
+	if _, err := f.TopKTrajectories(0, last, 0.01, 0.05, traj.ByStability, 5); err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]float64, f.Windows())
+	if _, _, err := f.SimilarTrajectories(0, last, ref, traj.Euclidean, 0, 0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.EmergingRules(0, -1, 0.01, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	st := f.TrajStats()
+	if !st.Built || st.Rebuilds != 1 {
+		t.Fatalf("three queries of one generation should share one build: %+v", st)
+	}
+	if st.Windows != f.Windows() {
+		t.Fatalf("snapshot covers %d windows, framework has %d", st.Windows, f.Windows())
+	}
+
+	// Append a window; the next query must rebuild exactly once.
+	w := syntheticWindow(f.Windows(), 500)
+	if err := f.AppendRules(w, syntheticRules(20, 500, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.EmergingRules(0, -1, 0.01, 0.05); err != nil {
+		t.Fatal(err)
+	}
+	st2 := f.TrajStats()
+	if st2.Rebuilds != 2 || st2.Windows != f.Windows() || st2.Generation <= st.Generation {
+		t.Fatalf("append did not force exactly one rebuild: before %+v after %+v", st, st2)
+	}
+}
+
+// TestTopKTrajectoriesMatchesEvolution cross-checks the columnar ranking
+// against the per-rule Trajectory decode path the explore API uses: every
+// returned score must equal the rule's own Evolution/series recomputation.
+func TestTopKTrajectoriesMatchesEvolution(t *testing.T) {
+	f := build(t, trajCfg())
+	last := f.Windows() - 1
+	for _, m := range []traj.Measure{traj.ByStability, traj.ByDrift, traj.ByVolatility, traj.ByCoverage} {
+		out, err := f.TopKTrajectories(0, last, 0.01, 0.05, m, 10)
+		if err != nil {
+			t.Fatalf("TopKTrajectories(%v): %v", m, err)
+		}
+		if len(out) == 0 {
+			t.Fatalf("TopKTrajectories(%v) returned no rules", m)
+		}
+		for _, row := range out {
+			tr, err := f.arch.Trajectory(row.ID, 0, last)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cov, stab, sd := tr.Evolution(trajStabilityEps)
+			s := tr.SupportSeries()
+			var want float64
+			switch m {
+			case traj.ByStability:
+				want = stab
+			case traj.ByDrift:
+				want = s[len(s)-1] - s[0]
+			case traj.ByVolatility:
+				want = sd
+			case traj.ByCoverage:
+				want = cov
+			}
+			if row.Score != want {
+				t.Fatalf("measure %v rule %d: columnar score %v, per-rule decode %v", m, row.ID, row.Score, want)
+			}
+		}
+		// Scores must be non-increasing.
+		for i := 1; i < len(out); i++ {
+			if out[i].Score > out[i-1].Score {
+				t.Fatalf("measure %v: scores not descending at row %d: %v > %v", m, i, out[i].Score, out[i-1].Score)
+			}
+		}
+	}
+}
+
+// TestTrajMappedMatchesHeapNoPromotion runs all three trajectory classes on
+// a memory-mapped reopening of the same knowledge base: answers must be
+// identical to the heap framework's, and the archive must stay mapped (the
+// columnar build decodes views, never promotes).
+func TestTrajMappedMatchesHeapNoPromotion(t *testing.T) {
+	hf := build(t, trajCfg())
+	mf := openMapped(t, saveMapped(t, hf))
+	if !mf.arch.Mapped() {
+		t.Fatal("reopened framework is not mapped")
+	}
+	last := hf.Windows() - 1
+	ref := make([]float64, hf.Windows())
+	for i := range ref {
+		ref[i] = 0.02
+	}
+
+	ht, err := hf.TopKTrajectories(0, last, 0.01, 0.05, traj.ByDrift, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := mf.TopKTrajectories(0, last, 0.01, 0.05, traj.ByDrift, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ht) != len(mt) {
+		t.Fatalf("topk: heap %d rows, mapped %d", len(ht), len(mt))
+	}
+	for i := range ht {
+		if ht[i].ID != mt[i].ID || ht[i].Score != mt[i].Score || ht[i].Agg != mt[i].Agg {
+			t.Fatalf("topk row %d diverges: heap %+v mapped %+v", i, ht[i], mt[i])
+		}
+	}
+
+	hs, _, err := hf.SimilarTrajectories(0, last, ref, traj.MaxNorm, 0, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := mf.SimilarTrajectories(0, last, ref, traj.MaxNorm, 0, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != len(ms) {
+		t.Fatalf("similar: heap %d rows, mapped %d", len(hs), len(ms))
+	}
+	for i := range hs {
+		if hs[i].ID != ms[i].ID || hs[i].Distance != ms[i].Distance {
+			t.Fatalf("similar row %d diverges: heap %+v mapped %+v", i, hs[i], ms[i])
+		}
+	}
+
+	he, err := hf.EmergingRules(0, -1, 0.01, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	me, err := mf.EmergingRules(0, -1, 0.01, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(he) != len(me) {
+		t.Fatalf("emerging: heap %d rows, mapped %d", len(he), len(me))
+	}
+	for i := range he {
+		if he[i].ID != me[i].ID || he[i].Support != me[i].Support || he[i].Confidence != me[i].Confidence {
+			t.Fatalf("emerging row %d diverges: heap %+v mapped %+v", i, he[i], me[i])
+		}
+	}
+
+	if !mf.arch.Mapped() {
+		t.Fatal("trajectory queries promoted the mapped archive to heap")
+	}
+}
+
+// TestTrajThresholdPolicy pins the generation-threshold rules: topk and
+// emerging always enforce them; similar only when a nonzero threshold is
+// given (0,0 means "every archived rule competes").
+func TestTrajThresholdPolicy(t *testing.T) {
+	f := build(t, trajCfg())
+	last := f.Windows() - 1
+	ref := make([]float64, f.Windows())
+	if _, err := f.TopKTrajectories(0, last, 0.001, 0.05, traj.ByStability, 5); err == nil {
+		t.Error("topk below generation minsupp accepted")
+	}
+	if _, err := f.EmergingRules(0, -1, 0.01, 0.001); err == nil {
+		t.Error("emerging below generation minconf accepted")
+	}
+	if _, _, err := f.SimilarTrajectories(0, last, ref, traj.Euclidean, 0, 0, 5); err != nil {
+		t.Errorf("similar with zero thresholds rejected: %v", err)
+	}
+	if _, _, err := f.SimilarTrajectories(0, last, ref, traj.Euclidean, 0.001, 0.05, 5); err == nil {
+		t.Error("similar with nonzero below-generation minsupp accepted")
+	}
+}
+
+// TestTrajAggregateCacheAcrossGenerations asserts the memoized aggregate
+// matrix cannot serve a stale generation: after an append changes window
+// count, a same-range query reflects the new snapshot.
+func TestTrajAggregateCacheAcrossGenerations(t *testing.T) {
+	f := build(t, trajCfg())
+	last := f.Windows() - 1
+	before, err := f.TopKTrajectories(0, last, 0.01, 0.05, traj.ByCoverage, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New window with a disjoint synthetic rule set: every pre-existing
+	// rule's coverage over [0, last+1] shrinks by the factor (last+1)/(last+2).
+	w := syntheticWindow(f.Windows(), 800)
+	if err := f.AppendRules(w, disjointRules(10, 800, 3)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := f.TopKTrajectories(0, last+1, 0.01, 0.05, traj.ByCoverage, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := make(map[uint32]float64, len(after))
+	for _, r := range after {
+		cov[uint32(r.ID)] = r.Score
+	}
+	shrink := float64(last+1) / float64(last+2)
+	for _, r := range before {
+		got, ok := cov[uint32(r.ID)]
+		if !ok {
+			continue // fell below the top-1000 cut; irrelevant here
+		}
+		want := r.Score * shrink
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("rule %d coverage after append: %v, want %v (stale aggregate matrix?)", r.ID, got, want)
+		}
+	}
+	// The same-range query as before the append must also recompute cleanly.
+	again, err := f.TopKTrajectories(0, last, 0.01, 0.05, traj.ByCoverage, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(before) {
+		t.Fatalf("same-range topk changed cardinality after append: %d vs %d", len(again), len(before))
+	}
+	for i := range again {
+		if again[i].ID != before[i].ID || again[i].Score != before[i].Score {
+			t.Fatalf("same-range topk row %d changed after append: %+v vs %+v", i, again[i], before[i])
+		}
+	}
+}
+
+// TestTrajConcurrentQueriesAndAppend hammers the three trajectory classes
+// from parallel readers while windows append — the lock-order and
+// snapshot-expiry proof to run under -race.
+func TestTrajConcurrentQueriesAndAppend(t *testing.T) {
+	f := build(t, trajCfg())
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				last := f.Windows() - 1
+				switch (g + i) % 3 {
+				case 0:
+					if _, err := f.TopKTrajectories(0, last, 0.01, 0.05, traj.ByStability, 5); err != nil {
+						t.Errorf("topk: %v", err)
+						return
+					}
+				case 1:
+					ref := make([]float64, last+1)
+					if _, _, err := f.SimilarTrajectories(0, last, ref, traj.Euclidean, 0, 0, 5); err != nil {
+						t.Errorf("similar: %v", err)
+						return
+					}
+				default:
+					if _, err := f.EmergingRules(0, -1, 0.01, 0.05); err != nil {
+						t.Errorf("emerging: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 6; i++ {
+		w := syntheticWindow(f.Windows(), 400)
+		if err := f.AppendRules(w, disjointRules(15, 400, int64(100+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if st := f.TrajStats(); st.Rebuilds == 0 {
+		t.Fatal("no snapshot builds recorded under concurrent load")
+	}
+}

@@ -1,0 +1,645 @@
+// Package traj is the columnar trajectory engine over the TAR Archive.
+//
+// The archive stores one varint-encoded series per rule; every analytic that
+// touches many rules through Series() pays a per-rule decode plus an []Entry
+// allocation, and the interesting trajectory workloads (ranking, similarity
+// search, emergence detection) touch every rule. This package transposes the
+// archive once — a single decode pass over all rule payloads, heap or mapped,
+// with no heap promotion — into window-major float64 columns:
+//
+//	supp[w*R + r]  support of rule row r in window w (0 where absent)
+//	conf[w*R + r]  confidence, same layout
+//	pres[w*R + r]  1 where the rule was archived in w, else 0
+//
+// Per-rule aggregates (coverage, mean, stddev, stability, drift) then stream
+// column by column in tight branch-light loops over contiguous float64
+// slices — the SIMD-friendly shape — with the shared moments (sum, centered
+// square sum) hoisted so no measure re-derives the mean per rule. The
+// accumulation order per rule is exactly the window order a per-rule
+// Trajectory decode would use, so every aggregate is bit-identical to the
+// naive Series() oracle; the differential tests in this package assert that.
+//
+// A Snapshot is immutable once built. The owning framework stamps it with
+// its KB generation and rebuilds lazily when the generation moves (windows
+// are append-only, so a snapshot is never partially stale — it is either
+// current or discarded whole).
+package traj
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tara/internal/archive"
+	"tara/internal/rules"
+)
+
+// Snapshot is the columnar transpose of one archive generation.
+type Snapshot struct {
+	// Gen is the KB generation this snapshot was built from; the owner
+	// stamps it and discards the snapshot when the generation moves.
+	Gen uint64
+
+	windows int
+	nrules  int
+	entries int
+	ids     []rules.ID // row -> rule id, ascending
+	winN    []uint32   // per-window |D_w|
+
+	// Window-major columns, each windows*nrules long: the values of column w
+	// occupy [w*nrules, (w+1)*nrules).
+	supp []float64
+	conf []float64
+	pres []float64
+
+	// Per-rule support envelopes over all windows (zeros for absent windows
+	// included): lo[r] <= supp[w][r] <= hi[r] for every w. The similarity
+	// search derives its per-rule lower bound from these.
+	lo []float64
+	hi []float64
+}
+
+// Build transposes the archive into a columnar snapshot in one decode pass
+// over every rule payload. Mapped archives are decoded as views over the
+// mapped block — building a snapshot never promotes the archive to heap.
+func Build(a *archive.Archive) (*Snapshot, error) {
+	w := a.Windows()
+	ids := a.Rules()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r := len(ids)
+	s := &Snapshot{
+		windows: w,
+		nrules:  r,
+		ids:     ids,
+		winN:    a.WindowCardinalities(),
+		supp:    make([]float64, w*r),
+		conf:    make([]float64, w*r),
+		pres:    make([]float64, w*r),
+		lo:      make([]float64, r),
+		hi:      make([]float64, r),
+	}
+	rowOf := make(map[rules.ID]int32, r)
+	for i, id := range ids {
+		rowOf[id] = int32(i)
+	}
+	// DecodeAll yields each rule's entries consecutively; cache the last
+	// resolved row so the map is touched once per rule, not once per entry.
+	lastRow := int32(-1)
+	var lastID rules.ID
+	err := a.DecodeAll(func(id rules.ID, e archive.Entry) error {
+		if lastRow < 0 || id != lastID {
+			row, ok := rowOf[id]
+			if !ok {
+				return fmt.Errorf("traj: decoded rule %d not in archive rule set", id)
+			}
+			lastID, lastRow = id, row
+		}
+		if e.Window >= w {
+			return fmt.Errorf("traj: rule %d window %d beyond cardinality table (%d windows)", id, e.Window, w)
+		}
+		at := e.Window*r + int(lastRow)
+		if n := s.winN[e.Window]; n > 0 {
+			s.supp[at] = float64(e.CountXY) / float64(n)
+		}
+		if e.CountX > 0 {
+			s.conf[at] = float64(e.CountXY) / float64(e.CountX)
+		}
+		s.pres[at] = 1
+		s.entries++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Support envelopes: stream the columns once more. Zero-filled absent
+	// windows are part of the series, so they are part of the envelope.
+	if w > 0 && r > 0 {
+		copy(s.lo, s.supp[:r])
+		copy(s.hi, s.supp[:r])
+		for win := 1; win < w; win++ {
+			col := s.supp[win*r : (win+1)*r]
+			for i, v := range col {
+				if v < s.lo[i] {
+					s.lo[i] = v
+				}
+				if v > s.hi[i] {
+					s.hi[i] = v
+				}
+			}
+		}
+	}
+	return s, nil
+}
+
+// Windows returns the number of windows in the snapshot.
+func (s *Snapshot) Windows() int { return s.windows }
+
+// Rules returns the number of rule rows.
+func (s *Snapshot) Rules() int { return s.nrules }
+
+// Entries returns the number of (rule, window) records decoded at build.
+func (s *Snapshot) Entries() int { return s.entries }
+
+// ID returns the rule id of row r.
+func (s *Snapshot) ID(r int) rules.ID { return s.ids[r] }
+
+// Support returns rule row r's support in window w (0 where absent).
+func (s *Snapshot) Support(r, w int) float64 { return s.supp[w*s.nrules+r] }
+
+// Confidence returns rule row r's confidence in window w (0 where absent).
+func (s *Snapshot) Confidence(r, w int) float64 { return s.conf[w*s.nrules+r] }
+
+// Present reports whether rule row r was archived in window w.
+func (s *Snapshot) Present(r, w int) bool { return s.pres[w*s.nrules+r] != 0 }
+
+// MemBytes estimates the snapshot's resident size: the three columns, the
+// envelopes, and the row/window tables.
+func (s *Snapshot) MemBytes() int {
+	return 8*(len(s.supp)+len(s.conf)+len(s.pres)+len(s.lo)+len(s.hi)) +
+		4*len(s.ids) + 4*len(s.winN)
+}
+
+func (s *Snapshot) checkRange(from, to int) error {
+	if from < 0 || to >= s.windows || from > to {
+		return fmt.Errorf("traj: window range [%d,%d] out of bounds (have %d windows)", from, to, s.windows)
+	}
+	return nil
+}
+
+// Aggregates is one rule's trajectory summary over a window range, with the
+// shared moments hoisted: the mean is computed once and every derived
+// measure reuses it.
+type Aggregates struct {
+	// Coverage is the fraction of the range's windows where the rule was
+	// archived.
+	Coverage float64
+	// Mean is the mean of the zero-filled support series.
+	Mean float64
+	// StdDev is the population standard deviation of the support series.
+	StdDev float64
+	// Stability is the fraction of adjacent window pairs whose support moved
+	// by at most the eps given to AggregateRange (1 for single-window ranges).
+	Stability float64
+	// Drift is the net support change over the range: support in the last
+	// window minus support in the first.
+	Drift float64
+}
+
+// AggregateRange computes every rule's trajectory aggregates over windows
+// [from, to] by streaming the columns: two passes (moments + stability, then
+// the centered square sum), each a contiguous walk over the window columns.
+// The result is indexed by rule row. eps is the stability tolerance on
+// adjacent support deltas.
+func (s *Snapshot) AggregateRange(from, to int, eps float64) ([]Aggregates, error) {
+	if err := s.checkRange(from, to); err != nil {
+		return nil, err
+	}
+	r := s.nrules
+	nw := to - from + 1
+	sum := make([]float64, r)
+	cov := make([]float64, r)
+	stable := make([]int32, r)
+	for w := from; w <= to; w++ {
+		col := s.supp[w*r : (w+1)*r]
+		pcol := s.pres[w*r : (w+1)*r]
+		for i := 0; i < r; i++ {
+			sum[i] += col[i]
+			cov[i] += pcol[i]
+		}
+		if w > from {
+			prev := s.supp[(w-1)*r : w*r]
+			for i := 0; i < r; i++ {
+				if math.Abs(col[i]-prev[i]) <= eps {
+					stable[i]++
+				}
+			}
+		}
+	}
+	// Centered second pass: accumulating (v-mean)^2 in window order matches
+	// stats.StdDev over the materialized series bit for bit.
+	sq := make([]float64, r)
+	mean := make([]float64, r)
+	fn := float64(nw)
+	for i := 0; i < r; i++ {
+		mean[i] = sum[i] / fn
+	}
+	for w := from; w <= to; w++ {
+		col := s.supp[w*r : (w+1)*r]
+		for i := 0; i < r; i++ {
+			d := col[i] - mean[i]
+			sq[i] += d * d
+		}
+	}
+	first := s.supp[from*r : from*r+r]
+	last := s.supp[to*r : to*r+r]
+	out := make([]Aggregates, r)
+	for i := 0; i < r; i++ {
+		a := Aggregates{
+			Coverage: cov[i] / fn,
+			Mean:     mean[i],
+			StdDev:   math.Sqrt(sq[i] / fn),
+			Drift:    last[i] - first[i],
+		}
+		if nw < 2 {
+			a.Stability = 1
+		} else {
+			a.Stability = float64(stable[i]) / float64(nw-1)
+		}
+		out[i] = a
+	}
+	return out, nil
+}
+
+// qualifyRange marks every rule row that meets (minSupp, minConf) in at
+// least one window of [from, to] where it was archived. The range is assumed
+// validated.
+func (s *Snapshot) qualifyRange(from, to int, minSupp, minConf float64) []bool {
+	r := s.nrules
+	out := make([]bool, r)
+	for w := from; w <= to; w++ {
+		scol := s.supp[w*r : (w+1)*r]
+		ccol := s.conf[w*r : (w+1)*r]
+		pcol := s.pres[w*r : (w+1)*r]
+		for i := 0; i < r; i++ {
+			out[i] = out[i] || (pcol[i] != 0 && scol[i] >= minSupp && ccol[i] >= minConf)
+		}
+	}
+	return out
+}
+
+// Measure selects the ranking measure of TopK.
+type Measure int
+
+const (
+	// ByStability ranks by the stability measure, most stable first.
+	ByStability Measure = iota
+	// ByDrift ranks by net support change, most rising first.
+	ByDrift
+	// ByVolatility ranks by support standard deviation, most volatile first.
+	ByVolatility
+	// ByCoverage ranks by coverage, most covered first.
+	ByCoverage
+)
+
+// MeasureByName maps the textual measure names of the /topk query class.
+func MeasureByName(name string) (Measure, error) {
+	switch name {
+	case "stability", "":
+		return ByStability, nil
+	case "drift":
+		return ByDrift, nil
+	case "volatility":
+		return ByVolatility, nil
+	case "coverage":
+		return ByCoverage, nil
+	default:
+		return 0, fmt.Errorf("traj: unknown measure %q (want stability, drift, volatility or coverage)", name)
+	}
+}
+
+// String returns the measure's query-syntax name.
+func (m Measure) String() string {
+	switch m {
+	case ByStability:
+		return "stability"
+	case ByDrift:
+		return "drift"
+	case ByVolatility:
+		return "volatility"
+	case ByCoverage:
+		return "coverage"
+	}
+	return fmt.Sprintf("measure(%d)", int(m))
+}
+
+// Ranked is one row of a top-K answer.
+type Ranked struct {
+	Row   int
+	ID    rules.ID
+	Score float64
+	Agg   Aggregates
+}
+
+// bounded keeps the k best (score descending, id ascending on ties)
+// candidates seen so far in a binary min-heap whose root is the current
+// worst — the classic bounded top-K heap, so ranking R rules costs
+// O(R log k) and never materializes a full sorted slice.
+type bounded struct {
+	k    int
+	rows []Ranked
+}
+
+// worse reports whether a loses to b: lower score, or equal score and
+// higher id.
+func worse(a, b Ranked) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return a.ID > b.ID
+}
+
+func (h *bounded) offer(c Ranked) {
+	if h.k <= 0 {
+		return
+	}
+	if len(h.rows) < h.k {
+		h.rows = append(h.rows, c)
+		// Sift up.
+		i := len(h.rows) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if !worse(h.rows[i], h.rows[p]) {
+				break
+			}
+			h.rows[i], h.rows[p] = h.rows[p], h.rows[i]
+			i = p
+		}
+		return
+	}
+	if !worse(h.rows[0], c) {
+		return // candidate no better than the current worst
+	}
+	h.rows[0] = c
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h.rows) && worse(h.rows[l], h.rows[m]) {
+			m = l
+		}
+		if r < len(h.rows) && worse(h.rows[r], h.rows[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h.rows[i], h.rows[m] = h.rows[m], h.rows[i]
+		i = m
+	}
+}
+
+// sorted drains the heap into best-first order.
+func (h *bounded) sorted() []Ranked {
+	out := h.rows
+	sort.Slice(out, func(i, j int) bool { return worse(out[j], out[i]) })
+	return out
+}
+
+// TopK ranks the rules qualifying in [from, to] (meeting minSupp/minConf in
+// at least one archived window of the range) by measure m over the given
+// aggregates, returning the k best, score descending with ascending rule id
+// on ties. aggs must come from AggregateRange over the same [from, to].
+func (s *Snapshot) TopK(aggs []Aggregates, from, to int, minSupp, minConf float64, m Measure, k int) ([]Ranked, error) {
+	if err := s.checkRange(from, to); err != nil {
+		return nil, err
+	}
+	if len(aggs) != s.nrules {
+		return nil, fmt.Errorf("traj: aggregate set has %d rows, snapshot has %d", len(aggs), s.nrules)
+	}
+	qual := s.qualifyRange(from, to, minSupp, minConf)
+	h := bounded{k: k}
+	for i := 0; i < s.nrules; i++ {
+		if !qual[i] {
+			continue
+		}
+		var score float64
+		switch m {
+		case ByStability:
+			score = aggs[i].Stability
+		case ByDrift:
+			score = aggs[i].Drift
+		case ByVolatility:
+			score = aggs[i].StdDev
+		case ByCoverage:
+			score = aggs[i].Coverage
+		default:
+			return nil, fmt.Errorf("traj: unknown measure %d", int(m))
+		}
+		h.offer(Ranked{Row: i, ID: s.ids[i], Score: score, Agg: aggs[i]})
+	}
+	return h.sorted(), nil
+}
+
+// Metric selects the similarity distance.
+type Metric int
+
+const (
+	// Euclidean is the L2 distance between support series.
+	Euclidean Metric = iota
+	// MaxNorm is the L∞ (Chebyshev) distance.
+	MaxNorm
+)
+
+// MetricByName maps the textual metric names of the /similar query class.
+func MetricByName(name string) (Metric, error) {
+	switch name {
+	case "euclid", "euclidean", "":
+		return Euclidean, nil
+	case "max", "maxnorm", "chebyshev":
+		return MaxNorm, nil
+	default:
+		return 0, fmt.Errorf("traj: unknown metric %q (want euclid or max)", name)
+	}
+}
+
+// String returns the metric's query-syntax name.
+func (m Metric) String() string {
+	if m == MaxNorm {
+		return "max"
+	}
+	return "euclid"
+}
+
+// Neighbor is one row of a similarity answer.
+type Neighbor struct {
+	Row      int
+	ID       rules.ID
+	Distance float64
+}
+
+// envelopeBound precomputes, from the sorted reference profile, the two 1-D
+// prefix tables that make the per-rule lower bound O(log T):
+//
+//	Σ_w gap(q_w, [lo,hi])² = f(lo) + g(hi)
+//	f(lo) = Σ_{q<lo}(lo-q)² = c·lo² − 2·lo·Σq + Σq²   over {q < lo}
+//	g(hi) = Σ_{q>hi}(q-hi)² = Σq² − 2·hi·Σq + c·hi²   over {q > hi}
+//
+// because at each window at most one side of the envelope is violated. The
+// expanded forms are evaluated with a tiny relative slack before pruning so
+// float rounding can never turn the bound into an over-estimate.
+type envelopeBound struct {
+	sorted []float64
+	pre1   []float64 // prefix sums of sorted
+	pre2   []float64 // prefix sums of sorted²
+}
+
+func newEnvelopeBound(ref []float64) envelopeBound {
+	s := make([]float64, len(ref))
+	copy(s, ref)
+	sort.Float64s(s)
+	p1 := make([]float64, len(s)+1)
+	p2 := make([]float64, len(s)+1)
+	for i, q := range s {
+		p1[i+1] = p1[i] + q
+		p2[i+1] = p2[i] + q*q
+	}
+	return envelopeBound{sorted: s, pre1: p1, pre2: p2}
+}
+
+// euclid2 lower-bounds the squared Euclidean distance between the reference
+// and any series confined to [lo, hi].
+func (e envelopeBound) euclid2(lo, hi float64) float64 {
+	t := len(e.sorted)
+	c := sort.SearchFloat64s(e.sorted, lo) // q's strictly below lo
+	f := float64(c)*lo*lo - 2*lo*e.pre1[c] + e.pre2[c]
+	k := sort.Search(t, func(i int) bool { return e.sorted[i] > hi }) // q's <= hi
+	m := float64(t - k)
+	g := (e.pre2[t] - e.pre2[k]) - 2*hi*(e.pre1[t]-e.pre1[k]) + m*hi*hi
+	b := f + g
+	if b < 0 {
+		return 0
+	}
+	return b * (1 - 1e-9)
+}
+
+// maxNorm lower-bounds the Chebyshev distance for a series confined to
+// [lo, hi]: the worst per-window gap is attained at the reference's extreme
+// values.
+func (e envelopeBound) maxNorm(lo, hi float64) float64 {
+	if len(e.sorted) == 0 {
+		return 0
+	}
+	b := lo - e.sorted[0]
+	if d := e.sorted[len(e.sorted)-1] - hi; d > b {
+		b = d
+	}
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Similar returns the k rules whose zero-filled support series over
+// [from, to] is nearest to the reference profile ref (len(ref) must equal
+// the range length), distance ascending with ascending rule id on ties.
+// Only rules qualifying in the range (minSupp/minConf in at least one
+// archived window; 0,0 means "archived somewhere in the range") compete.
+// The per-rule envelope lower bound is checked against the current k-th
+// best distance first, so once the heap is warm most rules never compute
+// the full distance; pruned reports how many were skipped that way.
+func (s *Snapshot) Similar(from, to int, ref []float64, metric Metric, minSupp, minConf float64, k int) (out []Neighbor, pruned int, err error) {
+	if err := s.checkRange(from, to); err != nil {
+		return nil, 0, err
+	}
+	if len(ref) != to-from+1 {
+		return nil, 0, fmt.Errorf("traj: reference profile has %d points, range [%d,%d] has %d windows", len(ref), from, to, to-from+1)
+	}
+	if k <= 0 {
+		return nil, 0, nil
+	}
+	qual := s.qualifyRange(from, to, minSupp, minConf)
+	eb := newEnvelopeBound(ref)
+	r := s.nrules
+	// The heap ranks by score = -distance (exact negation), so "best" is
+	// the smallest distance; for Euclidean the squared distance orders
+	// identically and saves the sqrt until reporting.
+	h := bounded{k: k}
+	for i := 0; i < r; i++ {
+		if !qual[i] {
+			continue
+		}
+		full := len(h.rows) == h.k
+		var worst float64
+		if full {
+			worst = -h.rows[0].Score
+		}
+		var d float64
+		if metric == Euclidean {
+			if full {
+				if lb := eb.euclid2(s.lo[i], s.hi[i]); lb > worst {
+					pruned++
+					continue
+				}
+			}
+			for w := from; w <= to; w++ {
+				diff := s.supp[w*r+i] - ref[w-from]
+				d += diff * diff
+			}
+		} else {
+			if full {
+				if lb := eb.maxNorm(s.lo[i], s.hi[i]); lb > worst {
+					pruned++
+					continue
+				}
+			}
+			for w := from; w <= to; w++ {
+				diff := math.Abs(s.supp[w*r+i] - ref[w-from])
+				if diff > d {
+					d = diff
+				}
+			}
+		}
+		h.offer(Ranked{Row: i, ID: s.ids[i], Score: -d})
+	}
+	ranked := h.sorted()
+	out = make([]Neighbor, len(ranked))
+	for i, c := range ranked {
+		d := -c.Score
+		if metric == Euclidean {
+			d = math.Sqrt(d)
+		}
+		out[i] = Neighbor{Row: c.Row, ID: c.ID, Distance: d}
+	}
+	return out, pruned, nil
+}
+
+// Emergent is one row of an emergence answer: a rule that newly crossed the
+// threshold in the range's last window.
+type Emergent struct {
+	Row        int
+	ID         rules.ID
+	Support    float64
+	Confidence float64
+}
+
+// Emerging returns the rules that qualify (archived with support >= minSupp
+// and confidence >= minConf) in window `to` but in no earlier window of
+// [from, to] — the signal-detection question "what newly crossed the
+// threshold in the latest window". The candidate set comes from one
+// contiguous scan of the last column; only candidates walk their history,
+// newest first, so rules that qualified recently exit early. Results are
+// ordered support descending, rule id ascending on ties.
+func (s *Snapshot) Emerging(from, to int, minSupp, minConf float64) ([]Emergent, error) {
+	if err := s.checkRange(from, to); err != nil {
+		return nil, err
+	}
+	r := s.nrules
+	scol := s.supp[to*r : (to+1)*r]
+	ccol := s.conf[to*r : (to+1)*r]
+	pcol := s.pres[to*r : (to+1)*r]
+	var out []Emergent
+	for i := 0; i < r; i++ {
+		if pcol[i] == 0 || scol[i] < minSupp || ccol[i] < minConf {
+			continue
+		}
+		fresh := true
+		for w := to - 1; w >= from; w-- {
+			at := w*r + i
+			if s.pres[at] != 0 && s.supp[at] >= minSupp && s.conf[at] >= minConf {
+				fresh = false
+				break
+			}
+		}
+		if fresh {
+			out = append(out, Emergent{Row: i, ID: s.ids[i], Support: scol[i], Confidence: ccol[i]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
